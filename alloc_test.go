@@ -1,0 +1,65 @@
+package spiralfft
+
+import (
+	"testing"
+
+	"spiralfft/internal/complexvec"
+)
+
+// TestSteadyStateAllocations: after planning, transforms must not allocate —
+// the production requirement that lets plans run in tight real-time loops
+// without GC pressure.
+func TestSteadyStateAllocations(t *testing.T) {
+	cases := []struct {
+		name string
+		opts *Options
+		max  float64
+	}{
+		{"sequential", nil, 0},
+		{"parallel-pool", &Options{Workers: 2}, 0},
+	}
+	for _, c := range cases {
+		p, err := NewPlan(1024, c.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := complexvec.Random(1024, 1)
+		y := make([]complex128, 1024)
+		if err := p.Forward(y, x); err != nil { // warm up
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(100, func() { p.Forward(y, x) }); got > c.max {
+			t.Errorf("%s Forward: %.1f allocs/op, want ≤ %.0f", c.name, got, c.max)
+		}
+		if got := testing.AllocsPerRun(100, func() { p.Inverse(y, x) }); got > c.max {
+			t.Errorf("%s Inverse: %.1f allocs/op, want ≤ %.0f", c.name, got, c.max)
+		}
+		p.Close()
+	}
+
+	// Batch plans too.
+	b, err := NewBatchPlan(256, 8, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	bx := complexvec.Random(256*8, 1)
+	by := make([]complex128, 256*8)
+	b.Forward(by, bx)
+	if got := testing.AllocsPerRun(50, func() { b.Forward(by, bx) }); got > 0 {
+		t.Errorf("batch Forward: %.1f allocs/op", got)
+	}
+
+	// Real plans.
+	rp, err := NewRealPlan(1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	xr := randomReal(1024, 1)
+	spec := make([]complex128, 513)
+	rp.Forward(spec, xr)
+	if got := testing.AllocsPerRun(50, func() { rp.Forward(spec, xr) }); got > 0 {
+		t.Errorf("real Forward: %.1f allocs/op", got)
+	}
+}

@@ -1,0 +1,148 @@
+package spiralfft
+
+import (
+	"fmt"
+
+	"spiralfft/internal/exec"
+	"spiralfft/internal/smp"
+)
+
+// BatchPlan transforms many independent equal-length signals in one call.
+// In SPL terms a batch is I_b ⊗ DFT_n, which rule (9) of the paper
+// parallelizes directly: each processor executes a contiguous block of
+// whole transforms — embarrassingly parallel, load balanced, and (for
+// n a multiple of µ) free of false sharing without any further rewriting.
+//
+// Signals are stored back to back in one flat slice of length Count()·N().
+type BatchPlan struct {
+	n, count int
+	seq      *exec.Seq
+	backend  smp.Backend // owned; nil when workers == 1
+	workers  int
+	scratch  [][]complex128
+	invBuf   []complex128
+	// body is the persistent parallel-region closure over curDst/curSrc,
+	// so steady-state batches allocate nothing.
+	body           func(w int)
+	curDst, curSrc []complex128
+}
+
+// NewBatchPlan prepares a plan for count signals of length n each.
+// Workers > count is reduced to count (no idle processors).
+func NewBatchPlan(n, count int, o *Options) (*BatchPlan, error) {
+	if n < 1 || count < 1 {
+		return nil, fmt.Errorf("spiralfft: invalid batch %d×%d", count, n)
+	}
+	opt := o.withDefaults()
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("spiralfft: invalid worker count %d", opt.Workers)
+	}
+	workers := opt.Workers
+	if workers > count {
+		workers = count
+	}
+	tree := exec.RadixTree(n)
+	if opt.Planner != PlannerFixed {
+		// Reuse the single-plan machinery for tree choice.
+		single, err := NewPlan(n, &Options{Planner: opt.Planner, Wisdom: opt.Wisdom})
+		if err != nil {
+			return nil, err
+		}
+		tree = single.seq.Tree()
+		single.Close()
+	}
+	seq, err := exec.NewSeq(tree)
+	if err != nil {
+		return nil, err
+	}
+	b := &BatchPlan{
+		n:       n,
+		count:   count,
+		seq:     seq,
+		workers: workers,
+		scratch: make([][]complex128, workers),
+		invBuf:  make([]complex128, n*count),
+	}
+	for w := range b.scratch {
+		b.scratch[w] = seq.NewScratch()
+	}
+	if workers > 1 {
+		if opt.Backend == BackendSpawn {
+			b.backend = smp.NewSpawn(workers)
+		} else {
+			b.backend = smp.NewPool(workers)
+		}
+		b.body = func(w int) {
+			lo, hi := smp.BlockRange(b.count, b.workers, w)
+			for s := lo; s < hi; s++ {
+				b.seq.TransformStrided(b.curDst, s*b.n, 1, b.curSrc, s*b.n, 1, nil, b.scratch[w])
+			}
+		}
+	}
+	return b, nil
+}
+
+// N returns the per-signal transform size.
+func (b *BatchPlan) N() int { return b.n }
+
+// Count returns the number of signals per batch.
+func (b *BatchPlan) Count() int { return b.count }
+
+// Workers returns the number of workers the batch uses.
+func (b *BatchPlan) Workers() int { return b.workers }
+
+// Forward transforms all signals: for each s < Count(),
+// dst[s·n : (s+1)·n] = DFT_n(src[s·n : (s+1)·n]). dst == src is allowed.
+func (b *BatchPlan) Forward(dst, src []complex128) error {
+	if err := b.check(dst, src); err != nil {
+		return err
+	}
+	b.run(dst, src)
+	return nil
+}
+
+// Inverse applies the unitary inverse to all signals. dst == src is allowed.
+func (b *BatchPlan) Inverse(dst, src []complex128) error {
+	if err := b.check(dst, src); err != nil {
+		return err
+	}
+	// conj → forward → conj/scale, batched.
+	for i, v := range src {
+		b.invBuf[i] = complex(real(v), -imag(v))
+	}
+	b.run(dst, b.invBuf)
+	scale := 1 / float64(b.n)
+	for i, v := range dst {
+		dst[i] = complex(real(v)*scale, -imag(v)*scale)
+	}
+	return nil
+}
+
+func (b *BatchPlan) check(dst, src []complex128) error {
+	want := b.n * b.count
+	if len(dst) != want || len(src) != want {
+		return fmt.Errorf("spiralfft: batch length mismatch: want %d (= %d signals × %d), dst %d, src %d",
+			want, b.count, b.n, len(dst), len(src))
+	}
+	return nil
+}
+
+func (b *BatchPlan) run(dst, src []complex128) {
+	if b.backend == nil {
+		for s := 0; s < b.count; s++ {
+			b.seq.TransformStrided(dst, s*b.n, 1, src, s*b.n, 1, nil, b.scratch[0])
+		}
+		return
+	}
+	b.curDst, b.curSrc = dst, src
+	b.backend.Run(b.body)
+	b.curDst, b.curSrc = nil, nil
+}
+
+// Close releases the worker pool (if any). Idempotent.
+func (b *BatchPlan) Close() {
+	if b.backend != nil {
+		b.backend.Close()
+		b.backend = nil
+	}
+}

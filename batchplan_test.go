@@ -1,0 +1,107 @@
+package spiralfft
+
+import (
+	"testing"
+
+	"spiralfft/internal/complexvec"
+)
+
+func TestBatchForwardMatchesSinglePlans(t *testing.T) {
+	for _, c := range []struct {
+		n, count, workers int
+	}{
+		{64, 8, 1}, {64, 8, 2}, {128, 5, 2}, {32, 1, 2}, {16, 3, 4},
+	} {
+		b, err := NewBatchPlan(c.n, c.count, &Options{Workers: c.workers})
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if b.N() != c.n || b.Count() != c.count {
+			t.Fatalf("%+v: accessors wrong", c)
+		}
+		if b.Workers() > c.count {
+			t.Errorf("%+v: workers %d exceed count", c, b.Workers())
+		}
+		src := complexvec.Random(c.n*c.count, uint64(c.n+c.count))
+		dst := make([]complex128, len(src))
+		if err := b.Forward(dst, src); err != nil {
+			t.Fatal(err)
+		}
+		single, err := NewPlan(c.n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]complex128, c.n)
+		for s := 0; s < c.count; s++ {
+			if err := single.Forward(want, src[s*c.n:(s+1)*c.n]); err != nil {
+				t.Fatal(err)
+			}
+			if e := complexvec.RelError(dst[s*c.n:(s+1)*c.n], want); e > tol {
+				t.Errorf("%+v signal %d: rel error %g", c, s, e)
+			}
+		}
+		single.Close()
+		b.Close()
+		b.Close() // idempotent
+	}
+}
+
+func TestBatchRoundtripAndInPlace(t *testing.T) {
+	b, err := NewBatchPlan(128, 6, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	x := complexvec.Random(128*6, 7)
+	buf := complexvec.Clone(x)
+	if err := b.Forward(buf, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Inverse(buf, buf); err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(buf, x); e > tol {
+		t.Errorf("batch roundtrip error %g", e)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	if _, err := NewBatchPlan(0, 4, nil); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := NewBatchPlan(8, 0, nil); err == nil {
+		t.Error("accepted count=0")
+	}
+	if _, err := NewBatchPlan(8, 4, &Options{Workers: -2}); err == nil {
+		t.Error("accepted negative workers")
+	}
+	b, err := NewBatchPlan(8, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Forward(make([]complex128, 8), make([]complex128, 32)); err == nil {
+		t.Error("accepted short dst")
+	}
+}
+
+func TestBatchWithTunedPlanner(t *testing.T) {
+	w := NewWisdom()
+	b, err := NewBatchPlan(256, 4, &Options{Workers: 2, Planner: PlannerEstimate, Wisdom: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	src := complexvec.Random(256*4, 1)
+	dst := make([]complex128, len(src))
+	if err := b.Forward(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	// First signal must match the reference DFT.
+	if e := complexvec.RelError(dst[:256], refDFT(src[:256])); e > tol {
+		t.Errorf("tuned batch wrong by %g", e)
+	}
+	if w.Len() == 0 {
+		t.Error("batch planning did not record wisdom")
+	}
+}

@@ -1,0 +1,98 @@
+// Command benchfig3 regenerates Figure 3 of the paper: pseudo-Mflop/s of
+// the five DFT series (Spiral pthreads / Spiral OpenMP / Spiral sequential /
+// FFTW pthreads / FFTW sequential) over sizes 2^min .. 2^max.
+//
+// Two modes:
+//
+//	-platform host                measure on this machine (real wall clock)
+//	-platform coreduo|opteron|pentiumd|xeonmp|all
+//	                              evaluate the analytic model of the paper's
+//	                              machine (hardware substitution; DESIGN.md)
+//
+// Output: -format table (default), chart (ASCII Figure-3 subplot), or csv.
+// -crossover additionally prints the parallelization break-even sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"spiralfft/internal/bench"
+	"spiralfft/internal/machine"
+	"spiralfft/internal/search"
+)
+
+func main() {
+	var (
+		platform  = flag.String("platform", "all", "host | coreduo | opteron | pentiumd | xeonmp | all")
+		minLogN   = flag.Int("min", 6, "smallest size as log2(N)")
+		maxLogN   = flag.Int("max", 16, "largest size as log2(N)")
+		p         = flag.Int("p", runtime.NumCPU(), "workers for host measurements")
+		mu        = flag.Int("mu", 4, "cache-line length µ in complex128 elements")
+		tune      = flag.Bool("tune", false, "use measured-DP tree tuning for the Spiral series (host mode)")
+		format    = flag.String("format", "table", "table | chart | csv")
+		crossover = flag.Bool("crossover", false, "report parallelization break-even sizes")
+		minTime   = flag.Duration("mintime", 2*time.Millisecond, "minimum measuring time per point (host mode)")
+	)
+	flag.Parse()
+
+	var results []bench.Result
+	switch *platform {
+	case "host":
+		fmt.Fprintf(os.Stderr, "measuring on host (%d workers, µ=%d, 2^%d..2^%d)...\n", *p, *mu, *minLogN, *maxLogN)
+		cfg := bench.Config{
+			MinLogN: *minLogN, MaxLogN: *maxLogN, P: *p, Mu: *mu, Tune: *tune,
+			Timer:   search.TimerConfig{MinTime: *minTime, Repeats: 3},
+			Verbose: func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+		}
+		results = append(results, bench.RunMeasured(cfg))
+	case "all":
+		for _, pl := range machine.Platforms() {
+			results = append(results, bench.RunModeled(pl, *minLogN, *maxLogN))
+		}
+	default:
+		pl, ok := machine.ByKey(*platform)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+			os.Exit(2)
+		}
+		results = append(results, bench.RunModeled(pl, *minLogN, *maxLogN))
+	}
+
+	for _, res := range results {
+		switch *format {
+		case "chart":
+			fmt.Print(res.Chart(16))
+		case "csv":
+			fmt.Print(res.CSV())
+		default:
+			fmt.Print(res.Table())
+		}
+		if *crossover {
+			printCrossovers(res)
+		}
+		fmt.Println()
+	}
+}
+
+func printCrossovers(res bench.Result) {
+	seq, _ := res.Get("Spiral sequential")
+	fwSeq, _ := res.Get("FFTW sequential")
+	for _, name := range []string{"Spiral pthreads", "Spiral OpenMP"} {
+		s, _ := res.Get(name)
+		report(name, bench.Crossover(s, seq, 1.02))
+	}
+	fw, _ := res.Get("FFTW pthreads")
+	report("FFTW pthreads", bench.Crossover(fw, fwSeq, 1.02))
+}
+
+func report(name string, logN int) {
+	if logN < 0 {
+		fmt.Printf("  %-16s: no parallel speedup in range\n", name)
+		return
+	}
+	fmt.Printf("  %-16s: parallel speedup from N = 2^%d\n", name, logN)
+}

@@ -1,0 +1,101 @@
+// Command calibrate measures the primitive costs that parameterize the
+// platform model (internal/machine) on the current host, and prints them
+// next to the constants used for the paper's four machines:
+//
+//   - sustained scalar flop rate on FFT code (FlopsPerCycle),
+//   - spin-barrier fork-join cost (BarrierCycles, the pooled backend),
+//   - thread-spawn fork-join cost (SpawnCycles, the non-pooled backend),
+//   - cache-line ping-pong cost (LineTransferCycles, via two workers
+//     alternately writing the same line).
+//
+// This is how the model's order-of-magnitude constants were sanity-checked;
+// rerun it on any machine to see where it falls between the paper's
+// platforms.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/exec"
+	"spiralfft/internal/machine"
+	"spiralfft/internal/search"
+	"spiralfft/internal/smp"
+)
+
+func main() {
+	freqGHz := flag.Float64("ghz", 0, "CPU frequency in GHz (0 = report in ns instead of cycles)")
+	flag.Parse()
+
+	cyc := func(d time.Duration) string {
+		if *freqGHz > 0 {
+			return fmt.Sprintf("%.0f cycles", d.Seconds()*(*freqGHz)*1e9)
+		}
+		return d.String()
+	}
+
+	timer := search.TimerConfig{MinTime: 5 * time.Millisecond, Repeats: 5}
+
+	// Flop rate: time a mid-size in-cache transform.
+	n := 4096
+	seq := exec.MustNewSeq(exec.RadixTree(n))
+	x := complexvec.Random(n, 1)
+	y := make([]complex128, n)
+	scratch := seq.NewScratch()
+	d := search.Measure(func() { seq.Transform(y, x, scratch) }, timer)
+	flops := exec.FlopCount(n)
+	fmt.Printf("host: GOMAXPROCS=%d\n\n", runtime.GOMAXPROCS(0))
+	fmt.Printf("DFT_%d sequential:        %v  (%.0f pseudo-Mflop/s", n, d, flops/(float64(d.Nanoseconds())/1000))
+	if *freqGHz > 0 {
+		fmt.Printf(", %.2f flops/cycle", flops/(d.Seconds()*(*freqGHz)*1e9))
+	}
+	fmt.Println(")")
+
+	// Fork-join costs.
+	p := 2
+	pool := smp.NewPool(p)
+	dPool := search.Measure(func() { pool.Run(func(int) {}) }, timer)
+	pool.Close()
+	spawn := smp.NewSpawn(p)
+	dSpawn := search.Measure(func() { spawn.Run(func(int) {}) }, timer)
+	fmt.Printf("pool fork-join (p=%d):     %v  [%s]\n", p, dPool, cyc(dPool))
+	fmt.Printf("spawn fork-join (p=%d):    %v  [%s]\n", p, dSpawn, cyc(dSpawn))
+
+	// Line ping-pong: two workers alternately increment values in the same
+	// cache line vs. in distant lines; the per-op difference approximates
+	// one ownership transfer.
+	shared := make([]int64, 64) // [0] and [32] are 256 bytes apart
+	pong := func(idxA, idxB int, iters int) time.Duration {
+		pool := smp.NewPool(2)
+		defer pool.Close()
+		start := time.Now()
+		pool.Run(func(w int) {
+			idx := idxA
+			if w == 1 {
+				idx = idxB
+			}
+			for i := 0; i < iters; i++ {
+				atomic.AddInt64(&shared[idx], 1)
+			}
+		})
+		return time.Since(start)
+	}
+	const iters = 200000
+	same := pong(0, 1, iters) // same cache line
+	far := pong(0, 32, iters) // different lines
+	perOp := (same - far) / time.Duration(iters)
+	if perOp < 0 {
+		perOp = 0
+	}
+	fmt.Printf("line ping-pong per write: %v  [%s]\n", perOp, cyc(perOp))
+
+	fmt.Println("\npaper-platform model constants for comparison (cycles):")
+	fmt.Printf("%-28s %-10s %-10s %-10s\n", "platform", "barrier", "spawn", "line")
+	for _, pl := range machine.Platforms() {
+		fmt.Printf("%-28s %-10.0f %-10.0f %-10.0f\n", pl.Name, pl.BarrierCycles, pl.SpawnCycles, pl.LineTransferCycles)
+	}
+}

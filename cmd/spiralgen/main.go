@@ -1,0 +1,165 @@
+// Command spiralgen is the program generator front end, the analogue of
+// running Spiral for one DFT: it derives the algorithm, optionally prints
+// the SPL formula and the full rewriting derivation (Figure 2 / formula
+// (14) of the paper), and emits a standalone Go source file implementing
+// the transform.
+//
+//	spiralgen -n 256 -p 2 -formula        # show formula (14) and derivation
+//	spiralgen -n 256 -p 2 -main -o gen.go # emit a self-testing program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"spiralfft/internal/codegen"
+	"spiralfft/internal/exec"
+	"spiralfft/internal/rewrite"
+	"spiralfft/internal/search"
+	"spiralfft/internal/spl"
+)
+
+func main() {
+	var (
+		transform = flag.String("transform", "dft", "dft | wht | 2d")
+		cols      = flag.Int("cols", 0, "2d only: column count (rows come from -n)")
+		n         = flag.Int("n", 256, "transform size")
+		p         = flag.Int("p", runtime.NumCPU(), "workers (1 = sequential)")
+		mu        = flag.Int("mu", 4, "cache-line length µ in complex128 elements")
+		formula   = flag.Bool("formula", false, "print the derived SPL formula and derivation instead of code")
+		out       = flag.String("o", "", "output file (default stdout)")
+		pkg       = flag.String("pkg", "main", "package name for generated code")
+		fn        = flag.String("func", "", "function name (default DFT<n>)")
+		emitMain  = flag.Bool("main", false, "emit a self-testing main()")
+		tune      = flag.Bool("tune", false, "tune the factorization by measurement before generating")
+		latex     = flag.Bool("latex", false, "with -formula: additionally print the formula in LaTeX")
+	)
+	flag.Parse()
+
+	latexOut = *latex
+	if *formula {
+		switch *transform {
+		case "wht":
+			printWHTFormula(*n, *p, *mu)
+		case "2d":
+			print2DFormula(*n, *cols, *p, *mu)
+		default:
+			printFormula(*n, *p, *mu)
+		}
+		return
+	}
+	if *transform != "dft" {
+		fmt.Fprintln(os.Stderr, "code emission currently supports -transform dft only; use -formula for wht/2d")
+		os.Exit(2)
+	}
+
+	tree := chooseTree(*n, *p, *mu, *tune)
+	src, err := codegen.Generate(tree, codegen.Config{
+		PackageName: *pkg,
+		FuncName:    *fn,
+		Workers:     *p,
+		Mu:          *mu,
+		EmitMain:    *emitMain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes, factorization %s)\n", *out, len(src), tree.String())
+}
+
+// chooseTree picks the factorization: for parallel targets the top split
+// must satisfy pµ | m and pµ | k.
+func chooseTree(n, p, mu int, tune bool) *exec.Tree {
+	strat := search.StrategyEstimate
+	if tune {
+		strat = search.StrategyDP
+	}
+	tuner := search.NewTuner(strat)
+	if p > 1 {
+		if m, ok := exec.SplitFor(n, p, mu); ok {
+			return exec.SplitTree(tuner.BestTree(m).Tree, tuner.BestTree(n/m).Tree)
+		}
+		fmt.Fprintf(os.Stderr, "no pµ-admissible split for n=%d, p=%d, µ=%d; generating sequential code\n", n, p, mu)
+	}
+	return tuner.BestTree(n).Tree
+}
+
+var latexOut bool
+
+func printFormula(n, p, mu int) {
+	if p <= 1 {
+		g, ok := rewrite.CooleyTukey(largestSplit(n)).Apply(spl.NewDFT(n))
+		if !ok {
+			fmt.Printf("DFT_%d (no Cooley-Tukey split)\n", n)
+			return
+		}
+		fmt.Printf("Sequential Cooley-Tukey FFT (rule (1)):\n  %s\n", g.String())
+		return
+	}
+	m, ok := exec.SplitFor(n, p, mu)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no pµ-admissible split for n=%d, p=%d, µ=%d ((pµ)² must divide N)\n", n, p, mu)
+		os.Exit(1)
+	}
+	f, trace, err := rewrite.DeriveMulticoreCT(n, m, p, mu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Multicore Cooley-Tukey FFT for DFT_%d, p=%d, µ=%d (formula (14)):\n\n", n, p, mu)
+	fmt.Printf("  %s\n\nDerivation:\n%s", f.String(), trace.String())
+	if latexOut {
+		fmt.Printf("\nLaTeX:\n  %s\n", spl.Latex(f))
+	}
+}
+
+// printWHTFormula derives and prints the fully optimized WHT formula.
+func printWHTFormula(n, p, mu int) {
+	k := 0
+	for v := n; v > 1; v >>= 1 {
+		k++
+	}
+	if 1<<uint(k) != n || k < 2 {
+		fmt.Fprintf(os.Stderr, "WHT needs a power-of-two size ≥ 4, got %d\n", n)
+		os.Exit(1)
+	}
+	f, trace, err := rewrite.DeriveMulticoreWHT(k, k/2, p, mu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Multicore Walsh-Hadamard transform WHT_%d, p=%d, µ=%d:\n\n  %s\n\nDerivation:\n%s", n, p, mu, f.String(), trace.String())
+}
+
+// print2DFormula derives and prints the fully optimized 2D DFT formula.
+func print2DFormula(rows, cols, p, mu int) {
+	if cols == 0 {
+		cols = rows
+	}
+	f, trace, err := rewrite.Derive2D(rows, cols, p, mu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Multicore 2D DFT (row-column) for a %d×%d array, p=%d, µ=%d:\n\n  %s\n\nDerivation:\n%s", rows, cols, p, mu, f.String(), trace.String())
+}
+
+func largestSplit(n int) int {
+	for m := n / 2; m >= 2; m-- {
+		if n%m == 0 {
+			return m
+		}
+	}
+	return 2
+}

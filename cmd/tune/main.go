@@ -1,0 +1,94 @@
+// Command tune runs Spiral's search/learning block for one transform size:
+// it tunes the factorization tree with the chosen strategy, reports the
+// winning tree, its measured runtime and pseudo-Mflop/s, and (for parallel
+// targets) whether and how the multicore Cooley-Tukey split is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"spiralfft/internal/bench"
+	"spiralfft/internal/search"
+	"spiralfft/internal/smp"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1024, "transform size")
+		strategy = flag.String("strategy", "dp", "dp | estimate | exhaustive | random | evolve")
+		p        = flag.Int("p", runtime.NumCPU(), "workers (1 = sequential only)")
+		mu       = flag.Int("mu", 4, "cache-line length µ")
+		minTime  = flag.Duration("mintime", time.Millisecond, "minimum measuring time per candidate")
+	)
+	flag.Parse()
+
+	if *strategy == "evolve" {
+		runEvolve(*n, *minTime)
+		return
+	}
+	var strat search.Strategy
+	switch *strategy {
+	case "dp":
+		strat = search.StrategyDP
+	case "estimate":
+		strat = search.StrategyEstimate
+	case "exhaustive":
+		strat = search.StrategyExhaustive
+	case "random":
+		strat = search.StrategyRandom
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	tuner := search.NewTuner(strat)
+	tuner.Timer = search.TimerConfig{MinTime: *minTime, Repeats: 3}
+
+	start := time.Now()
+	seq := tuner.BestTree(*n)
+	fmt.Printf("size           : %d\n", *n)
+	fmt.Printf("strategy       : %s\n", strat)
+	fmt.Printf("sequential tree: %s\n", seq.Tree.String())
+	fmt.Printf("candidates     : %d\n", seq.Candidates)
+	fmt.Printf("seq runtime    : %v  (%.0f pseudo-Mflop/s)\n", seq.Time, bench.PseudoMflops(*n, seq.Time))
+
+	if *p > 1 {
+		pool := smp.NewPool(*p)
+		defer pool.Close()
+		choice, err := tuner.TuneParallel(*n, *p, *mu, pool)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if choice.UsedParallel() {
+			m, k := choice.Parallel.Split()
+			fmt.Printf("parallel       : YES, p=%d split %d·%d\n", *p, m, k)
+			fmt.Printf("par runtime    : %v  (%.0f pseudo-Mflop/s, speedup %.2fx)\n",
+				choice.ParTime, bench.PseudoMflops(*n, choice.ParTime),
+				float64(choice.SeqTime)/float64(choice.ParTime))
+		} else {
+			fmt.Printf("parallel       : no (sequential plan faster or no pµ-admissible split at this size)\n")
+			if choice.ParTime > 0 {
+				fmt.Printf("best parallel  : %v (not used)\n", choice.ParTime)
+			}
+		}
+	}
+	fmt.Printf("tuning took    : %v\n", time.Since(start))
+}
+
+// runEvolve runs the STEER-style evolutionary search (paper ref. [24]).
+func runEvolve(n int, minTime time.Duration) {
+	start := time.Now()
+	res := search.Evolve(n, search.EvolveConfig{
+		Timer: search.TimerConfig{MinTime: minTime, Repeats: 3},
+	})
+	fmt.Printf("size           : %d\n", n)
+	fmt.Printf("strategy       : evolutionary (STEER-style)\n")
+	fmt.Printf("best tree      : %s\n", res.Tree.String())
+	fmt.Printf("evaluations    : %d over %d generations\n", res.Evaluations, res.Generations)
+	fmt.Printf("runtime        : %v  (%.0f pseudo-Mflop/s)\n", res.Time, bench.PseudoMflops(n, res.Time))
+	fmt.Printf("tuning took    : %v\n", time.Since(start))
+}

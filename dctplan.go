@@ -1,0 +1,98 @@
+package spiralfft
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"spiralfft/internal/twiddle"
+)
+
+// DCTPlan computes the type-II discrete cosine transform (and its inverse,
+// the scaled DCT-III) of real signals of length n:
+//
+//	C[k] = Σ_{j<n} x[j]·cos(π·k·(2j+1)/(2n)),   k = 0..n-1   (unnormalized)
+//
+// via Makhoul's reduction to one n-point complex DFT: the input is
+// reordered (evens ascending, odds descending), transformed with the
+// library's (possibly parallel) DFT plan, and rotated by a quarter-sample
+// phase. The DCT is the workhorse of block transforms (JPEG/audio), another
+// member of the transform class the Spiral framework targets.
+type DCTPlan struct {
+	n     int
+	inner *Plan
+	v     []complex128 // reordered input / spectrum workspace
+	w     []complex128 // e^{-iπk/(2n)}, k = 0..n-1
+}
+
+// NewDCTPlan prepares a DCT-II of size n ≥ 1.
+func NewDCTPlan(n int, o *Options) (*DCTPlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("spiralfft: invalid DCT size %d", n)
+	}
+	inner, err := NewPlan(n, o)
+	if err != nil {
+		return nil, err
+	}
+	w := make([]complex128, n)
+	for k := range w {
+		w[k] = twiddle.Omega(4*n, k) // e^{-2πik/(4n)} = e^{-iπk/(2n)}
+	}
+	return &DCTPlan{n: n, inner: inner, v: make([]complex128, n), w: w}, nil
+}
+
+// N returns the transform size.
+func (p *DCTPlan) N() int { return p.n }
+
+// IsParallel reports whether the inner DFT plan runs on multiple workers.
+func (p *DCTPlan) IsParallel() bool { return p.inner.IsParallel() }
+
+// Forward computes the unnormalized DCT-II of src into dst (both length n).
+func (p *DCTPlan) Forward(dst, src []float64) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return fmt.Errorf("spiralfft: DCT Forward lengths: dst %d, src %d, want %d", len(dst), len(src), p.n)
+	}
+	n := p.n
+	// Makhoul reordering: evens ascending then odds descending.
+	for j := 0; 2*j < n; j++ {
+		p.v[j] = complex(src[2*j], 0)
+	}
+	for j := 0; 2*j+1 < n; j++ {
+		p.v[n-1-j] = complex(src[2*j+1], 0)
+	}
+	if err := p.inner.Forward(p.v, p.v); err != nil {
+		return err
+	}
+	for k := 0; k < n; k++ {
+		dst[k] = real(p.w[k] * p.v[k])
+	}
+	return nil
+}
+
+// Inverse reconstructs the signal from its unnormalized DCT-II
+// coefficients: Inverse(Forward(x)) == x (it applies the appropriately
+// scaled DCT-III).
+func (p *DCTPlan) Inverse(dst, src []float64) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return fmt.Errorf("spiralfft: DCT Inverse lengths: dst %d, src %d, want %d", len(dst), len(src), p.n)
+	}
+	n := p.n
+	// Rebuild the DFT spectrum: V[k] = e^{iπk/(2n)}·(C[k] - i·C[n-k]),
+	// V[0] = C[0] (conjugate symmetry of the real reordered signal).
+	p.v[0] = complex(src[0], 0)
+	for k := 1; k < n; k++ {
+		p.v[k] = cmplx.Conj(p.w[k]) * complex(src[k], -src[n-k])
+	}
+	if err := p.inner.Inverse(p.v, p.v); err != nil {
+		return err
+	}
+	for j := 0; 2*j < n; j++ {
+		dst[2*j] = real(p.v[j])
+	}
+	for j := 0; 2*j+1 < n; j++ {
+		dst[2*j+1] = real(p.v[n-1-j])
+	}
+	return nil
+}
+
+// Close releases the inner plan's resources.
+func (p *DCTPlan) Close() { p.inner.Close() }

@@ -1,0 +1,147 @@
+package spiralfft
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// refDCT2 computes the unnormalized DCT-II from the definition.
+func refDCT2(x []float64) []float64 {
+	n := len(x)
+	y := make([]float64, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			y[k] += x[j] * math.Cos(math.Pi*float64(k)*float64(2*j+1)/float64(2*n))
+		}
+	}
+	return y
+}
+
+func TestDCTForwardMatchesDefinition(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 8, 16, 60, 100, 256, 1024} {
+		p, err := NewDCTPlan(n, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := randomReal(n, uint64(n))
+		got := make([]float64, n)
+		if err := p.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		want := refDCT2(x)
+		for k := range want {
+			if math.Abs(got[k]-want[k]) > 1e-9*(1+math.Abs(want[k])) {
+				t.Errorf("n=%d k=%d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestDCTRoundtrip(t *testing.T) {
+	for _, opts := range []*Options{nil, {Workers: 2}} {
+		n := 512
+		p, err := NewDCTPlan(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomReal(n, 9)
+		c := make([]float64, n)
+		back := make([]float64, n)
+		if err := p.Forward(c, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inverse(back, c); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-10 {
+				t.Fatalf("opts %+v: roundtrip[%d] = %v, want %v", opts, i, back[i], x[i])
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestDCTKnownValues(t *testing.T) {
+	// DCT-II of a constant signal: C[0] = n·c, all other bins 0.
+	n := 64
+	p, err := NewDCTPlan(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2.5
+	}
+	c := make([]float64, n)
+	if err := p.Forward(c, x); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[0]-2.5*float64(n)) > 1e-9 {
+		t.Errorf("C[0] = %v, want %v", c[0], 2.5*float64(n))
+	}
+	for k := 1; k < n; k++ {
+		if math.Abs(c[k]) > 1e-9 {
+			t.Errorf("C[%d] = %v, want 0", k, c[k])
+		}
+	}
+}
+
+func TestDCTParallelUsesInnerPlan(t *testing.T) {
+	p, err := NewDCTPlan(1024, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !p.IsParallel() || p.N() != 1024 {
+		t.Errorf("parallel=%v n=%d", p.IsParallel(), p.N())
+	}
+}
+
+func TestDCTErrors(t *testing.T) {
+	if _, err := NewDCTPlan(0, nil); err == nil {
+		t.Error("accepted n=0")
+	}
+	p, err := NewDCTPlan(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Forward(make([]float64, 4), make([]float64, 8)); err == nil {
+		t.Error("accepted short dst")
+	}
+	if err := p.Inverse(make([]float64, 8), make([]float64, 4)); err == nil {
+		t.Error("accepted short src")
+	}
+}
+
+// Property: DCT-II energy relation for random inputs — Parseval-like bound
+// |C[k]| ≤ n·max|x| and roundtrip stability.
+func TestQuickDCTRoundtrip(t *testing.T) {
+	n := 128
+	p, err := NewDCTPlan(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f := func(seed uint64) bool {
+		x := randomReal(n, seed)
+		c := make([]float64, n)
+		back := make([]float64, n)
+		if p.Forward(c, x) != nil || p.Inverse(back, c) != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

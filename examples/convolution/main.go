@@ -1,0 +1,116 @@
+// Convolution: fast polynomial multiplication via the convolution theorem.
+//
+// Multiplying two polynomials of degree < d is a linear convolution of their
+// coefficient vectors, which the DFT turns into a pointwise product:
+//
+//	a·b = IDFT( DFT(a) ⊙ DFT(b) )   (zero-padded to length ≥ 2d-1)
+//
+// This example multiplies two large random polynomials with the library's
+// parallel plans and verifies the result against the O(d²) schoolbook
+// product.
+//
+// Run with:  go run ./examples/convolution
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"spiralfft"
+)
+
+func main() {
+	const d = 3000 // polynomial degree bound (coefficients 0..d-1)
+
+	a := randomPoly(d, 1)
+	b := randomPoly(d, 2)
+
+	// FFT length: next size the parallel plan likes (power of two ≥ 2d-1).
+	n := 1
+	for n < 2*d-1 {
+		n *= 2
+	}
+
+	plan, err := spiralfft.NewPlan(n, &spiralfft.Options{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plan.Close()
+	fmt.Printf("convolving two degree-%d polynomials with a %d-point plan (%d workers)\n",
+		d-1, n, plan.Workers())
+
+	start := time.Now()
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	copy(fa, toComplex(a, n))
+	copy(fb, toComplex(b, n))
+	if err := plan.Forward(fa, fa); err != nil {
+		log.Fatal(err)
+	}
+	if err := plan.Forward(fb, fb); err != nil {
+		log.Fatal(err)
+	}
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	if err := plan.Inverse(fa, fa); err != nil {
+		log.Fatal(err)
+	}
+	fftTime := time.Since(start)
+
+	// Schoolbook reference.
+	start = time.Now()
+	ref := make([]float64, 2*d-1)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			ref[i+j] += a[i] * b[j]
+		}
+	}
+	naiveTime := time.Since(start)
+
+	maxErr := 0.0
+	for i := range ref {
+		if e := math.Abs(real(fa[i]) - ref[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("FFT convolution: %v, schoolbook: %v (%.1fx)\n", fftTime, naiveTime,
+		float64(naiveTime)/float64(fftTime))
+	fmt.Printf("max coefficient error: %.3g (coefficients up to ~%.0f)\n", maxErr, maxAbs(ref))
+	if maxErr > 1e-6*maxAbs(ref) {
+		log.Fatal("convolution mismatch")
+	}
+	fmt.Println("convolution verified against the schoolbook product")
+}
+
+func randomPoly(d int, seed uint64) []float64 {
+	p := make([]float64, d)
+	s := seed*2862933555777941757 + 3037000493
+	for i := range p {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		p[i] = float64(int64(s>>11))/float64(1<<52) - 1
+	}
+	return p
+}
+
+func toComplex(p []float64, n int) []complex128 {
+	out := make([]complex128, n)
+	for i, v := range p {
+		out[i] = complex(v, 0)
+	}
+	return out
+}
+
+func maxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

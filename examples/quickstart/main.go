@@ -1,0 +1,64 @@
+// Quickstart: plan a DFT, transform, invert, and inspect what the program
+// generator produced (factorization tree, SPL formula, full derivation).
+//
+// Run with:  go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"spiralfft"
+)
+
+func main() {
+	const n = 256
+
+	// Plan a 2-way parallel transform (pooled workers, spin barriers —
+	// the paper's pthreads backend). Plans are reusable; Close releases
+	// the worker pool.
+	plan, err := spiralfft.NewPlan(n, &spiralfft.Options{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plan.Close()
+
+	// A pure tone in bin 3: its DFT is n at bin (n-3) under the e^{-2πi}
+	// kernel convention, and 0 elsewhere.
+	x := make([]complex128, n)
+	for j := range x {
+		ang := 2 * math.Pi * 3 * float64(j) / n
+		x[j] = complex(math.Cos(ang), math.Sin(ang))
+	}
+
+	freq := make([]complex128, n)
+	if err := plan.Forward(freq, x); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("|X[%d]| = %.1f (expect %d), |X[0]| = %.2g (expect 0)\n",
+		n-3, abs(freq[n-3]), n, abs(freq[0]))
+
+	// Roundtrip: Inverse(Forward(x)) == x.
+	back := make([]complex128, n)
+	if err := plan.Inverse(back, freq); err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := range back {
+		if e := abs(back[i] - x[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("roundtrip max error: %.2g\n", maxErr)
+
+	// What did the generator build?
+	fmt.Printf("\nplan uses %d workers (parallel: %v)\n", plan.Workers(), plan.IsParallel())
+	fmt.Printf("factorization: %s\n", plan.Tree())
+	fmt.Printf("\nSPL formula (the multicore Cooley-Tukey FFT, formula (14) of the paper):\n  %s\n", plan.Formula())
+	fmt.Printf("\nderivation by the rewriting system:\n%s\n", plan.Derivation())
+}
+
+func abs(v complex128) float64 {
+	return math.Hypot(real(v), imag(v))
+}

@@ -1,0 +1,108 @@
+package spiralfft
+
+import (
+	"math"
+	"testing"
+
+	"spiralfft/internal/complexvec"
+)
+
+// FuzzForwardInverse drives plan construction and the roundtrip identity
+// from fuzzed (size, workers, µ, data-seed) tuples: any accepted
+// configuration must transform and invert losslessly; invalid ones must be
+// rejected with an error, never a panic.
+func FuzzForwardInverse(f *testing.F) {
+	f.Add(uint16(64), uint8(1), uint8(4), uint64(1))
+	f.Add(uint16(256), uint8(2), uint8(4), uint64(2))
+	f.Add(uint16(100), uint8(2), uint8(2), uint64(3))
+	f.Add(uint16(1), uint8(1), uint8(1), uint64(4))
+	f.Add(uint16(127), uint8(3), uint8(8), uint64(5))
+	f.Fuzz(func(t *testing.T, nRaw uint16, workers, mu uint8, seed uint64) {
+		n := int(nRaw)%2048 + 1
+		opts := &Options{
+			Workers:          int(workers)%4 + 1,
+			CacheLineComplex: int(mu)%8 + 1,
+		}
+		p, err := NewPlan(n, opts)
+		if err != nil {
+			t.Fatalf("NewPlan(%d, %+v) rejected valid options: %v", n, opts, err)
+		}
+		defer p.Close()
+		x := complexvec.Random(n, seed)
+		y := make([]complex128, n)
+		back := make([]complex128, n)
+		if err := p.Forward(y, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inverse(back, y); err != nil {
+			t.Fatal(err)
+		}
+		if e := complexvec.RelError(back, x); e > 1e-8 {
+			t.Errorf("n=%d %+v: roundtrip error %g", n, opts, e)
+		}
+	})
+}
+
+// FuzzWisdomImport hardens the wisdom parser: arbitrary text must either
+// import cleanly or error, never panic, and a clean import must re-export
+// losslessly.
+func FuzzWisdomImport(f *testing.F) {
+	f.Add("256 (64 x 4)\n")
+	f.Add("# comment\n\n64 (8 x 8)\n")
+	f.Add("((((")
+	f.Add("9999999999999999999 (2 x 2)")
+	f.Add("8 (2 x (2 x 2))\n8 (4 x 2)\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		w := NewWisdom()
+		if err := w.Import(input); err != nil {
+			return
+		}
+		out := w.Export()
+		w2 := NewWisdom()
+		if err := w2.Import(out); err != nil {
+			t.Fatalf("re-import of own export failed: %v\nexport: %q", err, out)
+		}
+		if w2.Export() != out {
+			t.Errorf("export not stable: %q vs %q", out, w2.Export())
+		}
+	})
+}
+
+// FuzzRealPlan checks the real-input path against the complex path for
+// fuzzed even sizes and data.
+func FuzzRealPlan(f *testing.F) {
+	f.Add(uint16(32), uint64(1))
+	f.Add(uint16(250), uint64(2))
+	f.Fuzz(func(t *testing.T, nRaw uint16, seed uint64) {
+		n := (int(nRaw)%1024 + 1) * 2
+		rp, err := NewRealPlan(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rp.Close()
+		cp, err := NewPlan(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cp.Close()
+		xr := randomReal(n, seed)
+		x := make([]complex128, n)
+		for i, v := range xr {
+			x[i] = complex(v, 0)
+		}
+		half := make([]complex128, n/2+1)
+		full := make([]complex128, n)
+		if err := rp.Forward(half, xr); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Forward(full, x); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= n/2; k++ {
+			d := half[k] - full[k]
+			if math.Hypot(real(d), imag(d)) > 1e-8*(1+math.Hypot(real(full[k]), imag(full[k]))) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, k, half[k], full[k])
+			}
+		}
+	})
+}

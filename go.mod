@@ -1,0 +1,3 @@
+module spiralfft
+
+go 1.22

@@ -1,0 +1,202 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/smp"
+	"spiralfft/internal/twiddle"
+)
+
+const tol = 1e-10
+
+func refDFT(x []complex128) []complex128 {
+	n := len(x)
+	y := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			y[k] += twiddle.Omega(n, k*j) * x[j]
+		}
+	}
+	return y
+}
+
+func TestNaiveMatchesDefinition(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 100} {
+		p := NewNaive(n)
+		if p.N() != n {
+			t.Fatalf("N = %d", p.N())
+		}
+		x := complexvec.Random(n, uint64(n))
+		got := make([]complex128, n)
+		p.Transform(got, x)
+		if e := complexvec.RelError(got, refDFT(x)); e > tol {
+			t.Errorf("naive %d: rel error %g", n, e)
+		}
+	}
+}
+
+func TestFFTWLikeSequentialCorrect(t *testing.T) {
+	for _, n := range []int{64, 256, 1024, 60, 100} {
+		p, err := NewFFTWLike(n, FFTWConfig{MaxThreads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Threads() != 1 {
+			t.Errorf("n=%d: threads = %d", n, p.Threads())
+		}
+		x := complexvec.Random(n, 3)
+		got := make([]complex128, n)
+		p.Transform(got, x)
+		if e := complexvec.RelError(got, refDFT(x)); e > tol {
+			t.Errorf("fftwlike seq %d: rel error %g", n, e)
+		}
+		p.Close()
+	}
+}
+
+func TestFFTWLikeEstimateThreshold(t *testing.T) {
+	// Below the threshold the planner must stay sequential even when
+	// threads are available — the FFTW behaviour the paper measures.
+	small, err := NewFFTWLike(1024, FFTWConfig{MaxThreads: 2, Mode: ModeEstimate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	if small.Threads() != 1 {
+		t.Errorf("small plan used %d threads", small.Threads())
+	}
+	big, err := NewFFTWLike(1<<14, FFTWConfig{MaxThreads: 2, Mode: ModeEstimate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+	if big.Threads() != 2 {
+		t.Errorf("big plan used %d threads", big.Threads())
+	}
+	x := complexvec.Random(1<<14, 9)
+	got := make([]complex128, 1<<14)
+	big.Transform(got, x)
+	if e := complexvec.RelError(got, refDFT(x)); e > tol {
+		t.Errorf("fftwlike parallel: rel error %g", e)
+	}
+}
+
+func TestFFTWLikeCustomThreshold(t *testing.T) {
+	p, err := NewFFTWLike(256, FFTWConfig{MaxThreads: 2, Mode: ModeEstimate, Threshold: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Threads() != 2 {
+		t.Errorf("threads = %d, want 2 with low threshold", p.Threads())
+	}
+	x := complexvec.Random(256, 1)
+	got := make([]complex128, 256)
+	p.Transform(got, x)
+	if e := complexvec.RelError(got, refDFT(x)); e > tol {
+		t.Errorf("rel error %g", e)
+	}
+}
+
+func TestFFTWLikeMeasureMode(t *testing.T) {
+	// Measure mode must produce a correct plan whatever it picks, and must
+	// never pick more threads than requested.
+	p, err := NewFFTWLike(4096, FFTWConfig{MaxThreads: 2, Mode: ModeMeasure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Threads() < 1 || p.Threads() > 2 {
+		t.Errorf("threads = %d", p.Threads())
+	}
+	if p.PlanTime() <= 0 {
+		t.Error("plan time not recorded")
+	}
+	x := complexvec.Random(4096, 21)
+	got := make([]complex128, 4096)
+	p.Transform(got, x)
+	if e := complexvec.RelError(got, refDFT(x)); e > tol {
+		t.Errorf("rel error %g", e)
+	}
+}
+
+func TestFFTWLikeRejectsBadConfig(t *testing.T) {
+	if _, err := NewFFTWLike(64, FFTWConfig{MaxThreads: 0}); err == nil {
+		t.Error("expected error for MaxThreads=0")
+	}
+}
+
+func TestSixStepCorrect(t *testing.T) {
+	for _, c := range []struct{ n, m, p int }{
+		{256, 16, 1}, {256, 16, 2}, {1024, 32, 2}, {1024, 32, 4}, {64, 8, 2}, {4096, 64, 2},
+	} {
+		var b smp.Backend
+		if c.p > 1 {
+			b = smp.NewPool(c.p)
+		}
+		s, err := NewSixStep(c.n, c.m, c.p, b)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		x := complexvec.Random(c.n, uint64(c.n))
+		got := make([]complex128, c.n)
+		s.Transform(got, x)
+		if e := complexvec.RelError(got, refDFT(x)); e > tol {
+			t.Errorf("six-step %+v: rel error %g", c, e)
+		}
+		// In-place.
+		buf := complexvec.Clone(x)
+		s.Transform(buf, buf)
+		if e := complexvec.RelError(buf, refDFT(x)); e > tol {
+			t.Errorf("six-step in-place %+v: rel error %g", c, e)
+		}
+		if b != nil {
+			b.Close()
+		}
+	}
+}
+
+func TestSixStepErrors(t *testing.T) {
+	if _, err := NewSixStep(256, 3, 1, nil); err == nil {
+		t.Error("accepted invalid split")
+	}
+	if _, err := NewSixStep(256, 16, 3, nil); err == nil {
+		t.Error("accepted p not dividing factors")
+	}
+	if _, err := NewSixStep(256, 16, 2, nil); err == nil {
+		t.Error("accepted missing backend")
+	}
+	pool := smp.NewPool(4)
+	defer pool.Close()
+	if _, err := NewSixStep(256, 16, 2, pool); err == nil {
+		t.Error("accepted worker mismatch")
+	}
+}
+
+// Property: FFTWLike and SixStep agree with each other on random inputs.
+func TestQuickBaselinesAgree(t *testing.T) {
+	pool := smp.NewPool(2)
+	defer pool.Close()
+	six, err := NewSixStep(1024, 32, 2, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := NewFFTWLike(1024, FFTWConfig{MaxThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	f := func(seed uint64) bool {
+		x := complexvec.Random(1024, seed)
+		a := make([]complex128, 1024)
+		b := make([]complex128, 1024)
+		six.Transform(a, x)
+		fw.Transform(b, x)
+		return complexvec.RelError(a, b) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

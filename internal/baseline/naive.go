@@ -1,0 +1,38 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation:
+//
+//   - Naive: the O(n²) DFT from the definition (correctness oracle).
+//   - FFTWLike: an adaptive FFT library modeled on FFTW 3.1 as the paper
+//     describes it — its own planner, loop parallelization with block-cyclic
+//     scheduling, fresh threads per transform (no pooling), no cache-line
+//     (µ) awareness, and a planner that only enables threads when they
+//     actually pay off (FFTW's bench picks the best thread count).
+//   - SixStep: the traditional parallel FFT (rule (3)) with its three
+//     explicit transposition passes, the algorithm the paper contrasts with
+//     the multicore Cooley-Tukey FFT.
+package baseline
+
+import "spiralfft/internal/codelet"
+
+// Naive computes the DFT directly from the definition in O(n²); it is the
+// correctness oracle for every other implementation in this repository.
+type Naive struct {
+	n      int
+	kernel codelet.Kernel
+}
+
+// NewNaive returns the O(n²) reference transform.
+func NewNaive(n int) *Naive {
+	return &Naive{n: n, kernel: codelet.Naive(n)}
+}
+
+// N returns the transform size.
+func (p *Naive) N() int { return p.n }
+
+// Transform computes dst = DFT_n(src).
+func (p *Naive) Transform(dst, src []complex128) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic("baseline: Naive.Transform length mismatch")
+	}
+	p.kernel.Apply(dst, 0, 1, src, 0, 1, nil)
+}

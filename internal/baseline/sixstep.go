@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"fmt"
+
+	"spiralfft/internal/exec"
+	"spiralfft/internal/smp"
+	"spiralfft/internal/twiddle"
+)
+
+// SixStep is the traditional shared-memory FFT (rule (3) of the paper):
+//
+//	DFT_{mn} = L^{mn}_m (I_n ⊗ DFT_m) L^{mn}_n D_{m,n} (I_m ⊗ DFT_n) L^{mn}_m
+//
+// with the three stride permutations executed as explicit transposition
+// passes over memory, and the two computation stages embarrassingly parallel
+// over contiguous blocks. This is the algorithm class ([21, 23, 3] in the
+// paper) designed for machines where memory access is cheap relative to
+// compute; on multicores its extra data passes cost it the small and medium
+// sizes, which is exactly the contrast the paper draws with formula (14).
+type SixStep struct {
+	n, m, k int
+	p       int
+	dftM    *exec.Seq
+	dftK    *exec.Seq
+	tw      []complex128 // D_{m,k} in natural order: entry i·k+j = ω^{ij}
+	backend smp.Backend
+	buf     []complex128
+	buf2    []complex128
+	scratch [][]complex128
+}
+
+// NewSixStep plans DFT_n = m·k six-step style on p workers. p must divide
+// m, k, and n/p-sized transpose slabs; the usual choice is the most balanced
+// split. backend may be nil for p = 1.
+func NewSixStep(n, m, p int, backend smp.Backend) (*SixStep, error) {
+	if m < 2 || n%m != 0 || n/m < 2 {
+		return nil, fmt.Errorf("baseline: six-step invalid split %d = %d·%d", n, m, n/m)
+	}
+	k := n / m
+	if p < 1 || m%p != 0 || k%p != 0 {
+		return nil, fmt.Errorf("baseline: six-step needs p | m and p | k (n=%d m=%d k=%d p=%d)", n, m, k, p)
+	}
+	if backend == nil {
+		if p != 1 {
+			return nil, fmt.Errorf("baseline: six-step needs a backend for p=%d", p)
+		}
+		backend = smp.Sequential{}
+	}
+	if backend.Workers() != p {
+		return nil, fmt.Errorf("baseline: backend workers %d != p %d", backend.Workers(), p)
+	}
+	dftM, err := exec.NewSeq(exec.RadixTree(m))
+	if err != nil {
+		return nil, err
+	}
+	dftK, err := exec.NewSeq(exec.RadixTree(k))
+	if err != nil {
+		return nil, err
+	}
+	s := &SixStep{
+		n: n, m: m, k: k, p: p,
+		dftM:    dftM,
+		dftK:    dftK,
+		tw:      twiddle.D(m, k),
+		backend: backend,
+		buf:     make([]complex128, n),
+		buf2:    make([]complex128, n),
+		scratch: make([][]complex128, p),
+	}
+	need := dftM.ScratchLen()
+	if dftK.ScratchLen() > need {
+		need = dftK.ScratchLen()
+	}
+	if need == 0 {
+		need = 1
+	}
+	for w := range s.scratch {
+		s.scratch[w] = make([]complex128, need)
+	}
+	return s, nil
+}
+
+// N returns the transform size.
+func (s *SixStep) N() int { return s.n }
+
+// Transform computes dst = DFT_n(src); dst == src is allowed.
+func (s *SixStep) Transform(dst, src []complex128) {
+	if len(dst) != s.n || len(src) != s.n {
+		panic("baseline: SixStep.Transform length mismatch")
+	}
+	m, k, p := s.m, s.k, s.p
+	a, b := s.buf, s.buf2
+	s.backend.Run(func(w int) {
+		// Step 1: transpose (L^{mn}_m): a[i·k+j] = src[j·m+i], parallel over i.
+		lo, hi := smp.BlockRange(m, p, w)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < k; j++ {
+				a[i*k+j] = src[j*m+i]
+			}
+		}
+	})
+	s.backend.Run(func(w int) {
+		// Step 2: b = (I_m ⊗ DFT_k) a — m contiguous size-k transforms.
+		lo, hi := smp.BlockRange(m, p, w)
+		for i := lo; i < hi; i++ {
+			s.dftK.TransformStrided(b, i*k, 1, a, i*k, 1, nil, s.scratch[w])
+		}
+	})
+	s.backend.Run(func(w int) {
+		// Step 3: twiddle: b[i·k+j] *= ω^{ij} (D_{m,k} in natural order).
+		lo, hi := smp.BlockRange(m, p, w)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < k; j++ {
+				b[i*k+j] *= s.tw[i*k+j]
+			}
+		}
+	})
+	s.backend.Run(func(w int) {
+		// Step 4: transpose (L^{mn}_k): a[j·m+i] = b[i·k+j], parallel over j.
+		lo, hi := smp.BlockRange(k, p, w)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < m; i++ {
+				a[j*m+i] = b[i*k+j]
+			}
+		}
+	})
+	s.backend.Run(func(w int) {
+		// Step 5: b = (I_k ⊗ DFT_m) a — k contiguous size-m transforms.
+		lo, hi := smp.BlockRange(k, p, w)
+		for j := lo; j < hi; j++ {
+			s.dftM.TransformStrided(b, j*m, 1, a, j*m, 1, nil, s.scratch[w])
+		}
+	})
+	s.backend.Run(func(w int) {
+		// Step 6: transpose (L^{mn}_m): dst[i·k+j] = b[j·m+i]... final
+		// transposition maps block-of-m results back to natural order.
+		lo, hi := smp.BlockRange(m, p, w)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < k; j++ {
+				dst[i*k+j] = b[j*m+i]
+			}
+		}
+	})
+}

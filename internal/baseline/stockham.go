@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"fmt"
+
+	"spiralfft/internal/smp"
+	"spiralfft/internal/twiddle"
+)
+
+// Stockham is the autosort FFT: log2(n) radix-2 stages that ping-pong
+// between two buffers, never touching data at large strides and never
+// needing a separate bit-reversal pass. It is the classic alternative to
+// the Cooley-Tukey family for machines where strided access is expensive.
+//
+// As a parallel baseline it contrasts with the multicore Cooley-Tukey FFT
+// in synchronization structure: every one of its log2(n) stages ends in a
+// barrier, versus the single mid-transform barrier of formula (14). The
+// per-stage work partitioning is cache-line clean (worker w writes the
+// contiguous block [w·n/2p, (w+1)·n/2p) and its mirror), so the comparison
+// isolates the cost of barrier count.
+type Stockham struct {
+	n, k    int
+	p       int
+	backend smp.Backend
+	barrier *smp.SpinBarrier
+	a, b    []complex128
+	// tw[s] holds the stage-s twiddles ω_{2l}^j for j < l = 2^s.
+	tw [][]complex128
+}
+
+// NewStockham plans a power-of-two Stockham FFT on p workers (backend nil
+// and p = 1 for sequential).
+func NewStockham(n, p int, backend smp.Backend) (*Stockham, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("baseline: Stockham needs a power of two, got %d", n)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("baseline: Stockham p=%d", p)
+	}
+	if backend == nil {
+		if p != 1 {
+			return nil, fmt.Errorf("baseline: Stockham needs a backend for p=%d", p)
+		}
+		backend = smp.Sequential{}
+	}
+	if backend.Workers() != p {
+		return nil, fmt.Errorf("baseline: backend workers %d != p %d", backend.Workers(), p)
+	}
+	k := 0
+	for v := n; v > 1; v >>= 1 {
+		k++
+	}
+	s := &Stockham{
+		n: n, k: k, p: p,
+		backend: backend,
+		barrier: smp.NewSpinBarrier(p),
+		a:       make([]complex128, n),
+		b:       make([]complex128, n),
+		tw:      make([][]complex128, k),
+	}
+	for st := 0; st < k; st++ {
+		l := 1 << uint(st)
+		s.tw[st] = make([]complex128, l)
+		for j := 0; j < l; j++ {
+			s.tw[st][j] = twiddle.Omega(2*l, j)
+		}
+	}
+	return s, nil
+}
+
+// N returns the transform size.
+func (s *Stockham) N() int { return s.n }
+
+// Transform computes dst = DFT_n(src); dst == src is allowed.
+func (s *Stockham) Transform(dst, src []complex128) {
+	if len(dst) != s.n || len(src) != s.n {
+		panic("baseline: Stockham.Transform length mismatch")
+	}
+	copy(s.a, src)
+	a, b := s.a, s.b
+	half := s.n / 2
+	s.backend.Run(func(w int) {
+		x, y := a, b
+		lo, hi := smp.BlockRange(half, s.p, w)
+		for st := 0; st < s.k; st++ {
+			r := s.n >> uint(st+1) // butterflies per group
+			tw := s.tw[st]
+			// Flattened pair index t = j·r + i: reads x[t + j·r] and its
+			// mirror, writes y[t] and y[t + n/2] — contiguous per worker.
+			for t := lo; t < hi; t++ {
+				j := t / r
+				i := t - j*r
+				c0 := x[i+r*(2*j)]
+				c1 := x[i+r*(2*j+1)] * tw[j]
+				y[t] = c0 + c1
+				y[t+half] = c0 - c1
+			}
+			x, y = y, x
+			s.barrier.Wait()
+		}
+	})
+	// After k stages the result sits in a (k even) or b (k odd).
+	res := a
+	if s.k%2 == 1 {
+		res = b
+	}
+	copy(dst, res)
+}

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/smp"
+)
+
+func TestStockhamMatchesDefinition(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 64, 256, 1024} {
+		s, err := NewStockham(n, 1, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if s.N() != n {
+			t.Fatalf("N = %d", s.N())
+		}
+		x := complexvec.Random(n, uint64(n))
+		got := make([]complex128, n)
+		s.Transform(got, x)
+		if e := complexvec.RelError(got, refDFT(x)); e > tol {
+			t.Errorf("stockham %d: rel error %g", n, e)
+		}
+	}
+}
+
+func TestStockhamParallel(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{256, 2}, {1024, 2}, {1024, 4}, {64, 4}} {
+		pool := smp.NewPool(c.p)
+		s, err := NewStockham(c.n, c.p, pool)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		x := complexvec.Random(c.n, uint64(c.n+c.p))
+		got := make([]complex128, c.n)
+		s.Transform(got, x)
+		if e := complexvec.RelError(got, refDFT(x)); e > tol {
+			t.Errorf("%+v: rel error %g", c, e)
+		}
+		// In-place and repeatable.
+		buf := complexvec.Clone(x)
+		s.Transform(buf, buf)
+		if complexvec.MaxError(buf, got) != 0 {
+			t.Errorf("%+v: in-place differs from out-of-place", c)
+		}
+		pool.Close()
+	}
+}
+
+func TestStockhamErrors(t *testing.T) {
+	if _, err := NewStockham(24, 1, nil); err == nil {
+		t.Error("accepted non power of two")
+	}
+	if _, err := NewStockham(1, 1, nil); err == nil {
+		t.Error("accepted n=1")
+	}
+	if _, err := NewStockham(64, 2, nil); err == nil {
+		t.Error("accepted missing backend")
+	}
+	pool := smp.NewPool(4)
+	defer pool.Close()
+	if _, err := NewStockham(64, 2, pool); err == nil {
+		t.Error("accepted worker mismatch")
+	}
+	if _, err := NewStockham(64, 0, nil); err == nil {
+		t.Error("accepted p=0")
+	}
+}
+
+// Property: Stockham and the naive DFT agree on random power-of-two sizes.
+func TestQuickStockham(t *testing.T) {
+	s, err := NewStockham(512, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		x := complexvec.Random(512, seed)
+		got := make([]complex128, 512)
+		s.Transform(got, x)
+		return complexvec.RelError(got, refDFT(x)) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

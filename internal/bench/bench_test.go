@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spiralfft/internal/machine"
+	"spiralfft/internal/search"
+)
+
+func fastCfg() Config {
+	return Config{
+		MinLogN: 6,
+		MaxLogN: 9,
+		P:       2,
+		Mu:      4,
+		Timer:   search.TimerConfig{MinTime: 20 * time.Microsecond, Repeats: 1},
+	}
+}
+
+func TestPseudoMflops(t *testing.T) {
+	// 1024 points in 10.24 µs → 5·1024·10/10.24 = 5000.
+	got := PseudoMflops(1024, 10240*time.Nanosecond)
+	if got < 4999 || got > 5001 {
+		t.Errorf("PseudoMflops = %v", got)
+	}
+	if PseudoMflops(64, 0) != 0 {
+		t.Error("zero duration should yield 0")
+	}
+}
+
+func TestRunMeasuredProducesAllSeries(t *testing.T) {
+	res := RunMeasured(fastCfg())
+	if len(res.Series) != 5 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 4 {
+			t.Errorf("%s: %d points, want 4", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Mflops <= 0 {
+				t.Errorf("%s 2^%d: %v Mflop/s", s.Name, p.LogN, p.Mflops)
+			}
+		}
+	}
+	for _, name := range []string{"Spiral pthreads", "Spiral OpenMP", "Spiral sequential", "FFTW pthreads", "FFTW sequential"} {
+		if _, ok := res.Get(name); !ok {
+			t.Errorf("missing series %q", name)
+		}
+	}
+	if _, ok := res.Get("nope"); ok {
+		t.Error("Get returned a phantom series")
+	}
+}
+
+func TestCrossoverFinder(t *testing.T) {
+	a := SeriesData{Name: "a", Points: []Point{{6, 50}, {7, 90}, {8, 220}, {9, 400}}}
+	b := SeriesData{Name: "b", Points: []Point{{6, 100}, {7, 100}, {8, 100}, {9, 100}}}
+	if c := Crossover(a, b, 1.02); c != 8 {
+		t.Errorf("Crossover = %d, want 8", c)
+	}
+	if c := Crossover(b, a, 5.0); c != -1 {
+		t.Errorf("Crossover impossible case = %d, want -1", c)
+	}
+}
+
+func TestRunModeledAllPlatforms(t *testing.T) {
+	for _, pl := range machine.Platforms() {
+		res := RunModeled(pl, 6, 12)
+		if len(res.Series) != 5 {
+			t.Fatalf("%s: %d series", pl.Key, len(res.Series))
+		}
+		for _, s := range res.Series {
+			if len(s.Points) != 7 {
+				t.Errorf("%s/%s: %d points", pl.Key, s.Name, len(s.Points))
+			}
+		}
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	res := RunModeled(machine.CoreDuo, 6, 10)
+	table := res.Table()
+	for _, want := range []string{"log2(N)", "Spiral pthreads", "FFTW sequential", "pseudo Mflop/s"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "log2n,Spiral_pthreads") {
+		t.Errorf("csv header wrong: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if lines := strings.Count(csv, "\n"); lines != 6 {
+		t.Errorf("csv lines = %d, want 6", lines)
+	}
+	chart := res.Chart(12)
+	for _, want := range []string{"legend", "P=Spiral pthreads", "log2(N)"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	empty := Result{Title: "empty"}
+	if empty.Chart(10) != "(no data)\n" {
+		t.Error("empty chart rendering wrong")
+	}
+}
+
+// TestMeasuredPoolBeatsSpawnAtSmallSizes is ablation A1 on real hardware:
+// at small sizes the pooled backend must not be slower than the spawn
+// backend (the pool's whole purpose is cheaper dispatch).
+func TestMeasuredPoolBeatsSpawnAtSmallSizes(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Timer = search.TimerConfig{MinTime: 200 * time.Microsecond, Repeats: 3}
+	res := RunMeasured(cfg)
+	pool, _ := res.Get("Spiral pthreads")
+	spawn, _ := res.Get("Spiral OpenMP")
+	// Compare the small in-cache sizes; allow 10% noise.
+	wins := 0
+	for _, logN := range []int{6, 7, 8, 9} {
+		if pool.At(logN) >= 0.9*spawn.At(logN) {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Errorf("pool slower than spawn at most small sizes: pool=%v spawn=%v", pool.Points, spawn.Points)
+	}
+}
+
+func TestFFTWThreadCrossover(t *testing.T) {
+	r := Result{FFTWThreads: []Point{{8, 1}, {10, 1}, {12, 2}, {14, 2}}}
+	if c := r.FFTWThreadCrossover(); c != 12 {
+		t.Errorf("crossover = %d, want 12", c)
+	}
+	if c := (Result{}).FFTWThreadCrossover(); c != -1 {
+		t.Errorf("empty crossover = %d, want -1", c)
+	}
+}

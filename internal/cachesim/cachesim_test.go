@@ -1,0 +1,187 @@
+package cachesim
+
+import (
+	"strings"
+	"testing"
+
+	"spiralfft/internal/exec"
+	"spiralfft/internal/fusion"
+	"spiralfft/internal/rewrite"
+	"spiralfft/internal/smp"
+	"spiralfft/internal/spl"
+)
+
+// newParallel builds a plan without running it (Sequential backend works for
+// tracing because traces never execute the transform).
+func newParallel(t *testing.T, n, m, p, mu int, sched exec.Schedule) *exec.Parallel {
+	t.Helper()
+	pool := smp.NewPool(p)
+	t.Cleanup(pool.Close)
+	pl, err := exec.NewParallel(n, m, exec.ParallelConfig{P: p, Mu: mu, Backend: pool, Schedule: sched})
+	if err != nil {
+		t.Fatalf("NewParallel(%d,%d,p=%d,µ=%d,%v): %v", n, m, p, mu, sched, err)
+	}
+	return pl
+}
+
+// TestMulticoreCTIsFalseSharingFree is experiment E9 (positive half): the
+// executor implementing formula (14) with block scheduling exhibits zero
+// false sharing and perfect load balance, exactly as Definition 1 promises.
+func TestMulticoreCTIsFalseSharingFree(t *testing.T) {
+	for _, c := range []struct{ n, m, p, mu int }{
+		{256, 16, 2, 4}, {1024, 32, 2, 4}, {256, 16, 4, 4}, {4096, 64, 4, 4}, {64, 8, 2, 4},
+	} {
+		pl := newParallel(t, c.n, c.m, c.p, c.mu, exec.ScheduleBlock)
+		rep := AnalyzeParallel(pl, c.mu)
+		if !rep.FalseSharingFree() {
+			t.Errorf("%+v: false sharing detected:\n%s", c, rep.String())
+		}
+		if rep.MaxImbalance() != 1.0 {
+			t.Errorf("%+v: imbalance %v, want perfect 1.0", c, rep.MaxImbalance())
+		}
+	}
+}
+
+// TestCyclicScheduleFalseShares is experiment E9 (negative half): the naive
+// block-cyclic parallelization of the same loops — the strategy the paper
+// attributes to FFTW — interleaves processors within cache lines and false
+// sharing appears as soon as µ > 1.
+func TestCyclicScheduleFalseShares(t *testing.T) {
+	pl := newParallel(t, 256, 16, 2, 4, exec.ScheduleCyclic)
+	rep := AnalyzeParallel(pl, 4)
+	if rep.FalseSharingFree() {
+		t.Fatalf("cyclic schedule reported false-sharing free:\n%s", rep.String())
+	}
+	// Stage 1 writes t in contiguous k-blocks per iteration (k=16 ≥ µ), so
+	// the damage is concentrated in stage 2's column interleaving.
+	if rep.Stages[1].FalseSharedLines == 0 {
+		t.Errorf("expected stage-2 false sharing:\n%s", rep.String())
+	}
+}
+
+func TestMuOneNeverFalseShares(t *testing.T) {
+	// With single-element lines there is nothing to falsely share — even the
+	// cyclic schedule is clean. (This is why the effect did not exist on
+	// machines without multi-word cache lines.)
+	pl := newParallel(t, 256, 16, 2, 1, exec.ScheduleCyclic)
+	rep := AnalyzeParallel(pl, 1)
+	if !rep.FalseSharingFree() {
+		t.Errorf("µ=1 cyclic plan false-shares:\n%s", rep.String())
+	}
+}
+
+func TestFalseSharingGrowsWithMu(t *testing.T) {
+	// Analyzing the same cyclic plan under longer lines must not reduce the
+	// number of clean lines: conflicts only get worse.
+	pl := newParallel(t, 1024, 32, 2, 1, exec.ScheduleCyclic)
+	prev := -1
+	for _, mu := range []int{1, 2, 4, 8} {
+		rep := AnalyzeParallel(pl, mu)
+		fs := rep.TotalFalseSharedLines()
+		if mu == 1 && fs != 0 {
+			t.Fatalf("µ=1: %d false-shared lines", fs)
+		}
+		if mu > 1 && fs == 0 {
+			t.Errorf("µ=%d: cyclic schedule reported clean", mu)
+		}
+		_ = prev
+		prev = fs
+	}
+}
+
+// TestDerivedFormulaPlanIsClean verifies E9 on the formula path: the fusion
+// plan compiled from the rewriting system's output is false-sharing free and
+// balanced, stage by stage — including the explicit ⊗̄ permutation stages.
+func TestDerivedFormulaPlanIsClean(t *testing.T) {
+	for _, c := range []struct{ m, n, p, mu int }{
+		{8, 8, 2, 2}, {8, 8, 2, 4}, {16, 16, 4, 4},
+	} {
+		f, _, err := rewrite.DeriveMulticoreCT(c.m*c.n, c.m, c.p, c.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := fusion.Compile(f, c.p, c.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := AnalyzePlan(plan, c.mu)
+		if !rep.FalseSharingFree() {
+			t.Errorf("%+v: derived formula plan false-shares:\n%s", c, rep.String())
+		}
+		if rep.MaxImbalance() != 1.0 {
+			t.Errorf("%+v: imbalance %v", c, rep.MaxImbalance())
+		}
+	}
+}
+
+func TestSequentialFallbackShowsImbalance(t *testing.T) {
+	// A non-optimized formula compiled for 2 workers runs on worker 0 only:
+	// the simulator must expose the imbalance (work ratio = p).
+	ct := spl.NewCompose(
+		spl.NewTensor(spl.NewDFT(4), spl.NewIdentity(4)),
+		spl.NewTwiddle(4, 4),
+		spl.NewTensor(spl.NewIdentity(4), spl.NewDFT(4)),
+		spl.NewStride(16, 4),
+	)
+	plan, err := fusion.Compile(ct, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := AnalyzePlan(plan, 4)
+	if rep.MaxImbalance() < 1.9 {
+		t.Errorf("sequential fallback imbalance %v, want ≈ p = 2\n%s", rep.MaxImbalance(), rep.String())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	pl := newParallel(t, 256, 16, 2, 4, exec.ScheduleBlock)
+	rep := AnalyzeParallel(pl, 4)
+	s := rep.String()
+	for _, want := range []string{"stage1", "stage2", "falseShared", "imbalance"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnalyzePanics(t *testing.T) {
+	pl := newParallel(t, 256, 16, 2, 4, exec.ScheduleBlock)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for µ=0")
+		}
+	}()
+	AnalyzeParallel(pl, 0)
+}
+
+func TestTraceBufString(t *testing.T) {
+	if exec.TraceSrc.String() != "src" || exec.TraceTmp.String() != "tmp" || exec.TraceDst.String() != "dst" {
+		t.Error("TraceBuf.String wrong")
+	}
+}
+
+func TestSharedReadsAreNotFalseSharing(t *testing.T) {
+	// In stage 1 each src element is read by exactly one worker under block
+	// scheduling, but under cyclic scheduling the reads interleave; reads
+	// alone must never count as false sharing. Construct a tracer where a
+	// line is only read by both workers.
+	tr := fakeTracer{}
+	rep := Analyze(tr, 4)
+	if rep.TotalFalseSharedLines() != 0 {
+		t.Error("read-only shared line counted as false sharing")
+	}
+	if rep.Stages[0].SharedReadLines != 1 {
+		t.Errorf("shared read lines = %d, want 1", rep.Stages[0].SharedReadLines)
+	}
+}
+
+type fakeTracer struct{}
+
+func (fakeTracer) Workers() int          { return 2 }
+func (fakeTracer) Stages() int           { return 1 }
+func (fakeTracer) StageName(int) string  { return "fake" }
+func (fakeTracer) Work(_, w int) float64 { return 1 }
+func (fakeTracer) Trace(_, w int, visit func(buf, idx int, write bool)) {
+	visit(0, 0, false)  // both workers read line 0 of buf 0
+	visit(1, w*8, true) // each writes its own distant line of buf 1
+}

@@ -1,0 +1,133 @@
+package codegen
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	xexec "spiralfft/internal/exec"
+)
+
+func generate(t *testing.T, tree *xexec.Tree, cfg Config) string {
+	t.Helper()
+	src, err := Generate(tree, cfg)
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", tree.String(), err)
+	}
+	return src
+}
+
+func TestGeneratedSourceParses(t *testing.T) {
+	cases := []struct {
+		tree *xexec.Tree
+		cfg  Config
+	}{
+		{xexec.LeafTree(8), Config{}},
+		{xexec.RadixTree(64), Config{}},
+		{xexec.SplitTree(xexec.LeafTree(16), xexec.LeafTree(16)), Config{Workers: 2, EmitMain: true}},
+		{xexec.SplitTree(xexec.SplitTree(xexec.LeafTree(4), xexec.LeafTree(4)), xexec.LeafTree(16)),
+			Config{Workers: 2, Mu: 2}}, // composite left child: pre-scale path
+		{xexec.RadixTree(100), Config{PackageName: "gen", FuncName: "Transform"}},
+	}
+	fset := token.NewFileSet()
+	for _, c := range cases {
+		src := generate(t, c.tree, c.cfg)
+		if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+			t.Errorf("tree %s: generated source does not parse: %v\nfirst lines:\n%s",
+				c.tree.String(), err, firstLines(src, 30))
+		}
+	}
+}
+
+func TestGeneratedSourceStructure(t *testing.T) {
+	src := generate(t, xexec.SplitTree(xexec.LeafTree(16), xexec.LeafTree(16)), Config{Workers: 2, EmitMain: true})
+	for _, want := range []string{
+		"package main",
+		"func DFT256(dst, src []complex128)",
+		"func DFT256Parallel(dst, src []complex128)",
+		"kernel16",
+		"kernel16_tw",
+		"wg.Wait() // barrier between the two stages of formula (14)",
+		"var tw", // twiddle tables
+		"func main()",
+		"Code generated",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+func TestKernelConstantFolding(t *testing.T) {
+	src := generate(t, xexec.LeafTree(4), Config{})
+	// A 4-point kernel must not contain any complex constant multiplies:
+	// all twiddles are ±1 or ±i and must be folded.
+	body := src[strings.Index(src, "func kernel4("):]
+	body = body[:strings.Index(body, "}\n")]
+	if strings.Contains(body, "complex(0.") || strings.Contains(body, "complex(-0.") {
+		t.Errorf("kernel4 contains unfolded constants:\n%s", body)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(xexec.RadixTree(1<<15), Config{}); err == nil {
+		t.Error("accepted oversized tree")
+	}
+	// 64 = 32·2: pµ = 8 does not divide 2.
+	if _, err := Generate(xexec.RadixTree(64), Config{Workers: 2}); err == nil {
+		t.Error("accepted invalid parallel schedule")
+	}
+	bad := &xexec.Tree{N: 8, Left: xexec.LeafTree(2), Right: xexec.LeafTree(2)}
+	if _, err := Generate(bad, Config{}); err == nil {
+		t.Error("accepted invalid tree")
+	}
+}
+
+// TestGeneratedProgramRuns compiles and runs an emitted program end to end:
+// the generated main self-tests the sequential and parallel transforms
+// against the naive DFT and prints OK.
+func TestGeneratedProgramRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run integration in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	for _, c := range []struct {
+		tree *xexec.Tree
+		cfg  Config
+	}{
+		{xexec.RadixTree(64), Config{EmitMain: true}},
+		{xexec.SplitTree(xexec.LeafTree(16), xexec.LeafTree(16)), Config{Workers: 2, EmitMain: true}},
+	} {
+		src := generate(t, c.tree, c.cfg)
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module gen\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("go", "run", ".")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("tree %s: go run failed: %v\n%s", c.tree.String(), err, out)
+		}
+		if got := strings.TrimSpace(string(out)); got != "OK" {
+			t.Errorf("tree %s: generated program printed %q, want OK", c.tree.String(), got)
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,437 @@
+// Package codelet provides the small unrolled DFT kernels ("codelets") that
+// form the base cases of every plan in this library, mirroring the unrolled
+// basic blocks Spiral's backend emits for small transform sizes.
+//
+// Every codelet computes
+//
+//	y[doff + k·ds] = Σ_j ω_n^{kj} · w[j] · x[soff + j·ss],   k = 0..n-1
+//
+// i.e. an n-point DFT with arbitrary input/output strides and an optional
+// per-input twiddle vector w (nil means no scaling). Fusing the twiddle
+// multiplication into the codelet is exactly the loop merging the paper's
+// formula optimization performs on (DFT_m ⊗ I_n) · D_{m,n}: permutations and
+// diagonals never appear as separate passes over the data.
+//
+// Codelets must tolerate dst == src only when the index sets do not overlap;
+// the executor guarantees this by ping-ponging between buffers.
+package codelet
+
+import (
+	"fmt"
+	"math"
+
+	"spiralfft/internal/twiddle"
+)
+
+// Func is the strided twiddled DFT kernel signature shared by all codelets.
+type Func func(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128)
+
+// Kernel is a DFT codelet of a fixed size.
+type Kernel struct {
+	N     int
+	Name  string
+	Apply Func
+}
+
+// MaxUnrolled is the largest size for which a hand-scheduled codelet exists.
+// Plans never need codelets above this size: larger DFTs are factored.
+const MaxUnrolled = 64
+
+// ForSize returns the fast codelet for n, if one exists.
+func ForSize(n int) (Kernel, bool) {
+	switch n {
+	case 1:
+		return Kernel{1, "dft1", dft1}, true
+	case 2:
+		return Kernel{2, "dft2", dft2}, true
+	case 3:
+		return Kernel{3, "dft3", dft3}, true
+	case 4:
+		return Kernel{4, "dft4", dft4}, true
+	case 5:
+		return Kernel{5, "dft5", dft5}, true
+	case 6:
+		return Kernel{6, "dft6", dft6}, true
+	case 8:
+		return Kernel{8, "dft8", dft8}, true
+	case 10:
+		return Kernel{10, "dft10", dft10}, true
+	case 12:
+		return Kernel{12, "dft12", dft12}, true
+	case 16:
+		return Kernel{16, "dft16", dft16}, true
+	case 32:
+		return Kernel{32, "dft32", dft32}, true
+	case 64:
+		return Kernel{64, "dft64", dft64}, true
+	}
+	return Kernel{}, false
+}
+
+// Best returns the best available codelet for n: the unrolled one when it
+// exists, otherwise the O(n²) naive kernel. Mixed-radix planning keeps naive
+// kernels confined to small prime sizes.
+func Best(n int) Kernel {
+	if k, ok := ForSize(n); ok {
+		return k
+	}
+	return Naive(n)
+}
+
+// Sizes lists the sizes with hand-scheduled codelets, ascending.
+func Sizes() []int { return []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 32, 64} }
+
+// HasUnrolled reports whether an unrolled codelet exists for n.
+func HasUnrolled(n int) bool {
+	_, ok := ForSize(n)
+	return ok
+}
+
+// Naive returns a reference O(n²) kernel with a precomputed root table.
+// It serves as the base case for prime sizes and as the oracle in tests.
+func Naive(n int) Kernel {
+	if n <= 0 {
+		panic(fmt.Sprintf("codelet: Naive size %d", n))
+	}
+	roots := twiddle.Roots(n)
+	apply := func(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+		var t [64]complex128
+		var in []complex128
+		if n <= len(t) {
+			in = t[:n]
+		} else {
+			in = make([]complex128, n)
+		}
+		for j := 0; j < n; j++ {
+			v := src[soff+j*ss]
+			if w != nil {
+				v *= w[j]
+			}
+			in[j] = v
+		}
+		for k := 0; k < n; k++ {
+			acc := complex128(0)
+			idx := 0
+			for j := 0; j < n; j++ {
+				acc += roots[idx] * in[j]
+				idx += k
+				if idx >= n {
+					idx -= n
+				}
+			}
+			dst[doff+k*ds] = acc
+		}
+	}
+	return Kernel{n, fmt.Sprintf("naive%d", n), apply}
+}
+
+func dft1(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	v := src[soff]
+	if w != nil {
+		v *= w[0]
+	}
+	dst[doff] = v
+}
+
+func dft2(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	x0 := src[soff]
+	x1 := src[soff+ss]
+	if w != nil {
+		x0 *= w[0]
+		x1 *= w[1]
+	}
+	dst[doff] = x0 + x1
+	dst[doff+ds] = x0 - x1
+}
+
+// sqrt(3)/2, used by the 3-point kernel.
+var half3 = complex(0, math.Sqrt(3)/2)
+
+func dft3(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	x0 := src[soff]
+	x1 := src[soff+ss]
+	x2 := src[soff+2*ss]
+	if w != nil {
+		x0 *= w[0]
+		x1 *= w[1]
+		x2 *= w[2]
+	}
+	u := x1 + x2
+	v := x1 - x2
+	m := x0 - u/2
+	s := half3 * v // i·(√3/2)·v
+	dst[doff] = x0 + u
+	dst[doff+ds] = m - s
+	dst[doff+2*ds] = m + s
+}
+
+func dft4(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	x0 := src[soff]
+	x1 := src[soff+ss]
+	x2 := src[soff+2*ss]
+	x3 := src[soff+3*ss]
+	if w != nil {
+		x0 *= w[0]
+		x1 *= w[1]
+		x2 *= w[2]
+		x3 *= w[3]
+	}
+	t0 := x0 + x2
+	t1 := x0 - x2
+	t2 := x1 + x3
+	t3 := x1 - x3
+	// Multiply t3 by -i: (a+bi)(-i) = b - ai.
+	t3 = complex(imag(t3), -real(t3))
+	dst[doff] = t0 + t2
+	dst[doff+ds] = t1 + t3
+	dst[doff+2*ds] = t0 - t2
+	dst[doff+3*ds] = t1 - t3
+}
+
+// 5-point constants: a = cos(2π/5), b = cos(4π/5), c = sin(2π/5), d = sin(4π/5).
+var (
+	c5a = math.Cos(2 * math.Pi / 5)
+	c5b = math.Cos(4 * math.Pi / 5)
+	c5c = math.Sin(2 * math.Pi / 5)
+	c5d = math.Sin(4 * math.Pi / 5)
+)
+
+func dft5(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	x0 := src[soff]
+	x1 := src[soff+ss]
+	x2 := src[soff+2*ss]
+	x3 := src[soff+3*ss]
+	x4 := src[soff+4*ss]
+	if w != nil {
+		x0 *= w[0]
+		x1 *= w[1]
+		x2 *= w[2]
+		x3 *= w[3]
+		x4 *= w[4]
+	}
+	u1 := x1 + x4
+	u2 := x2 + x3
+	v1 := x1 - x4
+	v2 := x2 - x3
+	dst[doff] = x0 + u1 + u2
+	ra := x0 + complex(c5a, 0)*u1 + complex(c5b, 0)*u2
+	rb := x0 + complex(c5b, 0)*u1 + complex(c5a, 0)*u2
+	sa := complex(0, 1) * (complex(c5c, 0)*v1 + complex(c5d, 0)*v2)
+	sb := complex(0, 1) * (complex(c5d, 0)*v1 - complex(c5c, 0)*v2)
+	dst[doff+ds] = ra - sa
+	dst[doff+2*ds] = rb - sb
+	dst[doff+3*ds] = rb + sb
+	dst[doff+4*ds] = ra + sa
+}
+
+// invSqrt2 = √2/2, the real/imag part of ω_8.
+var invSqrt2 = math.Sqrt2 / 2
+
+func dft8(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	x0 := src[soff]
+	x1 := src[soff+ss]
+	x2 := src[soff+2*ss]
+	x3 := src[soff+3*ss]
+	x4 := src[soff+4*ss]
+	x5 := src[soff+5*ss]
+	x6 := src[soff+6*ss]
+	x7 := src[soff+7*ss]
+	if w != nil {
+		x0 *= w[0]
+		x1 *= w[1]
+		x2 *= w[2]
+		x3 *= w[3]
+		x4 *= w[4]
+		x5 *= w[5]
+		x6 *= w[6]
+		x7 *= w[7]
+	}
+	// DFT4 of even inputs (x0, x2, x4, x6).
+	e0 := x0 + x4
+	e1 := x0 - x4
+	e2 := x2 + x6
+	e3 := x2 - x6
+	e3 = complex(imag(e3), -real(e3)) // ·(-i)
+	E0 := e0 + e2
+	E1 := e1 + e3
+	E2 := e0 - e2
+	E3 := e1 - e3
+	// DFT4 of odd inputs (x1, x3, x5, x7).
+	o0 := x1 + x5
+	o1 := x1 - x5
+	o2 := x3 + x7
+	o3 := x3 - x7
+	o3 = complex(imag(o3), -real(o3))
+	O0 := o0 + o2
+	O1 := o1 + o3
+	O2 := o0 - o2
+	O3 := o1 - o3
+	// Twiddle the odd half: ω_8^k for k = 0..3.
+	// ω_8^1 = (1-i)/√2, ω_8^2 = -i, ω_8^3 = -(1+i)/√2.
+	O1 = complex(invSqrt2*(real(O1)+imag(O1)), invSqrt2*(imag(O1)-real(O1)))
+	O2 = complex(imag(O2), -real(O2))
+	O3 = complex(invSqrt2*(imag(O3)-real(O3)), -invSqrt2*(real(O3)+imag(O3)))
+	dst[doff] = E0 + O0
+	dst[doff+ds] = E1 + O1
+	dst[doff+2*ds] = E2 + O2
+	dst[doff+3*ds] = E3 + O3
+	dst[doff+4*ds] = E0 - O0
+	dst[doff+5*ds] = E1 - O1
+	dst[doff+6*ds] = E2 - O2
+	dst[doff+7*ds] = E3 - O3
+}
+
+// Twiddle tables for the fixed 16- and 32-point kernels, filled at init.
+var (
+	tw6  []complex128 // ω_6^{i·j} per column j of D_{2,3}, flat [j*2+i]
+	tw10 []complex128 // ω_10^{i·j} per column j of D_{2,5}, flat [j*2+i]
+	tw12 []complex128 // ω_12^{i·j} per column j of D_{4,3}, flat [j*4+i]
+	tw16 []complex128 // ω_16^{i·j} per column j of D_{4,4}, flat [j*4+i]
+	tw32 []complex128 // ω_32^{i·j} per column j of D_{8,4}, flat [j*8+i]
+	tw64 []complex128 // ω_64^{i·j} per column j of D_{8,8}, flat [j*8+i]
+)
+
+func init() {
+	tw6 = twiddle.Columns(2, 3)
+	tw10 = twiddle.Columns(2, 5)
+	tw12 = twiddle.Columns(4, 3)
+	tw16 = twiddle.Columns(4, 4)
+	tw32 = twiddle.Columns(8, 4)
+	tw64 = twiddle.Columns(8, 8)
+}
+
+// dft16 computes a 16-point DFT as DFT_16 = (DFT_4 ⊗ I_4) D_{4,4} (I_4 ⊗ DFT_4) L^16_4
+// on a stack buffer, using the dft4 codelet for both stages.
+func dft16(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	var t [16]complex128
+	buf := t[:]
+	// Stage 1 (with the stride permutation folded into the gather):
+	// iteration i reads src at stride 4·ss starting from offset i·ss.
+	if w == nil {
+		for i := 0; i < 4; i++ {
+			dft4(buf, 4*i, 1, src, soff+i*ss, 4*ss, nil)
+		}
+	} else {
+		var xw [16]complex128
+		for j := 0; j < 16; j++ {
+			xw[j] = src[soff+j*ss] * w[j]
+		}
+		for i := 0; i < 4; i++ {
+			dft4(buf, 4*i, 1, xw[:], i, 4, nil)
+		}
+	}
+	// Stage 2: twiddled DFT_4 down the columns, output at stride ds.
+	for j := 0; j < 4; j++ {
+		dft4(dst, doff+j*ds, 4*ds, buf, j, 4, tw16[j*4:j*4+4])
+	}
+}
+
+// dft32 computes a 32-point DFT as DFT_32 = (DFT_8 ⊗ I_4) D_{8,4} (I_8 ⊗ DFT_4) L^32_8.
+func dft32(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	var t [32]complex128
+	buf := t[:]
+	if w == nil {
+		for i := 0; i < 8; i++ {
+			dft4(buf, 4*i, 1, src, soff+i*ss, 8*ss, nil)
+		}
+	} else {
+		var xw [32]complex128
+		for j := 0; j < 32; j++ {
+			xw[j] = src[soff+j*ss] * w[j]
+		}
+		for i := 0; i < 8; i++ {
+			dft4(buf, 4*i, 1, xw[:], i, 8, nil)
+		}
+	}
+	for j := 0; j < 4; j++ {
+		dft8(dst, doff+j*ds, 4*ds, buf, j, 4, tw32[j*8:j*8+8])
+	}
+}
+
+// dft64 computes a 64-point DFT as DFT_64 = (DFT_8 ⊗ I_8) D_{8,8} (I_8 ⊗ DFT_8) L^64_8.
+func dft64(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	var t [64]complex128
+	buf := t[:]
+	if w == nil {
+		for i := 0; i < 8; i++ {
+			dft8(buf, 8*i, 1, src, soff+i*ss, 8*ss, nil)
+		}
+	} else {
+		var xw [64]complex128
+		for j := 0; j < 64; j++ {
+			xw[j] = src[soff+j*ss] * w[j]
+		}
+		for i := 0; i < 8; i++ {
+			dft8(buf, 8*i, 1, xw[:], i, 8, nil)
+		}
+	}
+	for j := 0; j < 8; j++ {
+		dft8(dst, doff+j*ds, 8*ds, buf, j, 8, tw64[j*8:j*8+8])
+	}
+}
+
+// dft6 computes a 6-point DFT as DFT_6 = (DFT_2 ⊗ I_3) D_{2,3} (I_2 ⊗ DFT_3) L^6_2.
+func dft6(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	var t [6]complex128
+	buf := t[:]
+	if w == nil {
+		for i := 0; i < 2; i++ {
+			dft3(buf, 3*i, 1, src, soff+i*ss, 2*ss, nil)
+		}
+	} else {
+		var xw [6]complex128
+		for j := 0; j < 6; j++ {
+			xw[j] = src[soff+j*ss] * w[j]
+		}
+		for i := 0; i < 2; i++ {
+			dft3(buf, 3*i, 1, xw[:], i, 2, nil)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		dft2(dst, doff+j*ds, 3*ds, buf, j, 3, tw6[j*2:j*2+2])
+	}
+}
+
+// dft10 computes a 10-point DFT as DFT_10 = (DFT_2 ⊗ I_5) D_{2,5} (I_2 ⊗ DFT_5) L^10_2.
+func dft10(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	var t [10]complex128
+	buf := t[:]
+	if w == nil {
+		for i := 0; i < 2; i++ {
+			dft5(buf, 5*i, 1, src, soff+i*ss, 2*ss, nil)
+		}
+	} else {
+		var xw [10]complex128
+		for j := 0; j < 10; j++ {
+			xw[j] = src[soff+j*ss] * w[j]
+		}
+		for i := 0; i < 2; i++ {
+			dft5(buf, 5*i, 1, xw[:], i, 2, nil)
+		}
+	}
+	for j := 0; j < 5; j++ {
+		dft2(dst, doff+j*ds, 5*ds, buf, j, 5, tw10[j*2:j*2+2])
+	}
+}
+
+// dft12 computes a 12-point DFT as DFT_12 = (DFT_4 ⊗ I_3) D_{4,3} (I_4 ⊗ DFT_3) L^12_4.
+func dft12(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {
+	var t [12]complex128
+	buf := t[:]
+	if w == nil {
+		for i := 0; i < 4; i++ {
+			dft3(buf, 3*i, 1, src, soff+i*ss, 4*ss, nil)
+		}
+	} else {
+		var xw [12]complex128
+		for j := 0; j < 12; j++ {
+			xw[j] = src[soff+j*ss] * w[j]
+		}
+		for i := 0; i < 4; i++ {
+			dft3(buf, 3*i, 1, xw[:], i, 4, nil)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		dft4(dst, doff+j*ds, 3*ds, buf, j, 3, tw12[j*4:j*4+4])
+	}
+}

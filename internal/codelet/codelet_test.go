@@ -1,0 +1,238 @@
+package codelet
+
+import (
+	"fmt"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/twiddle"
+)
+
+const tol = 1e-12
+
+// refDFT computes the n-point DFT of x directly from the definition.
+func refDFT(x []complex128) []complex128 {
+	n := len(x)
+	y := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			y[k] += twiddle.Omega(n, k*j) * x[j]
+		}
+	}
+	return y
+}
+
+// runKernel applies k to a contiguous copy of x and returns the result.
+func runKernel(k Kernel, x, w []complex128) []complex128 {
+	y := make([]complex128, k.N)
+	k.Apply(y, 0, 1, x, 0, 1, w)
+	return y
+}
+
+func TestKernelsMatchDefinition(t *testing.T) {
+	for _, n := range Sizes() {
+		k, ok := ForSize(n)
+		if !ok {
+			t.Fatalf("ForSize(%d) missing", n)
+		}
+		x := complexvec.Random(n, uint64(n))
+		got := runKernel(k, x, nil)
+		want := refDFT(x)
+		if e := complexvec.RelError(got, want); e > tol {
+			t.Errorf("%s: rel error %g", k.Name, e)
+		}
+	}
+}
+
+func TestKernelsImpulseResponses(t *testing.T) {
+	// DFT of e_j is the column [ω_n^{kj}]_k; checking all impulses checks
+	// every matrix entry of every codelet.
+	for _, n := range Sizes() {
+		k, _ := ForSize(n)
+		for j := 0; j < n; j++ {
+			got := runKernel(k, complexvec.Impulse(n, j), nil)
+			for kk := 0; kk < n; kk++ {
+				want := twiddle.Omega(n, kk*j)
+				if cmplx.Abs(got[kk]-want) > tol {
+					t.Fatalf("%s: entry (%d,%d) = %v, want %v", k.Name, kk, j, got[kk], want)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelsStrided(t *testing.T) {
+	for _, n := range Sizes() {
+		k, _ := ForSize(n)
+		for _, ss := range []int{1, 2, 3, 7} {
+			for _, ds := range []int{1, 2, 5} {
+				soff, doff := 3, 2
+				src := complexvec.Random(soff+n*ss+1, uint64(n*ss*ds))
+				dst := make([]complex128, doff+n*ds+1)
+				k.Apply(dst, doff, ds, src, soff, ss, nil)
+				x := make([]complex128, n)
+				for j := 0; j < n; j++ {
+					x[j] = src[soff+j*ss]
+				}
+				want := refDFT(x)
+				for kk := 0; kk < n; kk++ {
+					if cmplx.Abs(dst[doff+kk*ds]-want[kk]) > tol {
+						t.Fatalf("%s ss=%d ds=%d: output %d mismatch", k.Name, ss, ds, kk)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelsTwiddled(t *testing.T) {
+	for _, n := range Sizes() {
+		k, _ := ForSize(n)
+		x := complexvec.Random(n, 7)
+		w := complexvec.Random(n, 11)
+		got := runKernel(k, x, w)
+		xw := make([]complex128, n)
+		complexvec.Hadamard(xw, x, w)
+		want := refDFT(xw)
+		if e := complexvec.RelError(got, want); e > tol {
+			t.Errorf("%s twiddled: rel error %g", k.Name, e)
+		}
+	}
+}
+
+func TestKernelsTwiddledStrided(t *testing.T) {
+	// The twiddled path of dft16/dft32 uses a separate buffer; exercise it
+	// with non-unit strides to catch indexing bugs there.
+	for _, n := range []int{16, 32} {
+		k, _ := ForSize(n)
+		ss, ds, soff, doff := 3, 2, 1, 4
+		src := complexvec.Random(soff+n*ss, uint64(n))
+		w := complexvec.Random(n, 13)
+		dst := make([]complex128, doff+n*ds)
+		k.Apply(dst, doff, ds, src, soff, ss, w)
+		x := make([]complex128, n)
+		for j := 0; j < n; j++ {
+			x[j] = src[soff+j*ss] * w[j]
+		}
+		want := refDFT(x)
+		for kk := 0; kk < n; kk++ {
+			if cmplx.Abs(dst[doff+kk*ds]-want[kk]) > tol {
+				t.Fatalf("%s: twiddled strided output %d mismatch", k.Name, kk)
+			}
+		}
+	}
+}
+
+func TestNaiveMatchesDefinitionIncludingLargeSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 6, 7, 11, 13, 64, 100} {
+		k := Naive(n)
+		if k.N != n {
+			t.Fatalf("Naive(%d).N = %d", n, k.N)
+		}
+		x := complexvec.Random(n, uint64(n)+1)
+		got := runKernel(k, x, nil)
+		want := refDFT(x)
+		if e := complexvec.RelError(got, want); e > 1e-10 {
+			t.Errorf("naive%d: rel error %g", n, e)
+		}
+		// Twiddled path too.
+		w := complexvec.Random(n, 5)
+		got = runKernel(k, x, w)
+		xw := make([]complex128, n)
+		complexvec.Hadamard(xw, x, w)
+		want = refDFT(xw)
+		if e := complexvec.RelError(got, want); e > 1e-10 {
+			t.Errorf("naive%d twiddled: rel error %g", n, e)
+		}
+	}
+}
+
+func TestNaivePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Naive(0)
+}
+
+func TestBestPrefersUnrolled(t *testing.T) {
+	if k := Best(8); k.Name != "dft8" {
+		t.Errorf("Best(8) = %s", k.Name)
+	}
+	if k := Best(7); k.Name != "naive7" {
+		t.Errorf("Best(7) = %s", k.Name)
+	}
+	if !HasUnrolled(16) || !HasUnrolled(6) || HasUnrolled(9) {
+		t.Error("HasUnrolled wrong")
+	}
+}
+
+// Property: every codelet is linear: K(αx + y) == αK(x) + K(y).
+func TestQuickKernelLinearity(t *testing.T) {
+	for _, n := range Sizes() {
+		k, _ := ForSize(n)
+		n := n
+		f := func(seedX, seedY uint64, are, aim float64) bool {
+			if are > 1e3 || are < -1e3 || aim > 1e3 || aim < -1e3 {
+				are, aim = 1, 0
+			}
+			a := complex(are, aim)
+			x := complexvec.Random(n, seedX)
+			y := complexvec.Random(n, seedY)
+			z := make([]complex128, n)
+			for i := range z {
+				z[i] = a*x[i] + y[i]
+			}
+			kz := runKernel(k, z, nil)
+			kx := runKernel(k, x, nil)
+			ky := runKernel(k, y, nil)
+			for i := range kz {
+				if cmplx.Abs(kz[i]-(a*kx[i]+ky[i])) > 1e-9*(1+cmplx.Abs(kz[i])) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("size %d: %v", n, err)
+		}
+	}
+}
+
+// Property: Parseval — ‖DFT(x)‖² == n·‖x‖².
+func TestQuickKernelParseval(t *testing.T) {
+	for _, n := range Sizes() {
+		k, _ := ForSize(n)
+		n := n
+		f := func(seed uint64) bool {
+			x := complexvec.Random(n, seed)
+			y := runKernel(k, x, nil)
+			lhs := complexvec.L2Norm(y)
+			rhs := complexvec.L2Norm(x)
+			diff := lhs*lhs - float64(n)*rhs*rhs
+			if diff < 0 {
+				diff = -diff
+			}
+			return diff <= 1e-9*(1+lhs*lhs)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("size %d: %v", n, err)
+		}
+	}
+}
+
+func BenchmarkCodelets(b *testing.B) {
+	for _, n := range Sizes() {
+		k, _ := ForSize(n)
+		x := complexvec.Random(n, 1)
+		y := make([]complex128, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.Apply(y, 0, 1, x, 0, 1, nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,210 @@
+// Package complexvec provides the complex vector substrate used throughout
+// the library: buffer allocation with cache-line-aligned lengths, strided
+// copies, elementwise operations, error norms, and deterministic test-signal
+// generators.
+//
+// All FFT data in this repository is complex128. The cache-line parameter µ
+// used by the shared-memory rewriting system is measured in complex numbers,
+// matching the paper: a 64-byte line holds µ = 4 complex128 values.
+package complexvec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// LineComplex128 is the default number of complex128 values per 64-byte
+// cache line (the paper's µ for double-precision complex data).
+const LineComplex128 = 4
+
+// New returns a zeroed vector of length n.
+func New(n int) []complex128 {
+	return make([]complex128, n)
+}
+
+// NewAligned returns a zeroed vector whose length is n rounded up to a
+// multiple of mu. The paper assumes all shared vectors are aligned at cache
+// line boundaries; in Go we cannot control the base address portably, but we
+// can guarantee that per-processor chunks start at multiples of µ elements,
+// which is what the false-sharing argument needs.
+func NewAligned(n, mu int) []complex128 {
+	if mu <= 0 {
+		mu = 1
+	}
+	return make([]complex128, RoundUp(n, mu))[:n]
+}
+
+// RoundUp rounds n up to the next multiple of q (q > 0).
+func RoundUp(n, q int) int {
+	if q <= 0 {
+		panic("complexvec: RoundUp with non-positive quantum")
+	}
+	r := n % q
+	if r == 0 {
+		return n
+	}
+	return n + q - r
+}
+
+// Copy copies src into dst; the slices must have equal length.
+func Copy(dst, src []complex128) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("complexvec: Copy length mismatch %d != %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// CopyStrided copies n elements from src (starting at soff, stride ss) to
+// dst (starting at doff, stride ds).
+func CopyStrided(dst []complex128, doff, ds int, src []complex128, soff, ss, n int) {
+	for i := 0; i < n; i++ {
+		dst[doff+i*ds] = src[soff+i*ss]
+	}
+}
+
+// Clone returns a fresh copy of x.
+func Clone(x []complex128) []complex128 {
+	y := make([]complex128, len(x))
+	copy(y, x)
+	return y
+}
+
+// Zero clears x.
+func Zero(x []complex128) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Scale multiplies every element of x by a.
+func Scale(x []complex128, a complex128) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AddTo accumulates src into dst: dst[i] += src[i].
+func AddTo(dst, src []complex128) {
+	if len(dst) != len(src) {
+		panic("complexvec: AddTo length mismatch")
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Conjugate conjugates x in place.
+func Conjugate(x []complex128) {
+	for i, v := range x {
+		x[i] = cmplx.Conj(v)
+	}
+}
+
+// Hadamard performs dst[i] = a[i] * b[i].
+func Hadamard(dst, a, b []complex128) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("complexvec: Hadamard length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// MaxAbs returns the maximum magnitude over x.
+func MaxAbs(x []complex128) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := cmplx.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []complex128) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxError returns the maximum elementwise magnitude of (a[i] - b[i]).
+func MaxError(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		panic("complexvec: MaxError length mismatch")
+	}
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RelError returns MaxError(a, b) normalized by the max magnitude of b
+// (or the absolute error if b is the zero vector). This is the acceptance
+// metric used by all correctness tests.
+func RelError(a, b []complex128) float64 {
+	e := MaxError(a, b)
+	if m := MaxAbs(b); m > 0 {
+		return e / m
+	}
+	return e
+}
+
+// Equalish reports whether a and b agree to within relative tolerance tol.
+func Equalish(a, b []complex128, tol float64) bool {
+	return RelError(a, b) <= tol
+}
+
+// rng is a small deterministic xorshift generator so tests and benchmarks are
+// reproducible without importing math/rand in hot paths.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// float64 in [-1, 1).
+func (r *rng) float() float64 {
+	return float64(int64(r.next()>>11))/float64(1<<52) - 1
+}
+
+// Random returns a deterministic pseudo-random vector of length n for the
+// given seed, with components in [-1, 1).
+func Random(n int, seed uint64) []complex128 {
+	r := rng{s: seed*2862933555777941757 + 3037000493}
+	x := make([]complex128, n)
+	for i := range x {
+		re := r.float()
+		im := r.float()
+		x[i] = complex(re, im)
+	}
+	return x
+}
+
+// Impulse returns the unit impulse e_k of length n.
+func Impulse(n, k int) []complex128 {
+	x := make([]complex128, n)
+	x[k] = 1
+	return x
+}
+
+// Tone returns a complex exponential of frequency bin k (length n), i.e.
+// x[j] = exp(2πi·k·j/n). Its DFT is n·e_{(n-k) mod n} under the e^{-2πi}
+// kernel convention used in this library.
+func Tone(n, k int) []complex128 {
+	x := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		ang := 2 * math.Pi * float64(k) * float64(j) / float64(n)
+		x[j] = cmplx.Exp(complex(0, ang))
+	}
+	return x
+}

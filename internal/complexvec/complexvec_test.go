@@ -1,0 +1,209 @@
+package complexvec
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundUp(t *testing.T) {
+	cases := []struct{ n, q, want int }{
+		{0, 4, 0}, {1, 4, 4}, {4, 4, 4}, {5, 4, 8}, {7, 1, 7}, {9, 8, 16}, {16, 16, 16},
+	}
+	for _, c := range cases {
+		if got := RoundUp(c.n, c.q); got != c.want {
+			t.Errorf("RoundUp(%d,%d) = %d, want %d", c.n, c.q, got, c.want)
+		}
+	}
+}
+
+func TestRoundUpPanicsOnBadQuantum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for q <= 0")
+		}
+	}()
+	RoundUp(3, 0)
+}
+
+func TestNewAligned(t *testing.T) {
+	x := NewAligned(10, 4)
+	if len(x) != 10 {
+		t.Fatalf("len = %d, want 10", len(x))
+	}
+	if cap(x) != 12 {
+		t.Fatalf("cap = %d, want 12 (rounded to multiple of 4)", cap(x))
+	}
+	// µ <= 0 falls back to no padding.
+	y := NewAligned(10, 0)
+	if len(y) != 10 || cap(y) != 10 {
+		t.Fatalf("NewAligned(10,0): len=%d cap=%d", len(y), cap(y))
+	}
+}
+
+func TestCopyStrided(t *testing.T) {
+	src := []complex128{0, 1, 2, 3, 4, 5, 6, 7}
+	dst := make([]complex128, 8)
+	// Gather every second element of src into the first 4 slots of dst.
+	CopyStrided(dst, 0, 1, src, 0, 2, 4)
+	want := []complex128{0, 2, 4, 6}
+	for i, w := range want {
+		if dst[i] != w {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], w)
+		}
+	}
+	// Scatter 4 elements at stride 2 starting at offset 1.
+	Zero(dst)
+	CopyStrided(dst, 1, 2, src, 4, 1, 4)
+	for i := 0; i < 4; i++ {
+		if dst[1+2*i] != src[4+i] {
+			t.Errorf("scatter: dst[%d] = %v, want %v", 1+2*i, dst[1+2*i], src[4+i])
+		}
+	}
+}
+
+func TestScaleConjugateHadamard(t *testing.T) {
+	x := []complex128{1 + 2i, -3i, 2}
+	Scale(x, 2i)
+	if x[0] != (1+2i)*2i || x[1] != -3i*2i || x[2] != 4i {
+		t.Fatalf("Scale wrong: %v", x)
+	}
+	Conjugate(x)
+	if imag(x[2]) != -4 {
+		t.Fatalf("Conjugate wrong: %v", x)
+	}
+	a := []complex128{1, 2i, 3}
+	b := []complex128{2, 3, -1i}
+	d := make([]complex128, 3)
+	Hadamard(d, a, b)
+	want := []complex128{2, 6i, -3i}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("Hadamard[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []complex128{3 + 4i, 0, 1}
+	if got := MaxAbs(x); got != 5 {
+		t.Errorf("MaxAbs = %v, want 5", got)
+	}
+	if got := L2Norm(x); math.Abs(got-math.Sqrt(26)) > 1e-15 {
+		t.Errorf("L2Norm = %v, want sqrt(26)", got)
+	}
+	y := []complex128{3 + 4i, 1i, 1}
+	if got := MaxError(x, y); got != 1 {
+		t.Errorf("MaxError = %v, want 1", got)
+	}
+	if got := RelError(x, y); math.Abs(got-1.0/5) > 1e-15 {
+		t.Errorf("RelError = %v, want 0.2", got)
+	}
+	if !Equalish(x, x, 0) {
+		t.Error("Equalish(x,x,0) = false")
+	}
+}
+
+func TestRelErrorZeroReference(t *testing.T) {
+	a := []complex128{1e-3}
+	b := []complex128{0}
+	if got := RelError(a, b); got != 1e-3 {
+		t.Errorf("RelError against zero vector should be absolute, got %v", got)
+	}
+}
+
+func TestRandomDeterministicAndBounded(t *testing.T) {
+	x := Random(256, 42)
+	y := Random(256, 42)
+	z := Random(256, 43)
+	if MaxError(x, y) != 0 {
+		t.Error("Random not deterministic for equal seed")
+	}
+	if MaxError(x, z) == 0 {
+		t.Error("Random identical for different seeds")
+	}
+	for i, v := range x {
+		if math.Abs(real(v)) > 1 || math.Abs(imag(v)) > 1 {
+			t.Fatalf("Random[%d] = %v out of [-1,1)", i, v)
+		}
+	}
+}
+
+func TestImpulseAndTone(t *testing.T) {
+	e := Impulse(8, 3)
+	for i, v := range e {
+		want := complex128(0)
+		if i == 3 {
+			want = 1
+		}
+		if v != want {
+			t.Errorf("Impulse[%d] = %v", i, v)
+		}
+	}
+	x := Tone(16, 2)
+	for j, v := range x {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+			t.Errorf("Tone[%d] magnitude %v != 1", j, cmplx.Abs(v))
+		}
+	}
+	if cmplx.Abs(x[0]-1) > 1e-12 {
+		t.Errorf("Tone[0] = %v, want 1", x[0])
+	}
+}
+
+func TestAddToAndClone(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	y := Clone(x)
+	AddTo(y, x)
+	for i := range x {
+		if y[i] != 2*x[i] {
+			t.Errorf("AddTo: y[%d] = %v", i, y[i])
+		}
+	}
+	// Clone must not alias.
+	y[0] = 99
+	if x[0] == 99 {
+		t.Error("Clone aliases its argument")
+	}
+}
+
+// Property: Scale is linear — Scale(a)(x+y) == Scale(a)(x) + Scale(a)(y).
+func TestQuickScaleLinear(t *testing.T) {
+	clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+	f := func(re1, im1, re2, im2, ra, ia float64) bool {
+		x := []complex128{complex(clamp(re1), clamp(im1))}
+		y := []complex128{complex(clamp(re2), clamp(im2))}
+		a := complex(clamp(ra), clamp(ia))
+		s := []complex128{x[0] + y[0]}
+		Scale(s, a)
+		Scale(x, a)
+		Scale(y, a)
+		return cmplx.Abs(s[0]-(x[0]+y[0])) <= 1e-9*(1+cmplx.Abs(s[0]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CopyStrided gather then scatter with matching parameters is the
+// identity on the touched elements.
+func TestQuickGatherScatterRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 16
+		src := Random(n*3, seed)
+		tmp := make([]complex128, n)
+		dst := make([]complex128, n*3)
+		CopyStrided(tmp, 0, 1, src, 2, 3, n)
+		CopyStrided(dst, 2, 3, tmp, 0, 1, n)
+		for i := 0; i < n; i++ {
+			if dst[2+3*i] != src[2+3*i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

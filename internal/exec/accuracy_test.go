@@ -1,0 +1,54 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/smp"
+)
+
+// TestAccuracyGrowsSlowly documents the numerical behaviour of the fast
+// plans: the relative error against the O(n²) definition must stay within a
+// small multiple of machine epsilon scaled by log2(n) — the standard FFT
+// error bound (O(ε·log n) for Cooley-Tukey versus O(ε·n) for the naive
+// summation, whose own rounding dominates at large sizes, which is why the
+// comparison stops at moderate n).
+func TestAccuracyGrowsSlowly(t *testing.T) {
+	const eps = 2.22e-16
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		s := MustNewSeq(RadixTree(n))
+		x := complexvec.Random(n, uint64(n)*13)
+		got := make([]complex128, n)
+		s.Transform(got, x, nil)
+		want := naiveDFT(x)
+		e := complexvec.RelError(got, want)
+		bound := 50 * eps * math.Log2(float64(n)) * math.Sqrt(float64(n))
+		if e > bound {
+			t.Errorf("n=%d: rel error %.3g exceeds bound %.3g", n, e, bound)
+		}
+	}
+}
+
+// TestParallelAccuracyMatchesSequential: parallelization must not change
+// the rounding behaviour (same operations, same order per element).
+func TestParallelAccuracyMatchesSequential(t *testing.T) {
+	n := 4096
+	pool := smp.NewPool(2)
+	defer pool.Close()
+	m, _ := SplitFor(n, 2, 4)
+	pl, err := NewParallel(n, m, ParallelConfig{P: 2, Mu: 4, Backend: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, rt := pl.Trees()
+	seq := MustNewSeq(SplitTree(lt, rt))
+	x := complexvec.Random(n, 99)
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	pl.Transform(a, x)
+	seq.Transform(b, x, nil)
+	if complexvec.MaxError(a, b) != 0 {
+		t.Error("parallel plan rounds differently from sequential")
+	}
+}

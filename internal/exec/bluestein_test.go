@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spiralfft/internal/codelet"
+	"spiralfft/internal/complexvec"
+)
+
+func TestBluesteinMatchesNaive(t *testing.T) {
+	for _, n := range []int{67, 97, 127, 251, 509, 1009} {
+		k := NewBluesteinKernel(n)
+		if k.N != n {
+			t.Fatalf("kernel size %d", k.N)
+		}
+		x := complexvec.Random(n, uint64(n))
+		got := make([]complex128, n)
+		k.Apply(got, 0, 1, x, 0, 1, nil)
+		want := make([]complex128, n)
+		codelet.Naive(n).Apply(want, 0, 1, x, 0, 1, nil)
+		if e := complexvec.RelError(got, want); e > 1e-9 {
+			t.Errorf("bluestein %d: rel error %g", n, e)
+		}
+	}
+}
+
+func TestBluesteinStridedAndTwiddled(t *testing.T) {
+	n := 101
+	k := NewBluesteinKernel(n)
+	ss, ds, soff, doff := 3, 2, 1, 4
+	src := complexvec.Random(soff+n*ss, 5)
+	w := complexvec.Random(n, 7)
+	dst := make([]complex128, doff+n*ds)
+	k.Apply(dst, doff, ds, src, soff, ss, w)
+	x := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		x[j] = src[soff+j*ss] * w[j]
+	}
+	want := make([]complex128, n)
+	codelet.Naive(n).Apply(want, 0, 1, x, 0, 1, nil)
+	for kk := 0; kk < n; kk++ {
+		got := dst[doff+kk*ds]
+		d := got - want[kk]
+		if real(d)*real(d)+imag(d)*imag(d) > 1e-18*(1+real(got)*real(got)+imag(got)*imag(got)) {
+			t.Fatalf("strided twiddled output %d: %v vs %v", kk, got, want[kk])
+		}
+	}
+}
+
+func TestBluesteinConcurrentUse(t *testing.T) {
+	// Parallel plans share leaf kernels; the pooled scratch must make the
+	// kernel goroutine-safe.
+	n := 97
+	k := bluesteinKernel(n)
+	if k2 := bluesteinKernel(n); k2.Name != k.Name {
+		t.Error("cache returned different kernel")
+	}
+	x := complexvec.Random(n, 1)
+	want := make([]complex128, n)
+	k.Apply(want, 0, 1, x, 0, 1, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := make([]complex128, n)
+			for r := 0; r < 20; r++ {
+				k.Apply(got, 0, 1, x, 0, 1, nil)
+				if e := complexvec.RelError(got, want); e > 1e-12 {
+					errs <- fmt.Errorf("concurrent run differs by %g", e)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestLargePrimeLeavesUseBluestein(t *testing.T) {
+	// A plan over a large prime must route through the chirp-z kernel and
+	// still be correct.
+	for _, n := range []int{1009, 2 * 509, 4 * 251} {
+		s := MustNewSeq(RadixTree(n))
+		x := complexvec.Random(n, uint64(n))
+		got := make([]complex128, n)
+		s.Transform(got, x, nil)
+		want := naiveDFT(x)
+		if e := complexvec.RelError(got, want); e > 1e-9 {
+			t.Errorf("n=%d: rel error %g", n, e)
+		}
+	}
+}
+
+func TestSmallPrimesStayNaive(t *testing.T) {
+	// Below the threshold the naive kernel's constants win; the tree
+	// compiler must not pay Bluestein's convolution overhead there.
+	if k := leafKernel(61); k.Name != "naive61" {
+		t.Errorf("leafKernel(61) = %s", k.Name)
+	}
+	if k := leafKernel(127); k.Name != "bluestein127" {
+		t.Errorf("leafKernel(127) = %s", k.Name)
+	}
+	if k := leafKernel(32); k.Name != "dft32" {
+		t.Errorf("leafKernel(32) = %s", k.Name)
+	}
+}
+
+func TestBluesteinRejectsTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBluesteinKernel(1)
+}
+
+func BenchmarkPrimeDFT(b *testing.B) {
+	// Bluestein vs naive at a large prime: the reason the threshold exists.
+	n := 1009
+	x := complexvec.Random(n, 1)
+	y := make([]complex128, n)
+	blu := NewBluesteinKernel(n)
+	b.Run("bluestein1009", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blu.Apply(y, 0, 1, x, 0, 1, nil)
+		}
+	})
+	nai := codelet.Naive(n)
+	b.Run("naive1009", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nai.Apply(y, 0, 1, x, 0, 1, nil)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTree parses the String() rendering of a factorization tree, e.g.
+// "(8 x (4 x 2))" or "1024". It is the inverse of (*Tree).String and is used
+// by the wisdom (plan import/export) mechanism.
+func ParseTree(s string) (*Tree, error) {
+	p := &treeParser{src: s}
+	t, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpaces()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("exec: trailing input %q in tree %q", p.src[p.pos:], s)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type treeParser struct {
+	src string
+	pos int
+}
+
+func (p *treeParser) skipSpaces() {
+	for p.pos < len(p.src) && p.src[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *treeParser) parse() (*Tree, error) {
+	p.skipSpaces()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("exec: unexpected end of tree %q", p.src)
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++ // consume '('
+		left, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpaces()
+		if !strings.HasPrefix(p.src[p.pos:], "x") {
+			return nil, fmt.Errorf("exec: expected 'x' at %d in %q", p.pos, p.src)
+		}
+		p.pos++ // consume 'x'
+		right, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpaces()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("exec: expected ')' at %d in %q", p.pos, p.src)
+		}
+		p.pos++ // consume ')'
+		return SplitTree(left, right), nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("exec: expected number at %d in %q", start, p.src)
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("exec: bad leaf size %q in %q", p.src[start:p.pos], p.src)
+	}
+	return LeafTree(n), nil
+}

@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTreeRoundtrip(t *testing.T) {
+	cases := []string{
+		"8",
+		"(8 x 2)",
+		"(8 x (4 x 2))",
+		"((2 x 2) x (4 x 8))",
+		"(32 x (32 x 32))",
+	}
+	for _, s := range cases {
+		tr, err := ParseTree(s)
+		if err != nil {
+			t.Fatalf("ParseTree(%q): %v", s, err)
+		}
+		if got := tr.String(); got != s {
+			t.Errorf("roundtrip %q → %q", s, got)
+		}
+	}
+}
+
+func TestParseTreeErrors(t *testing.T) {
+	bad := []string{
+		"", "(8 x", "(8 y 2)", "8)", "(8 x 2) junk", "(a x 2)", "(0 x 2)", "( x 2)",
+	}
+	for _, s := range bad {
+		if _, err := ParseTree(s); err == nil {
+			t.Errorf("ParseTree(%q) accepted", s)
+		}
+	}
+}
+
+// Property: String/ParseTree roundtrip for random trees.
+func TestQuickParseRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := randomTree(240, seed+1)
+		parsed, err := ParseTree(tr.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == tr.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"spiralfft/internal/codelet"
+	"spiralfft/internal/twiddle"
+)
+
+// node is a compiled factorization-tree node. It executes
+//
+//	dst[doff + i·ds] = DFT_n(w ⊙ src[soff + j·ss])
+//
+// recursively: an inner node runs the two fused loops of
+// DFT_n = (DFT_m ⊗ I_k) · D_{m,k} · (I_m ⊗ DFT_k) · L^n_m with the stride
+// permutation folded into stage-1 gathers and the twiddle diagonal folded
+// into the stage-2 kernels (Spiral's loop merging).
+type node struct {
+	n      int
+	kernel codelet.Kernel // leaf only
+	leaf   bool
+	m, k   int
+	left   *node
+	right  *node
+	tw     []complex128 // D_{m,k} column tables, column j at [j·m, (j+1)·m)
+	need   int          // scratch elements required by this subtree
+}
+
+// compile builds the executable node for a validated tree.
+func compile(t *Tree, cache *twiddle.Cache) *node {
+	if t.Leaf {
+		return &node{n: t.N, leaf: true, kernel: leafKernel(t.N)}
+	}
+	left := compile(t.Left, cache)
+	right := compile(t.Right, cache)
+	m, k := t.Left.N, t.Right.N
+	nd := &node{
+		n:     t.N,
+		m:     m,
+		k:     k,
+		left:  left,
+		right: right,
+		tw:    cache.Columns(m, k),
+	}
+	// Scratch: the stage-1 output t (n elements) is live through stage 2;
+	// stage 2 additionally needs a pre-scale buffer of m elements when the
+	// left child is composite (codelets fuse the twiddles themselves).
+	pre := 0
+	if !left.leaf {
+		pre = m
+	}
+	childNeed := right.need
+	if pre+left.need > childNeed {
+		childNeed = pre + left.need
+	}
+	nd.need = t.N + childNeed
+	return nd
+}
+
+// apply executes the node. w is an optional per-input scale vector (stride 1,
+// length n); only leaves accept it — composite nodes are always called with
+// w == nil (their callers pre-scale), which compile guarantees.
+func (nd *node) apply(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128, scratch []complex128) {
+	if nd.leaf {
+		nd.kernel.Apply(dst, doff, ds, src, soff, ss, w)
+		return
+	}
+	if w != nil {
+		panic("exec: composite node received twiddle vector")
+	}
+	m, k := nd.m, nd.k
+	t := scratch[:nd.n]
+	rest := scratch[nd.n:]
+	// Stage 1: (I_m ⊗ DFT_k) · L^n_m — iteration i gathers src at stride m·ss
+	// from offset i·ss and writes the contiguous block t[i·k : (i+1)·k).
+	if nd.right.leaf {
+		kr := nd.right.kernel
+		for i := 0; i < m; i++ {
+			kr.Apply(t, i*k, 1, src, soff+i*ss, m*ss, nil)
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			nd.right.apply(t, i*k, 1, src, soff+i*ss, m*ss, nil, rest)
+		}
+	}
+	// Stage 2: (DFT_m ⊗ I_k) · D_{m,k} — iteration j reads column j of t at
+	// stride k, scales by the twiddle column, writes dst at stride k·ds.
+	if nd.left.leaf {
+		kl := nd.left.kernel
+		for j := 0; j < k; j++ {
+			kl.Apply(dst, doff+j*ds, k*ds, t, j, k, nd.tw[j*m:(j+1)*m])
+		}
+	} else {
+		pre := rest[:m]
+		childScratch := rest[m:]
+		for j := 0; j < k; j++ {
+			col := nd.tw[j*m : (j+1)*m]
+			for i := 0; i < m; i++ {
+				pre[i] = t[j+i*k] * col[i]
+			}
+			nd.left.apply(dst, doff+j*ds, k*ds, pre, 0, 1, nil, childScratch)
+		}
+	}
+}
+
+// Seq is a compiled sequential DFT plan.
+type Seq struct {
+	n    int
+	tree *Tree
+	root *node
+}
+
+// NewSeq compiles the factorization tree into a sequential plan. The twiddle
+// tables come from the process-wide cache, so plans for equal splits share
+// them.
+func NewSeq(t *Tree) (*Seq, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Seq{n: t.N, tree: t, root: compile(t, twiddle.GlobalCache())}, nil
+}
+
+// MustNewSeq is NewSeq for known-good trees (panics on error).
+func MustNewSeq(t *Tree) *Seq {
+	s, err := NewSeq(t)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the transform size.
+func (s *Seq) N() int { return s.n }
+
+// Tree returns the factorization tree the plan was compiled from.
+func (s *Seq) Tree() *Tree { return s.tree }
+
+// ScratchLen returns the scratch length Transform requires.
+func (s *Seq) ScratchLen() int { return s.root.need }
+
+// NewScratch allocates a scratch buffer for Transform. Scratch buffers must
+// not be shared between concurrent Transform calls.
+func (s *Seq) NewScratch() []complex128 { return make([]complex128, s.root.need) }
+
+// Transform computes dst = DFT_n(src). dst == src is allowed (the transform
+// is internally out-of-place into scratch). scratch may be nil, in which
+// case a temporary is allocated.
+func (s *Seq) Transform(dst, src []complex128, scratch []complex128) {
+	if len(dst) != s.n || len(src) != s.n {
+		panic(fmt.Sprintf("exec: Seq.Transform length mismatch: plan %d, dst %d, src %d", s.n, len(dst), len(src)))
+	}
+	if scratch == nil {
+		scratch = s.NewScratch()
+	} else if len(scratch) < s.root.need {
+		panic(fmt.Sprintf("exec: scratch too small: %d < %d", len(scratch), s.root.need))
+	}
+	s.root.apply(dst, 0, 1, src, 0, 1, nil, scratch)
+}
+
+// TransformStrided exposes the strided entry point used by the parallel
+// executor: dst[doff + i·ds] = DFT_n(src[soff + j·ss]), with optional input
+// scale vector w when the root is a leaf.
+func (s *Seq) TransformStrided(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128, scratch []complex128) {
+	s.root.apply(dst, doff, ds, src, soff, ss, w, scratch)
+}
+
+// RootIsLeaf reports whether the compiled root is a single codelet (and may
+// therefore fuse an input twiddle vector).
+func (s *Seq) RootIsLeaf() bool { return s.root.leaf }
+
+// FlopCount returns the nominal 5·n·log2(n) flop count the paper's
+// pseudo-Mflop/s metric assumes for this size.
+func FlopCount(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}

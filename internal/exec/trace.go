@@ -1,0 +1,78 @@
+package exec
+
+// Shared-buffer access tracing for the cache simulator. The parallel
+// executor touches three shared vectors: the input, the stage-1 output
+// buffer t, and the output. Per-worker scratch is private and cannot cause
+// sharing, so it is not traced. The trace enumerates exactly the index
+// pattern Transform uses, without doing the arithmetic.
+
+// TraceBuf identifies a shared buffer in a parallel-plan trace.
+type TraceBuf int
+
+const (
+	// TraceSrc is the transform input vector.
+	TraceSrc TraceBuf = iota
+	// TraceTmp is the stage-1 output buffer t.
+	TraceTmp
+	// TraceDst is the transform output vector.
+	TraceDst
+)
+
+// String names the buffer.
+func (b TraceBuf) String() string {
+	switch b {
+	case TraceSrc:
+		return "src"
+	case TraceTmp:
+		return "tmp"
+	default:
+		return "dst"
+	}
+}
+
+// TraceStages returns the number of barrier-separated stages (always 2:
+// formula (14) executes as two compute stages with folded permutations).
+func (pl *Parallel) TraceStages() int { return 2 }
+
+// TraceAccesses reports every shared-buffer access worker w performs in the
+// given stage (0 or 1), in program order.
+func (pl *Parallel) TraceAccesses(stage, w int, visit func(buf TraceBuf, idx int, write bool)) {
+	m, k := pl.m, pl.k
+	switch stage {
+	case 0:
+		// Stage 1: iteration i gathers src[i + r·m] and writes t[i·k + r].
+		for _, i := range pl.itersM[w] {
+			for r := 0; r < k; r++ {
+				visit(TraceSrc, i+r*m, false)
+			}
+			for r := 0; r < k; r++ {
+				visit(TraceTmp, i*k+r, true)
+			}
+		}
+	case 1:
+		// Stage 2: iteration j reads column t[j + i·k], writes dst[j + i·k].
+		for _, j := range pl.itersK[w] {
+			for i := 0; i < m; i++ {
+				visit(TraceTmp, j+i*k, false)
+			}
+			for i := 0; i < m; i++ {
+				visit(TraceDst, j+i*k, true)
+			}
+		}
+	default:
+		panic("exec: TraceAccesses stage out of range")
+	}
+}
+
+// TraceWork returns the arithmetic work (flops, 5·n·log2 n per sub-DFT)
+// worker w performs in the given stage.
+func (pl *Parallel) TraceWork(stage, w int) float64 {
+	switch stage {
+	case 0:
+		return float64(len(pl.itersM[w])) * FlopCount(pl.k)
+	case 1:
+		return float64(len(pl.itersK[w])) * FlopCount(pl.m)
+	default:
+		panic("exec: TraceWork stage out of range")
+	}
+}

@@ -1,0 +1,76 @@
+package fusion
+
+import (
+	"testing"
+	"time"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/rewrite"
+	"spiralfft/internal/spl"
+)
+
+func TestCompiledBlocksMatchReference(t *testing.T) {
+	cases := []spl.Formula{
+		spl.NewDFT(64),
+		spl.NewWHT(6),
+		spl.NewIdentity(32),
+		spl.NewDiag(complexvec.Random(16, 3), "d"),
+		spl.NewTensor(spl.NewIdentity(4), spl.NewDFT(16)),
+		spl.NewTensor(spl.NewDFT(8), spl.NewIdentity(8)),
+		spl.NewCompose(
+			spl.NewTensor(spl.NewDFT(4), spl.NewIdentity(4)),
+			spl.NewTwiddle(4, 4),
+			spl.NewTensor(spl.NewIdentity(4), spl.NewDFT(4)),
+			spl.NewStride(16, 4),
+		),
+		spl.NewStride(32, 4), // fallback path
+	}
+	for _, f := range cases {
+		fn := compileBlock(f)
+		n := f.Size()
+		x := complexvec.Random(n, uint64(n))
+		got := make([]complex128, n)
+		fn(got, x)
+		want := make([]complex128, n)
+		f.Apply(want, x)
+		if e := complexvec.RelError(got, want); e > 1e-10 {
+			t.Errorf("%s: compiled block wrong by %g", f.String(), e)
+		}
+		// Re-running must give identical results (internal buffers reset).
+		again := make([]complex128, n)
+		fn(again, x)
+		if complexvec.MaxError(got, again) != 0 {
+			t.Errorf("%s: compiled block not repeatable", f.String())
+		}
+	}
+}
+
+// TestExpandedFormulaPlanRunsFast: the fully expanded multicore formula
+// (codelet-size leaves everywhere) must execute through the fast paths and
+// still compute the DFT. The speed assertion is loose — the point is that
+// execution no longer goes through the O(n²) reference DFT, which at this
+// size would take orders of magnitude longer.
+func TestExpandedFormulaPlanRunsFast(t *testing.T) {
+	n := 4096
+	f, _, err := rewrite.DeriveExpandedMulticoreCT(n, 64, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(f, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := complexvec.Random(n, 5)
+	got := make([]complex128, n)
+	start := time.Now()
+	plan.Apply(got, x)
+	elapsed := time.Since(start)
+	want := make([]complex128, n)
+	spl.NewDFT(n).Apply(want, x)
+	if e := complexvec.RelError(got, want); e > 1e-9 {
+		t.Errorf("expanded plan wrong by %g", e)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Errorf("expanded plan took %v — fast block paths not engaged?", elapsed)
+	}
+}

@@ -1,0 +1,306 @@
+// Package fusion compiles fully optimized SPL formulas (Definition 1 of the
+// paper) into executable stage plans: one stage per product factor, executed
+// right to left with a barrier between stages, each stage statically
+// scheduled across p processors.
+//
+// This is a small Σ-SPL: the compiler recognizes the parallel constructs the
+// rewriting system emits —
+//
+//	P ⊗̄ I_µ        → a permutation stage moving whole cache lines,
+//	I_p ⊗∥ A       → p equal independent blocks, one per processor,
+//	⊕∥ A_i         → p independent blocks, block i on processor i,
+//	I_m ⊗ A        → m independent blocks distributed in contiguous runs,
+//
+// — and schedules their iterations exactly as the formulas prescribe. The
+// resulting plan can execute the formula (reference-speed, for validation)
+// and, more importantly, expose every shared-buffer access each processor
+// performs per stage, which is what the cache simulator consumes to verify
+// the paper's load-balance and false-sharing claims dynamically.
+package fusion
+
+import (
+	"fmt"
+
+	"spiralfft/internal/smp"
+	"spiralfft/internal/spl"
+)
+
+// Buf identifies which shared vector an access touches.
+type Buf int
+
+const (
+	// BufIn is the stage's input vector.
+	BufIn Buf = iota
+	// BufOut is the stage's output vector.
+	BufOut
+)
+
+// Access is one element access to a shared stage buffer.
+type Access struct {
+	Buf   Buf
+	Idx   int
+	Write bool
+}
+
+// StageKind classifies how a stage was compiled.
+type StageKind int
+
+const (
+	// KindPerm is a data-shuffle stage from P ⊗̄ I_µ.
+	KindPerm StageKind = iota
+	// KindBlocks is a block-parallel compute stage from I_p ⊗∥ A, ⊕∥ A_i,
+	// or I_m ⊗ A.
+	KindBlocks
+	// KindSeq is the fallback: the whole factor runs on processor 0 (a
+	// formula that is not fully optimized; kept so non-optimized formulas
+	// remain executable and their imbalance measurable).
+	KindSeq
+)
+
+// String names the kind.
+func (k StageKind) String() string {
+	switch k {
+	case KindPerm:
+		return "perm"
+	case KindBlocks:
+		return "blocks"
+	default:
+		return "seq"
+	}
+}
+
+// block is one contiguous region owned by one worker within a stage.
+type block struct {
+	worker    int
+	off, size int
+	f         spl.Formula
+	fn        blockFn // compiled executor for f
+}
+
+// Stage executes one product factor.
+type Stage struct {
+	Kind    StageKind
+	Formula spl.Formula
+	size    int
+	p       int
+	// perm stages:
+	srcOf func(int) int
+	// block stages (and seq, as a single block on worker 0):
+	blocks []block
+}
+
+// Size returns the stage's vector length.
+func (s *Stage) Size() int { return s.size }
+
+// Plan is a compiled formula: stages execute right to left with an implicit
+// barrier between them, ping-ponging between two buffers.
+type Plan struct {
+	N      int
+	P      int
+	Mu     int
+	Stages []*Stage // in execution order (rightmost factor first)
+}
+
+// Compile schedules formula f for p processors with cache-line length mu.
+// Any formula executes; factors outside the fully optimized grammar become
+// sequential stages (measurably unbalanced, by design).
+func Compile(f spl.Formula, p, mu int) (*Plan, error) {
+	if p < 1 || mu < 1 {
+		return nil, fmt.Errorf("fusion: Compile(p=%d, µ=%d)", p, mu)
+	}
+	var factors []spl.Formula
+	if c, ok := f.(spl.Compose); ok {
+		factors = c.Factors
+	} else {
+		factors = []spl.Formula{f}
+	}
+	plan := &Plan{N: f.Size(), P: p, Mu: mu}
+	// Rightmost factor executes first.
+	for i := len(factors) - 1; i >= 0; i-- {
+		st, err := compileStage(factors[i], p)
+		if err != nil {
+			return nil, err
+		}
+		plan.Stages = append(plan.Stages, st)
+	}
+	return plan, nil
+}
+
+func compileStage(f spl.Formula, p int) (*Stage, error) {
+	size := f.Size()
+	switch t := f.(type) {
+	case spl.BarTensor:
+		return &Stage{
+			Kind:    KindPerm,
+			Formula: f,
+			size:    size,
+			p:       p,
+			srcOf:   spl.PermSource(t),
+		}, nil
+	case spl.TensorPar:
+		if t.P != p {
+			break // wrong processor count: fall through to sequential
+		}
+		bs := make([]block, p)
+		s := t.A.Size()
+		fn := compileBlock(t.A)
+		for w := 0; w < p; w++ {
+			bs[w] = block{worker: w, off: w * s, size: s, f: t.A, fn: fn}
+		}
+		return &Stage{Kind: KindBlocks, Formula: f, size: size, p: p, blocks: bs}, nil
+	case spl.DirectSumPar:
+		if len(t.Terms) != p {
+			break
+		}
+		bs := make([]block, p)
+		off := 0
+		for w, term := range t.Terms {
+			bs[w] = block{worker: w, off: off, size: term.Size(), f: term, fn: compileBlock(term)}
+			off += term.Size()
+		}
+		return &Stage{Kind: KindBlocks, Formula: f, size: size, p: p, blocks: bs}, nil
+	case spl.Tensor:
+		// I_m ⊗ A: m independent blocks dealt to processors in contiguous
+		// runs (the schedule the rewriting system's form (5) implies).
+		if im, ok := t.A.(spl.Identity); ok {
+			s := t.B.Size()
+			fn := compileBlock(t.B)
+			var bs []block
+			for w := 0; w < p; w++ {
+				lo, hi := smp.BlockRange(im.N, p, w)
+				for i := lo; i < hi; i++ {
+					bs = append(bs, block{worker: w, off: i * s, size: s, f: t.B, fn: fn})
+				}
+			}
+			return &Stage{Kind: KindBlocks, Formula: f, size: size, p: p, blocks: bs}, nil
+		}
+	}
+	// Fallback: sequential stage on processor 0.
+	return &Stage{
+		Kind:    KindSeq,
+		Formula: f,
+		size:    size,
+		p:       p,
+		blocks:  []block{{worker: 0, off: 0, size: size, f: f, fn: compileBlock(f)}},
+	}, nil
+}
+
+// Apply executes the plan: dst = F(src). Stages run in order with all of a
+// stage's blocks completing before the next stage starts (the barrier
+// semantics of the parallel plan), but on the calling goroutine — this is
+// the validation path, not the performance path.
+func (p *Plan) Apply(dst, src []complex128) {
+	if len(dst) != p.N || len(src) != p.N {
+		panic(fmt.Sprintf("fusion: Apply length mismatch: plan %d, dst %d, src %d", p.N, len(dst), len(src)))
+	}
+	cur := make([]complex128, p.N)
+	next := make([]complex128, p.N)
+	copy(cur, src)
+	for _, st := range p.Stages {
+		st.execute(next, cur)
+		cur, next = next, cur
+	}
+	copy(dst, cur)
+}
+
+func (s *Stage) execute(dst, src []complex128) {
+	switch s.Kind {
+	case KindPerm:
+		for t := 0; t < s.size; t++ {
+			dst[t] = src[s.srcOf(t)]
+		}
+	default:
+		for _, b := range s.blocks {
+			b.fn(dst[b.off:b.off+b.size], src[b.off:b.off+b.size])
+		}
+	}
+}
+
+// TraceStage reports every shared-buffer access worker w performs in stage
+// st, in program order. Block compute stages touch their whole input block
+// (reads) and output block (writes); permutation stages read the source
+// index and write the destination index per element. Private scratch is not
+// reported — it cannot cause sharing.
+func (p *Plan) TraceStage(st *Stage, w int, visit func(Access)) {
+	switch st.Kind {
+	case KindPerm:
+		lo, hi := smp.BlockRange(st.size, p.P, w)
+		for t := lo; t < hi; t++ {
+			visit(Access{BufIn, st.srcOf(t), false})
+			visit(Access{BufOut, t, true})
+		}
+	default:
+		for _, b := range st.blocks {
+			if b.worker != w {
+				continue
+			}
+			for i := b.off; i < b.off+b.size; i++ {
+				visit(Access{BufIn, i, false})
+			}
+			for i := b.off; i < b.off+b.size; i++ {
+				visit(Access{BufOut, i, true})
+			}
+		}
+	}
+}
+
+// WorkPerWorker estimates the arithmetic work (flops) each worker performs
+// in stage st, using the standard 5·n·log2(n) cost for DFT blocks, n for
+// diagonals, and 0 for pure data movement. Used for load-balance metrics.
+func (p *Plan) WorkPerWorker(st *Stage) []float64 {
+	out := make([]float64, p.P)
+	switch st.Kind {
+	case KindPerm:
+		for w := 0; w < p.P; w++ {
+			lo, hi := smp.BlockRange(st.size, p.P, w)
+			out[w] = float64(hi - lo) // element moves
+		}
+	default:
+		for _, b := range st.blocks {
+			out[b.worker] += formulaOps(b.f)
+		}
+	}
+	return out
+}
+
+// formulaOps estimates flops for a formula.
+func formulaOps(f spl.Formula) float64 {
+	switch t := f.(type) {
+	case spl.DFT:
+		if t.N == 1 {
+			return 0
+		}
+		return flops(t.N)
+	case spl.WHT:
+		return 2 * float64(t.Size()) * float64(t.K) // adds only
+	case spl.Identity:
+		return 0
+	case spl.Stride, spl.Perm:
+		return float64(f.Size())
+	case spl.Diag:
+		return 6 * float64(f.Size()) // complex multiply
+	case spl.Twiddle:
+		return 6 * float64(f.Size())
+	}
+	sum := 0.0
+	switch t := f.(type) {
+	case spl.Tensor:
+		return float64(t.A.Size())*formulaOps(t.B) + float64(t.B.Size())*formulaOps(t.A)
+	case spl.BarTensor:
+		return float64(f.Size())
+	case spl.TensorPar:
+		return float64(t.P) * formulaOps(t.A)
+	}
+	for _, c := range f.Children() {
+		sum += formulaOps(c)
+	}
+	return sum
+}
+
+func flops(n int) float64 {
+	l := 0.0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	return 5 * float64(n) * l
+}

@@ -1,0 +1,266 @@
+package fusion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/rewrite"
+	"spiralfft/internal/spl"
+)
+
+const tol = 1e-10
+
+func applyTo(f spl.Formula, x []complex128) []complex128 {
+	y := make([]complex128, f.Size())
+	f.Apply(y, x)
+	return y
+}
+
+func TestCompileDerivedFormulaExecutesDFT(t *testing.T) {
+	for _, c := range []struct{ m, n, p, mu int }{
+		{8, 8, 2, 2}, {8, 8, 2, 4}, {16, 16, 4, 4}, {8, 16, 2, 4},
+	} {
+		f, _, err := rewrite.DeriveMulticoreCT(c.m*c.n, c.m, c.p, c.mu)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		plan, err := Compile(f, c.p, c.mu)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		x := complexvec.Random(c.m*c.n, uint64(c.m+c.n))
+		got := make([]complex128, c.m*c.n)
+		plan.Apply(got, x)
+		want := applyTo(spl.NewDFT(c.m*c.n), x)
+		if e := complexvec.RelError(got, want); e > tol {
+			t.Errorf("%+v: rel error %g", c, e)
+		}
+	}
+}
+
+func TestCompileStageKinds(t *testing.T) {
+	f, _, err := rewrite.DeriveMulticoreCT(64, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(f, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Formula (14) has 7 factors: 3 ⊗̄ perms, 3 I_p⊗∥, 1 ⊕∥.
+	if len(plan.Stages) != 7 {
+		t.Fatalf("stages = %d, want 7", len(plan.Stages))
+	}
+	perms, blocks := 0, 0
+	for _, st := range plan.Stages {
+		switch st.Kind {
+		case KindPerm:
+			perms++
+		case KindBlocks:
+			blocks++
+		default:
+			t.Errorf("unexpected sequential stage for %s", st.Formula.String())
+		}
+	}
+	if perms != 3 || blocks != 4 {
+		t.Errorf("perms=%d blocks=%d, want 3 and 4", perms, blocks)
+	}
+	// Execution order is right to left: the first executed stage must be
+	// the rightmost factor (a perm).
+	if plan.Stages[0].Kind != KindPerm {
+		t.Error("first executed stage is not the rightmost ⊗̄ factor")
+	}
+}
+
+func TestCompileFallsBackToSequentialStages(t *testing.T) {
+	// A plain (untransformed) Cooley-Tukey formula is not fully optimized:
+	// its factors must become sequential stages, and still compute the DFT.
+	ct := spl.NewCompose(
+		spl.NewTensor(spl.NewDFT(4), spl.NewIdentity(4)),
+		spl.NewTwiddle(4, 4),
+		spl.NewTensor(spl.NewIdentity(4), spl.NewDFT(4)),
+		spl.NewStride(16, 4),
+	)
+	plan, err := Compile(ct, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := 0
+	for _, st := range plan.Stages {
+		if st.Kind == KindSeq {
+			seqs++
+		}
+	}
+	if seqs == 0 {
+		t.Error("expected sequential fallback stages")
+	}
+	x := complexvec.Random(16, 5)
+	got := make([]complex128, 16)
+	plan.Apply(got, x)
+	if e := complexvec.RelError(got, applyTo(spl.NewDFT(16), x)); e > tol {
+		t.Errorf("fallback plan wrong: rel error %g", e)
+	}
+}
+
+func TestCompileTensorIdentityBlocks(t *testing.T) {
+	// I_4 ⊗ DFT_4 on 2 workers: 4 blocks dealt 2+2.
+	f := spl.NewTensor(spl.NewIdentity(4), spl.NewDFT(4))
+	plan, err := Compile(f, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 1 || plan.Stages[0].Kind != KindBlocks {
+		t.Fatalf("unexpected plan shape")
+	}
+	x := complexvec.Random(16, 7)
+	got := make([]complex128, 16)
+	plan.Apply(got, x)
+	if e := complexvec.RelError(got, applyTo(f, x)); e > tol {
+		t.Errorf("rel error %g", e)
+	}
+	// Work must split evenly.
+	work := plan.WorkPerWorker(plan.Stages[0])
+	if work[0] != work[1] || work[0] == 0 {
+		t.Errorf("work = %v", work)
+	}
+}
+
+func TestCompileWrongProcessorCountFallsBack(t *testing.T) {
+	// A 4-way parallel construct compiled for 2 workers cannot use the
+	// parallel schedule.
+	f := spl.NewTensorPar(4, spl.NewDFT(4))
+	plan, err := Compile(f, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages[0].Kind != KindSeq {
+		t.Errorf("kind = %v, want seq fallback", plan.Stages[0].Kind)
+	}
+}
+
+func TestCompileRejectsBadParams(t *testing.T) {
+	if _, err := Compile(spl.NewDFT(4), 0, 1); err == nil {
+		t.Error("accepted p=0")
+	}
+	if _, err := Compile(spl.NewDFT(4), 1, 0); err == nil {
+		t.Error("accepted µ=0")
+	}
+}
+
+func TestTraceStageCoversExactlyTheBlocks(t *testing.T) {
+	f, _, err := rewrite.DeriveMulticoreCT(64, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(f, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan.Stages {
+		writes := make([]int, st.Size())
+		for w := 0; w < plan.P; w++ {
+			plan.TraceStage(st, w, func(a Access) {
+				if a.Write {
+					if a.Buf != BufOut {
+						t.Fatalf("write to input buffer in %s", st.Formula.String())
+					}
+					writes[a.Idx]++
+				}
+			})
+		}
+		for i, c := range writes {
+			if c != 1 {
+				t.Fatalf("stage %s: output %d written %d times", st.Formula.String(), i, c)
+			}
+		}
+	}
+}
+
+func TestStageKindString(t *testing.T) {
+	if KindPerm.String() != "perm" || KindBlocks.String() != "blocks" || KindSeq.String() != "seq" {
+		t.Error("StageKind.String wrong")
+	}
+}
+
+// Property: for random valid derivations, the compiled plan equals the DFT.
+func TestQuickCompiledPlansComputeDFT(t *testing.T) {
+	f := func(mi, ni uint8, seed uint64) bool {
+		p, mu := 2, 2
+		q := p * mu
+		m := q * (1 + int(mi)%2)
+		n := q * (1 + int(ni)%2)
+		g, _, err := rewrite.DeriveMulticoreCT(m*n, m, p, mu)
+		if err != nil {
+			return false
+		}
+		plan, err := Compile(g, p, mu)
+		if err != nil {
+			return false
+		}
+		x := complexvec.Random(m*n, seed)
+		got := make([]complex128, m*n)
+		plan.Apply(got, x)
+		return complexvec.RelError(got, applyTo(spl.NewDFT(m*n), x)) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkPerWorkerAcrossStageKinds(t *testing.T) {
+	f, _, err := rewrite.DeriveMulticoreCT(64, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(f, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan.Stages {
+		work := plan.WorkPerWorker(st)
+		if len(work) != 2 {
+			t.Fatalf("work vector length %d", len(work))
+		}
+		// Every stage of the derived formula is perfectly balanced.
+		if work[0] != work[1] {
+			t.Errorf("stage %s: work %v unbalanced", st.Formula.String(), work)
+		}
+		// Compute stages carry positive flops; perm stages count moves.
+		if work[0] <= 0 {
+			t.Errorf("stage %s: nonpositive work %v", st.Formula.String(), work)
+		}
+	}
+}
+
+func TestFormulaOpsModel(t *testing.T) {
+	cases := []struct {
+		f        spl.Formula
+		positive bool
+	}{
+		{spl.NewDFT(16), true},
+		{spl.NewDFT(1), false},
+		{spl.NewWHT(4), true},
+		{spl.NewIdentity(8), false},
+		{spl.NewStride(8, 2), true},
+		{spl.NewTwiddle(4, 4), true},
+		{spl.NewDiag(make([]complex128, 8), "d"), true},
+		{spl.NewTensor(spl.NewDFT(4), spl.NewIdentity(4)), true},
+		{spl.NewTensorPar(2, spl.NewDFT(8)), true},
+		{spl.NewBarTensor(spl.NewStride(4, 2), 2), true},
+		{spl.NewCompose(spl.NewDFT(4), spl.NewTwiddle(2, 2)), true},
+		{spl.NewDirectSum(spl.NewDFT(4), spl.NewDFT(4)), true},
+	}
+	for _, c := range cases {
+		got := formulaOps(c.f)
+		if (got > 0) != c.positive {
+			t.Errorf("formulaOps(%s) = %v, want positive=%v", c.f.String(), got, c.positive)
+		}
+	}
+	// Tensor cost must scale with both factors.
+	a := formulaOps(spl.NewTensor(spl.NewIdentity(2), spl.NewDFT(8)))
+	b := formulaOps(spl.NewTensor(spl.NewIdentity(4), spl.NewDFT(8)))
+	if b <= a {
+		t.Errorf("tensor work did not scale: %v vs %v", a, b)
+	}
+}

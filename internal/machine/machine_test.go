@@ -1,0 +1,166 @@
+package machine
+
+import (
+	"testing"
+)
+
+// modelCrossover returns the smallest logN in [6,20] where the parallel
+// series beats the sequential series by at least 2%, or 99 if never.
+func modelCrossover(pl Platform, par, seq Series) int {
+	for logN := 6; logN <= 20; logN++ {
+		if pl.Predict(par, logN) > 1.02*pl.Predict(seq, logN) {
+			return logN
+		}
+	}
+	return 99
+}
+
+func TestPlatformLookup(t *testing.T) {
+	if len(Platforms()) != 4 {
+		t.Fatalf("platforms = %d", len(Platforms()))
+	}
+	for _, key := range []string{"coreduo", "pentiumd", "opteron", "xeonmp"} {
+		p, ok := ByKey(key)
+		if !ok || p.Key != key {
+			t.Errorf("ByKey(%q) failed", key)
+		}
+	}
+	if _, ok := ByKey("cray"); ok {
+		t.Error("ByKey accepted unknown platform")
+	}
+}
+
+func TestSeriesNames(t *testing.T) {
+	want := []string{"Spiral pthreads", "Spiral OpenMP", "Spiral sequential", "FFTW pthreads", "FFTW sequential"}
+	for i, s := range AllSeries() {
+		if s.String() != want[i] {
+			t.Errorf("series %d = %q, want %q", i, s.String(), want[i])
+		}
+	}
+}
+
+func TestPredictionsArePositiveAndFinite(t *testing.T) {
+	for _, pl := range Platforms() {
+		for _, s := range AllSeries() {
+			for logN := 6; logN <= 20; logN++ {
+				v := pl.Predict(s, logN)
+				if v <= 0 || v > 1e6 {
+					t.Fatalf("%s/%s/2^%d: %v", pl.Key, s, logN, v)
+				}
+			}
+		}
+	}
+}
+
+// TestModelSpiralSequentialWithinTenPercentOfFFTW is claim E8 on the model:
+// the two sequential libraries run within 10% of each other.
+func TestModelSpiralSequentialWithinTenPercentOfFFTW(t *testing.T) {
+	for _, pl := range Platforms() {
+		for logN := 6; logN <= 20; logN++ {
+			sp := pl.Predict(SpiralSeq, logN)
+			fw := pl.Predict(FFTWSeq, logN)
+			ratio := sp / fw
+			if ratio < 0.9 || ratio > 1.12 {
+				t.Errorf("%s 2^%d: Spiral/FFTW sequential ratio %.3f", pl.Key, logN, ratio)
+			}
+		}
+	}
+}
+
+// TestModelEarlyPoolCrossover is claim E7 on the model: pooled Spiral
+// parallelizes profitably at small, in-cache sizes (the paper demonstrates
+// 2^8 on the Core Duo) while the FFTW strategy needs thousands of points
+// (2^13 in the paper).
+func TestModelEarlyPoolCrossover(t *testing.T) {
+	for _, pl := range Platforms() {
+		pool := modelCrossover(pl, SpiralPool, SpiralSeq)
+		fftw := modelCrossover(pl, FFTWPar, FFTWSeq)
+		if pool >= fftw {
+			t.Errorf("%s: pool crossover 2^%d not earlier than FFTW 2^%d", pl.Key, pool, fftw)
+		}
+		if pool > 11 {
+			t.Errorf("%s: pool crossover 2^%d too late", pl.Key, pool)
+		}
+		if fftw < 12 {
+			t.Errorf("%s: FFTW crossover 2^%d too early for a spawn-per-transform strategy", pl.Key, fftw)
+		}
+	}
+	// On the on-chip Core Duo the model must parallelize within L1-resident
+	// sizes (the paper's headline: speedup already at 2^8).
+	if c := modelCrossover(CoreDuo, SpiralPool, SpiralSeq); c > 9 {
+		t.Errorf("Core Duo pool crossover 2^%d, paper shows 2^8", c)
+	}
+}
+
+// TestModelSpawnBetweenPoolAndFFTW: the OpenMP-style (spawn) Spiral series
+// must parallelize later than the pooled series (that is the entire point
+// of thread pooling) but its µ-aware schedule keeps it ahead of FFTW-style
+// parallelization.
+func TestModelSpawnBetweenPoolAndFFTW(t *testing.T) {
+	for _, pl := range Platforms() {
+		pool := modelCrossover(pl, SpiralPool, SpiralSeq)
+		spawn := modelCrossover(pl, SpiralSpawn, SpiralSeq)
+		fftw := modelCrossover(pl, FFTWPar, FFTWSeq)
+		if !(pool <= spawn && spawn <= fftw) {
+			t.Errorf("%s: crossover order pool=%d spawn=%d fftw=%d", pl.Key, pool, spawn, fftw)
+		}
+	}
+}
+
+// TestModelParallelSpeedupAtPeak: at large in-cache sizes the pooled
+// parallel series must show a clear speedup over sequential on every
+// platform (Figure 3's separation of the top lines).
+func TestModelParallelSpeedupAtPeak(t *testing.T) {
+	for _, pl := range Platforms() {
+		logN := 12
+		speedup := pl.Predict(SpiralPool, logN) / pl.Predict(SpiralSeq, logN)
+		if speedup < 1.4 {
+			t.Errorf("%s: speedup %.2f at 2^%d", pl.Key, speedup, logN)
+		}
+		if speedup > float64(pl.P)+0.01 {
+			t.Errorf("%s: speedup %.2f exceeds p=%d", pl.Key, speedup, pl.P)
+		}
+	}
+}
+
+// TestModelOnChipBeatsBusSync: the two genuine multicore machines (Core Duo,
+// Opteron — fast on-chip communication) must parallelize earlier than the
+// bus-based machines of the same processor count (Pentium D, Xeon MP),
+// which is the paper's central architectural observation.
+func TestModelOnChipBeatsBusSync(t *testing.T) {
+	if modelCrossover(CoreDuo, SpiralPool, SpiralSeq) > modelCrossover(PentiumD, SpiralPool, SpiralSeq) {
+		t.Error("Core Duo should parallelize no later than Pentium D")
+	}
+	if modelCrossover(Opteron, SpiralPool, SpiralSeq) > modelCrossover(XeonMP, SpiralPool, SpiralSeq) {
+		t.Error("Opteron should parallelize no later than Xeon MP")
+	}
+}
+
+// TestModelMemoryRolloff: performance must fall off for out-of-cache sizes
+// (the right side of every Figure-3 subplot).
+func TestModelMemoryRolloff(t *testing.T) {
+	for _, pl := range Platforms() {
+		peak := 0.0
+		for logN := 6; logN <= 16; logN++ {
+			if v := pl.Predict(SpiralPool, logN); v > peak {
+				peak = v
+			}
+		}
+		tail := pl.Predict(SpiralPool, 20)
+		if tail >= peak {
+			t.Errorf("%s: no memory rolloff (peak %.0f, 2^20 %.0f)", pl.Key, peak, tail)
+		}
+	}
+}
+
+func TestPseudoMetric(t *testing.T) {
+	// 1024-point transform in 2048 cycles at 2 GHz = 1.024 µs →
+	// 5·1024·10 / 1.024 = 50000 pseudo-Mflop/s.
+	got := CoreDuo.Pseudo(1024, 2048)
+	if got < 49999 || got > 50001 {
+		t.Errorf("Pseudo = %v, want 50000", got)
+	}
+	if CoreDuo.Pseudo(1024, 0) != 0 {
+		t.Error("Pseudo(0 cycles) should be 0")
+	}
+}

@@ -1,0 +1,171 @@
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"spiralfft/internal/spl"
+	"spiralfft/internal/twiddle"
+)
+
+// Step records one rule application in a derivation.
+type Step struct {
+	Rule   string
+	Before string // the matched subformula
+	After  string // its replacement
+}
+
+// Trace is a full derivation: the sequence of rule applications that led
+// from the initial formula to the result.
+type Trace struct {
+	Initial string
+	Steps   []Step
+	Final   string
+}
+
+// String renders the derivation like the paper renders its examples.
+func (t Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "    %s\n", t.Initial)
+	for _, s := range t.Steps {
+		fmt.Fprintf(&b, "  →[%s]\n    %s ⇒ %s\n", s.Rule, s.Before, s.After)
+	}
+	fmt.Fprintf(&b, "  = %s\n", t.Final)
+	return b.String()
+}
+
+// maxApplications bounds rewriting to guarantee termination even if a rule
+// set is (erroneously) non-terminating.
+const maxApplications = 10000
+
+// Engine applies a rule set to formulas.
+type Engine struct {
+	Rules []Rule
+}
+
+// NewEngine returns an engine over the given rules (tried in order).
+func NewEngine(rules ...Rule) *Engine { return &Engine{Rules: rules} }
+
+// RewriteOnce tries to apply the first matching rule at the outermost
+// leftmost position (pre-order). It returns the rewritten formula and true,
+// or (f, false) when no rule matches anywhere.
+func (e *Engine) RewriteOnce(f spl.Formula) (spl.Formula, *Step, bool) {
+	for _, r := range e.Rules {
+		if g, ok := r.Apply(f); ok {
+			return g, &Step{Rule: r.Name, Before: f.String(), After: g.String()}, true
+		}
+	}
+	children := f.Children()
+	for i, c := range children {
+		if g, step, ok := e.RewriteOnce(c); ok {
+			newChildren := make([]spl.Formula, len(children))
+			copy(newChildren, children)
+			newChildren[i] = g
+			return f.WithChildren(newChildren), step, true
+		}
+	}
+	return f, nil, false
+}
+
+// Rewrite applies the rule set to a fixpoint and returns the result with the
+// full derivation trace. It errors if the rule set does not terminate within
+// maxApplications steps.
+func (e *Engine) Rewrite(f spl.Formula) (spl.Formula, Trace, error) {
+	trace := Trace{Initial: f.String()}
+	for i := 0; i < maxApplications; i++ {
+		g, step, ok := e.RewriteOnce(f)
+		if !ok {
+			trace.Final = f.String()
+			return f, trace, nil
+		}
+		trace.Steps = append(trace.Steps, *step)
+		f = g
+	}
+	return f, trace, errors.New("rewrite: no fixpoint within step budget (non-terminating rule set?)")
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+
+// ErrNotParallelizable is returned when the shared-memory rules cannot fully
+// transform a tagged formula (some smp tag remains), e.g. because the
+// divisibility preconditions pµ | m and pµ | n do not hold.
+var ErrNotParallelizable = errors.New("rewrite: formula not fully parallelizable (smp tags remain)")
+
+// DeriveMulticoreCT derives the multicore Cooley-Tukey FFT (formula (14) of
+// the paper) for DFT_N split as N = m · n, targeting p processors with cache
+// line length mu. It requires pµ | m and pµ | n (the paper's applicability
+// condition; note (pµ)² | N is then implied).
+//
+// The returned formula is fully optimized in the sense of Definition 1; the
+// trace records every rule application of the derivation.
+func DeriveMulticoreCT(n, m, p, mu int) (spl.Formula, Trace, error) {
+	if n < 4 || m < 2 || n%m != 0 {
+		return nil, Trace{}, fmt.Errorf("rewrite: invalid split %d = %d · %d", n, m, n/m)
+	}
+	f := spl.NewSMP(p, mu, spl.NewDFT(n))
+	// First expand DFT_N by the Cooley-Tukey rule exactly once at the root
+	// (the further decomposition of DFT_m and DFT_n is independent of the
+	// parallelization, as the paper notes), then run the shared-memory rule
+	// set to a fixpoint.
+	ctEngine := NewEngine(CooleyTukey(m))
+	g, ctStep, ok := ctEngine.RewriteOnce(f)
+	if !ok {
+		return nil, Trace{Initial: f.String()}, fmt.Errorf("rewrite: Cooley-Tukey split m=%d not applicable to DFT_%d", m, n)
+	}
+	smpEngine := NewEngine(SMPRules()...)
+	h, trace, err := smpEngine.Rewrite(g)
+	trace.Initial = f.String()
+	trace.Steps = append([]Step{*ctStep}, trace.Steps...)
+	if err != nil {
+		return nil, trace, err
+	}
+	if spl.ContainsSMPTag(h) {
+		return h, trace, ErrNotParallelizable
+	}
+	return h, trace, nil
+}
+
+// ParallelSplitOK reports whether the multicore Cooley-Tukey derivation is
+// applicable for DFT_n = DFT_m · DFT_{n/m} on p processors with line µ:
+// pµ must divide both factors.
+func ParallelSplitOK(n, m, p, mu int) bool {
+	if m < 2 || n%m != 0 || n/m < 2 {
+		return false
+	}
+	q := p * mu
+	return m%q == 0 && (n/m)%q == 0
+}
+
+// MulticoreCTFormula builds formula (14) of the paper directly (the hand
+// target Figure 2 displays), for DFT_{mn} on p processors with line µ:
+//
+//	( (L^{mp}_m ⊗ I_{n/pµ}) ⊗̄ I_µ ) · ( I_p ⊗∥ (DFT_m ⊗ I_{n/p}) ) ·
+//	( (L^{mp}_p ⊗ I_{n/pµ}) ⊗̄ I_µ ) · ( ⊕∥_{i<p} D^i_{m,n} ) ·
+//	( I_p ⊗∥ (I_{m/p} ⊗ DFT_n) ) · ( I_p ⊗∥ L^{mn/p}_{m/p} ) ·
+//	( (L^{pn}_p ⊗ I_{m/pµ}) ⊗̄ I_µ )
+//
+// Used as the structural reference in tests: DeriveMulticoreCT must produce
+// exactly this formula.
+func MulticoreCTFormula(m, n, p, mu int) spl.Formula {
+	if !ParallelSplitOK(m*n, m, p, mu) {
+		panic(fmt.Sprintf("rewrite: MulticoreCTFormula preconditions violated: m=%d n=%d p=%d µ=%d", m, n, p, mu))
+	}
+	d := spl.NewTwiddle(m, n)
+	entries := twiddle.D(m, n)
+	per := m * n / p
+	terms := make([]spl.Formula, p)
+	for i := 0; i < p; i++ {
+		terms[i] = spl.NewDiag(entries[i*per:(i+1)*per], fmt.Sprintf("%s[%d/%d]", d.String(), i, p))
+	}
+	return spl.NewCompose(
+		spl.NewBarTensor(tensorWithIdentity(spl.NewStride(m*p, m), n/(p*mu)), mu),
+		spl.NewTensorPar(p, tensorWithIdentity(spl.NewDFT(m), n/p)),
+		spl.NewBarTensor(tensorWithIdentity(spl.NewStride(m*p, p), n/(p*mu)), mu),
+		spl.NewDirectSumPar(terms...),
+		spl.NewTensorPar(p, tensorIdentityLeft(m/p, spl.NewDFT(n))),
+		spl.NewTensorPar(p, strideOrIdentity(m*n/p, m/p)),
+		spl.NewBarTensor(tensorWithIdentity(spl.NewStride(p*n, p), m/(p*mu)), mu),
+	)
+}

@@ -1,0 +1,91 @@
+package rewrite
+
+import (
+	"spiralfft/internal/codelet"
+	"spiralfft/internal/spl"
+)
+
+// Full formula expansion. Spiral applies breakdown rules recursively until
+// every transform reaches a base case the backend has an unrolled block
+// for. DeriveMulticoreCT intentionally stops at one level (the paper notes
+// formula (14) holds "independently of the further decomposition of DFT_m
+// and DFT_n"); this file provides the rest of the expansion, so a formula
+// can be lowered all the way to codelet-size leaves and executed or
+// emitted from the formula representation alone.
+
+// CTAuto expands any DFT that lacks an unrolled codelet by the Cooley-Tukey
+// rule, choosing the largest codelet size that divides it as the left
+// factor (the greedy radix policy of exec.RadixTree). DFTs of prime size
+// beyond the codelet set stay as leaves (the executor's Bluestein kernel
+// or the naive block covers them).
+var CTAuto = Rule{
+	Name: "CT(auto)",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		d, ok := f.(spl.DFT)
+		if !ok || codelet.HasUnrolled(d.N) {
+			return nil, false
+		}
+		sizes := codelet.Sizes()
+		for i := len(sizes) - 1; i >= 0; i-- {
+			m := sizes[i]
+			if m > 1 && m < d.N && d.N%m == 0 {
+				return CooleyTukey(m).Apply(f)
+			}
+		}
+		// No codelet divides: peel the smallest prime factor if composite.
+		for m := 2; m*m <= d.N; m++ {
+			if d.N%m == 0 {
+				return CooleyTukey(m).Apply(f)
+			}
+		}
+		return nil, false // prime: stays a leaf
+	},
+}
+
+// WHTAuto expands any WHT above the base exponent by a balanced split.
+var WHTAuto = Rule{
+	Name: "WHT(auto)",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		w, ok := f.(spl.WHT)
+		if !ok || w.K <= 3 {
+			return nil, false
+		}
+		return WHTBreakdown(w.K / 2).Apply(f)
+	},
+}
+
+// Expand recursively applies the automatic breakdown rules (plus
+// simplification) to a fixpoint: afterwards every DFT leaf has an unrolled
+// codelet or is prime, and every WHT leaf is at most 2^3.
+func Expand(f spl.Formula) (spl.Formula, Trace, error) {
+	return NewEngine(RuleSimplify, CTAuto, WHTAuto).Rewrite(f)
+}
+
+// DeriveExpandedMulticoreCT derives formula (14) and then expands the inner
+// DFT_m and DFT_n down to codelet sizes — the complete formula-level
+// program the paper's pipeline hands to the implementation level.
+func DeriveExpandedMulticoreCT(n, m, p, mu int) (spl.Formula, Trace, error) {
+	f, trace, err := DeriveMulticoreCT(n, m, p, mu)
+	if err != nil {
+		return f, trace, err
+	}
+	g, t2, err := Expand(f)
+	trace.Steps = append(trace.Steps, t2.Steps...)
+	trace.Final = t2.Final
+	return g, trace, err
+}
+
+// MaxDFTLeaf returns the largest DFT leaf size in f (0 if none) — used to
+// verify expansion reached the base cases.
+func MaxDFTLeaf(f spl.Formula) int {
+	max := 0
+	if d, ok := f.(spl.DFT); ok {
+		max = d.N
+	}
+	for _, c := range f.Children() {
+		if v := MaxDFTLeaf(c); v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,91 @@
+package rewrite
+
+import (
+	"testing"
+
+	"spiralfft/internal/codelet"
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/spl"
+)
+
+func TestExpandReachesCodeletLeaves(t *testing.T) {
+	for _, n := range []int{128, 256, 1024, 4096, 100, 360} {
+		f, _, err := Expand(spl.NewDFT(n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if m := MaxDFTLeaf(f); m > codelet.MaxUnrolled && !isPrime(m) {
+			t.Errorf("n=%d: unexpanded composite DFT_%d remains in %s", n, m, f.String())
+		}
+		x := complexvec.Random(n, uint64(n))
+		if e := complexvec.RelError(applyTo(f, x), applyTo(spl.NewDFT(n), x)); e > 1e-9 {
+			t.Errorf("n=%d: expanded formula wrong by %g", n, e)
+		}
+	}
+}
+
+func TestExpandLeavesPrimesAlone(t *testing.T) {
+	f, _, err := Expand(spl.NewDFT(2 * 127))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := MaxDFTLeaf(f); m != 127 {
+		t.Errorf("largest leaf %d, want the prime 127", m)
+	}
+}
+
+func TestExpandWHT(t *testing.T) {
+	f, _, err := Expand(spl.NewWHT(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All WHT leaves must be ≤ 2^3.
+	var maxK int
+	var walk func(spl.Formula)
+	walk = func(g spl.Formula) {
+		if w, ok := g.(spl.WHT); ok && w.K > maxK {
+			maxK = w.K
+		}
+		for _, c := range g.Children() {
+			walk(c)
+		}
+	}
+	walk(f)
+	if maxK > 3 {
+		t.Errorf("WHT leaf 2^%d remains", maxK)
+	}
+	x := complexvec.Random(256, 7)
+	if e := complexvec.RelError(applyTo(f, x), applyTo(spl.NewWHT(8), x)); e > 1e-10 {
+		t.Errorf("expanded WHT wrong by %g", e)
+	}
+}
+
+func TestDeriveExpandedMulticoreCT(t *testing.T) {
+	f, _, err := DeriveExpandedMulticoreCT(4096, 64, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Still fully optimized (expansion happens inside the parallel blocks).
+	if !spl.IsFullyOptimized(f, 2, 4) {
+		t.Error("expanded formula lost Definition-1 status")
+	}
+	if m := MaxDFTLeaf(f); m > codelet.MaxUnrolled {
+		t.Errorf("unexpanded DFT_%d remains", m)
+	}
+	x := complexvec.Random(4096, 3)
+	if e := complexvec.RelError(applyTo(f, x), applyTo(spl.NewDFT(4096), x)); e > 1e-9 {
+		t.Errorf("expanded multicore formula wrong by %g", e)
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

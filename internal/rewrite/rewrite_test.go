@@ -1,0 +1,324 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/spl"
+)
+
+const tol = 1e-11
+
+func applyTo(f spl.Formula, x []complex128) []complex128 {
+	y := make([]complex128, f.Size())
+	f.Apply(y, x)
+	return y
+}
+
+// sameMatrix checks F == G by probing with random vectors (probabilistic
+// matrix identity, exact for our purposes at this tolerance).
+func sameMatrix(t *testing.T, f, g spl.Formula, what string) {
+	t.Helper()
+	if f.Size() != g.Size() {
+		t.Fatalf("%s: size %d vs %d", what, f.Size(), g.Size())
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		x := complexvec.Random(f.Size(), seed)
+		if e := complexvec.RelError(applyTo(f, x), applyTo(g, x)); e > tol {
+			t.Fatalf("%s: rel error %g\n  F = %s\n  G = %s", what, e, f.String(), g.String())
+		}
+	}
+}
+
+// rewriteAll runs the SMP rule set to a fixpoint.
+func rewriteAll(t *testing.T, f spl.Formula) spl.Formula {
+	t.Helper()
+	g, _, err := NewEngine(SMPRules()...).Rewrite(f)
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	return g
+}
+
+func TestCooleyTukeyRulePreservesMatrix(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{4, 2}, {8, 2}, {8, 4}, {16, 4}, {15, 3}, {12, 6}} {
+		rule := CooleyTukey(c.m)
+		g, ok := rule.Apply(spl.NewDFT(c.n))
+		if !ok {
+			t.Fatalf("CT(m=%d) did not apply to DFT_%d", c.m, c.n)
+		}
+		sameMatrix(t, spl.NewDFT(c.n), g, rule.Name)
+	}
+}
+
+func TestCooleyTukeyRuleRejectsBadSplits(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{8, 3}, {8, 8}, {8, 1}, {7, 2}} {
+		if _, ok := CooleyTukey(c.m).Apply(spl.NewDFT(c.n)); ok {
+			t.Errorf("CT(m=%d) applied to DFT_%d", c.m, c.n)
+		}
+	}
+}
+
+func TestSixStepRulePreservesMatrix(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{16, 4}, {8, 2}, {32, 4}} {
+		g, ok := SixStep(c.m).Apply(spl.NewDFT(c.n))
+		if !ok {
+			t.Fatalf("SixStep(m=%d) did not apply to DFT_%d", c.m, c.n)
+		}
+		sameMatrix(t, spl.NewDFT(c.n), g, "six-step")
+	}
+}
+
+func TestRule6ProductDistribution(t *testing.T) {
+	f := spl.NewSMP(2, 2, spl.NewCompose(spl.NewDFT(4), spl.NewStride(4, 2)))
+	g, ok := Rule6.Apply(f)
+	if !ok {
+		t.Fatal("rule 6 did not apply")
+	}
+	c, ok := g.(spl.Compose)
+	if !ok || len(c.Factors) != 2 {
+		t.Fatalf("rule 6 result %s", g.String())
+	}
+	for _, fac := range c.Factors {
+		if _, ok := fac.(spl.SMP); !ok {
+			t.Errorf("factor %s not tagged", fac.String())
+		}
+	}
+	sameMatrix(t, f, g, "rule 6")
+}
+
+func TestRule7Equivalence(t *testing.T) {
+	// E6: rule (7) LHS == RHS as matrices, and the RHS after full rewriting
+	// is fully optimized.
+	for _, c := range []struct{ m, n, p, mu int }{
+		{4, 4, 2, 2}, {2, 8, 2, 2}, {8, 8, 4, 2}, {4, 16, 4, 1}, {3, 6, 2, 1},
+	} {
+		lhs := spl.NewSMP(c.p, c.mu, spl.NewTensor(spl.NewDFT(c.m), spl.NewIdentity(c.n)))
+		rhs, ok := Rule7.Apply(lhs)
+		if !ok {
+			t.Fatalf("rule 7 did not apply for %+v", c)
+		}
+		sameMatrix(t, lhs, rhs, "rule 7")
+	}
+}
+
+func TestRule7RequiresDivisibility(t *testing.T) {
+	lhs := spl.NewSMP(4, 1, spl.NewTensor(spl.NewDFT(2), spl.NewIdentity(6)))
+	if _, ok := Rule7.Apply(lhs); ok {
+		t.Error("rule 7 applied although p does not divide n")
+	}
+}
+
+func TestRule8Equivalence(t *testing.T) {
+	for _, c := range []struct{ m, n, p int }{
+		{4, 4, 2}, {8, 4, 2}, {4, 8, 4}, {8, 2, 4}, // p | m (variant 1)
+		{2, 8, 4}, {3, 4, 2}, // p ∤ m, p | n (variant 2)
+	} {
+		lhs := spl.NewSMP(c.p, 1, spl.NewStride(c.m*c.n, c.m))
+		rhs, ok := Rule8.Apply(lhs)
+		if !ok {
+			t.Fatalf("rule 8 did not apply for %+v", c)
+		}
+		sameMatrix(t, lhs, rhs, "rule 8")
+	}
+}
+
+func TestRule9Equivalence(t *testing.T) {
+	for _, c := range []struct{ m, n, p int }{{4, 4, 2}, {8, 2, 4}, {2, 8, 2}, {6, 3, 3}} {
+		lhs := spl.NewSMP(c.p, 1, spl.NewTensor(spl.NewIdentity(c.m), spl.NewDFT(c.n)))
+		rhs, ok := Rule9.Apply(lhs)
+		if !ok {
+			t.Fatalf("rule 9 did not apply for %+v", c)
+		}
+		sameMatrix(t, lhs, rhs, "rule 9")
+		tp, ok := rhs.(spl.TensorPar)
+		if !ok || tp.P != c.p {
+			t.Fatalf("rule 9 result not I_p ⊗∥: %s", rhs.String())
+		}
+	}
+}
+
+func TestRule10Equivalence(t *testing.T) {
+	for _, c := range []struct{ size, str, n, mu int }{
+		{8, 2, 8, 4}, {4, 2, 4, 2}, {8, 4, 2, 2}, {6, 3, 3, 3},
+	} {
+		lhs := spl.NewSMP(2, c.mu, spl.NewTensor(spl.NewStride(c.size, c.str), spl.NewIdentity(c.n)))
+		rhs, ok := Rule10.Apply(lhs)
+		if !ok {
+			t.Fatalf("rule 10 did not apply for %+v", c)
+		}
+		sameMatrix(t, lhs, rhs, "rule 10")
+		if _, ok := rhs.(spl.BarTensor); !ok {
+			t.Fatalf("rule 10 result not ⊗̄: %s", rhs.String())
+		}
+	}
+}
+
+func TestRule11Equivalence(t *testing.T) {
+	lhs := spl.NewSMP(4, 2, spl.NewTwiddle(4, 4))
+	rhs, ok := Rule11.Apply(lhs)
+	if !ok {
+		t.Fatal("rule 11 did not apply")
+	}
+	sameMatrix(t, lhs, rhs, "rule 11")
+	ds, ok := rhs.(spl.DirectSumPar)
+	if !ok || len(ds.Terms) != 4 {
+		t.Fatalf("rule 11 result: %s", rhs.String())
+	}
+}
+
+func TestSimplifyRules(t *testing.T) {
+	cases := []struct {
+		in   spl.Formula
+		want spl.Formula
+	}{
+		{spl.NewTensor(spl.NewIdentity(1), spl.NewDFT(4)), spl.NewDFT(4)},
+		{spl.NewTensor(spl.NewDFT(4), spl.NewIdentity(1)), spl.NewDFT(4)},
+		{spl.NewTensor(spl.NewIdentity(2), spl.NewIdentity(3)), spl.NewIdentity(6)},
+		{spl.NewStride(8, 1), spl.NewIdentity(8)},
+		{spl.NewStride(8, 8), spl.NewIdentity(8)},
+	}
+	for _, c := range cases {
+		got, ok := RuleSimplify.Apply(c.in)
+		if !ok {
+			t.Errorf("simplify did not apply to %s", c.in.String())
+			continue
+		}
+		if !spl.Equal(got, c.want) {
+			t.Errorf("simplify(%s) = %s, want %s", c.in.String(), got.String(), c.want.String())
+		}
+	}
+	if _, ok := RuleSimplify.Apply(spl.NewDFT(4)); ok {
+		t.Error("simplify applied to a plain DFT")
+	}
+}
+
+// TestDeriveMulticoreCTMatchesFigure2 is experiment E5: the rewriting system,
+// given the tagged Cooley-Tukey FFT, must mechanically produce formula (14)
+// exactly as displayed in Figure 2 of the paper.
+func TestDeriveMulticoreCTMatchesFigure2(t *testing.T) {
+	for _, c := range []struct{ m, n, p, mu int }{
+		{8, 8, 2, 2},   // N=64
+		{4, 4, 2, 2},   // N=16, minimal
+		{8, 8, 2, 4},   // N=64, paper's µ=4
+		{16, 16, 4, 4}, // N=256, 4 processors
+		{8, 16, 2, 4},  // non-square split
+	} {
+		derived, trace, err := DeriveMulticoreCT(c.m*c.n, c.m, c.p, c.mu)
+		if err != nil {
+			t.Fatalf("derivation failed for %+v: %v\n%s", c, err, trace.String())
+		}
+		want := MulticoreCTFormula(c.m, c.n, c.p, c.mu)
+		if !spl.Equal(derived, want) {
+			t.Fatalf("derived formula differs from Figure 2 for %+v:\n  got:  %s\n  want: %s\n%s",
+				c, derived.String(), want.String(), trace.String())
+		}
+		// It must be fully optimized per Definition 1 ...
+		if !spl.IsFullyOptimized(derived, c.p, c.mu) {
+			t.Errorf("derived formula not fully optimized for %+v", c)
+		}
+		// ... and still compute DFT_N.
+		sameMatrix(t, spl.NewDFT(c.m*c.n), derived, "multicore CT")
+	}
+}
+
+func TestDeriveMulticoreCTTrace(t *testing.T) {
+	_, trace, err := DeriveMulticoreCT(64, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.String()
+	for _, rule := range []string{"CT(m=8)", "rule(6)", "rule(7)", "rule(8)", "rule(9)", "rule(10)", "rule(11)"} {
+		if !strings.Contains(s, rule) {
+			t.Errorf("derivation trace missing %s:\n%s", rule, s)
+		}
+	}
+}
+
+func TestDeriveFailsWithoutPreconditions(t *testing.T) {
+	// pµ = 8 does not divide m = 4: some tag must survive.
+	_, _, err := DeriveMulticoreCT(16, 4, 2, 4)
+	if err == nil {
+		t.Fatal("expected ErrNotParallelizable")
+	}
+	// Invalid split.
+	if _, _, err := DeriveMulticoreCT(16, 3, 2, 1); err == nil {
+		t.Fatal("expected invalid-split error")
+	}
+}
+
+func TestDeriveP1IsSequentialCT(t *testing.T) {
+	f, _, err := DeriveMulticoreCT(16, 4, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spl.ContainsSMPTag(f) {
+		t.Fatal("tags remain for p=1")
+	}
+	sameMatrix(t, spl.NewDFT(16), f, "p=1 untagged CT")
+}
+
+func TestParallelSplitOK(t *testing.T) {
+	cases := []struct {
+		n, m, p, mu int
+		want        bool
+	}{
+		{64, 8, 2, 2, true},
+		{64, 8, 2, 4, true},
+		{64, 4, 2, 4, false},  // pµ=8 does not divide m=4
+		{256, 16, 4, 4, true}, // pµ=16 | 16
+		{256, 32, 4, 4, false},
+		{16, 4, 2, 2, true},
+		{15, 3, 2, 1, false},
+	}
+	for _, c := range cases {
+		if got := ParallelSplitOK(c.n, c.m, c.p, c.mu); got != c.want {
+			t.Errorf("ParallelSplitOK(%d,%d,%d,%d) = %v", c.n, c.m, c.p, c.mu, got)
+		}
+	}
+}
+
+func TestEngineFixpointNoRules(t *testing.T) {
+	f := spl.NewDFT(8)
+	g, trace, err := NewEngine().Rewrite(f)
+	if err != nil || len(trace.Steps) != 0 || !spl.Equal(f, g) {
+		t.Error("empty engine should be a no-op")
+	}
+}
+
+func TestRewriteAllIsIdempotentOnOptimizedFormulas(t *testing.T) {
+	f := MulticoreCTFormula(8, 8, 2, 2)
+	g := rewriteAll(t, f)
+	if !spl.Equal(f, g) {
+		t.Errorf("fully optimized formula rewritten further:\n  %s\n  %s", f.String(), g.String())
+	}
+}
+
+// Property: for random valid (m, n, p, µ), the derivation succeeds, preserves
+// the matrix, and satisfies Definition 1.
+func TestQuickDerivationSound(t *testing.T) {
+	f := func(mi, ni, pi, mui uint8, seed uint64) bool {
+		p := []int{2, 4}[int(pi)%2]
+		mu := []int{1, 2, 4}[int(mui)%3]
+		q := p * mu
+		m := q * (1 + int(mi)%2)
+		n := q * (1 + int(ni)%2)
+		if m*n > 1024 {
+			return true
+		}
+		derived, _, err := DeriveMulticoreCT(m*n, m, p, mu)
+		if err != nil {
+			return false
+		}
+		if !spl.IsFullyOptimized(derived, p, mu) {
+			return false
+		}
+		x := complexvec.Random(m*n, seed)
+		return complexvec.RelError(applyTo(derived, x), applyTo(spl.NewDFT(m*n), x)) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,393 @@
+// Package rewrite implements Spiral's formula rewriting system and the
+// paper's shared-memory parallelization rules (Table 1, rules (6)–(11)),
+// together with the breakdown rules (1) (Cooley-Tukey) and (3) (six-step).
+//
+// A Rule pattern-matches a formula node and returns a replacement. The
+// Engine applies a rule set to a fixpoint, recording a derivation trace.
+// Applying the shared-memory rule set to a tagged Cooley-Tukey formula
+// mechanically derives the multicore Cooley-Tukey FFT — formula (14) /
+// Figure 2 of the paper — which is fully optimized in the sense of
+// Definition 1 (load balanced, free of false sharing).
+package rewrite
+
+import (
+	"fmt"
+
+	"spiralfft/internal/spl"
+	"spiralfft/internal/twiddle"
+)
+
+// Rule is a single rewriting rule: Apply returns the transformed node and
+// true when the rule matches f, or (nil, false) otherwise. Rules must be
+// semantics-preserving: LHS and RHS denote the same matrix.
+type Rule struct {
+	Name  string
+	Apply func(f spl.Formula) (spl.Formula, bool)
+}
+
+// ---------------------------------------------------------------------------
+// Breakdown rules
+
+// CooleyTukey returns rule (1) with the split mn = m · (size/m):
+//
+//	DFT_{mn} → (DFT_m ⊗ I_n) · D_{m,n} · (I_m ⊗ DFT_n) · L^{mn}_m
+//
+// applied to any DFT node whose size is divisible by m (and yields factors
+// of size ≥ 2 on both sides).
+func CooleyTukey(m int) Rule {
+	return Rule{
+		Name: fmt.Sprintf("CT(m=%d)", m),
+		Apply: func(f spl.Formula) (spl.Formula, bool) {
+			d, ok := f.(spl.DFT)
+			if !ok || m < 2 || d.N%m != 0 || d.N/m < 2 {
+				return nil, false
+			}
+			n := d.N / m
+			return spl.NewCompose(
+				spl.NewTensor(spl.NewDFT(m), spl.NewIdentity(n)),
+				spl.NewTwiddle(m, n),
+				spl.NewTensor(spl.NewIdentity(m), spl.NewDFT(n)),
+				spl.NewStride(d.N, m),
+			), true
+		},
+	}
+}
+
+// SixStep returns rule (3) with the split mn = m · (size/m):
+//
+//	DFT_{mn} → L^{mn}_m (I_n ⊗ DFT_m) L^{mn}_n D_{m,n} (I_m ⊗ DFT_n) L^{mn}_m
+//
+// the traditional parallel FFT with explicit transposition steps.
+func SixStep(m int) Rule {
+	return Rule{
+		Name: fmt.Sprintf("SixStep(m=%d)", m),
+		Apply: func(f spl.Formula) (spl.Formula, bool) {
+			d, ok := f.(spl.DFT)
+			if !ok || m < 2 || d.N%m != 0 || d.N/m < 2 {
+				return nil, false
+			}
+			n := d.N / m
+			return spl.NewCompose(
+				spl.NewStride(d.N, m),
+				spl.NewTensor(spl.NewIdentity(n), spl.NewDFT(m)),
+				spl.NewStride(d.N, n),
+				spl.NewTwiddle(m, n),
+				spl.NewTensor(spl.NewIdentity(m), spl.NewDFT(n)),
+				spl.NewStride(d.N, m),
+			), true
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: shared-memory parallelization rules
+
+// RuleUntagP1 removes smp(1, µ) tags: a 1-processor machine needs no
+// parallelization, the tagged formula is already final.
+var RuleUntagP1 = Rule{
+	Name: "untag(p=1)",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		t, ok := f.(spl.SMP)
+		if !ok || t.P != 1 {
+			return nil, false
+		}
+		return t.F, true
+	},
+}
+
+// Rule6 distributes the smp tag over products:  [A·B]_smp → [A]_smp · [B]_smp.
+var Rule6 = Rule{
+	Name: "rule(6) product",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		t, ok := f.(spl.SMP)
+		if !ok {
+			return nil, false
+		}
+		c, ok := t.F.(spl.Compose)
+		if !ok {
+			return nil, false
+		}
+		factors := make([]spl.Formula, len(c.Factors))
+		for i, g := range c.Factors {
+			factors[i] = spl.NewSMP(t.P, t.Mu, g)
+		}
+		return spl.NewCompose(factors...), true
+	},
+}
+
+// Rule7 tiles a strided-loop tensor across p processors:
+//
+//	[A_m ⊗ I_n]_smp(p,µ) →
+//	   [L^{mp}_m ⊗ I_{n/p}]_smp · (I_p ⊗∥ (A_m ⊗ I_{n/p})) · [L^{mp}_p ⊗ I_{n/p}]_smp
+//
+// Precondition p | n. Not applied when A is itself an identity (that case is
+// handled by tensor simplification) or a permutation (rule (10) applies and
+// avoids introducing spurious conjugation factors).
+var Rule7 = Rule{
+	Name: "rule(7) A⊗I",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		t, ok := f.(spl.SMP)
+		if !ok {
+			return nil, false
+		}
+		ten, ok := t.F.(spl.Tensor)
+		if !ok {
+			return nil, false
+		}
+		in, ok := ten.B.(spl.Identity)
+		if !ok {
+			return nil, false
+		}
+		if _, aIsI := ten.A.(spl.Identity); aIsI {
+			return nil, false
+		}
+		if spl.IsPermutation(ten.A) {
+			return nil, false // rule (10) handles P ⊗ I directly
+		}
+		p := t.P
+		m := ten.A.Size()
+		n := in.N
+		if n%p != 0 {
+			return nil, false
+		}
+		return spl.NewCompose(
+			spl.NewSMP(p, t.Mu, tensorWithIdentity(spl.NewStride(m*p, m), n/p)),
+			spl.NewTensorPar(p, tensorWithIdentity(ten.A, n/p)),
+			spl.NewSMP(p, t.Mu, tensorWithIdentity(spl.NewStride(m*p, p), n/p)),
+		), true
+	},
+}
+
+// Rule8 splits a tagged stride permutation into a processor-local stage and
+// a cache-line block exchange. Two variants exist (both listed in Table 1):
+//
+//	V1 (needs p | m):  [L^{mn}_m]_smp → [I_p ⊗ L^{mn/p}_{m/p}]_smp · [L^{pn}_p ⊗ I_{m/p}]_smp
+//	V2 (needs p | n):  [L^{mn}_m]_smp → [L^{pm}_m ⊗ I_{n/p}]_smp · [I_p ⊗ L^{mn/p}_m]_smp
+//
+// V1 is preferred; V2 is used when only p | n holds.
+var Rule8 = Rule{
+	Name: "rule(8) stride",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		t, ok := f.(spl.SMP)
+		if !ok {
+			return nil, false
+		}
+		l, ok := t.F.(spl.Stride)
+		if !ok {
+			return nil, false
+		}
+		p := t.P
+		m := l.Str
+		n := l.N / l.Str
+		if p < 2 || m < 2 || n < 2 {
+			return nil, false
+		}
+		// Each variant must make progress: with m == p, variant 1 reproduces
+		// its own input (and likewise variant 2 with n == p), so the strides
+		// must strictly shrink. The remaining case m == p (µ = 1) is handled
+		// by rule (10) directly.
+		if m%p == 0 && m/p >= 2 {
+			return spl.NewCompose(
+				spl.NewSMP(p, t.Mu, tensorIdentityLeft(p, strideOrIdentity(m*n/p, m/p))),
+				spl.NewSMP(p, t.Mu, tensorWithIdentity(spl.NewStride(p*n, p), m/p)),
+			), true
+		}
+		if n%p == 0 && n/p >= 2 {
+			return spl.NewCompose(
+				spl.NewSMP(p, t.Mu, tensorWithIdentity(spl.NewStride(p*m, m), n/p)),
+				spl.NewSMP(p, t.Mu, tensorIdentityLeft(p, strideOrIdentity(m*n/p, m))),
+			), true
+		}
+		return nil, false
+	},
+}
+
+// Rule9 parallelizes a block loop by assigning m/p consecutive iterations to
+// each processor:
+//
+//	[I_m ⊗ A_n]_smp(p,µ) → I_p ⊗∥ (I_{m/p} ⊗ A_n)
+//
+// Precondition p | m. Permutation payloads are allowed: I_p ⊗ L arises from
+// rule (8) and must become the parallel construct of formula (14).
+var Rule9 = Rule{
+	Name: "rule(9) I⊗A",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		t, ok := f.(spl.SMP)
+		if !ok {
+			return nil, false
+		}
+		ten, ok := t.F.(spl.Tensor)
+		if !ok {
+			return nil, false
+		}
+		im, ok := ten.A.(spl.Identity)
+		if !ok {
+			return nil, false
+		}
+		if _, bIsI := ten.B.(spl.Identity); bIsI {
+			return nil, false // I ⊗ I: simplification handles
+		}
+		p := t.P
+		if im.N%p != 0 {
+			return nil, false
+		}
+		return spl.NewTensorPar(p, tensorIdentityLeft(im.N/p, ten.B)), true
+	},
+}
+
+// Rule10 lowers a tagged permutation-with-identity tensor to cache-line
+// granularity:
+//
+//	[P ⊗ I_n]_smp(p,µ) → (P ⊗ I_{n/µ}) ⊗̄ I_µ
+//
+// Precondition µ | n; P any permutation. A bare tagged permutation is the
+// n = 1 case: it lowers when µ = 1 (every element is its own cache line).
+var Rule10 = Rule{
+	Name: "rule(10) P⊗I",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		t, ok := f.(spl.SMP)
+		if !ok {
+			return nil, false
+		}
+		ten, ok := t.F.(spl.Tensor)
+		if !ok {
+			if t.Mu == 1 && spl.IsPermutation(t.F) {
+				return spl.NewBarTensor(t.F, 1), true
+			}
+			return nil, false
+		}
+		in, ok := ten.B.(spl.Identity)
+		if !ok || !spl.IsPermutation(ten.A) {
+			return nil, false
+		}
+		if in.N%t.Mu != 0 {
+			return nil, false
+		}
+		return spl.NewBarTensor(tensorWithIdentity(ten.A, in.N/t.Mu), t.Mu), true
+	},
+}
+
+// Rule11 splits a tagged diagonal into a parallel direct sum of p equal
+// blocks:  [D]_smp(p,µ) → ⊕∥_{i<p} D_i.
+var Rule11 = Rule{
+	Name: "rule(11) diag",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		t, ok := f.(spl.SMP)
+		if !ok {
+			return nil, false
+		}
+		var entries []complex128
+		var label string
+		switch d := t.F.(type) {
+		case spl.Twiddle:
+			entries = twiddle.D(d.M, d.Nn)
+			label = d.String()
+		case spl.Diag:
+			entries = d.D
+			label = d.String()
+		default:
+			return nil, false
+		}
+		p := t.P
+		if len(entries)%p != 0 || p < 2 {
+			return nil, false
+		}
+		per := len(entries) / p
+		terms := make([]spl.Formula, p)
+		for i := 0; i < p; i++ {
+			terms[i] = spl.NewDiag(entries[i*per:(i+1)*per], fmt.Sprintf("%s[%d/%d]", label, i, p))
+		}
+		return spl.NewDirectSumPar(terms...), true
+	},
+}
+
+// ---------------------------------------------------------------------------
+// Simplification rules (formula normalization)
+
+// RuleSimplify collapses trivial constructs:
+//
+//	A ⊗ I_1 → A,  I_1 ⊗ A → A,  I_a ⊗ I_b → I_{ab},  L^n_1 → I_n,  L^n_n → I_n,
+//	[I_n]_smp → I_n (an identity needs no parallelization: it is a no-op),
+//	A · I · B → A · B (identity factors vanish from products).
+var RuleSimplify = Rule{
+	Name: "simplify",
+	Apply: func(f spl.Formula) (spl.Formula, bool) {
+		switch t := f.(type) {
+		case spl.Tensor:
+			if ia, ok := t.A.(spl.Identity); ok {
+				if ib, ok := t.B.(spl.Identity); ok {
+					return spl.NewIdentity(ia.N * ib.N), true
+				}
+				if ia.N == 1 {
+					return t.B, true
+				}
+			}
+			if ib, ok := t.B.(spl.Identity); ok && ib.N == 1 {
+				return t.A, true
+			}
+		case spl.Stride:
+			if t.Str == 1 || t.Str == t.N {
+				return spl.NewIdentity(t.N), true
+			}
+		case spl.SMP:
+			if _, ok := t.F.(spl.Identity); ok {
+				return t.F, true
+			}
+		case spl.Compose:
+			kept := make([]spl.Formula, 0, len(t.Factors))
+			for _, fac := range t.Factors {
+				if _, ok := fac.(spl.Identity); ok {
+					continue
+				}
+				kept = append(kept, fac)
+			}
+			if len(kept) == len(t.Factors) {
+				return nil, false
+			}
+			if len(kept) == 0 {
+				return spl.NewIdentity(t.Size()), true
+			}
+			return spl.NewCompose(kept...), true
+		}
+		return nil, false
+	},
+}
+
+// SMPRules is the complete shared-memory rule set of Table 1 in application
+// order, plus tag removal for p = 1 and structural simplification.
+func SMPRules() []Rule {
+	return []Rule{
+		RuleSimplify,
+		RuleUntagP1,
+		Rule6,
+		Rule7, // rejects permutations itself, so it cannot shadow rule (10)
+		Rule8, // must see bare strides before rule (10)'s µ=1 fallback
+		Rule9,
+		Rule10,
+		Rule11,
+	}
+}
+
+// tensorWithIdentity returns a ⊗ I_n, simplified when n == 1.
+func tensorWithIdentity(a spl.Formula, n int) spl.Formula {
+	if n == 1 {
+		return a
+	}
+	return spl.NewTensor(a, spl.NewIdentity(n))
+}
+
+// tensorIdentityLeft returns I_m ⊗ b, simplified when m == 1.
+func tensorIdentityLeft(m int, b spl.Formula) spl.Formula {
+	if m == 1 {
+		return b
+	}
+	return spl.NewTensor(spl.NewIdentity(m), b)
+}
+
+// strideOrIdentity returns L^n_s, simplified to I_n for trivial strides.
+func strideOrIdentity(n, s int) spl.Formula {
+	if s == 1 || s == n {
+		return spl.NewIdentity(n)
+	}
+	return spl.NewStride(n, s)
+}

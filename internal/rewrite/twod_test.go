@@ -1,0 +1,86 @@
+package rewrite
+
+import (
+	"testing"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/spl"
+)
+
+func TestRowColumnRulePreservesMatrix(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{2, 2}, {4, 8}, {3, 5}, {8, 8}} {
+		lhs := spl.NewTensor(spl.NewDFT(c.m), spl.NewDFT(c.n))
+		rhs, ok := RowColumn.Apply(lhs)
+		if !ok {
+			t.Fatalf("row-column did not apply for %+v", c)
+		}
+		sameMatrix(t, lhs, rhs, "row-column")
+	}
+	if _, ok := RowColumn.Apply(spl.NewTensor(spl.NewDFT(2), spl.NewIdentity(2))); ok {
+		t.Error("row-column applied to DFT ⊗ I")
+	}
+}
+
+func TestDerive2DFullyOptimized(t *testing.T) {
+	for _, c := range []struct{ m, n, p, mu int }{
+		{8, 8, 2, 2}, {4, 16, 2, 4}, {16, 16, 4, 4}, {8, 16, 2, 4}, {6, 8, 2, 2},
+	} {
+		if !Parallel2DOK(c.m, c.n, c.p, c.mu) {
+			t.Fatalf("preconditions unexpectedly fail for %+v", c)
+		}
+		f, trace, err := Derive2D(c.m, c.n, c.p, c.mu)
+		if err != nil {
+			t.Fatalf("%+v: %v\n%s", c, err, trace.String())
+		}
+		if !spl.IsFullyOptimized(f, c.p, c.mu) {
+			t.Errorf("%+v: 2D formula not fully optimized: %s", c, f.String())
+		}
+		// The derived formula must equal DFT_m ⊗ DFT_n as a matrix.
+		lhs := spl.NewTensor(spl.NewDFT(c.m), spl.NewDFT(c.n))
+		x := complexvec.Random(c.m*c.n, uint64(c.m*c.n))
+		if e := complexvec.RelError(applyTo(f, x), applyTo(lhs, x)); e > tol {
+			t.Errorf("%+v: rel error %g", c, e)
+		}
+	}
+}
+
+func TestDerive2DFailsWithoutPreconditions(t *testing.T) {
+	// p does not divide m.
+	if _, _, err := Derive2D(6, 8, 4, 2); err == nil {
+		t.Error("expected failure for p ∤ m")
+	}
+	// µ does not divide n/p.
+	if _, _, err := Derive2D(8, 4, 2, 4); err == nil {
+		t.Error("expected failure for pµ ∤ n")
+	}
+	if _, _, err := Derive2D(1, 8, 2, 2); err == nil {
+		t.Error("expected failure for m < 2")
+	}
+	if Parallel2DOK(6, 8, 4, 2) || Parallel2DOK(8, 4, 2, 4) {
+		t.Error("Parallel2DOK accepted bad parameters")
+	}
+}
+
+func TestDerive2DStructure(t *testing.T) {
+	f, _, err := Derive2D(8, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := f.(spl.Compose)
+	if !ok || len(c.Factors) != 4 {
+		t.Fatalf("2D formula shape: %s", f.String())
+	}
+	// Expected factor kinds: ⊗̄, I_p⊗∥, ⊗̄, I_p⊗∥.
+	if _, ok := c.Factors[0].(spl.BarTensor); !ok {
+		t.Errorf("factor 0: %s", c.Factors[0].String())
+	}
+	if _, ok := c.Factors[1].(spl.TensorPar); !ok {
+		t.Errorf("factor 1: %s", c.Factors[1].String())
+	}
+	if _, ok := c.Factors[2].(spl.BarTensor); !ok {
+		t.Errorf("factor 2: %s", c.Factors[2].String())
+	}
+	if _, ok := c.Factors[3].(spl.TensorPar); !ok {
+		t.Errorf("factor 3: %s", c.Factors[3].String())
+	}
+}

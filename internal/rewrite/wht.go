@@ -1,0 +1,59 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"spiralfft/internal/spl"
+)
+
+// WHTBreakdown returns the Walsh-Hadamard breakdown rule with left exponent a:
+//
+//	WHT_{2^k} → (WHT_{2^a} ⊗ I_{2^{k-a}}) · (I_{2^a} ⊗ WHT_{2^{k-a}})
+//
+// (the tensor identity A ⊗ B = (A ⊗ I)(I ⊗ B); no twiddles, no stride
+// permutation — the WHT isolates the pure parallelization rules).
+func WHTBreakdown(a int) Rule {
+	return Rule{
+		Name: fmt.Sprintf("WHT(a=%d)", a),
+		Apply: func(f spl.Formula) (spl.Formula, bool) {
+			w, ok := f.(spl.WHT)
+			if !ok || a < 1 || a >= w.K {
+				return nil, false
+			}
+			m := 1 << uint(a)
+			n := 1 << uint(w.K-a)
+			return spl.NewCompose(
+				spl.NewTensor(spl.NewWHT(a), spl.NewIdentity(n)),
+				spl.NewTensor(spl.NewIdentity(m), spl.NewWHT(w.K-a)),
+			), true
+		},
+	}
+}
+
+// DeriveMulticoreWHT derives the fully optimized shared-memory WHT of size
+// 2^k with split exponent a, for p processors and cache-line length mu:
+//
+//	((L^{mp}_m ⊗ I_{n/pµ}) ⊗̄ I_µ) · (I_p ⊗∥ (WHT_{2^a} ⊗ I_{n/p})) ·
+//	((L^{mp}_p ⊗ I_{n/pµ}) ⊗̄ I_µ) · (I_p ⊗∥ (I_{m/p} ⊗ WHT_{2^{k-a}}))
+//
+// Preconditions (from rules (7) and (9)): p | m = 2^a and pµ | n = 2^{k-a}.
+func DeriveMulticoreWHT(k, a, p, mu int) (spl.Formula, Trace, error) {
+	if k < 2 || a < 1 || a >= k {
+		return nil, Trace{}, fmt.Errorf("rewrite: invalid WHT split 2^%d = 2^%d · 2^%d", k, a, k-a)
+	}
+	f := spl.NewSMP(p, mu, spl.NewWHT(k))
+	g, step, ok := NewEngine(WHTBreakdown(a)).RewriteOnce(f)
+	if !ok {
+		return nil, Trace{Initial: f.String()}, fmt.Errorf("rewrite: WHT breakdown a=%d not applicable", a)
+	}
+	h, trace, err := NewEngine(SMPRules()...).Rewrite(g)
+	trace.Initial = f.String()
+	trace.Steps = append([]Step{*step}, trace.Steps...)
+	if err != nil {
+		return nil, trace, err
+	}
+	if spl.ContainsSMPTag(h) {
+		return h, trace, ErrNotParallelizable
+	}
+	return h, trace, nil
+}

@@ -1,0 +1,63 @@
+package rewrite
+
+import (
+	"testing"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/spl"
+)
+
+func TestWHTBreakdownPreservesMatrix(t *testing.T) {
+	for _, c := range []struct{ k, a int }{{2, 1}, {4, 2}, {5, 2}, {6, 3}} {
+		lhs := spl.NewWHT(c.k)
+		rhs, ok := WHTBreakdown(c.a).Apply(lhs)
+		if !ok {
+			t.Fatalf("WHT breakdown a=%d did not apply to k=%d", c.a, c.k)
+		}
+		sameMatrix(t, lhs, rhs, "WHT breakdown")
+	}
+	if _, ok := WHTBreakdown(3).Apply(spl.NewWHT(3)); ok {
+		t.Error("breakdown accepted a = k")
+	}
+	if _, ok := WHTBreakdown(1).Apply(spl.NewDFT(8)); ok {
+		t.Error("breakdown applied to a DFT")
+	}
+}
+
+func TestWHTMatchesTensorPowerOfDFT2(t *testing.T) {
+	// WHT_{2^k} is the k-fold tensor power of DFT_2.
+	var f spl.Formula = spl.NewDFT(2)
+	for i := 1; i < 4; i++ {
+		f = spl.NewTensor(spl.NewDFT(2), f)
+	}
+	sameMatrix(t, spl.NewWHT(4), f, "WHT vs DFT_2 tensor power")
+}
+
+func TestDeriveMulticoreWHT(t *testing.T) {
+	for _, c := range []struct{ k, a, p, mu int }{
+		{8, 4, 2, 4}, {6, 3, 2, 2}, {10, 5, 4, 4}, {8, 3, 2, 2},
+	} {
+		f, trace, err := DeriveMulticoreWHT(c.k, c.a, c.p, c.mu)
+		if err != nil {
+			t.Fatalf("%+v: %v\n%s", c, err, trace.String())
+		}
+		if !spl.IsFullyOptimized(f, c.p, c.mu) {
+			t.Errorf("%+v: WHT formula not fully optimized: %s", c, f.String())
+		}
+		n := 1 << uint(c.k)
+		x := complexvec.Random(n, uint64(n))
+		if e := complexvec.RelError(applyTo(f, x), applyTo(spl.NewWHT(c.k), x)); e > tol {
+			t.Errorf("%+v: rel error %g", c, e)
+		}
+	}
+}
+
+func TestDeriveMulticoreWHTFailsWithoutPreconditions(t *testing.T) {
+	// pµ = 8 does not divide n = 2^2.
+	if _, _, err := DeriveMulticoreWHT(6, 4, 2, 4); err == nil {
+		t.Error("expected failure")
+	}
+	if _, _, err := DeriveMulticoreWHT(1, 1, 2, 2); err == nil {
+		t.Error("expected invalid-split error")
+	}
+}

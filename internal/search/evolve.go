@@ -1,0 +1,208 @@
+package search
+
+import (
+	"math/rand"
+	"time"
+
+	"spiralfft/internal/codelet"
+	"spiralfft/internal/exec"
+)
+
+// Evolutionary search over factorization trees, in the spirit of STEER
+// (Singer & Veloso, ref. [24] of the paper): a population of trees evolves
+// by subtree crossover and re-split mutation under measured-runtime fitness
+// with tournament selection and elitism.
+
+// EvolveConfig controls the evolutionary search.
+type EvolveConfig struct {
+	// Population size (default 16).
+	Population int
+	// Generations to run (default 8).
+	Generations int
+	// TournamentK is the tournament size for parent selection (default 3).
+	TournamentK int
+	// MutationRate is the per-offspring probability of a re-split mutation
+	// (default 0.3).
+	MutationRate float64
+	// Seed makes the search deterministic (default 1).
+	Seed int64
+	// Timer configures fitness measurement.
+	Timer TimerConfig
+}
+
+func (c EvolveConfig) withDefaults() EvolveConfig {
+	if c.Population <= 0 {
+		c.Population = 16
+	}
+	if c.Generations <= 0 {
+		c.Generations = 8
+	}
+	if c.TournamentK <= 0 {
+		c.TournamentK = 3
+	}
+	if c.MutationRate <= 0 {
+		c.MutationRate = 0.3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// EvolveResult reports the winning tree and search statistics.
+type EvolveResult struct {
+	Tree        *exec.Tree
+	Time        time.Duration
+	Evaluations int
+	Generations int
+}
+
+// Evolve runs the evolutionary search for DFT_n.
+func Evolve(n int, cfg EvolveConfig) EvolveResult {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fitness := make(map[string]time.Duration)
+	evals := 0
+	measure := func(t *exec.Tree) time.Duration {
+		key := t.String()
+		if d, ok := fitness[key]; ok {
+			return d
+		}
+		s, err := exec.NewSeq(t)
+		var d time.Duration
+		if err != nil {
+			d = 1<<62 - 1
+		} else {
+			x := make([]complex128, n)
+			y := make([]complex128, n)
+			scratch := s.NewScratch()
+			d = Measure(func() { s.Transform(y, x, scratch) }, cfg.Timer)
+			evals++
+		}
+		fitness[key] = d
+		return d
+	}
+
+	pop := make([]*exec.Tree, cfg.Population)
+	for i := range pop {
+		pop[i] = randTree(n, rng)
+	}
+
+	best := pop[0]
+	bestTime := measure(best)
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Evaluate and track the champion.
+		for _, t := range pop {
+			if d := measure(t); d < bestTime {
+				best, bestTime = t, d
+			}
+		}
+		// Produce the next generation: elite + offspring.
+		next := []*exec.Tree{best}
+		for len(next) < cfg.Population {
+			a := tournament(pop, cfg.TournamentK, rng, measure)
+			b := tournament(pop, cfg.TournamentK, rng, measure)
+			child := crossoverTrees(a, b, rng)
+			if rng.Float64() < cfg.MutationRate {
+				child = mutateTree(child, rng)
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	for _, t := range pop {
+		if d := measure(t); d < bestTime {
+			best, bestTime = t, d
+		}
+	}
+	return EvolveResult{Tree: best, Time: bestTime, Evaluations: evals, Generations: cfg.Generations}
+}
+
+func tournament(pop []*exec.Tree, k int, rng *rand.Rand, fit func(*exec.Tree) time.Duration) *exec.Tree {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if fit(c) < fit(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// randTree builds a random factorization tree for n.
+func randTree(n int, rng *rand.Rand) *exec.Tree {
+	if codelet.HasUnrolled(n) && (rng.Intn(2) == 0 || n <= 4) {
+		return exec.LeafTree(n)
+	}
+	divs := properDivisors(n)
+	if len(divs) == 0 {
+		return exec.LeafTree(n)
+	}
+	m := divs[rng.Intn(len(divs))]
+	return exec.SplitTree(randTree(m, rng), randTree(n/m, rng))
+}
+
+func properDivisors(n int) []int {
+	var divs []int
+	for d := 2; d*2 <= n; d++ {
+		if n%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	return divs
+}
+
+// subtrees collects every node of t (pre-order).
+func subtrees(t *exec.Tree) []*exec.Tree {
+	out := []*exec.Tree{t}
+	if !t.Leaf {
+		out = append(out, subtrees(t.Left)...)
+		out = append(out, subtrees(t.Right)...)
+	}
+	return out
+}
+
+// replaceSubtree returns a copy of t with the node old replaced by repl
+// (matched by pointer identity).
+func replaceSubtree(t, old, repl *exec.Tree) *exec.Tree {
+	if t == old {
+		return repl
+	}
+	if t.Leaf {
+		return t
+	}
+	return exec.SplitTree(replaceSubtree(t.Left, old, repl), replaceSubtree(t.Right, old, repl))
+}
+
+// crossoverTrees grafts a random subtree of b onto a at a position of equal
+// size; if no size matches (other than the trivial root), it returns a.
+func crossoverTrees(a, b *exec.Tree, rng *rand.Rand) *exec.Tree {
+	subsA := subtrees(a)
+	subsB := subtrees(b)
+	// Index b's subtrees by size.
+	bySize := make(map[int][]*exec.Tree)
+	for _, s := range subsB {
+		bySize[s.N] = append(bySize[s.N], s)
+	}
+	// Try random positions in a.
+	for attempt := 0; attempt < 4; attempt++ {
+		pos := subsA[rng.Intn(len(subsA))]
+		cands := bySize[pos.N]
+		if len(cands) == 0 {
+			continue
+		}
+		graft := cands[rng.Intn(len(cands))]
+		if graft.String() == pos.String() {
+			continue // no-op graft
+		}
+		return replaceSubtree(a, pos, graft)
+	}
+	return a
+}
+
+// mutateTree re-splits a random subtree with a fresh random factorization.
+func mutateTree(t *exec.Tree, rng *rand.Rand) *exec.Tree {
+	subs := subtrees(t)
+	pos := subs[rng.Intn(len(subs))]
+	return replaceSubtree(t, pos, randTree(pos.N, rng))
+}

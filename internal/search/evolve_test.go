@@ -1,0 +1,122 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"spiralfft/internal/exec"
+)
+
+func evolveCfg() EvolveConfig {
+	return EvolveConfig{
+		Population:  8,
+		Generations: 3,
+		Timer:       TimerConfig{MinTime: 20 * time.Microsecond, Repeats: 1},
+		Seed:        7,
+	}
+}
+
+func TestEvolveFindsValidTree(t *testing.T) {
+	for _, n := range []int{64, 256, 360} {
+		res := Evolve(n, evolveCfg())
+		checkTree(t, res.Tree, n, "evolve")
+		if res.Time <= 0 || res.Evaluations == 0 || res.Generations != 3 {
+			t.Errorf("n=%d: stats %+v", n, res)
+		}
+	}
+}
+
+func TestEvolveIsDeterministicForSeed(t *testing.T) {
+	// Measured fitness is noisy, but the *search trajectory structure*
+	// (random trees, crossover positions) is seeded; with one repeat and a
+	// warm machine, at minimum the result must be a valid tree of the right
+	// size both times.
+	a := Evolve(128, evolveCfg())
+	b := Evolve(128, evolveCfg())
+	if a.Tree.N != 128 || b.Tree.N != 128 {
+		t.Error("evolve returned wrong sizes")
+	}
+}
+
+func TestEvolveBeatsWorstRandomTree(t *testing.T) {
+	// The evolved tree should not be slower than a deliberately bad tree
+	// (fully right-recursive radix-2 for a size with big codelets).
+	n := 1024
+	res := Evolve(n, EvolveConfig{
+		Population:  10,
+		Generations: 4,
+		Timer:       TimerConfig{MinTime: 100 * time.Microsecond, Repeats: 3},
+		Seed:        3,
+	})
+	bad := exec.LeafTree(2)
+	for bad.N < n {
+		bad = exec.SplitTree(exec.LeafTree(2), bad)
+	}
+	tu := NewTuner(StrategyDP)
+	tu.Timer = TimerConfig{MinTime: 100 * time.Microsecond, Repeats: 3}
+	badTime := tu.measureTree(bad)
+	if res.Time > badTime*3/2 {
+		t.Errorf("evolved tree %s (%v) much slower than radix-2 chain (%v)", res.Tree, res.Time, badTime)
+	}
+}
+
+func TestCrossoverProducesValidTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		a := randTree(256, rng)
+		b := randTree(256, rng)
+		c := crossoverTrees(a, b, rng)
+		if c.N != 256 {
+			t.Fatalf("crossover size %d", c.N)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("crossover produced invalid tree: %v", err)
+		}
+	}
+}
+
+func TestMutateProducesValidTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := randTree(720, rng)
+	for i := 0; i < 50; i++ {
+		tr = mutateTree(tr, rng)
+		if tr.N != 720 {
+			t.Fatalf("mutation size %d", tr.N)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("mutation produced invalid tree: %v", err)
+		}
+	}
+}
+
+func TestReplaceSubtreeByIdentity(t *testing.T) {
+	a := exec.SplitTree(exec.LeafTree(4), exec.LeafTree(8))
+	repl := exec.SplitTree(exec.LeafTree(2), exec.LeafTree(2))
+	got := replaceSubtree(a, a.Left, repl)
+	if got.String() != "((2 x 2) x 8)" {
+		t.Errorf("replaceSubtree = %s", got.String())
+	}
+	// Replacing a node not in the tree is a no-op copy.
+	other := exec.LeafTree(4)
+	same := replaceSubtree(a, other, repl)
+	if same.String() != a.String() {
+		t.Errorf("phantom replace changed tree: %s", same.String())
+	}
+}
+
+func TestProperDivisors(t *testing.T) {
+	got := properDivisors(12)
+	want := []int{2, 3, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("divisors of 12 = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divisors of 12 = %v", got)
+		}
+	}
+	if len(properDivisors(7)) != 0 {
+		t.Error("7 has proper divisors?")
+	}
+}

@@ -1,0 +1,369 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"spiralfft/internal/codelet"
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/exec"
+	"spiralfft/internal/smp"
+)
+
+// Strategy selects the sequential search method.
+type Strategy int
+
+const (
+	// StrategyDP is dynamic programming with measured subtree times.
+	StrategyDP Strategy = iota
+	// StrategyEstimate uses the analytic cost model only (no measurements).
+	StrategyEstimate
+	// StrategyExhaustive measures every binary factorization tree
+	// (practical for n ≤ 4096 or so).
+	StrategyExhaustive
+	// StrategyRandom samples random trees and keeps the fastest.
+	StrategyRandom
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyDP:
+		return "dp"
+	case StrategyEstimate:
+		return "estimate"
+	case StrategyExhaustive:
+		return "exhaustive"
+	default:
+		return "random"
+	}
+}
+
+// Tuner searches the factorization space. It memoizes per-size results, so
+// tuning a sweep of sizes shares work. A Tuner is not safe for concurrent
+// use.
+type Tuner struct {
+	Strategy Strategy
+	Timer    TimerConfig
+	// RandomSamples bounds StrategyRandom (default 30).
+	RandomSamples int
+	// rng drives random search deterministically.
+	rng  *rand.Rand
+	memo map[int]Result
+}
+
+// Result is a tuned sequential plan for one size.
+type Result struct {
+	Tree *exec.Tree
+	// Time is the measured (or modeled) per-transform runtime.
+	Time time.Duration
+	// Candidates is how many trees were considered for this size.
+	Candidates int
+}
+
+// NewTuner returns a tuner with the given strategy.
+func NewTuner(s Strategy) *Tuner {
+	return &Tuner{
+		Strategy:      s,
+		RandomSamples: 30,
+		rng:           rand.New(rand.NewSource(1)),
+		memo:          make(map[int]Result),
+	}
+}
+
+// BestTree returns the tuned factorization tree for DFT_n.
+func (t *Tuner) BestTree(n int) Result {
+	if r, ok := t.memo[n]; ok {
+		return r
+	}
+	var r Result
+	switch t.Strategy {
+	case StrategyEstimate:
+		r = t.estimate(n)
+	case StrategyExhaustive:
+		r = t.exhaustive(n)
+	case StrategyRandom:
+		r = t.random(n)
+	default:
+		r = t.dp(n)
+	}
+	t.memo[n] = r
+	return r
+}
+
+// dp: best tree for n = min over splits m·k of the tree combining the best
+// trees of m and k, cost measured by running the actual subplan.
+func (t *Tuner) dp(n int) Result {
+	candidates := t.candidateTrees(n, func(m, k int) (*exec.Tree, *exec.Tree) {
+		return t.BestTree(m).Tree, t.BestTree(k).Tree
+	})
+	best := Result{Candidates: len(candidates)}
+	for _, tr := range candidates {
+		d := t.measureTree(tr)
+		if best.Tree == nil || d < best.Time {
+			best.Tree, best.Time = tr, d
+		}
+	}
+	return best
+}
+
+// estimate: same candidate set, analytic cost model instead of measurement.
+func (t *Tuner) estimate(n int) Result {
+	candidates := t.candidateTrees(n, func(m, k int) (*exec.Tree, *exec.Tree) {
+		return t.BestTree(m).Tree, t.BestTree(k).Tree
+	})
+	best := Result{Candidates: len(candidates)}
+	for _, tr := range candidates {
+		c := time.Duration(ModelCost(tr))
+		if best.Tree == nil || c < best.Time {
+			best.Tree, best.Time = tr, c
+		}
+	}
+	return best
+}
+
+// exhaustive: measure every binary tree over every divisor split.
+func (t *Tuner) exhaustive(n int) Result {
+	trees := allTrees(n, make(map[int][]*exec.Tree))
+	best := Result{Candidates: len(trees)}
+	for _, tr := range trees {
+		d := t.measureTree(tr)
+		if best.Tree == nil || d < best.Time {
+			best.Tree, best.Time = tr, d
+		}
+	}
+	return best
+}
+
+// random: sample random trees.
+func (t *Tuner) random(n int) Result {
+	best := Result{Candidates: t.RandomSamples}
+	for i := 0; i < t.RandomSamples; i++ {
+		tr := t.randomTree(n)
+		d := t.measureTree(tr)
+		if best.Tree == nil || d < best.Time {
+			best.Tree, best.Time = tr, d
+		}
+	}
+	return best
+}
+
+// candidateTrees enumerates the top-split candidates for n: the codelet leaf
+// when available, and one tree per divisor split with subtrees chosen by sub.
+func (t *Tuner) candidateTrees(n int, sub func(m, k int) (*exec.Tree, *exec.Tree)) []*exec.Tree {
+	var out []*exec.Tree
+	if codelet.HasUnrolled(n) {
+		out = append(out, exec.LeafTree(n))
+	}
+	for m := 2; m*2 <= n; m++ {
+		if n%m != 0 {
+			continue
+		}
+		l, r := sub(m, n/m)
+		out = append(out, exec.SplitTree(l, r))
+	}
+	if len(out) == 0 {
+		// Prime beyond the codelet set: naive leaf.
+		out = append(out, exec.LeafTree(n))
+	}
+	return out
+}
+
+// measureTree times one transform of the tree's compiled plan.
+func (t *Tuner) measureTree(tr *exec.Tree) time.Duration {
+	s, err := exec.NewSeq(tr)
+	if err != nil {
+		return 1<<62 - 1
+	}
+	x := complexvec.Random(tr.N, 7)
+	y := make([]complex128, tr.N)
+	scratch := s.NewScratch()
+	return Measure(func() { s.Transform(y, x, scratch) }, t.Timer)
+}
+
+func (t *Tuner) randomTree(n int) *exec.Tree {
+	if codelet.HasUnrolled(n) && (t.rng.Intn(2) == 0 || n <= 4) {
+		return exec.LeafTree(n)
+	}
+	var divs []int
+	for d := 2; d*2 <= n; d++ {
+		if n%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	if len(divs) == 0 {
+		return exec.LeafTree(n)
+	}
+	m := divs[t.rng.Intn(len(divs))]
+	return exec.SplitTree(t.randomTree(m), t.randomTree(n/m))
+}
+
+// allTrees enumerates every binary factorization tree of n (memoized).
+func allTrees(n int, memo map[int][]*exec.Tree) []*exec.Tree {
+	if ts, ok := memo[n]; ok {
+		return ts
+	}
+	var out []*exec.Tree
+	if codelet.HasUnrolled(n) {
+		out = append(out, exec.LeafTree(n))
+	}
+	for m := 2; m*2 <= n; m++ {
+		if n%m != 0 {
+			continue
+		}
+		for _, l := range allTrees(m, memo) {
+			for _, r := range allTrees(n/m, memo) {
+				out = append(out, exec.SplitTree(l, r))
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, exec.LeafTree(n))
+	}
+	memo[n] = out
+	return out
+}
+
+// ModelCost is the analytic cost model (in arbitrary nanosecond-like units)
+// used by StrategyEstimate: codelet leaves cost ~2.5·n·log2(n) plus call
+// overhead, naive leaves cost n², and inner nodes add a strided-access
+// penalty proportional to the data volume and the log of the stride factor m.
+func ModelCost(t *exec.Tree) float64 {
+	if t.Leaf {
+		if codelet.HasUnrolled(t.N) {
+			l := 0.0
+			for v := t.N; v > 1; v >>= 1 {
+				l++
+			}
+			return 2.5*float64(t.N)*l + 20
+		}
+		return float64(t.N) * float64(t.N)
+	}
+	m, k := t.M(), t.K()
+	cost := float64(m)*ModelCost(t.Right) + float64(k)*ModelCost(t.Left)
+	// Strided pass penalty: touching n elements at stride m.
+	penalty := float64(t.N) * (1 + 0.3*logf(m))
+	if !t.Left.Leaf {
+		penalty += float64(t.N) // pre-scale pass
+	}
+	return cost + penalty
+}
+
+func logf(n int) float64 {
+	l := 0.0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// ---------------------------------------------------------------------------
+// Parallel tuning
+
+// ParallelChoice is the outcome of tuning a size for a shared-memory target.
+type ParallelChoice struct {
+	N int
+	// Parallel is nil when the sequential plan won (or no valid split
+	// exists); then Tree holds the sequential choice.
+	Parallel *exec.Parallel
+	Tree     *exec.Tree
+	// Split is the chosen top-level m (0 for sequential).
+	Split int
+	// SeqTime and ParTime are the measured runtimes (ParTime 0 if untried).
+	SeqTime, ParTime time.Duration
+}
+
+// UsedParallel reports whether the tuned plan uses the parallel executor.
+func (c ParallelChoice) UsedParallel() bool { return c.Parallel != nil }
+
+// Time returns the runtime of the winning plan.
+func (c ParallelChoice) Time() time.Duration {
+	if c.UsedParallel() {
+		return c.ParTime
+	}
+	return c.SeqTime
+}
+
+// TuneParallel tunes DFT_n for p workers with cache-line length mu on the
+// given backend: it measures the tuned sequential plan and every admissible
+// multicore Cooley-Tukey split (subtrees from the sequential tuner) and
+// returns the fastest. The returned Parallel plan (if any) references the
+// backend; the caller owns both.
+func (t *Tuner) TuneParallel(n, p, mu int, backend smp.Backend) (ParallelChoice, error) {
+	if p < 1 {
+		return ParallelChoice{}, fmt.Errorf("search: TuneParallel p=%d", p)
+	}
+	seq := t.BestTree(n)
+	choice := ParallelChoice{N: n, Tree: seq.Tree, SeqTime: seq.Time}
+	if t.Strategy == StrategyEstimate {
+		// The cost model has no synchronization term; re-measure the
+		// sequential plan so the comparison against parallel candidates is
+		// apples to apples.
+		choice.SeqTime = t.measureTree(seq.Tree)
+	}
+	if p == 1 || backend == nil {
+		return choice, nil
+	}
+	x := complexvec.Random(n, 3)
+	y := make([]complex128, n)
+	bestPar := time.Duration(0)
+	for _, m := range parallelSplits(n, p, mu) {
+		pl, err := exec.NewParallel(n, m, exec.ParallelConfig{
+			P:         p,
+			Mu:        mu,
+			Backend:   backend,
+			LeftTree:  t.BestTree(m).Tree,
+			RightTree: t.BestTree(n / m).Tree,
+		})
+		if err != nil {
+			continue
+		}
+		d := Measure(func() { pl.Transform(y, x) }, t.Timer)
+		if choice.Parallel == nil || d < bestPar {
+			choice.Parallel = pl
+			choice.Split = m
+			bestPar = d
+		}
+	}
+	if choice.Parallel != nil {
+		choice.ParTime = bestPar
+		if bestPar >= choice.SeqTime {
+			// Sequential wins: drop the parallel plan.
+			choice.Parallel = nil
+			choice.Split = 0
+		}
+	}
+	return choice, nil
+}
+
+// parallelSplits lists every m with pµ | m and pµ | n/m, most balanced first.
+func parallelSplits(n, p, mu int) []int {
+	q := p * mu
+	var out []int
+	for m := q; m*q <= n; m += q {
+		if n%m == 0 && (n/m)%q == 0 {
+			out = append(out, m)
+		}
+	}
+	// Sort by balance |m - n/m| ascending so the most balanced split is
+	// tried first.
+	sort.Slice(out, func(i, j int) bool {
+		bi := abs(out[i] - n/out[i])
+		bj := abs(out[j] - n/out[j])
+		return bi < bj
+	})
+	// Keep at most 5 candidates to bound tuning time.
+	if len(out) > 5 {
+		out = out[:5]
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

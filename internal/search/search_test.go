@@ -1,0 +1,188 @@
+package search
+
+import (
+	"testing"
+	"time"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/exec"
+	"spiralfft/internal/smp"
+	"spiralfft/internal/twiddle"
+)
+
+func refDFT(x []complex128) []complex128 {
+	n := len(x)
+	y := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			y[k] += twiddle.Omega(n, k*j) * x[j]
+		}
+	}
+	return y
+}
+
+func checkTree(t *testing.T, tr *exec.Tree, n int, what string) {
+	t.Helper()
+	if tr == nil || tr.N != n {
+		t.Fatalf("%s: bad tree for %d: %v", what, n, tr)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	s, err := exec.NewSeq(tr)
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	x := complexvec.Random(n, uint64(n))
+	got := make([]complex128, n)
+	s.Transform(got, x, nil)
+	if e := complexvec.RelError(got, refDFT(x)); e > 1e-10 {
+		t.Errorf("%s: tuned tree wrong by %g", what, e)
+	}
+}
+
+// fastTimer keeps tests quick.
+var fastTimer = TimerConfig{MinTime: 20 * time.Microsecond, Repeats: 1}
+
+func TestEstimateStrategyProducesValidTrees(t *testing.T) {
+	tu := NewTuner(StrategyEstimate)
+	for _, n := range []int{2, 8, 64, 128, 256, 60, 100, 31} {
+		r := tu.BestTree(n)
+		checkTree(t, r.Tree, n, "estimate")
+		if r.Candidates < 1 {
+			t.Errorf("n=%d: candidates %d", n, r.Candidates)
+		}
+	}
+}
+
+func TestDPStrategyMemoizesAndIsCorrect(t *testing.T) {
+	tu := NewTuner(StrategyDP)
+	tu.Timer = fastTimer
+	r1 := tu.BestTree(256)
+	checkTree(t, r1.Tree, 256, "dp")
+	if r1.Time <= 0 {
+		t.Error("dp result has no measured time")
+	}
+	r2 := tu.BestTree(256)
+	if r1.Tree != r2.Tree {
+		t.Error("memoization did not return the same result")
+	}
+}
+
+func TestExhaustiveStrategySmallSize(t *testing.T) {
+	tu := NewTuner(StrategyExhaustive)
+	tu.Timer = fastTimer
+	r := tu.BestTree(64)
+	checkTree(t, r.Tree, 64, "exhaustive")
+	// 64 admits the leaf-free splits 2·32, 4·16, 8·8, 16·4, 32·2 recursively;
+	// candidate count must exceed the DP candidate count (6 top splits).
+	if r.Candidates < 10 {
+		t.Errorf("exhaustive candidates = %d, suspiciously few", r.Candidates)
+	}
+}
+
+func TestRandomStrategy(t *testing.T) {
+	tu := NewTuner(StrategyRandom)
+	tu.Timer = fastTimer
+	tu.RandomSamples = 8
+	r := tu.BestTree(128)
+	checkTree(t, r.Tree, 128, "random")
+	if r.Candidates != 8 {
+		t.Errorf("candidates = %d", r.Candidates)
+	}
+}
+
+func TestModelCostSanity(t *testing.T) {
+	// Cost must grow with size and penalize naive leaves heavily.
+	if ModelCost(exec.LeafTree(8)) >= ModelCost(exec.LeafTree(32)) {
+		t.Error("cost not monotone in codelet size")
+	}
+	naive := ModelCost(exec.LeafTree(49)) // 49 has no unrolled codelet: leaf means naive O(n²)
+	split := ModelCost(exec.SplitTree(exec.LeafTree(7), exec.LeafTree(7)))
+	if split >= naive {
+		t.Errorf("split cost %v not cheaper than naive %v", split, naive)
+	}
+}
+
+func TestMeasureReturnsPositive(t *testing.T) {
+	d := Measure(func() { time.Sleep(time.Microsecond) }, fastTimer)
+	if d <= 0 {
+		t.Errorf("Measure = %v", d)
+	}
+}
+
+func TestTuneParallelSequentialFallback(t *testing.T) {
+	tu := NewTuner(StrategyEstimate)
+	tu.Timer = fastTimer
+	// p=1: always sequential.
+	c, err := tu.TuneParallel(256, 1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.UsedParallel() {
+		t.Error("p=1 chose a parallel plan")
+	}
+	if c.Time() <= 0 {
+		t.Error("no measured time")
+	}
+}
+
+func TestTuneParallelPicksWinnerAndIsCorrect(t *testing.T) {
+	tu := NewTuner(StrategyDP)
+	tu.Timer = fastTimer
+	pool := smp.NewPool(2)
+	defer pool.Close()
+	// Large enough that either choice is plausible; whatever wins must be
+	// correct and consistent.
+	c, err := tu.TuneParallel(1<<14, 2, 4, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << 14
+	x := complexvec.Random(n, 5)
+	got := make([]complex128, n)
+	if c.UsedParallel() {
+		if c.Split == 0 || c.ParTime <= 0 {
+			t.Error("inconsistent parallel choice")
+		}
+		c.Parallel.Transform(got, x)
+	} else {
+		s, _ := exec.NewSeq(c.Tree)
+		s.Transform(got, x, nil)
+	}
+	if e := complexvec.RelError(got, refDFT(x)); e > 1e-9 {
+		t.Errorf("tuned plan wrong by %g", e)
+	}
+}
+
+func TestTuneParallelRejectsBadP(t *testing.T) {
+	tu := NewTuner(StrategyEstimate)
+	if _, err := tu.TuneParallel(64, 0, 4, nil); err == nil {
+		t.Error("accepted p=0")
+	}
+}
+
+func TestParallelSplitsRespectDivisibility(t *testing.T) {
+	for _, c := range []struct{ n, p, mu int }{{256, 2, 4}, {1024, 4, 4}, {4096, 2, 2}} {
+		splits := parallelSplits(c.n, c.p, c.mu)
+		if len(splits) == 0 {
+			t.Errorf("no splits for %+v", c)
+		}
+		q := c.p * c.mu
+		for _, m := range splits {
+			if m%q != 0 || (c.n/m)%q != 0 {
+				t.Errorf("%+v: split %d violates divisibility", c, m)
+			}
+		}
+	}
+	if splits := parallelSplits(64, 4, 4); len(splits) != 0 {
+		t.Errorf("expected no splits for 64 on pµ=16, got %v", splits)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyDP.String() != "dp" || StrategyEstimate.String() != "estimate" ||
+		StrategyExhaustive.String() != "exhaustive" || StrategyRandom.String() != "random" {
+		t.Error("Strategy.String wrong")
+	}
+}

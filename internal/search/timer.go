@@ -1,0 +1,81 @@
+// Package search implements Spiral's search/learning block: automatic tuning
+// over the Cooley-Tukey factorization space with runtime feedback.
+//
+// Three strategies are provided, mirroring the search methods the Spiral
+// paper describes:
+//
+//   - dynamic programming (the default): the best tree for size n is built
+//     from the measured best trees of its factors, memoized per size;
+//   - exhaustive search over all binary factorization trees (small sizes);
+//   - random search: sample random trees, keep the fastest.
+//
+// The parallel tuner composes the sequential results: it enumerates the
+// top-level splits admissible for the multicore Cooley-Tukey FFT (pµ | m,
+// pµ | k), measures each against the sequential plan, and keeps whatever is
+// fastest — which automatically yields the paper's behaviour that parallel
+// plans take over exactly at the size where the synchronization overhead is
+// amortized.
+package search
+
+import (
+	"sort"
+	"time"
+)
+
+// TimerConfig controls runtime measurement.
+type TimerConfig struct {
+	// MinTime is the minimum total measuring time per candidate; repetitions
+	// are scaled until it is exceeded (default 200µs).
+	MinTime time.Duration
+	// Repeats is the number of measurement rounds; the median of the rounds
+	// is the reported time (default 3).
+	Repeats int
+}
+
+func (c TimerConfig) withDefaults() TimerConfig {
+	if c.MinTime <= 0 {
+		c.MinTime = 200 * time.Microsecond
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	return c
+}
+
+// Measure times fn: it calibrates a repetition count so one round takes at
+// least MinTime, runs Repeats rounds, and returns the median per-call time.
+func Measure(fn func(), cfg TimerConfig) time.Duration {
+	cfg = cfg.withDefaults()
+	// Calibrate repetitions.
+	reps := 1
+	for {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= cfg.MinTime {
+			break
+		}
+		if elapsed <= 0 {
+			reps *= 16
+			continue
+		}
+		// Scale up toward MinTime with headroom.
+		factor := int(cfg.MinTime/elapsed) + 1
+		if factor > 16 {
+			factor = 16
+		}
+		reps *= factor
+	}
+	rounds := make([]time.Duration, cfg.Repeats)
+	for r := range rounds {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		rounds[r] = time.Since(start) / time.Duration(reps)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	return rounds[len(rounds)/2]
+}

@@ -1,0 +1,314 @@
+// Package smp is the shared-memory threading substrate: it stands in for the
+// paper's pthreads and OpenMP backends.
+//
+// Two backends implement fork-join parallel regions over p workers:
+//
+//   - Pool keeps p persistent workers that busy-wait on an epoch counter and
+//     synchronize through a sense-reversing spin barrier. This mirrors the
+//     paper's pthreads backend with thread pooling and "low-latency minimal
+//     overhead synchronization" — the property that lets Spiral-generated
+//     code profit from parallelization for DFTs as small as 2^8.
+//
+//   - Spawn starts fresh goroutines for every parallel region and joins them
+//     with a WaitGroup. This models the conventional non-pooled approach
+//     (OpenMP runtimes without pooling, FFTW 3.1's default thread mode),
+//     whose per-region overhead pushes the parallelization break-even to
+//     much larger sizes.
+//
+// The scheduling helpers BlockRange and CyclicIndices implement the two
+// iteration schedules the paper contrasts: contiguous per-processor blocks
+// (what the rewriting system derives; cache-line safe) and block-cyclic
+// distribution (what FFTW uses; prone to false sharing for small blocks).
+package smp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Backend executes parallel regions across a fixed set of workers.
+type Backend interface {
+	// Workers returns the number of workers p.
+	Workers() int
+	// Run executes fn(0), ..., fn(p-1) concurrently and returns when all
+	// calls have completed (an implicit join barrier). Run must not be
+	// called concurrently with itself or from inside fn.
+	Run(fn func(worker int))
+	// Close releases backend resources. The backend must not be used after.
+	Close()
+}
+
+// spinLimit bounds pure busy-waiting before yielding the OS thread, so
+// oversubscribed configurations (p > GOMAXPROCS) still make progress.
+const spinLimit = 1 << 14
+
+// ---------------------------------------------------------------------------
+// Pool backend
+
+// Pool is the persistent-worker backend. Workers wait for dispatch in a
+// spin loop keyed on an epoch counter; dispatch and join cost no goroutine
+// creation and no kernel transition in the common case (back-to-back
+// transforms). A worker that has spun for a long time without work parks on
+// a condition variable so an idle pool burns no CPU — important when the
+// machine is shared, and irrelevant to the latency of a busy pool.
+type Pool struct {
+	workers int
+	fn      func(int) // current region body; written before epoch bump
+	epoch   atomic.Uint32
+	done    atomic.Uint32
+	stop    atomic.Bool
+	closed  sync.Once
+	joined  sync.WaitGroup
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parked  int
+}
+
+// NewPool starts a pool with p persistent workers (p ≥ 1). The calling
+// goroutine acts as worker 0 during Run, so only p-1 goroutines are created.
+func NewPool(p int) *Pool {
+	if p < 1 {
+		panic(fmt.Sprintf("smp: NewPool(%d)", p))
+	}
+	pool := &Pool{workers: p}
+	pool.cond = sync.NewCond(&pool.mu)
+	pool.joined.Add(p - 1)
+	for i := 1; i < p; i++ {
+		go pool.workerLoop(i)
+	}
+	return pool
+}
+
+// Workers returns p.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) workerLoop(id int) {
+	defer p.joined.Done()
+	last := uint32(0)
+	for {
+		e := p.awaitEpoch(last)
+		last = e
+		if p.stop.Load() {
+			return
+		}
+		p.fn(id)
+		p.done.Add(1)
+	}
+}
+
+// awaitEpoch waits until the epoch differs from last: pure spin first (the
+// low-latency fast path), yielding spins next, then parking on the condition
+// variable until Run wakes the pool.
+func (p *Pool) awaitEpoch(last uint32) uint32 {
+	spins := 0
+	for {
+		if e := p.epoch.Load(); e != last {
+			return e
+		}
+		spins++
+		if spins <= spinLimit {
+			continue
+		}
+		if spins <= 4*spinLimit {
+			runtime.Gosched()
+			continue
+		}
+		// Park. The epoch re-check under the lock pairs with Run's
+		// lock-protected Broadcast: either we see the new epoch here, or we
+		// are registered as parked before Run broadcasts.
+		p.mu.Lock()
+		p.parked++
+		for p.epoch.Load() == last {
+			p.cond.Wait()
+		}
+		p.parked--
+		p.mu.Unlock()
+		return p.epoch.Load()
+	}
+}
+
+// Run dispatches fn to all workers and joins. The caller executes worker 0
+// itself, so a 1-worker pool runs fn inline with zero overhead.
+func (p *Pool) Run(fn func(worker int)) {
+	if p.workers == 1 {
+		fn(0)
+		return
+	}
+	p.fn = fn
+	p.done.Store(0)
+	p.epoch.Add(1) // release: publishes p.fn to the spinning workers
+	p.wakeParked()
+	fn(0)
+	spins := 0
+	for p.done.Load() != uint32(p.workers-1) {
+		spins++
+		if spins > spinLimit {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// wakeParked broadcasts to any workers that gave up spinning.
+func (p *Pool) wakeParked() {
+	p.mu.Lock()
+	if p.parked > 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// Close terminates the worker goroutines and waits for them to exit.
+// Close is idempotent.
+func (p *Pool) Close() {
+	p.closed.Do(func() {
+		p.stop.Store(true)
+		p.epoch.Add(1)
+		p.wakeParked()
+		p.joined.Wait()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Spawn backend
+
+// Spawn is the non-pooled backend: every Run starts fresh goroutines.
+type Spawn struct{ workers int }
+
+// NewSpawn returns a spawn backend with p workers.
+func NewSpawn(p int) Spawn {
+	if p < 1 {
+		panic(fmt.Sprintf("smp: NewSpawn(%d)", p))
+	}
+	return Spawn{p}
+}
+
+// Workers returns p.
+func (s Spawn) Workers() int { return s.workers }
+
+// Run starts p-1 goroutines, runs worker 0 inline, and joins.
+func (s Spawn) Run(fn func(worker int)) {
+	if s.workers == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(s.workers - 1)
+	for i := 1; i < s.workers; i++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(id)
+		}(i)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// Close is a no-op: spawn backends hold no resources.
+func (s Spawn) Close() {}
+
+// ---------------------------------------------------------------------------
+// Sequential backend
+
+// Sequential is the 1-worker backend; Run calls fn(0) inline.
+type Sequential struct{}
+
+// Workers returns 1.
+func (Sequential) Workers() int { return 1 }
+
+// Run calls fn(0).
+func (Sequential) Run(fn func(worker int)) { fn(0) }
+
+// Close is a no-op.
+func (Sequential) Close() {}
+
+// ---------------------------------------------------------------------------
+// Spin barrier
+
+// SpinBarrier is a reusable sense-reversing barrier for n participants. It
+// lets a single parallel region contain multiple synchronized stages, which
+// is how the multicore Cooley-Tukey executor separates its compute stages
+// without paying a fork-join per stage.
+type SpinBarrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Uint32
+}
+
+// NewSpinBarrier returns a barrier for n participants (n ≥ 1).
+func NewSpinBarrier(n int) *SpinBarrier {
+	if n < 1 {
+		panic(fmt.Sprintf("smp: NewSpinBarrier(%d)", n))
+	}
+	return &SpinBarrier{n: int32(n)}
+}
+
+// Wait blocks until all n participants have called Wait for the current
+// phase. The barrier is immediately reusable for the next phase.
+func (b *SpinBarrier) Wait() {
+	if b.n == 1 {
+		return
+	}
+	s := b.sense.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.sense.Add(1) // release the other participants
+		return
+	}
+	spins := 0
+	for b.sense.Load() == s {
+		spins++
+		if spins > spinLimit {
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Iteration scheduling
+
+// BlockRange returns the contiguous iteration block [lo, hi) that worker w
+// of p executes out of total iterations. This is the schedule the rewriting
+// system derives: as many consecutive iterations as possible per processor.
+// When p does not divide total, the first total%p workers get one extra
+// iteration.
+func BlockRange(total, p, w int) (lo, hi int) {
+	if p < 1 || w < 0 || w >= p {
+		panic(fmt.Sprintf("smp: BlockRange(%d, %d, %d)", total, p, w))
+	}
+	base := total / p
+	rem := total % p
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// CyclicIndices returns the iterations worker w executes under a block-cyclic
+// schedule with the given block size: blocks are dealt to workers round-robin.
+// This is the schedule the paper attributes to FFTW's parallel loops; with
+// small blocks it interleaves processors' working sets within cache lines.
+func CyclicIndices(total, p, w, block int) []int {
+	if p < 1 || w < 0 || w >= p || block < 1 {
+		panic(fmt.Sprintf("smp: CyclicIndices(%d, %d, %d, %d)", total, p, w, block))
+	}
+	var out []int
+	for start := w * block; start < total; start += p * block {
+		for i := start; i < start+block && i < total; i++ {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

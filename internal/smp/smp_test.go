@@ -1,0 +1,283 @@
+package smp
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func backends(p int) map[string]Backend {
+	return map[string]Backend{
+		"pool":  NewPool(p),
+		"spawn": NewSpawn(p),
+	}
+}
+
+func TestBackendsRunAllWorkers(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		for name, b := range backends(p) {
+			if b.Workers() != p {
+				t.Errorf("%s: Workers() = %d, want %d", name, b.Workers(), p)
+			}
+			seen := make([]atomic.Int32, p)
+			b.Run(func(w int) { seen[w].Add(1) })
+			for w := 0; w < p; w++ {
+				if seen[w].Load() != 1 {
+					t.Errorf("%s p=%d: worker %d ran %d times", name, p, w, seen[w].Load())
+				}
+			}
+			b.Close()
+		}
+	}
+}
+
+func TestBackendsManyRounds(t *testing.T) {
+	// Repeated regions must all see their own body and fully join: a counter
+	// incremented by every worker in every round must be exact.
+	const rounds = 300
+	for _, p := range []int{1, 2, 4} {
+		for name, b := range backends(p) {
+			var total atomic.Int64
+			for r := 0; r < rounds; r++ {
+				r := r
+				b.Run(func(w int) { total.Add(int64(r*0 + 1)) })
+			}
+			if got := total.Load(); got != int64(rounds*p) {
+				t.Errorf("%s p=%d: total = %d, want %d", name, p, got, rounds*p)
+			}
+			b.Close()
+		}
+	}
+}
+
+func TestRunJoinsBeforeReturning(t *testing.T) {
+	// After Run returns, all side effects of all workers must be visible.
+	p := 4
+	for name, b := range backends(p) {
+		buf := make([]int, p)
+		for r := 1; r <= 50; r++ {
+			r := r
+			b.Run(func(w int) { buf[w] = r })
+			for w := 0; w < p; w++ {
+				if buf[w] != r {
+					t.Fatalf("%s: round %d worker %d effect not visible after Run", name, r, w)
+				}
+			}
+		}
+		b.Close()
+	}
+}
+
+func TestPoolCloseIdempotentAndSequentialInline(t *testing.T) {
+	pl := NewPool(3)
+	pl.Run(func(int) {})
+	pl.Close()
+	pl.Close() // must not hang or panic
+
+	var s Sequential
+	ran := false
+	s.Run(func(w int) {
+		if w != 0 {
+			t.Errorf("sequential worker id %d", w)
+		}
+		ran = true
+	})
+	if !ran || s.Workers() != 1 {
+		t.Error("sequential backend broken")
+	}
+	s.Close()
+}
+
+func TestNewPoolPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestSpinBarrierPhases(t *testing.T) {
+	const p = 4
+	const phases = 200
+	b := NewSpinBarrier(p)
+	pool := NewPool(p)
+	defer pool.Close()
+	// Each worker appends its phase-stamped contribution; the barrier must
+	// prevent any worker from racing ahead a phase.
+	var counters [phases]atomic.Int32
+	pool.Run(func(w int) {
+		for ph := 0; ph < phases; ph++ {
+			counters[ph].Add(1)
+			b.Wait()
+			// After the barrier, all p increments of this phase are visible.
+			if got := counters[ph].Load(); got != p {
+				t.Errorf("worker %d phase %d: count %d, want %d", w, ph, got, p)
+			}
+			b.Wait()
+		}
+	})
+}
+
+func TestSpinBarrierSingleParticipant(t *testing.T) {
+	b := NewSpinBarrier(1)
+	for i := 0; i < 10; i++ {
+		b.Wait() // must never block
+	}
+}
+
+func TestBlockRangePartitions(t *testing.T) {
+	cases := []struct{ total, p int }{{16, 4}, {16, 3}, {7, 4}, {1, 2}, {0, 3}, {100, 7}}
+	for _, c := range cases {
+		covered := make([]bool, c.total)
+		prevHi := 0
+		for w := 0; w < c.p; w++ {
+			lo, hi := BlockRange(c.total, c.p, w)
+			if lo != prevHi {
+				t.Errorf("BlockRange(%d,%d,%d): lo %d, want contiguous %d", c.total, c.p, w, lo, prevHi)
+			}
+			prevHi = hi
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Errorf("iteration %d covered twice", i)
+				}
+				covered[i] = true
+			}
+		}
+		if prevHi != c.total {
+			t.Errorf("BlockRange(%d,%d): covered %d", c.total, c.p, prevHi)
+		}
+	}
+}
+
+func TestBlockRangeBalance(t *testing.T) {
+	// Worker loads differ by at most one iteration.
+	for _, c := range []struct{ total, p int }{{17, 4}, {100, 7}, {8, 8}, {5, 8}} {
+		minLoad, maxLoad := c.total, 0
+		for w := 0; w < c.p; w++ {
+			lo, hi := BlockRange(c.total, c.p, w)
+			load := hi - lo
+			if load < minLoad {
+				minLoad = load
+			}
+			if load > maxLoad {
+				maxLoad = load
+			}
+		}
+		if maxLoad-minLoad > 1 {
+			t.Errorf("BlockRange(%d,%d): imbalance %d", c.total, c.p, maxLoad-minLoad)
+		}
+	}
+}
+
+func TestCyclicIndicesPartition(t *testing.T) {
+	total, p, block := 22, 3, 2
+	var all []int
+	for w := 0; w < p; w++ {
+		idx := CyclicIndices(total, p, w, block)
+		all = append(all, idx...)
+	}
+	sort.Ints(all)
+	if len(all) != total {
+		t.Fatalf("cyclic covered %d of %d", len(all), total)
+	}
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("cyclic missing/duplicating index %d", i)
+		}
+	}
+	// Worker 0 with block 2 must start 0,1 then skip to 6,7.
+	w0 := CyclicIndices(total, p, 0, block)
+	if w0[0] != 0 || w0[1] != 1 || w0[2] != 6 || w0[3] != 7 {
+		t.Errorf("cyclic schedule wrong: %v", w0[:4])
+	}
+}
+
+// Property: BlockRange covers [0, total) exactly once for arbitrary inputs.
+func TestQuickBlockRangeCovers(t *testing.T) {
+	f := func(totalU, pU uint16) bool {
+		total := int(totalU % 2048)
+		p := int(pU%16) + 1
+		sum := 0
+		for w := 0; w < p; w++ {
+			lo, hi := BlockRange(total, p, w)
+			if lo > hi || lo < 0 || hi > total {
+				return false
+			}
+			sum += hi - lo
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRegionDispatch(b *testing.B) {
+	// The pool-vs-spawn dispatch overhead is the mechanism behind the
+	// paper's early parallelization crossover (ablation A1).
+	for _, p := range []int{2, 4} {
+		pool := NewPool(p)
+		b.Run("pool/p="+itoa(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pool.Run(func(int) {})
+			}
+		})
+		pool.Close()
+		spawn := NewSpawn(p)
+		b.Run("spawn/p="+itoa(p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spawn.Run(func(int) {})
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 2 {
+		return "2"
+	}
+	return "4"
+}
+
+func TestSchedulingHelperPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"BlockRange bad p":    func() { BlockRange(8, 0, 0) },
+		"BlockRange bad w":    func() { BlockRange(8, 2, 2) },
+		"CyclicIndices block": func() { CyclicIndices(8, 2, 0, 0) },
+		"NewSpawn":            func() { NewSpawn(0) },
+		"NewSpinBarrier":      func() { NewSpinBarrier(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPoolParksWhenIdle(t *testing.T) {
+	// After a quiet period the workers must park (no busy spin); a
+	// subsequent Run must still work (wakeup path).
+	p := NewPool(2)
+	defer p.Close()
+	p.Run(func(int) {})
+	// Force the workers past the spin budget into the parked state.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		if parked := func() int { p.mu.Lock(); defer p.mu.Unlock(); return p.parked }(); parked > 0 {
+			break
+		}
+	}
+	var ran atomic.Int32
+	p.Run(func(int) { ran.Add(1) })
+	if ran.Load() != 2 {
+		t.Errorf("post-park Run executed %d workers", ran.Load())
+	}
+}

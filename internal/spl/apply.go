@@ -1,0 +1,271 @@
+package spl
+
+import (
+	"fmt"
+
+	"spiralfft/internal/twiddle"
+)
+
+// Apply implementations give every formula reference vector semantics. They
+// favour clarity over speed: the fast paths live in internal/exec; these are
+// the oracle they are tested against.
+
+// Apply computes dst = DFT_n · src from the definition (O(n²)).
+func (f DFT) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	n := f.N
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			acc += twiddle.Omega(n, k*j) * src[j]
+		}
+		dst[k] = acc
+	}
+}
+
+// Apply copies src to dst.
+func (f Identity) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	copy(dst, src)
+}
+
+// Apply permutes: dst[k] = src[SrcIndex(k)].
+func (f Stride) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	for k := range dst {
+		dst[k] = src[f.SrcIndex(k)]
+	}
+}
+
+// Apply scales elementwise by the twiddle diagonal.
+func (f Twiddle) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	n := f.Nn
+	for i := 0; i < f.M; i++ {
+		for j := 0; j < n; j++ {
+			dst[i*n+j] = twiddle.Omega(f.M*n, i*j) * src[i*n+j]
+		}
+	}
+}
+
+// Apply scales elementwise by the explicit diagonal.
+func (f Diag) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	for i, d := range f.D {
+		dst[i] = d * src[i]
+	}
+}
+
+// Apply permutes: dst[k] = src[Src(k)].
+func (f Perm) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	for k := range dst {
+		dst[k] = src[f.Src(k)]
+	}
+}
+
+// Apply computes (A ⊗ B)·src using the factorization
+// A ⊗ B = (A ⊗ I_nB) · (I_nA ⊗ B): first B on contiguous blocks, then A on
+// strided sections.
+func (f Tensor) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	na := f.A.Size()
+	nb := f.B.Size()
+	tmp := make([]complex128, na*nb)
+	// I_nA ⊗ B: apply B to each contiguous block of length nb.
+	if isIdentity(f.B) {
+		copy(tmp, src)
+	} else {
+		bin := make([]complex128, nb)
+		bout := make([]complex128, nb)
+		for i := 0; i < na; i++ {
+			copy(bin, src[i*nb:(i+1)*nb])
+			f.B.Apply(bout, bin)
+			copy(tmp[i*nb:], bout)
+		}
+	}
+	// A ⊗ I_nB: apply A to each stride-nb section.
+	if isIdentity(f.A) {
+		copy(dst, tmp)
+		return
+	}
+	ain := make([]complex128, na)
+	aout := make([]complex128, na)
+	for j := 0; j < nb; j++ {
+		for i := 0; i < na; i++ {
+			ain[i] = tmp[i*nb+j]
+		}
+		f.A.Apply(aout, ain)
+		for i := 0; i < na; i++ {
+			dst[i*nb+j] = aout[i]
+		}
+	}
+}
+
+// Apply runs each block on its segment of the vector.
+func (f DirectSum) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	applyBlocks(f.Terms, dst, src)
+}
+
+// Apply multiplies the factors right to left.
+func (f Compose) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	n := f.Size()
+	cur := make([]complex128, n)
+	next := make([]complex128, n)
+	copy(cur, src)
+	for i := len(f.Factors) - 1; i >= 0; i-- {
+		f.Factors[i].Apply(next, cur)
+		cur, next = next, cur
+	}
+	copy(dst, cur)
+}
+
+// Apply of a tag applies the tagged formula (tags do not change semantics).
+func (f SMP) Apply(dst, src []complex128) { f.F.Apply(dst, src) }
+
+// Apply behaves as I_p ⊗ A.
+func (f TensorPar) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	Tensor{Identity{f.P}, f.A}.Apply(dst, src)
+}
+
+// Apply behaves as the plain direct sum.
+func (f DirectSumPar) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	applyBlocks(f.Terms, dst, src)
+}
+
+// Apply behaves as P ⊗ I_µ.
+func (f BarTensor) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	Tensor{f.P, Identity{f.Mu}}.Apply(dst, src)
+}
+
+func applyBlocks(terms []Formula, dst, src []complex128) {
+	off := 0
+	for _, t := range terms {
+		n := t.Size()
+		t.Apply(dst[off:off+n], src[off:off+n])
+		off += n
+	}
+}
+
+func checkDims(f Formula, dst, src []complex128) {
+	if len(dst) != f.Size() || len(src) != f.Size() {
+		panic(fmt.Sprintf("spl: Apply dimension mismatch: formula %s size %d, dst %d, src %d",
+			f.String(), f.Size(), len(dst), len(src)))
+	}
+}
+
+func isIdentity(f Formula) bool {
+	_, ok := f.(Identity)
+	return ok
+}
+
+// Matrix materializes the dense matrix of f by applying it to all unit
+// impulses; column j of the result is F·e_j. Intended for tests and small
+// sizes only.
+func Matrix(f Formula) [][]complex128 {
+	n := f.Size()
+	m := make([][]complex128, n)
+	for i := range m {
+		m[i] = make([]complex128, n)
+	}
+	e := make([]complex128, n)
+	col := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		f.Apply(col, e)
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			m[i][j] = col[i]
+		}
+	}
+	return m
+}
+
+// IsPermutation reports whether f is structurally a permutation: built only
+// from Identity, Stride, Perm, tensor products, direct sums, compositions and
+// BarTensor over permutations.
+func IsPermutation(f Formula) bool {
+	switch t := f.(type) {
+	case Identity, Stride, Perm:
+		return true
+	case Tensor:
+		return IsPermutation(t.A) && IsPermutation(t.B)
+	case BarTensor:
+		return IsPermutation(t.P)
+	case Compose:
+		for _, c := range t.Factors {
+			if !IsPermutation(c) {
+				return false
+			}
+		}
+		return true
+	case DirectSum:
+		for _, c := range t.Terms {
+			if !IsPermutation(c) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// PermSource returns the output←input index map of a permutation formula:
+// y[k] = x[PermSource(f)(k)]. Panics if f is not a permutation.
+func PermSource(f Formula) func(int) int {
+	switch t := f.(type) {
+	case Identity:
+		return func(k int) int { return k }
+	case Stride:
+		return t.SrcIndex
+	case Perm:
+		return t.Src
+	case Tensor:
+		a := PermSource(t.A)
+		b := PermSource(t.B)
+		nb := t.B.Size()
+		return func(k int) int {
+			return a(k/nb)*nb + b(k%nb)
+		}
+	case BarTensor:
+		return PermSource(Tensor{t.P, Identity{t.Mu}})
+	case Compose:
+		// y = F0 F1 ... Fk x, so y[i] = x[srcK(...src1(src0(i)))].
+		srcs := make([]func(int) int, len(t.Factors))
+		for i, c := range t.Factors {
+			srcs[i] = PermSource(c)
+		}
+		return func(k int) int {
+			for _, s := range srcs {
+				k = s(k)
+			}
+			return k
+		}
+	case DirectSum:
+		type block struct {
+			off int
+			src func(int) int
+		}
+		blocks := make([]block, len(t.Terms))
+		off := 0
+		for i, c := range t.Terms {
+			blocks[i] = block{off, PermSource(c)}
+			off += c.Size()
+		}
+		return func(k int) int {
+			// Find the owning block by linear scan (few blocks in practice).
+			for i := len(blocks) - 1; i >= 0; i-- {
+				if k >= blocks[i].off {
+					return blocks[i].off + blocks[i].src(k-blocks[i].off)
+				}
+			}
+			panic("spl: PermSource index out of range")
+		}
+	}
+	panic(fmt.Sprintf("spl: PermSource of non-permutation %s", f.String()))
+}

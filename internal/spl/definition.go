@@ -1,0 +1,199 @@
+package spl
+
+import "math/cmplx"
+
+// This file implements Definition 1 of the paper:
+//
+//	A formula is load-balanced (avoids false sharing) if it is of the form
+//	    I_p ⊗∥ A,   ⊕∥_{i<p} A_i,   P ⊗̄ I_µ                     (4)
+//	or of the form
+//	    I_m ⊗ A  or  A·B                                          (5)
+//	where A and B are load-balanced (avoid false sharing). A formula is
+//	fully optimized if it is load-balanced and avoids false sharing.
+//
+// The two properties share the grammar above but differ in the side
+// conditions on the constructs in (4):
+//   - load balance needs the parallel constructs to distribute equal work
+//     over exactly p processors;
+//   - false-sharing avoidance needs all block sizes to be multiples of µ
+//     (each cache line owned by one processor) and data shuffles to move
+//     whole lines (P ⊗̄ I_µ).
+
+// IsLoadBalanced reports whether f is load-balanced for p processors per
+// Definition 1: parallel constructs distribute exactly p equal-size blocks.
+func IsLoadBalanced(f Formula, p int) bool {
+	switch t := f.(type) {
+	case TensorPar:
+		return t.P == p
+	case DirectSumPar:
+		if len(t.Terms) != p {
+			return false
+		}
+		size := t.Terms[0].Size()
+		for _, term := range t.Terms[1:] {
+			if term.Size() != size {
+				return false
+			}
+		}
+		return true
+	case BarTensor:
+		// A cache-line data shuffle is a (cheap) fully parallelizable pass;
+		// the paper includes it among the fully optimized constructs (4).
+		return true
+	case Tensor:
+		// Form (5): I_m ⊗ A with A load-balanced.
+		if _, ok := t.A.(Identity); ok {
+			return IsLoadBalanced(t.B, p)
+		}
+		return false
+	case Compose:
+		for _, c := range t.Factors {
+			if !IsLoadBalanced(c, p) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// AvoidsFalseSharing reports whether f avoids false sharing for cache-line
+// length µ per Definition 1: every per-processor block is a multiple of µ
+// elements and data shuffles move whole cache lines.
+func AvoidsFalseSharing(f Formula, mu int) bool {
+	switch t := f.(type) {
+	case TensorPar:
+		return t.A.Size()%mu == 0
+	case DirectSumPar:
+		for _, term := range t.Terms {
+			if term.Size()%mu != 0 {
+				return false
+			}
+		}
+		return true
+	case BarTensor:
+		return t.Mu == mu
+	case Tensor:
+		if _, ok := t.A.(Identity); ok {
+			return AvoidsFalseSharing(t.B, mu)
+		}
+		return false
+	case Compose:
+		for _, c := range t.Factors {
+			if !AvoidsFalseSharing(c, mu) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// IsFullyOptimized reports whether f is fully optimized for shared memory in
+// the sense of Definition 1: load-balanced for p processors and free of
+// false sharing for cache-line length µ.
+func IsFullyOptimized(f Formula, p, mu int) bool {
+	return IsLoadBalanced(f, p) && AvoidsFalseSharing(f, mu)
+}
+
+// ContainsSMPTag reports whether any smp(p,µ) tag remains in f. The rewriting
+// system is done when the tagged formula has been completely transformed.
+func ContainsSMPTag(f Formula) bool {
+	if _, ok := f.(SMP); ok {
+		return true
+	}
+	for _, c := range f.Children() {
+		if ContainsSMPTag(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports structural equality of two formulas. Diagonals compare by
+// value (within 1e-12), Perm nodes by name and pointwise map.
+func Equal(a, b Formula) bool {
+	switch x := a.(type) {
+	case DFT:
+		y, ok := b.(DFT)
+		return ok && x.N == y.N
+	case WHT:
+		y, ok := b.(WHT)
+		return ok && x.K == y.K
+	case Identity:
+		y, ok := b.(Identity)
+		return ok && x.N == y.N
+	case Stride:
+		y, ok := b.(Stride)
+		return ok && x.N == y.N && x.Str == y.Str
+	case Twiddle:
+		y, ok := b.(Twiddle)
+		return ok && x.M == y.M && x.Nn == y.Nn
+	case Diag:
+		y, ok := b.(Diag)
+		if !ok || len(x.D) != len(y.D) {
+			return false
+		}
+		for i := range x.D {
+			if cmplx.Abs(x.D[i]-y.D[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	case Perm:
+		y, ok := b.(Perm)
+		if !ok || x.N != y.N || x.Name != y.Name {
+			return false
+		}
+		for k := 0; k < x.N; k++ {
+			if x.Src(k) != y.Src(k) {
+				return false
+			}
+		}
+		return true
+	case Tensor:
+		y, ok := b.(Tensor)
+		return ok && Equal(x.A, y.A) && Equal(x.B, y.B)
+	case DirectSum:
+		y, ok := b.(DirectSum)
+		return ok && equalSlices(x.Terms, y.Terms)
+	case Compose:
+		y, ok := b.(Compose)
+		return ok && equalSlices(x.Factors, y.Factors)
+	case SMP:
+		y, ok := b.(SMP)
+		return ok && x.P == y.P && x.Mu == y.Mu && Equal(x.F, y.F)
+	case TensorPar:
+		y, ok := b.(TensorPar)
+		return ok && x.P == y.P && Equal(x.A, y.A)
+	case DirectSumPar:
+		y, ok := b.(DirectSumPar)
+		return ok && equalSlices(x.Terms, y.Terms)
+	case BarTensor:
+		y, ok := b.(BarTensor)
+		return ok && x.Mu == y.Mu && Equal(x.P, y.P)
+	}
+	return false
+}
+
+func equalSlices(a, b []Formula) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountNodes returns the number of nodes in the formula tree (for search
+// heuristics and tests).
+func CountNodes(f Formula) int {
+	n := 1
+	for _, c := range f.Children() {
+		n += CountNodes(c)
+	}
+	return n
+}

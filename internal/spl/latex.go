@@ -1,0 +1,64 @@
+package spl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Latex renders a formula in the paper's mathematical notation, suitable
+// for pasting into a LaTeX document — e.g. formula (14) prints exactly like
+// Figure 2. Diagonal blocks render with their labels as superscripts.
+func Latex(f Formula) string {
+	switch t := f.(type) {
+	case DFT:
+		return fmt.Sprintf(`\mathbf{DFT}_{%d}`, t.N)
+	case WHT:
+		return fmt.Sprintf(`\mathbf{WHT}_{%d}`, t.Size())
+	case Identity:
+		return fmt.Sprintf(`I_{%d}`, t.N)
+	case Stride:
+		return fmt.Sprintf(`L^{%d}_{%d}`, t.N, t.Str)
+	case Twiddle:
+		return fmt.Sprintf(`D_{%d,%d}`, t.M, t.Nn)
+	case Diag:
+		if i := strings.IndexByte(t.Label, '['); i > 0 {
+			// "D_{m,n}[i/p]" → D^{(i)}_{m,n}
+			base := t.Label[:i]
+			idx := strings.TrimSuffix(t.Label[i+1:], "]")
+			if j := strings.IndexByte(idx, '/'); j > 0 {
+				idx = idx[:j]
+			}
+			return fmt.Sprintf(`%s^{(%s)}`, base, idx)
+		}
+		return fmt.Sprintf(`\mathrm{diag}_{%d}`, len(t.D))
+	case Perm:
+		return fmt.Sprintf(`%s_{%d}`, t.Name, t.N)
+	case Tensor:
+		return fmt.Sprintf(`\left(%s \otimes %s\right)`, Latex(t.A), Latex(t.B))
+	case TensorPar:
+		return fmt.Sprintf(`\left(I_{%d} \otimes_{\parallel} %s\right)`, t.P, Latex(t.A))
+	case BarTensor:
+		return fmt.Sprintf(`\left(%s \,\bar{\otimes}\, I_{%d}\right)`, Latex(t.P), t.Mu)
+	case DirectSum:
+		return joinLatex(t.Terms, ` \oplus `)
+	case DirectSumPar:
+		return fmt.Sprintf(`\bigoplus_{i=0}^{%d}{}^{\parallel}\, %s`, len(t.Terms)-1, Latex(t.Terms[0]))
+	case Compose:
+		parts := make([]string, len(t.Factors))
+		for i, c := range t.Factors {
+			parts[i] = Latex(c)
+		}
+		return strings.Join(parts, ` \cdot `)
+	case SMP:
+		return fmt.Sprintf(`\underbrace{%s}_{\mathrm{smp}(%d,%d)}`, Latex(t.F), t.P, t.Mu)
+	}
+	return f.String()
+}
+
+func joinLatex(terms []Formula, sep string) string {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		parts[i] = Latex(t)
+	}
+	return `\left(` + strings.Join(parts, sep) + `\right)`
+}

@@ -1,0 +1,37 @@
+package spl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatexRendering(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want []string
+	}{
+		{NewDFT(16), []string{`\mathbf{DFT}_{16}`}},
+		{NewWHT(3), []string{`\mathbf{WHT}_{8}`}},
+		{NewStride(16, 4), []string{`L^{16}_{4}`}},
+		{NewTwiddle(4, 4), []string{`D_{4,4}`}},
+		{NewTensor(NewDFT(4), NewIdentity(4)), []string{`\otimes`, `I_{4}`}},
+		{NewTensorPar(2, NewDFT(8)), []string{`\otimes_{\parallel}`}},
+		{NewBarTensor(NewStride(4, 2), 4), []string{`\bar{\otimes}`, `I_{4}`}},
+		{NewSMP(2, 4, NewDFT(8)), []string{`\underbrace`, `\mathrm{smp}(2,4)`}},
+		{NewDiag([]complex128{1, 1}, "D_{4,4}[1/2]"), []string{`D_{4,4}^{(1)}`}},
+		{NewDirectSumPar(NewDiag([]complex128{1, 1}, "D_{2,2}[0/2]"), NewDiag([]complex128{1, 1}, "D_{2,2}[1/2]")),
+			[]string{`\bigoplus`, `{}^{\parallel}`}},
+		{NewCompose(NewDFT(4), NewIdentity(4)), []string{`\cdot`}},
+		{NewDirectSum(NewDFT(2), NewDFT(2)), []string{`\oplus`}},
+		{NewPerm(4, func(i int) int { return i }, "R"), []string{`R_{4}`}},
+		{NewDiag([]complex128{1}, ""), []string{`\mathrm{diag}_{1}`}},
+	}
+	for _, c := range cases {
+		got := Latex(c.f)
+		for _, w := range c.want {
+			if !strings.Contains(got, w) {
+				t.Errorf("Latex(%s) = %q missing %q", c.f.String(), got, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package spl implements the Signal Processing Language (SPL) formula
+// representation used by Spiral: expression trees over structured sparse
+// matrices (DFTs, identities, stride permutations, twiddle diagonals, tensor
+// products, direct sums, and matrix products).
+//
+// A Formula denotes a complex matrix. Every node knows how to apply itself to
+// a vector (reference semantics), so any formula can be checked against any
+// other by matrix or vector equality — this is how the rewriting rules and
+// the executors are validated.
+//
+// The package also defines the paper's shared-memory extension: the
+// smp(p, µ) tag and the fully optimized parallel constructs
+//
+//	I_p ⊗∥ A        (TensorPar)    — p independent equal blocks
+//	⊕∥ A_i          (DirectSumPar) — p independent blocks
+//	P ⊗̄ I_µ         (BarTensor)    — permutation at cache-line granularity
+//
+// together with the Definition-1 predicates IsLoadBalanced,
+// AvoidsFalseSharing and IsFullyOptimized.
+package spl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Formula is a node of an SPL expression tree denoting a square complex matrix.
+type Formula interface {
+	// Size returns the dimension of the (square) matrix.
+	Size() int
+	// String renders the formula in the paper's notation.
+	String() string
+	// Children returns the direct subformulas (nil for leaves).
+	Children() []Formula
+	// WithChildren rebuilds the node with replaced subformulas; the slice
+	// must have the same length as Children().
+	WithChildren(ch []Formula) Formula
+	// Apply computes dst = F · src. len(dst) == len(src) == Size().
+	// dst and src must not alias.
+	Apply(dst, src []complex128)
+}
+
+// ---------------------------------------------------------------------------
+// Leaves
+
+// DFT is the discrete Fourier transform matrix DFT_n = [ω_n^{kl}].
+type DFT struct{ N int }
+
+// NewDFT returns DFT_n.
+func NewDFT(n int) DFT {
+	if n < 1 {
+		panic(fmt.Sprintf("spl: DFT size %d", n))
+	}
+	return DFT{n}
+}
+
+func (f DFT) Size() int                        { return f.N }
+func (f DFT) String() string                   { return fmt.Sprintf("DFT_%d", f.N) }
+func (f DFT) Children() []Formula              { return nil }
+func (f DFT) WithChildren(c []Formula) Formula { mustLen(c, 0); return f }
+
+// Identity is the n×n identity matrix I_n.
+type Identity struct{ N int }
+
+// NewIdentity returns I_n.
+func NewIdentity(n int) Identity {
+	if n < 1 {
+		panic(fmt.Sprintf("spl: Identity size %d", n))
+	}
+	return Identity{n}
+}
+
+func (f Identity) Size() int                        { return f.N }
+func (f Identity) String() string                   { return fmt.Sprintf("I_%d", f.N) }
+func (f Identity) Children() []Formula              { return nil }
+func (f Identity) WithChildren(c []Formula) Formula { mustLen(c, 0); return f }
+
+// Stride is the stride permutation L^{Size}_{Str}, the paper's L^{mn}_m with
+// m = Str and n = Size/Str. Viewing the input as an n × m matrix stored in
+// row-major order, L^{mn}_m performs a transposition: output position
+// i·n + j (0 ≤ i < m, 0 ≤ j < n) receives input element j·m + i. Equivalently
+// the output reads the input with stride m: y interleaves the m congruence
+// classes of input indices mod m.
+type Stride struct{ N, Str int }
+
+// NewStride returns L^{n}_{s}; s must divide n.
+func NewStride(n, s int) Stride {
+	if n < 1 || s < 1 || n%s != 0 {
+		panic(fmt.Sprintf("spl: invalid stride permutation L^%d_%d", n, s))
+	}
+	return Stride{n, s}
+}
+
+func (f Stride) Size() int                        { return f.N }
+func (f Stride) String() string                   { return fmt.Sprintf("L^%d_%d", f.N, f.Str) }
+func (f Stride) Children() []Formula              { return nil }
+func (f Stride) WithChildren(c []Formula) Formula { mustLen(c, 0); return f }
+
+// SrcIndex returns the input index feeding output position k: with m = Str
+// and n = Size/Str, output k = i·n + j reads input j·m + i.
+func (f Stride) SrcIndex(k int) int {
+	m := f.Str
+	n := f.N / f.Str
+	j := k % n
+	i := k / n
+	return j*m + i
+}
+
+// Twiddle is the Cooley-Tukey twiddle diagonal D_{M,N} of size M·N with
+// entry ω_{MN}^{i·j} at position i·N + j.
+type Twiddle struct{ M, Nn int }
+
+// NewTwiddle returns D_{m,n}.
+func NewTwiddle(m, n int) Twiddle {
+	if m < 1 || n < 1 {
+		panic(fmt.Sprintf("spl: invalid twiddle D_{%d,%d}", m, n))
+	}
+	return Twiddle{m, n}
+}
+
+func (f Twiddle) Size() int                        { return f.M * f.Nn }
+func (f Twiddle) String() string                   { return fmt.Sprintf("D_{%d,%d}", f.M, f.Nn) }
+func (f Twiddle) Children() []Formula              { return nil }
+func (f Twiddle) WithChildren(c []Formula) Formula { mustLen(c, 0); return f }
+
+// Diag is a generic diagonal matrix with explicit entries. Rule (11) splits
+// twiddle diagonals into direct sums of Diag blocks.
+type Diag struct {
+	D []complex128
+	// Label is used for printing and structural comparison (e.g. "D_{4,8}[2]"
+	// for the third block of a split twiddle diagonal).
+	Label string
+}
+
+// NewDiag returns diag(d) with the given print label.
+func NewDiag(d []complex128, label string) Diag {
+	if len(d) == 0 {
+		panic("spl: empty diagonal")
+	}
+	return Diag{d, label}
+}
+
+func (f Diag) Size() int { return len(f.D) }
+func (f Diag) String() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return fmt.Sprintf("diag_%d", len(f.D))
+}
+func (f Diag) Children() []Formula              { return nil }
+func (f Diag) WithChildren(c []Formula) Formula { mustLen(c, 0); return f }
+
+// Perm is a generic permutation matrix given by an explicit output←input map:
+// y[k] = x[Src(k)]. Name is used for printing and structural comparison.
+type Perm struct {
+	N    int
+	Src  func(int) int
+	Name string
+}
+
+// NewPerm returns the permutation of size n with the given source map.
+func NewPerm(n int, src func(int) int, name string) Perm {
+	if n < 1 || src == nil {
+		panic("spl: invalid permutation")
+	}
+	return Perm{n, src, name}
+}
+
+func (f Perm) Size() int                        { return f.N }
+func (f Perm) String() string                   { return fmt.Sprintf("%s_%d", f.Name, f.N) }
+func (f Perm) Children() []Formula              { return nil }
+func (f Perm) WithChildren(c []Formula) Formula { mustLen(c, 0); return f }
+
+// ---------------------------------------------------------------------------
+// Composite nodes
+
+// Tensor is the Kronecker product A ⊗ B.
+type Tensor struct{ A, B Formula }
+
+// NewTensor returns A ⊗ B.
+func NewTensor(a, b Formula) Tensor { return Tensor{a, b} }
+
+func (f Tensor) Size() int { return f.A.Size() * f.B.Size() }
+func (f Tensor) String() string {
+	return fmt.Sprintf("(%s ⊗ %s)", f.A.String(), f.B.String())
+}
+func (f Tensor) Children() []Formula { return []Formula{f.A, f.B} }
+func (f Tensor) WithChildren(c []Formula) Formula {
+	mustLen(c, 2)
+	return Tensor{c[0], c[1]}
+}
+
+// DirectSum is the block-diagonal matrix A_0 ⊕ A_1 ⊕ ... ⊕ A_{k-1}.
+type DirectSum struct{ Terms []Formula }
+
+// NewDirectSum returns ⊕ terms.
+func NewDirectSum(terms ...Formula) DirectSum {
+	if len(terms) == 0 {
+		panic("spl: empty direct sum")
+	}
+	return DirectSum{terms}
+}
+
+func (f DirectSum) Size() int {
+	s := 0
+	for _, t := range f.Terms {
+		s += t.Size()
+	}
+	return s
+}
+func (f DirectSum) String() string {
+	parts := make([]string, len(f.Terms))
+	for i, t := range f.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " ⊕ ") + ")"
+}
+func (f DirectSum) Children() []Formula { return f.Terms }
+func (f DirectSum) WithChildren(c []Formula) Formula {
+	mustLen(c, len(f.Terms))
+	return DirectSum{c}
+}
+
+// Compose is the matrix product Factors[0] · Factors[1] · ... applied right
+// to left: the last factor touches the input first.
+type Compose struct{ Factors []Formula }
+
+// NewCompose returns the product of the factors; all sizes must agree.
+// Nested Compose nodes are flattened, so products stay in the normal form
+// the rewriting rules pattern-match on.
+func NewCompose(factors ...Formula) Formula {
+	flat := make([]Formula, 0, len(factors))
+	for _, f := range factors {
+		if c, ok := f.(Compose); ok {
+			flat = append(flat, c.Factors...)
+		} else {
+			flat = append(flat, f)
+		}
+	}
+	if len(flat) == 0 {
+		panic("spl: empty product")
+	}
+	n := flat[0].Size()
+	for _, f := range flat[1:] {
+		if f.Size() != n {
+			panic(fmt.Sprintf("spl: product size mismatch: %d vs %d in %s", f.Size(), n, f.String()))
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return Compose{flat}
+}
+
+func (f Compose) Size() int { return f.Factors[0].Size() }
+func (f Compose) String() string {
+	parts := make([]string, len(f.Factors))
+	for i, t := range f.Factors {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " · ")
+}
+func (f Compose) Children() []Formula { return f.Factors }
+func (f Compose) WithChildren(c []Formula) Formula {
+	mustLen(c, len(f.Factors))
+	return NewCompose(c...)
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory tags and parallel constructs
+
+// SMP tags a subformula for rewriting toward a p-way shared-memory machine
+// with cache-line length Mu (in complex elements): the paper's  A|smp(p,µ).
+type SMP struct {
+	P, Mu int
+	F     Formula
+}
+
+// NewSMP tags f with smp(p, µ).
+func NewSMP(p, mu int, f Formula) SMP {
+	if p < 1 || mu < 1 {
+		panic(fmt.Sprintf("spl: invalid smp(%d,%d) tag", p, mu))
+	}
+	return SMP{p, mu, f}
+}
+
+func (f SMP) Size() int { return f.F.Size() }
+func (f SMP) String() string {
+	return fmt.Sprintf("[%s]_smp(%d,%d)", f.F.String(), f.P, f.Mu)
+}
+func (f SMP) Children() []Formula { return []Formula{f.F} }
+func (f SMP) WithChildren(c []Formula) Formula {
+	mustLen(c, 1)
+	return SMP{f.P, f.Mu, c[0]}
+}
+
+// TensorPar is the fully optimized parallel tensor I_p ⊗∥ A: p independent
+// instances of A, one per processor.
+type TensorPar struct {
+	P int
+	A Formula
+}
+
+// NewTensorPar returns I_p ⊗∥ a.
+func NewTensorPar(p int, a Formula) TensorPar {
+	if p < 1 {
+		panic("spl: TensorPar with p < 1")
+	}
+	return TensorPar{p, a}
+}
+
+func (f TensorPar) Size() int { return f.P * f.A.Size() }
+func (f TensorPar) String() string {
+	return fmt.Sprintf("(I_%d ⊗∥ %s)", f.P, f.A.String())
+}
+func (f TensorPar) Children() []Formula { return []Formula{f.A} }
+func (f TensorPar) WithChildren(c []Formula) Formula {
+	mustLen(c, 1)
+	return TensorPar{f.P, c[0]}
+}
+
+// DirectSumPar is the fully optimized parallel direct sum ⊕∥ A_i: block i is
+// executed by processor i.
+type DirectSumPar struct{ Terms []Formula }
+
+// NewDirectSumPar returns ⊕∥ terms.
+func NewDirectSumPar(terms ...Formula) DirectSumPar {
+	if len(terms) == 0 {
+		panic("spl: empty parallel direct sum")
+	}
+	return DirectSumPar{terms}
+}
+
+func (f DirectSumPar) Size() int { return DirectSum{f.Terms}.Size() }
+func (f DirectSumPar) String() string {
+	parts := make([]string, len(f.Terms))
+	for i, t := range f.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " ⊕∥ ") + ")"
+}
+func (f DirectSumPar) Children() []Formula { return f.Terms }
+func (f DirectSumPar) WithChildren(c []Formula) Formula {
+	mustLen(c, len(f.Terms))
+	return DirectSumPar{c}
+}
+
+// BarTensor is the cache-line tensor P ⊗̄ I_µ: the permutation P applied to
+// blocks of µ consecutive elements, so only whole cache lines move between
+// processors (no false sharing).
+type BarTensor struct {
+	P  Formula // must denote a permutation
+	Mu int
+}
+
+// NewBarTensor returns p ⊗̄ I_µ; p must be a permutation formula.
+func NewBarTensor(p Formula, mu int) BarTensor {
+	if mu < 1 {
+		panic("spl: BarTensor with µ < 1")
+	}
+	if !IsPermutation(p) {
+		panic(fmt.Sprintf("spl: BarTensor over non-permutation %s", p.String()))
+	}
+	return BarTensor{p, mu}
+}
+
+func (f BarTensor) Size() int { return f.P.Size() * f.Mu }
+func (f BarTensor) String() string {
+	return fmt.Sprintf("(%s ⊗̄ I_%d)", f.P.String(), f.Mu)
+}
+func (f BarTensor) Children() []Formula { return []Formula{f.P} }
+func (f BarTensor) WithChildren(c []Formula) Formula {
+	mustLen(c, 1)
+	return BarTensor{c[0], f.Mu}
+}
+
+func mustLen(c []Formula, n int) {
+	if len(c) != n {
+		panic(fmt.Sprintf("spl: WithChildren got %d children, want %d", len(c), n))
+	}
+}

@@ -1,0 +1,235 @@
+package spl
+
+import (
+	"strings"
+	"testing"
+
+	"spiralfft/internal/complexvec"
+)
+
+// Additional coverage: constructor validation, Perm nodes, Twiddle/Diag
+// apply paths, Equal across all node kinds, and WithChildren on every
+// composite.
+
+func expectPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}
+
+func TestConstructorValidation(t *testing.T) {
+	expectPanic(t, "NewDFT(0)", func() { NewDFT(0) })
+	expectPanic(t, "NewIdentity(0)", func() { NewIdentity(0) })
+	expectPanic(t, "NewStride bad divisor", func() { NewStride(6, 4) })
+	expectPanic(t, "NewStride zero", func() { NewStride(0, 1) })
+	expectPanic(t, "NewTwiddle", func() { NewTwiddle(0, 4) })
+	expectPanic(t, "NewDiag empty", func() { NewDiag(nil, "d") })
+	expectPanic(t, "NewPerm nil", func() { NewPerm(4, nil, "p") })
+	expectPanic(t, "NewPerm zero", func() { NewPerm(0, func(i int) int { return i }, "p") })
+	expectPanic(t, "NewDirectSum empty", func() { NewDirectSum() })
+	expectPanic(t, "NewDirectSumPar empty", func() { NewDirectSumPar() })
+	expectPanic(t, "NewCompose empty", func() { NewCompose() })
+	expectPanic(t, "NewSMP bad p", func() { NewSMP(0, 4, NewDFT(2)) })
+	expectPanic(t, "NewSMP bad mu", func() { NewSMP(2, 0, NewDFT(2)) })
+	expectPanic(t, "NewTensorPar bad p", func() { NewTensorPar(0, NewDFT(2)) })
+	expectPanic(t, "NewBarTensor bad mu", func() { NewBarTensor(NewIdentity(2), 0) })
+	expectPanic(t, "NewBarTensor non-perm", func() { NewBarTensor(NewDFT(2), 2) })
+}
+
+func TestPermNodeApplyAndString(t *testing.T) {
+	// Bit-reversal permutation of size 8 as an explicit Perm.
+	rev3 := func(k int) int {
+		return ((k & 1) << 2) | (k & 2) | ((k & 4) >> 2)
+	}
+	p := NewPerm(8, rev3, "R")
+	if p.Size() != 8 || p.String() != "R_8" || p.Children() != nil {
+		t.Errorf("Perm basics wrong: %s", p.String())
+	}
+	x := complexvec.Random(8, 1)
+	y := applyTo(p, x)
+	for k := 0; k < 8; k++ {
+		if y[k] != x[rev3(k)] {
+			t.Errorf("Perm apply wrong at %d", k)
+		}
+	}
+	if !IsPermutation(p) {
+		t.Error("Perm not recognized as permutation")
+	}
+	src := PermSource(p)
+	if src(3) != rev3(3) {
+		t.Error("PermSource wrong for Perm")
+	}
+	// Equal compares name and pointwise map.
+	q := NewPerm(8, rev3, "R")
+	if !Equal(p, q) {
+		t.Error("identical Perms not Equal")
+	}
+	r := NewPerm(8, func(k int) int { return k }, "R")
+	if Equal(p, r) {
+		t.Error("different maps Equal")
+	}
+}
+
+func TestDiagStringAndWithChildren(t *testing.T) {
+	d := NewDiag([]complex128{1, 2}, "")
+	if d.String() != "diag_2" {
+		t.Errorf("unlabeled diag String = %q", d.String())
+	}
+	if d.WithChildren(nil).Size() != 2 {
+		t.Error("Diag.WithChildren broken")
+	}
+	tw := NewTwiddle(2, 3)
+	if tw.Children() != nil || tw.WithChildren(nil).Size() != 6 {
+		t.Error("Twiddle children handling broken")
+	}
+}
+
+func TestWithChildrenAllComposites(t *testing.T) {
+	a := NewDFT(2)
+	b := NewIdentity(2)
+	cases := []struct {
+		f    Formula
+		kids []Formula
+	}{
+		{NewTensor(a, b), []Formula{b, a}},
+		{NewDirectSum(a, b), []Formula{b, a}},
+		{NewCompose(NewDFT(4), NewIdentity(4)), []Formula{NewIdentity(4), NewDFT(4)}},
+		{NewSMP(2, 4, a), []Formula{b}},
+		{NewTensorPar(2, a), []Formula{NewDFT(4)}},
+		{NewDirectSumPar(a, a), []Formula{b, b}},
+		{NewBarTensor(NewStride(4, 2), 2), []Formula{NewStride(4, 2)}},
+	}
+	for _, c := range cases {
+		g := c.f.WithChildren(c.kids)
+		if g.Size() < 1 {
+			t.Errorf("%s: rebuild has bad size", c.f.String())
+		}
+		if len(g.Children()) != len(c.kids) {
+			t.Errorf("%s: children count changed", c.f.String())
+		}
+	}
+	// Wrong child count panics.
+	expectPanic(t, "WithChildren count", func() {
+		NewTensor(a, b).WithChildren([]Formula{a})
+	})
+}
+
+func TestApplyDimensionMismatchPanics(t *testing.T) {
+	expectPanic(t, "Apply dims", func() {
+		NewDFT(4).Apply(make([]complex128, 3), make([]complex128, 4))
+	})
+}
+
+func TestEqualCrossKindAndComposites(t *testing.T) {
+	kinds := []Formula{
+		NewDFT(4),
+		NewIdentity(4),
+		NewStride(4, 2),
+		NewTwiddle(2, 2),
+		NewDiag([]complex128{1, 1, 1, 1}, "d"),
+		NewPerm(4, func(k int) int { return k }, "P"),
+		NewTensor(NewDFT(2), NewIdentity(2)),
+		NewDirectSum(NewDFT(2), NewDFT(2)),
+		NewCompose(NewIdentity(4), NewDFT(4)),
+		NewSMP(2, 2, NewDFT(4)),
+		NewTensorPar(2, NewDFT(2)),
+		NewDirectSumPar(NewDFT(2), NewDFT(2)),
+		NewBarTensor(NewStride(2, 2), 2),
+	}
+	for i, a := range kinds {
+		for j, b := range kinds {
+			if (i == j) != Equal(a, b) {
+				t.Errorf("Equal(%s, %s) = %v", a.String(), b.String(), Equal(a, b))
+			}
+		}
+	}
+	// Same kind, different parameter.
+	if Equal(NewTwiddle(2, 2), NewTwiddle(4, 1)) {
+		t.Error("different twiddles Equal")
+	}
+	if Equal(NewSMP(2, 2, NewDFT(4)), NewSMP(2, 4, NewDFT(4))) {
+		t.Error("different tags Equal")
+	}
+	if Equal(NewTensorPar(2, NewDFT(2)), NewTensorPar(4, NewDFT(2))) {
+		t.Error("different TensorPar p Equal")
+	}
+	if Equal(NewBarTensor(NewStride(2, 2), 2), NewBarTensor(NewStride(2, 2), 4)) {
+		t.Error("different BarTensor µ Equal")
+	}
+	if Equal(NewDirectSum(NewDFT(2)), NewDirectSum(NewDFT(2), NewDFT(2))) {
+		t.Error("different direct sum lengths Equal")
+	}
+}
+
+func TestAvoidsFalseSharingEdgeCases(t *testing.T) {
+	// TensorPar block not multiple of µ.
+	if AvoidsFalseSharing(NewTensorPar(2, NewDFT(6)), 4) {
+		t.Error("6-element blocks should not be µ=4 clean")
+	}
+	// Compose with one dirty factor.
+	f := NewCompose(
+		NewTensorPar(2, NewDFT(8)),
+		NewDirectSumPar(NewDFT(6), NewDFT(10)),
+	)
+	if AvoidsFalseSharing(f, 4) {
+		t.Error("dirty factor not detected")
+	}
+	// I_m ⊗ A recursion.
+	g := NewTensor(NewIdentity(3), NewTensorPar(2, NewDFT(8)))
+	if !AvoidsFalseSharing(g, 4) {
+		t.Error("I ⊗ clean construct rejected")
+	}
+	// DFT (not in the grammar) is not clean.
+	if AvoidsFalseSharing(NewDFT(8), 4) {
+		t.Error("bare DFT accepted")
+	}
+}
+
+func TestDirectSumParString(t *testing.T) {
+	s := NewDirectSumPar(NewDFT(2), NewDFT(2)).String()
+	if !strings.Contains(s, "⊕∥") {
+		t.Errorf("DirectSumPar String = %q", s)
+	}
+	s2 := NewDirectSum(NewDFT(2), NewIdentity(2)).String()
+	if !strings.Contains(s2, "⊕") {
+		t.Errorf("DirectSum String = %q", s2)
+	}
+}
+
+func TestIsPermutationComposites(t *testing.T) {
+	// BarTensor over a perm is a permutation.
+	if !IsPermutation(NewBarTensor(NewStride(4, 2), 2)) {
+		t.Error("BarTensor perm not recognized")
+	}
+	// Compose with one non-perm factor.
+	if IsPermutation(NewCompose(NewStride(4, 2), NewDFT(4))) {
+		t.Error("compose with DFT recognized as permutation")
+	}
+	// DirectSum with non-perm term.
+	if IsPermutation(NewDirectSum(NewStride(4, 2), NewDFT(4))) {
+		t.Error("direct sum with DFT recognized as permutation")
+	}
+	// SMP tag is not a permutation node (it is transparent but unhandled).
+	if IsPermutation(NewSMP(2, 2, NewStride(4, 2))) {
+		t.Error("tagged stride recognized as permutation")
+	}
+}
+
+func TestPermSourcePanicsOnNonPermutation(t *testing.T) {
+	expectPanic(t, "PermSource(DFT)", func() { PermSource(NewDFT(4)) })
+}
+
+func TestIsLoadBalancedEdgeCases(t *testing.T) {
+	// Tensor with non-identity left is not form (5).
+	if IsLoadBalanced(NewTensor(NewDFT(2), NewTensorPar(2, NewDFT(2))), 2) {
+		t.Error("A ⊗ B with A ≠ I accepted")
+	}
+	// SMP tag is not load balanced (rewriting unfinished).
+	if IsLoadBalanced(NewSMP(2, 2, NewDFT(4)), 2) {
+		t.Error("tagged formula accepted")
+	}
+}

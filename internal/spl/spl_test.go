@@ -1,0 +1,431 @@
+package spl
+
+import (
+	"math/cmplx"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/twiddle"
+)
+
+const tol = 1e-11
+
+// applyTo is a convenience wrapper returning F·x as a fresh vector.
+func applyTo(f Formula, x []complex128) []complex128 {
+	y := make([]complex128, f.Size())
+	f.Apply(y, x)
+	return y
+}
+
+func TestIdentityApply(t *testing.T) {
+	x := complexvec.Random(8, 1)
+	y := applyTo(NewIdentity(8), x)
+	if complexvec.MaxError(x, y) != 0 {
+		t.Error("identity changed the vector")
+	}
+}
+
+func TestDFTMatchesDefinitionAndKnownValues(t *testing.T) {
+	// DFT_2 = [[1,1],[1,-1]].
+	m := Matrix(NewDFT(2))
+	want := [][]complex128{{1, 1}, {1, -1}}
+	for i := range want {
+		for j := range want[i] {
+			if cmplx.Abs(m[i][j]-want[i][j]) > tol {
+				t.Errorf("DFT_2[%d][%d] = %v", i, j, m[i][j])
+			}
+		}
+	}
+	// DFT_4 row 1 = [1, -i, -1, i].
+	m4 := Matrix(NewDFT(4))
+	want4 := []complex128{1, -1i, -1, 1i}
+	for j, w := range want4 {
+		if cmplx.Abs(m4[1][j]-w) > tol {
+			t.Errorf("DFT_4[1][%d] = %v, want %v", j, m4[1][j], w)
+		}
+	}
+}
+
+func TestStridePermutationTransposes(t *testing.T) {
+	// L^6_2 transposes the input viewed as a 3×2 row-major matrix: the
+	// output interleaves the two congruence classes of indices mod 2.
+	l := NewStride(6, 2)
+	x := []complex128{0, 1, 2, 3, 4, 5}
+	y := applyTo(l, x)
+	// y[i*3+j] = x[j*2+i]
+	want := []complex128{0, 2, 4, 1, 3, 5}
+	for k := range want {
+		if y[k] != want[k] {
+			t.Errorf("L^6_2: y[%d] = %v, want %v", k, y[k], want[k])
+		}
+	}
+}
+
+func TestStrideInverse(t *testing.T) {
+	// L^{mn}_m · L^{mn}_n = I.
+	for _, mn := range [][2]int{{2, 4}, {4, 4}, {2, 8}, {3, 5}} {
+		m, n := mn[0], mn[1]
+		f := NewCompose(NewStride(m*n, m), NewStride(m*n, n))
+		x := complexvec.Random(m*n, 9)
+		y := applyTo(f, x)
+		if complexvec.MaxError(x, y) != 0 {
+			t.Errorf("L^%d_%d · L^%d_%d != I", m*n, m, m*n, n)
+		}
+	}
+}
+
+func TestTwiddleApply(t *testing.T) {
+	m, n := 4, 2
+	f := NewTwiddle(m, n)
+	x := complexvec.Random(m*n, 3)
+	y := applyTo(f, x)
+	d := twiddle.D(m, n)
+	for i := range x {
+		if cmplx.Abs(y[i]-d[i]*x[i]) > tol {
+			t.Errorf("Twiddle[%d] mismatch", i)
+		}
+	}
+}
+
+func TestTensorAgainstDenseKronecker(t *testing.T) {
+	// Compare (A ⊗ B) against the explicit Kronecker product of the dense
+	// matrices for non-trivial A, B.
+	a := NewDFT(3)
+	b := NewDFT(2)
+	ten := NewTensor(a, b)
+	ma, mb := Matrix(a), Matrix(b)
+	mt := Matrix(ten)
+	na, nb := a.Size(), b.Size()
+	for i := 0; i < na*nb; i++ {
+		for j := 0; j < na*nb; j++ {
+			want := ma[i/nb][j/nb] * mb[i%nb][j%nb]
+			if cmplx.Abs(mt[i][j]-want) > tol {
+				t.Fatalf("(A⊗B)[%d][%d] = %v, want %v", i, j, mt[i][j], want)
+			}
+		}
+	}
+}
+
+func TestCooleyTukeyFormulaEqualsDFT(t *testing.T) {
+	// DFT_{mn} = (DFT_m ⊗ I_n) D_{m,n} (I_m ⊗ DFT_n) L^{mn}_m  — rule (1).
+	for _, mn := range [][2]int{{2, 2}, {2, 4}, {4, 2}, {4, 4}, {3, 5}, {8, 4}} {
+		m, n := mn[0], mn[1]
+		ct := NewCompose(
+			NewTensor(NewDFT(m), NewIdentity(n)),
+			NewTwiddle(m, n),
+			NewTensor(NewIdentity(m), NewDFT(n)),
+			NewStride(m*n, m),
+		)
+		x := complexvec.Random(m*n, uint64(m*n))
+		got := applyTo(ct, x)
+		want := applyTo(NewDFT(m*n), x)
+		if e := complexvec.RelError(got, want); e > tol {
+			t.Errorf("CT %dx%d: rel error %g", m, n, e)
+		}
+	}
+}
+
+func TestRecursiveFormulaDFT8(t *testing.T) {
+	// Equation (2) of the paper: the complete DFT_8 formula from two
+	// applications of the Cooley-Tukey rule.
+	inner := NewCompose(
+		NewTensor(NewDFT(2), NewIdentity(2)),
+		NewTwiddle(2, 2),
+		NewTensor(NewIdentity(2), NewDFT(2)),
+		NewStride(4, 2),
+	)
+	f := NewCompose(
+		NewTensor(NewDFT(2), NewIdentity(4)),
+		NewTwiddle(2, 4),
+		NewTensor(NewIdentity(2), inner),
+		NewStride(8, 2),
+	)
+	x := complexvec.Random(8, 17)
+	got := applyTo(f, x)
+	want := applyTo(NewDFT(8), x)
+	if e := complexvec.RelError(got, want); e > tol {
+		t.Errorf("equation (2): rel error %g", e)
+	}
+}
+
+func TestSixStepFormulaEqualsDFT(t *testing.T) {
+	// Rule (3): DFT_{mn} = L^{mn}_m (I_n ⊗ DFT_m) L^{mn}_n D_{m,n} (I_m ⊗ DFT_n) L^{mn}_m.
+	for _, mn := range [][2]int{{4, 4}, {2, 8}, {4, 8}} {
+		m, n := mn[0], mn[1]
+		f := NewCompose(
+			NewStride(m*n, m),
+			NewTensor(NewIdentity(n), NewDFT(m)),
+			NewStride(m*n, n),
+			NewTwiddle(m, n),
+			NewTensor(NewIdentity(m), NewDFT(n)),
+			NewStride(m*n, m),
+		)
+		x := complexvec.Random(m*n, 23)
+		got := applyTo(f, x)
+		want := applyTo(NewDFT(m*n), x)
+		if e := complexvec.RelError(got, want); e > tol {
+			t.Errorf("six-step %dx%d: rel error %g", m, n, e)
+		}
+	}
+}
+
+func TestDirectSumApply(t *testing.T) {
+	f := NewDirectSum(NewDFT(2), NewIdentity(3), NewDFT(3))
+	if f.Size() != 8 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	x := complexvec.Random(8, 5)
+	y := applyTo(f, x)
+	y0 := applyTo(NewDFT(2), x[:2])
+	y2 := applyTo(NewDFT(3), x[5:])
+	for i := 0; i < 2; i++ {
+		if cmplx.Abs(y[i]-y0[i]) > tol {
+			t.Error("block 0 mismatch")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if y[2+i] != x[2+i] {
+			t.Error("identity block mismatch")
+		}
+		if cmplx.Abs(y[5+i]-y2[i]) > tol {
+			t.Error("block 2 mismatch")
+		}
+	}
+}
+
+func TestParallelConstructsMatchPlainSemantics(t *testing.T) {
+	a := NewDFT(4)
+	x := complexvec.Random(8, 7)
+	par := applyTo(NewTensorPar(2, a), x)
+	plain := applyTo(NewTensor(NewIdentity(2), a), x)
+	if complexvec.MaxError(par, plain) > tol {
+		t.Error("TensorPar != I_p ⊗ A")
+	}
+	ds := applyTo(NewDirectSumPar(a, a), x)
+	if complexvec.MaxError(ds, plain) > tol {
+		t.Error("DirectSumPar != blockdiag")
+	}
+	bt := applyTo(NewBarTensor(NewStride(4, 2), 2), x)
+	pl := applyTo(NewTensor(NewStride(4, 2), NewIdentity(2)), x)
+	if complexvec.MaxError(bt, pl) > tol {
+		t.Error("BarTensor != P ⊗ I_µ")
+	}
+	// SMP tags are semantically transparent.
+	sm := applyTo(NewSMP(2, 4, a), x[:4])
+	pn := applyTo(a, x[:4])
+	if complexvec.MaxError(sm, pn) > tol {
+		t.Error("SMP tag changed semantics")
+	}
+}
+
+func TestComposeFlattensAndValidates(t *testing.T) {
+	f := NewCompose(NewIdentity(4), NewCompose(NewIdentity(4), NewIdentity(4)))
+	c, ok := f.(Compose)
+	if !ok || len(c.Factors) != 3 {
+		t.Fatalf("Compose not flattened: %v", f)
+	}
+	if g := NewCompose(NewIdentity(4)); g.Size() != 4 {
+		t.Error("singleton compose broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected size-mismatch panic")
+		}
+	}()
+	NewCompose(NewIdentity(4), NewIdentity(8))
+}
+
+func TestStringRendering(t *testing.T) {
+	f := NewSMP(2, 4, NewCompose(
+		NewTensor(NewDFT(4), NewIdentity(4)),
+		NewTwiddle(4, 4),
+		NewStride(16, 4),
+	))
+	s := f.String()
+	for _, want := range []string{"DFT_4", "I_4", "D_{4,4}", "L^16_4", "smp(2,4)", "⊗", "·"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	bt := NewBarTensor(NewStride(4, 2), 4)
+	if !strings.Contains(bt.String(), "⊗̄") {
+		t.Errorf("BarTensor String = %q", bt.String())
+	}
+	tp := NewTensorPar(2, NewDFT(4))
+	if !strings.Contains(tp.String(), "⊗∥") {
+		t.Errorf("TensorPar String = %q", tp.String())
+	}
+}
+
+func TestIsPermutationAndPermSource(t *testing.T) {
+	perm := NewCompose(
+		NewTensor(NewStride(4, 2), NewIdentity(2)),
+		NewStride(8, 4),
+	)
+	if !IsPermutation(perm) {
+		t.Fatal("composition of permutations not recognized")
+	}
+	if IsPermutation(NewDFT(4)) {
+		t.Fatal("DFT recognized as permutation")
+	}
+	if IsPermutation(NewTensor(NewDFT(2), NewIdentity(2))) {
+		t.Fatal("tensor with DFT recognized as permutation")
+	}
+	// PermSource must agree with Apply.
+	src := PermSource(perm)
+	x := complexvec.Random(8, 3)
+	y := applyTo(perm, x)
+	for k := 0; k < 8; k++ {
+		if y[k] != x[src(k)] {
+			t.Errorf("PermSource disagrees with Apply at %d", k)
+		}
+	}
+	// DirectSum of permutations.
+	dsum := NewDirectSum(NewStride(4, 2), NewIdentity(4))
+	if !IsPermutation(dsum) {
+		t.Fatal("direct sum of permutations not recognized")
+	}
+	src2 := PermSource(dsum)
+	y2 := applyTo(dsum, x)
+	for k := 0; k < 8; k++ {
+		if y2[k] != x[src2(k)] {
+			t.Errorf("direct-sum PermSource disagrees at %d", k)
+		}
+	}
+}
+
+func TestDefinitionOnePredicates(t *testing.T) {
+	p, mu := 2, 4
+	// The fully optimized constructs (4).
+	good := []Formula{
+		NewTensorPar(p, NewDFT(8)),
+		NewDirectSumPar(NewDFT(8), NewDFT(8)),
+		NewBarTensor(NewStride(4, 2), mu),
+		NewTensor(NewIdentity(4), NewTensorPar(p, NewDFT(4))),
+		NewCompose(
+			NewTensorPar(p, NewDFT(8)),
+			NewBarTensor(NewStride(4, 2), mu),
+		),
+	}
+	for _, f := range good {
+		if !IsFullyOptimized(f, p, mu) {
+			t.Errorf("%s should be fully optimized", f.String())
+		}
+	}
+	bad := []struct {
+		f      Formula
+		reason string
+	}{
+		{NewDFT(16), "bare DFT"},
+		{NewTensorPar(4, NewDFT(8)), "wrong processor count"},
+		{NewTensorPar(p, NewDFT(6)), "block not multiple of µ"},
+		{NewDirectSumPar(NewDFT(8), NewDFT(8), NewDFT(8)), "three blocks on two processors"},
+		{NewBarTensor(NewStride(4, 2), 2), "wrong cache-line length"},
+		{NewTensor(NewDFT(2), NewIdentity(8)), "A ⊗ I is not a parallel form"},
+		{NewCompose(NewTensorPar(p, NewDFT(8)), NewStride(16, 4)), "untransformed permutation factor"},
+	}
+	for _, c := range bad {
+		if IsFullyOptimized(c.f, p, mu) {
+			t.Errorf("%s should NOT be fully optimized (%s)", c.f.String(), c.reason)
+		}
+	}
+	// Unequal block sizes break load balance but may still avoid false sharing.
+	uneven := NewDirectSumPar(NewDFT(4), NewDFT(12))
+	if IsLoadBalanced(uneven, 2) {
+		t.Error("uneven direct sum reported load-balanced")
+	}
+	if !AvoidsFalseSharing(uneven, 4) {
+		t.Error("uneven-but-µ-aligned direct sum should avoid false sharing")
+	}
+}
+
+func TestContainsSMPTag(t *testing.T) {
+	f := NewCompose(
+		NewTensorPar(2, NewDFT(8)),
+		NewSMP(2, 4, NewStride(16, 4)),
+	)
+	if !ContainsSMPTag(f) {
+		t.Error("tag not found")
+	}
+	g := NewTensorPar(2, NewDFT(8))
+	if ContainsSMPTag(g) {
+		t.Error("phantom tag found")
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := NewCompose(NewTensor(NewDFT(2), NewIdentity(4)), NewStride(8, 2))
+	b := NewCompose(NewTensor(NewDFT(2), NewIdentity(4)), NewStride(8, 2))
+	if !Equal(a, b) {
+		t.Error("identical formulas not Equal")
+	}
+	c := NewCompose(NewTensor(NewDFT(2), NewIdentity(4)), NewStride(8, 4))
+	if Equal(a, c) {
+		t.Error("different strides Equal")
+	}
+	d1 := NewDiag([]complex128{1, 2i}, "d")
+	d2 := NewDiag([]complex128{1, 2i}, "d")
+	d3 := NewDiag([]complex128{1, 2i + 1e-3}, "d")
+	if !Equal(d1, d2) || Equal(d1, d3) {
+		t.Error("diag equality wrong")
+	}
+}
+
+func TestWithChildrenRebuild(t *testing.T) {
+	f := NewTensor(NewDFT(2), NewIdentity(4))
+	g := f.WithChildren([]Formula{NewDFT(4), NewIdentity(2)})
+	if g.Size() != 8 || g.String() != "(DFT_4 ⊗ I_2)" {
+		t.Errorf("WithChildren rebuild wrong: %s", g.String())
+	}
+	// Leaves reject children.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDFT(2).WithChildren([]Formula{NewDFT(2)})
+}
+
+func TestCountNodes(t *testing.T) {
+	f := NewCompose(NewTensor(NewDFT(2), NewIdentity(4)), NewStride(8, 2))
+	if n := CountNodes(f); n != 5 {
+		t.Errorf("CountNodes = %d, want 5", n)
+	}
+}
+
+// Property: for random m, n the Cooley-Tukey formula equals DFT_{mn} on a
+// random vector (probabilistic matrix identity check).
+func TestQuickCooleyTukeyIdentity(t *testing.T) {
+	f := func(mi, ni uint8, seed uint64) bool {
+		m := int(mi%4) + 2 // 2..5
+		n := int(ni%4) + 2
+		ct := NewCompose(
+			NewTensor(NewDFT(m), NewIdentity(n)),
+			NewTwiddle(m, n),
+			NewTensor(NewIdentity(m), NewDFT(n)),
+			NewStride(m*n, m),
+		)
+		x := complexvec.Random(m*n, seed)
+		return complexvec.RelError(applyTo(ct, x), applyTo(NewDFT(m*n), x)) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stride permutations are orthogonal: L x preserves multisets.
+func TestQuickStridePreservesNorm(t *testing.T) {
+	f := func(seed uint64, mi uint8) bool {
+		m := []int{2, 4, 8}[int(mi)%3]
+		l := NewStride(16, m)
+		x := complexvec.Random(16, seed)
+		y := applyTo(l, x)
+		d := complexvec.L2Norm(y) - complexvec.L2Norm(x)
+		return d < 1e-12 && d > -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package spl
+
+import "fmt"
+
+// WHT is the Walsh-Hadamard transform of size 2^K: the K-fold tensor power
+// of DFT_2. Spiral's framework covers "a large class of linear transforms"
+// (paper Section 2.2); the WHT is the classic second example: it has the
+// same tensor-product structure as the FFT but no twiddle factors and no
+// stride permutation in its breakdown
+//
+//	WHT_{2^k} → (WHT_{2^a} ⊗ I_{2^{k-a}}) · (I_{2^a} ⊗ WHT_{2^{k-a}})
+//
+// which makes it a clean test of the shared-memory rules in isolation.
+type WHT struct{ K int }
+
+// NewWHT returns WHT_{2^k} (k ≥ 1).
+func NewWHT(k int) WHT {
+	if k < 1 {
+		panic(fmt.Sprintf("spl: WHT exponent %d", k))
+	}
+	return WHT{k}
+}
+
+// Size returns 2^K.
+func (f WHT) Size() int { return 1 << uint(f.K) }
+
+// String renders as WHT_n.
+func (f WHT) String() string { return fmt.Sprintf("WHT_%d", f.Size()) }
+
+// Children returns nil (leaf).
+func (f WHT) Children() []Formula { return nil }
+
+// WithChildren rebuilds the leaf.
+func (f WHT) WithChildren(c []Formula) Formula { mustLen(c, 0); return f }
+
+// Apply computes the WHT by in-place radix-2 butterflies (reference
+// semantics; O(n log n) but unoptimized).
+func (f WHT) Apply(dst, src []complex128) {
+	checkDims(f, dst, src)
+	copy(dst, src)
+	n := f.Size()
+	for step := 1; step < n; step *= 2 {
+		for i := 0; i < n; i += 2 * step {
+			for j := i; j < i+step; j++ {
+				a, b := dst[j], dst[j+step]
+				dst[j], dst[j+step] = a+b, a-b
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package twiddle computes and caches the twiddle-factor tables used by
+// Cooley-Tukey FFTs: powers of the primitive root ω_n = exp(-2πi/n) and the
+// diagonal matrices D_{m,n} from rule (1) of the paper,
+//
+//	DFT_{mn} = (DFT_m ⊗ I_n) · D_{m,n} · (I_m ⊗ DFT_n) · L^{mn}_m.
+//
+// With the e^{-2πi/n} kernel convention, D_{m,n} is the diagonal matrix of
+// size mn whose entry at position i·n + j (0 ≤ i < m, 0 ≤ j < n) is ω_{mn}^{i·j}.
+package twiddle
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Omega returns ω_n^k = exp(-2πi·k/n). It reduces k modulo n and computes
+// the angle from the reduced index for accuracy at large k.
+func Omega(n, k int) complex128 {
+	if n <= 0 {
+		panic(fmt.Sprintf("twiddle: Omega with n=%d", n))
+	}
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	ang := -2 * math.Pi * float64(k) / float64(n)
+	s, c := math.Sincos(ang)
+	return complex(c, s)
+}
+
+// Roots returns the table [ω_n^0, ω_n^1, ..., ω_n^{n-1}].
+func Roots(n int) []complex128 {
+	w := make([]complex128, n)
+	for k := range w {
+		w[k] = Omega(n, k)
+	}
+	return w
+}
+
+// D returns the diagonal of D_{m,n} as a vector of length m·n laid out in the
+// order the formula applies it: entry i·n + j holds ω_{mn}^{i·j}.
+func D(m, n int) []complex128 {
+	d := make([]complex128, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			d[i*n+j] = Omega(m*n, i*j)
+		}
+	}
+	return d
+}
+
+// DColumn returns the m twiddles of column j of D_{m,n}: the factors applied
+// to the length-m sub-DFT that reads t[i·n + j] for i = 0..m-1. This is the
+// per-iteration table the executor fuses into the (DFT_m ⊗ I_n)·D stage.
+func DColumn(m, n, j int) []complex128 {
+	w := make([]complex128, m)
+	for i := 0; i < m; i++ {
+		w[i] = Omega(m*n, i*j)
+	}
+	return w
+}
+
+// Columns returns all n per-column tables of D_{m,n} as one flat slice of
+// length m·n, column j occupying [j*m, (j+1)*m). Flat layout keeps the tables
+// in a single allocation so consecutive iterations walk memory linearly.
+func Columns(m, n int) []complex128 {
+	w := make([]complex128, m*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			w[j*m+i] = Omega(m*n, i*j)
+		}
+	}
+	return w
+}
+
+// SplitColumns returns the per-processor twiddle tables for the multicore
+// Cooley-Tukey FFT (formula (14)): the direct sum ⊕∥ D_i assigns processor c
+// the columns j in [c·n/p, (c+1)·n/p). Each processor's table is a separate
+// allocation so tables land on distinct cache lines (no false sharing on
+// read-mostly data either). Requires p | n.
+func SplitColumns(m, n, p int) [][]complex128 {
+	if p <= 0 || n%p != 0 {
+		panic(fmt.Sprintf("twiddle: SplitColumns requires p | n, got m=%d n=%d p=%d", m, n, p))
+	}
+	per := n / p
+	out := make([][]complex128, p)
+	for c := 0; c < p; c++ {
+		t := make([]complex128, m*per)
+		for jj := 0; jj < per; jj++ {
+			j := c*per + jj
+			for i := 0; i < m; i++ {
+				t[jj*m+i] = Omega(m*n, i*j)
+			}
+		}
+		out[c] = t
+	}
+	return out
+}
+
+// Cache memoizes twiddle tables by (m, n). Plans for many sizes share tables
+// through a process-wide cache; the zero value is ready to use.
+type Cache struct {
+	mu   sync.Mutex
+	cols map[[2]int][]complex128
+}
+
+var global Cache
+
+// GlobalCache returns the process-wide twiddle cache.
+func GlobalCache() *Cache { return &global }
+
+// Columns returns the cached flat column table for D_{m,n}, computing it on
+// first use. The returned slice is shared; callers must not modify it.
+func (c *Cache) Columns(m, n int) []complex128 {
+	key := [2]int{m, n}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cols == nil {
+		c.cols = make(map[[2]int][]complex128)
+	}
+	if t, ok := c.cols[key]; ok {
+		return t
+	}
+	t := Columns(m, n)
+	c.cols[key] = t
+	return t
+}
+
+// Size reports how many tables the cache currently holds.
+func (c *Cache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cols)
+}
+
+// Reset drops all cached tables.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cols = nil
+}

@@ -1,0 +1,196 @@
+package twiddle
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func TestOmegaBasics(t *testing.T) {
+	if cmplx.Abs(Omega(4, 0)-1) > tol {
+		t.Errorf("ω_4^0 = %v", Omega(4, 0))
+	}
+	if cmplx.Abs(Omega(4, 1)-(-1i)) > tol {
+		t.Errorf("ω_4^1 = %v, want -i", Omega(4, 1))
+	}
+	if cmplx.Abs(Omega(4, 2)-(-1)) > tol {
+		t.Errorf("ω_4^2 = %v, want -1", Omega(4, 2))
+	}
+	if cmplx.Abs(Omega(2, 1)-(-1)) > tol {
+		t.Errorf("ω_2^1 = %v, want -1", Omega(2, 1))
+	}
+}
+
+func TestOmegaModularReduction(t *testing.T) {
+	for _, n := range []int{3, 8, 12} {
+		for k := -2 * n; k <= 2*n; k++ {
+			a := Omega(n, k)
+			b := Omega(n, ((k%n)+n)%n)
+			if cmplx.Abs(a-b) > tol {
+				t.Fatalf("Omega(%d,%d) != Omega(%d,%d mod n): %v vs %v", n, k, n, k, a, b)
+			}
+		}
+	}
+}
+
+func TestOmegaPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	Omega(0, 1)
+}
+
+// Property: ω_n^j · ω_n^k == ω_n^{j+k}  (group law).
+func TestQuickOmegaGroupLaw(t *testing.T) {
+	f := func(j, k uint8) bool {
+		n := 360
+		a := Omega(n, int(j)) * Omega(n, int(k))
+		b := Omega(n, int(j)+int(k))
+		return cmplx.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootsUnitCircleAndOrder(t *testing.T) {
+	n := 16
+	w := Roots(n)
+	if len(w) != n {
+		t.Fatalf("len(Roots) = %d", len(w))
+	}
+	for k, v := range w {
+		if math.Abs(cmplx.Abs(v)-1) > tol {
+			t.Errorf("|ω^%d| = %v", k, cmplx.Abs(v))
+		}
+	}
+	// ω^k should equal (ω^1)^k.
+	for k := 0; k < n; k++ {
+		p := complex128(1)
+		for i := 0; i < k; i++ {
+			p *= w[1]
+		}
+		if cmplx.Abs(w[k]-p) > 1e-10 {
+			t.Errorf("ω^%d inconsistent: %v vs %v", k, w[k], p)
+		}
+	}
+}
+
+func TestDLayout(t *testing.T) {
+	m, n := 4, 2
+	d := D(m, n)
+	if len(d) != m*n {
+		t.Fatalf("len(D) = %d", len(d))
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want := Omega(m*n, i*j)
+			if cmplx.Abs(d[i*n+j]-want) > tol {
+				t.Errorf("D[%d*%d+%d] = %v, want %v", i, n, j, d[i*n+j], want)
+			}
+		}
+	}
+	// Row i=0 and column j=0 of the (i,j) grid are all ones.
+	for j := 0; j < n; j++ {
+		if cmplx.Abs(d[j]-1) > tol {
+			t.Errorf("D[0,%d] = %v, want 1", j, d[j])
+		}
+	}
+	for i := 0; i < m; i++ {
+		if cmplx.Abs(d[i*n]-1) > tol {
+			t.Errorf("D[%d,0] = %v, want 1", i, d[i*n])
+		}
+	}
+}
+
+func TestDColumnMatchesD(t *testing.T) {
+	m, n := 8, 4
+	d := D(m, n)
+	for j := 0; j < n; j++ {
+		col := DColumn(m, n, j)
+		for i := 0; i < m; i++ {
+			if cmplx.Abs(col[i]-d[i*n+j]) > tol {
+				t.Errorf("DColumn(%d)[%d] = %v, want %v", j, i, col[i], d[i*n+j])
+			}
+		}
+	}
+}
+
+func TestColumnsMatchesDColumn(t *testing.T) {
+	m, n := 4, 8
+	flat := Columns(m, n)
+	if len(flat) != m*n {
+		t.Fatalf("len(Columns) = %d", len(flat))
+	}
+	for j := 0; j < n; j++ {
+		col := DColumn(m, n, j)
+		for i := 0; i < m; i++ {
+			if cmplx.Abs(flat[j*m+i]-col[i]) > tol {
+				t.Errorf("Columns[%d,%d] mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestSplitColumnsCoversColumns(t *testing.T) {
+	m, n, p := 4, 8, 4
+	split := SplitColumns(m, n, p)
+	if len(split) != p {
+		t.Fatalf("len(split) = %d", len(split))
+	}
+	flat := Columns(m, n)
+	per := n / p
+	for c := 0; c < p; c++ {
+		if len(split[c]) != m*per {
+			t.Fatalf("split[%d] length %d", c, len(split[c]))
+		}
+		for k, v := range split[c] {
+			if cmplx.Abs(v-flat[c*m*per+k]) > tol {
+				t.Errorf("split[%d][%d] mismatch", c, k)
+			}
+		}
+	}
+}
+
+func TestSplitColumnsPanicsWhenPNotDividingN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when p does not divide n")
+		}
+	}()
+	SplitColumns(4, 6, 4)
+}
+
+func TestCacheMemoizesAndIsConcurrencySafe(t *testing.T) {
+	var c Cache
+	a := c.Columns(4, 8)
+	b := c.Columns(4, 8)
+	if &a[0] != &b[0] {
+		t.Error("cache returned distinct tables for the same key")
+	}
+	if c.Size() != 1 {
+		t.Errorf("Size = %d, want 1", c.Size())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Columns(2, 1<<uint(i%5+1))
+		}(i)
+	}
+	wg.Wait()
+	c.Reset()
+	if c.Size() != 0 {
+		t.Errorf("Size after Reset = %d", c.Size())
+	}
+	if GlobalCache() == nil {
+		t.Error("GlobalCache returned nil")
+	}
+}

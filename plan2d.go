@@ -1,0 +1,160 @@
+package spiralfft
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"spiralfft/internal/exec"
+	"spiralfft/internal/rewrite"
+	"spiralfft/internal/smp"
+)
+
+// Plan2D computes two-dimensional DFTs of rows×cols arrays stored row-major
+// in one flat slice. The transform is separable — DFT_{r×c} = DFT_r ⊗ DFT_c
+// — and parallelizes by the same Table-1 rules as the 1D case (Derive2D in
+// the rewriting system): the row stage distributes contiguous row blocks
+// (rule (9)), the column stage distributes contiguous, cache-line-aligned
+// column blocks (rule (7)), with one join between the stages.
+type Plan2D struct {
+	rows, cols int
+	rowPlan    *exec.Seq
+	colPlan    *exec.Seq
+	p          int
+	backend    smp.Backend
+	scratch    [][]complex128
+	invBuf     []complex128
+	opt        Options
+}
+
+// NewPlan2D prepares a rows×cols 2D DFT. For Workers > 1 the plan
+// parallelizes when the stage preconditions hold (p | rows and pµ | cols);
+// otherwise it runs sequentially.
+func NewPlan2D(rows, cols int, o *Options) (*Plan2D, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("spiralfft: invalid 2D size %d×%d", rows, cols)
+	}
+	opt := o.withDefaults()
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("spiralfft: invalid worker count %d", opt.Workers)
+	}
+	rowPlan, err := exec.NewSeq(exec.RadixTree(cols))
+	if err != nil {
+		return nil, err
+	}
+	colPlan, err := exec.NewSeq(exec.RadixTree(rows))
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan2D{
+		rows: rows, cols: cols,
+		rowPlan: rowPlan, colPlan: colPlan,
+		p:      1,
+		invBuf: make([]complex128, rows*cols),
+		opt:    opt,
+	}
+	workers := opt.Workers
+	if workers > 1 && rewrite.Parallel2DOK(rows, cols, workers, opt.CacheLineComplex) {
+		p.p = workers
+		if opt.Backend == BackendSpawn {
+			p.backend = smp.NewSpawn(workers)
+		} else {
+			p.backend = smp.NewPool(workers)
+		}
+	}
+	need := rowPlan.ScratchLen()
+	if colPlan.ScratchLen() > need {
+		need = colPlan.ScratchLen()
+	}
+	if need == 0 {
+		need = 1
+	}
+	p.scratch = make([][]complex128, p.p)
+	for w := range p.scratch {
+		p.scratch[w] = make([]complex128, need)
+	}
+	return p, nil
+}
+
+// Size returns (rows, cols).
+func (p *Plan2D) Size() (rows, cols int) { return p.rows, p.cols }
+
+// Len returns rows·cols, the required slice length.
+func (p *Plan2D) Len() int { return p.rows * p.cols }
+
+// IsParallel reports whether the plan distributes stages over workers.
+func (p *Plan2D) IsParallel() bool { return p.p > 1 }
+
+// Formula returns the SPL formula of the parallel schedule (Derive2D's
+// output) or the plain tensor formula for sequential plans.
+func (p *Plan2D) Formula() string {
+	if p.p > 1 {
+		if f, _, err := rewrite.Derive2D(p.rows, p.cols, p.p, p.opt.CacheLineComplex); err == nil {
+			return f.String()
+		}
+	}
+	return fmt.Sprintf("(DFT_%d ⊗ DFT_%d)", p.rows, p.cols)
+}
+
+// Forward computes the 2D DFT of src into dst (both length rows·cols,
+// row-major). dst == src is allowed.
+func (p *Plan2D) Forward(dst, src []complex128) error {
+	if len(dst) != p.Len() || len(src) != p.Len() {
+		return fmt.Errorf("spiralfft: Plan2D length mismatch: want %d, dst %d, src %d", p.Len(), len(dst), len(src))
+	}
+	p.transform(dst, src)
+	return nil
+}
+
+// Inverse computes the unitary 2D inverse: Inverse(Forward(x)) == x.
+func (p *Plan2D) Inverse(dst, src []complex128) error {
+	if len(dst) != p.Len() || len(src) != p.Len() {
+		return fmt.Errorf("spiralfft: Plan2D length mismatch: want %d, dst %d, src %d", p.Len(), len(dst), len(src))
+	}
+	for i, v := range src {
+		p.invBuf[i] = cmplx.Conj(v)
+	}
+	p.transform(dst, p.invBuf)
+	scale := complex(1/float64(p.Len()), 0)
+	for i, v := range dst {
+		dst[i] = cmplx.Conj(v) * scale
+	}
+	return nil
+}
+
+func (p *Plan2D) transform(dst, src []complex128) {
+	rows, cols := p.rows, p.cols
+	if p.p == 1 {
+		s := p.scratch[0]
+		for r := 0; r < rows; r++ {
+			p.rowPlan.TransformStrided(dst, r*cols, 1, src, r*cols, 1, nil, s)
+		}
+		for c := 0; c < cols; c++ {
+			p.colPlan.TransformStrided(dst, c, cols, dst, c, cols, nil, s)
+		}
+		return
+	}
+	// Stage R: I_rows ⊗ DFT_cols — contiguous row blocks per worker.
+	p.backend.Run(func(w int) {
+		lo, hi := smp.BlockRange(rows, p.p, w)
+		s := p.scratch[w]
+		for r := lo; r < hi; r++ {
+			p.rowPlan.TransformStrided(dst, r*cols, 1, src, r*cols, 1, nil, s)
+		}
+	})
+	// Stage C: DFT_rows ⊗ I_cols — contiguous µ-aligned column blocks.
+	p.backend.Run(func(w int) {
+		lo, hi := smp.BlockRange(cols, p.p, w)
+		s := p.scratch[w]
+		for c := lo; c < hi; c++ {
+			p.colPlan.TransformStrided(dst, c, cols, dst, c, cols, nil, s)
+		}
+	})
+}
+
+// Close releases the worker pool (if any). Idempotent.
+func (p *Plan2D) Close() {
+	if p.backend != nil {
+		p.backend.Close()
+		p.backend = nil
+	}
+}

@@ -1,0 +1,125 @@
+package spiralfft
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"spiralfft/internal/twiddle"
+)
+
+// RealPlan computes DFTs of real-valued inputs of even length n using the
+// standard packing reduction: the n real samples are packed into an
+// n/2-point complex transform and the spectrum is untangled afterwards, so
+// a real transform costs roughly half a complex one. The parallelization
+// machinery applies unchanged to the inner complex plan.
+//
+// Since the input is real the spectrum is conjugate-symmetric; Forward
+// produces only the n/2+1 non-redundant bins X[0..n/2].
+type RealPlan struct {
+	n     int
+	half  *Plan
+	z     []complex128 // packed input / half-size spectrum
+	w     []complex128 // e^{-2πik/n}, k = 0..n/2
+	spect []complex128 // scratch for Inverse
+}
+
+// NewRealPlan prepares a real-input DFT of even size n ≥ 2.
+func NewRealPlan(n int, o *Options) (*RealPlan, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("spiralfft: real plan needs even n ≥ 2, got %d", n)
+	}
+	half, err := NewPlan(n/2, o)
+	if err != nil {
+		return nil, err
+	}
+	h := n / 2
+	w := make([]complex128, h+1)
+	for k := range w {
+		w[k] = twiddle.Omega(n, k)
+	}
+	return &RealPlan{
+		n:     n,
+		half:  half,
+		z:     make([]complex128, h),
+		w:     w,
+		spect: make([]complex128, h+1),
+	}, nil
+}
+
+// N returns the (real) transform size.
+func (p *RealPlan) N() int { return p.n }
+
+// SpectrumLen returns the Forward output length, n/2 + 1.
+func (p *RealPlan) SpectrumLen() int { return p.n/2 + 1 }
+
+// IsParallel reports whether the inner complex plan runs on multiple workers.
+func (p *RealPlan) IsParallel() bool { return p.half.IsParallel() }
+
+// Forward computes the non-redundant half spectrum of the real signal src:
+// dst[k] = Σ_j exp(-2πi·kj/n)·src[j] for k = 0..n/2.
+// len(src) must be n and len(dst) must be n/2+1.
+func (p *RealPlan) Forward(dst []complex128, src []float64) error {
+	h := p.n / 2
+	if len(src) != p.n || len(dst) != h+1 {
+		return fmt.Errorf("spiralfft: RealPlan.Forward lengths: src %d (want %d), dst %d (want %d)",
+			len(src), p.n, len(dst), h+1)
+	}
+	// Pack pairs into a half-size complex signal.
+	for j := 0; j < h; j++ {
+		p.z[j] = complex(src[2*j], src[2*j+1])
+	}
+	if err := p.half.Forward(p.z, p.z); err != nil {
+		return err
+	}
+	// Untangle: X[k] = Fe[k] + ω_n^k·Fo[k], where Fe/Fo are the spectra of
+	// the even/odd subsequences recovered from Z's conjugate symmetry.
+	z0 := p.z[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[h] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k < h; k++ {
+		zk := p.z[k]
+		zc := cmplx.Conj(p.z[h-k])
+		fe := (zk + zc) / 2
+		fo := (zk - zc) / 2
+		fo = complex(imag(fo), -real(fo)) // ÷ i
+		dst[k] = fe + p.w[k]*fo
+	}
+	return nil
+}
+
+// Inverse reconstructs the real signal from its half spectrum: it is the
+// exact inverse of Forward (unitary convention, matching Plan.Inverse).
+// len(src) must be n/2+1 and len(dst) must be n. The imaginary parts of
+// src[0] and src[n/2] are ignored (they are zero for any real signal).
+func (p *RealPlan) Inverse(dst []float64, src []complex128) error {
+	h := p.n / 2
+	if len(src) != h+1 || len(dst) != p.n {
+		return fmt.Errorf("spiralfft: RealPlan.Inverse lengths: src %d (want %d), dst %d (want %d)",
+			len(src), h+1, len(dst), p.n)
+	}
+	// Retangle the half-size spectrum: Z[k] = Fe[k] + i·Fo[k] with
+	// Fe[k] = (X[k] + conj(X[h-k]))/2, Fo[k] = ω_n^{-k}·(X[k] - conj(X[h-k]))/2.
+	copy(p.spect, src)
+	p.spect[0] = complex(real(src[0]), 0)
+	p.spect[h] = complex(real(src[h]), 0)
+	for k := 0; k < h; k++ {
+		xk := p.spect[k]
+		xc := cmplx.Conj(p.spect[h-k])
+		fe := (xk + xc) / 2
+		fo := (xk - xc) / 2
+		fo *= cmplx.Conj(p.w[k]) // ω_n^{-k}
+		// Z[k] = Fe[k] + i·Fo[k].
+		p.z[k] = fe + complex(-imag(fo), real(fo))
+	}
+	if err := p.half.Inverse(p.z, p.z); err != nil {
+		return err
+	}
+	for j := 0; j < h; j++ {
+		dst[2*j] = real(p.z[j])
+		dst[2*j+1] = imag(p.z[j])
+	}
+	return nil
+}
+
+// Close releases the inner plan's resources.
+func (p *RealPlan) Close() { p.half.Close() }

@@ -1,0 +1,158 @@
+package spiralfft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"spiralfft/internal/twiddle"
+)
+
+// refRealDFT computes the full complex DFT of a real signal directly.
+func refRealDFT(x []float64) []complex128 {
+	n := len(x)
+	y := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			y[k] += twiddle.Omega(n, k*j) * complex(x[j], 0)
+		}
+	}
+	return y
+}
+
+func randomReal(n int, seed uint64) []float64 {
+	s := seed*2862933555777941757 + 3037000493
+	x := make([]float64, n)
+	for i := range x {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		x[i] = float64(int64(s>>11))/float64(1<<52) - 1
+	}
+	return x
+}
+
+func TestRealForwardMatchesComplexDFT(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 256, 1000, 1024} {
+		p, err := NewRealPlan(n, nil)
+		if err != nil {
+			t.Fatalf("NewRealPlan(%d): %v", n, err)
+		}
+		if p.N() != n || p.SpectrumLen() != n/2+1 {
+			t.Fatalf("n=%d: N/SpectrumLen wrong", n)
+		}
+		x := randomReal(n, uint64(n))
+		got := make([]complex128, n/2+1)
+		if err := p.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		want := refRealDFT(x)
+		for k := 0; k <= n/2; k++ {
+			if e := cmplx.Abs(got[k] - want[k]); e > 1e-9 {
+				t.Errorf("n=%d bin %d: %v vs %v (err %g)", n, k, got[k], want[k], e)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRealRoundtrip(t *testing.T) {
+	for _, opts := range []*Options{nil, {Workers: 2}} {
+		n := 512
+		p, err := NewRealPlan(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomReal(n, 3)
+		spec := make([]complex128, n/2+1)
+		back := make([]float64, n)
+		if err := p.Forward(spec, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inverse(back, spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-10 {
+				t.Fatalf("opts %+v: roundtrip[%d] = %v, want %v", opts, i, back[i], x[i])
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRealPlanDCAndNyquistAreReal(t *testing.T) {
+	n := 128
+	p, err := NewRealPlan(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	x := randomReal(n, 9)
+	spec := make([]complex128, n/2+1)
+	if err := p.Forward(spec, x); err != nil {
+		t.Fatal(err)
+	}
+	if imag(spec[0]) != 0 || imag(spec[n/2]) != 0 {
+		t.Errorf("DC/Nyquist bins not real: %v, %v", spec[0], spec[n/2])
+	}
+}
+
+func TestRealPlanErrors(t *testing.T) {
+	if _, err := NewRealPlan(7, nil); err == nil {
+		t.Error("accepted odd size")
+	}
+	if _, err := NewRealPlan(0, nil); err == nil {
+		t.Error("accepted zero size")
+	}
+	p, err := NewRealPlan(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Forward(make([]complex128, 4), make([]float64, 16)); err == nil {
+		t.Error("accepted short dst")
+	}
+	if err := p.Inverse(make([]float64, 16), make([]complex128, 4)); err == nil {
+		t.Error("accepted short src")
+	}
+	if p.IsParallel() {
+		t.Error("sequential real plan reports parallel")
+	}
+}
+
+// Property: a planted pure cosine tone lands in the right bin with the right
+// amplitude (n/2 in each of the ±k bins; only +k is stored).
+func TestQuickRealToneDetection(t *testing.T) {
+	n := 256
+	p, err := NewRealPlan(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f := func(binU uint8) bool {
+		bin := int(binU)%(n/2-2) + 1
+		x := make([]float64, n)
+		for j := range x {
+			x[j] = math.Cos(2 * math.Pi * float64(bin) * float64(j) / float64(n))
+		}
+		spec := make([]complex128, n/2+1)
+		if err := p.Forward(spec, x); err != nil {
+			return false
+		}
+		if math.Abs(cmplx.Abs(spec[bin])-float64(n)/2) > 1e-8 {
+			return false
+		}
+		// All other bins near zero.
+		for k := 0; k <= n/2; k++ {
+			if k != bin && cmplx.Abs(spec[k]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,399 @@
+// Package spiralfft is a program-generation-based FFT library for shared
+// memory multiprocessors and multicores, reproducing the system described in
+//
+//	F. Franchetti, Y. Voronenko, M. Püschel:
+//	"FFT Program Generation for Shared Memory: SMP and Multicore",
+//	Proc. Supercomputing (SC), 2006.
+//
+// Like Spiral, the library represents FFT algorithms as SPL formulas,
+// rewrites them with the paper's shared-memory rules into the multicore
+// Cooley-Tukey FFT (formula (14) — load balanced and free of false sharing
+// by construction), autotunes over the factorization space with runtime
+// feedback, and executes the result either sequentially or on a pool of
+// persistent workers synchronized by spin barriers.
+//
+// # Quick start
+//
+//	plan, err := spiralfft.NewPlan(1024, &spiralfft.Options{Workers: 2})
+//	if err != nil { ... }
+//	defer plan.Close()
+//	freq := make([]complex128, 1024)
+//	plan.Forward(freq, signal)   // freq = DFT(signal)
+//	plan.Inverse(signal, freq)   // signal restored
+//
+// Plans are reusable but not safe for concurrent use; create one plan per
+// goroutine (they share twiddle tables internally).
+package spiralfft
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"spiralfft/internal/exec"
+	"spiralfft/internal/rewrite"
+	"spiralfft/internal/search"
+	"spiralfft/internal/smp"
+	"spiralfft/internal/spl"
+)
+
+// Backend selects the threading substrate for parallel plans.
+type Backend int
+
+const (
+	// BackendPool uses persistent workers with spin-barrier synchronization
+	// (the paper's pthreads backend with thread pooling). Default.
+	BackendPool Backend = iota
+	// BackendSpawn starts fresh goroutines per transform (the paper's
+	// OpenMP-style backend without pooling).
+	BackendSpawn
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == BackendSpawn {
+		return "spawn"
+	}
+	return "pool"
+}
+
+// Planner selects how the factorization tree is chosen.
+type Planner int
+
+const (
+	// PlannerFixed uses the deterministic greedy radix factorization
+	// (largest codelet first). No measurements; fast planning. Default.
+	PlannerFixed Planner = iota
+	// PlannerEstimate searches with the analytic cost model (no timing).
+	PlannerEstimate
+	// PlannerMeasure searches by dynamic programming over measured subtree
+	// runtimes, and additionally verifies that the parallel plan actually
+	// beats the sequential one, falling back if not — Spiral's full
+	// autotuning loop.
+	PlannerMeasure
+	// PlannerExhaustive measures every factorization tree (small sizes only).
+	PlannerExhaustive
+)
+
+// String names the planner.
+func (p Planner) String() string {
+	switch p {
+	case PlannerEstimate:
+		return "estimate"
+	case PlannerMeasure:
+		return "measure"
+	case PlannerExhaustive:
+		return "exhaustive"
+	default:
+		return "fixed"
+	}
+}
+
+// Options configures NewPlan. The zero value (or nil) plans a sequential
+// transform with the default radix factorization.
+type Options struct {
+	// Workers is the number of processors p to use (default 1).
+	Workers int
+	// CacheLineComplex is µ, the cache-line length in complex128 elements
+	// (default 4, i.e. 64-byte lines).
+	CacheLineComplex int
+	// Backend selects pooled or spawned threading (parallel plans only).
+	Backend Backend
+	// Planner selects the tuning strategy.
+	Planner Planner
+	// Wisdom, when set, is consulted for previously tuned factorization
+	// trees (skipping re-tuning) and receives the trees this plan settles
+	// on. Share one Wisdom across plans and persist it with Export/Import.
+	Wisdom *Wisdom
+}
+
+func (o *Options) withDefaults() Options {
+	var opt Options
+	if o != nil {
+		opt = *o
+	}
+	if opt.Workers == 0 {
+		opt.Workers = 1
+	}
+	if opt.CacheLineComplex == 0 {
+		opt.CacheLineComplex = 4
+	}
+	return opt
+}
+
+// Plan is a prepared DFT of a fixed size. A Plan is reusable across many
+// transforms but must not be used concurrently from multiple goroutines.
+type Plan struct {
+	n       int
+	opt     Options
+	seq     *exec.Seq
+	par     *exec.Parallel // nil for sequential plans
+	backend smp.Backend    // owned; nil for sequential plans
+	scratch []complex128
+	invBuf  []complex128
+}
+
+// NewPlan prepares a DFT plan of size n (n ≥ 1) with the given options.
+//
+// A parallel plan (Workers > 1) requires a top-level split m·k of n with
+// p·µ dividing both factors — the applicability condition of the multicore
+// Cooley-Tukey FFT. If no such split exists the plan silently runs
+// sequentially (IsParallel reports which happened). With PlannerMeasure the
+// plan is additionally dropped to sequential when measurement shows the
+// parallel version is slower at this size.
+func NewPlan(n int, o *Options) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("spiralfft: invalid transform size %d", n)
+	}
+	opt := o.withDefaults()
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("spiralfft: invalid worker count %d", opt.Workers)
+	}
+	if opt.CacheLineComplex < 1 {
+		return nil, fmt.Errorf("spiralfft: invalid cache-line length %d", opt.CacheLineComplex)
+	}
+	p := &Plan{n: n, opt: opt}
+
+	tuner := search.NewTuner(strategyFor(opt.Planner))
+	tree := p.sequentialTree(tuner)
+	seq, err := exec.NewSeq(tree)
+	if err != nil {
+		return nil, err
+	}
+	p.seq = seq
+	p.scratch = seq.NewScratch()
+	p.invBuf = make([]complex128, n)
+
+	if opt.Workers > 1 {
+		if err := p.planParallel(tuner); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func strategyFor(pl Planner) search.Strategy {
+	switch pl {
+	case PlannerEstimate:
+		return search.StrategyEstimate
+	case PlannerMeasure:
+		return search.StrategyDP
+	case PlannerExhaustive:
+		return search.StrategyExhaustive
+	default:
+		return search.StrategyEstimate
+	}
+}
+
+func (p *Plan) sequentialTree(tuner *search.Tuner) *exec.Tree {
+	t := p.treeFor(tuner, p.n)
+	if p.opt.Wisdom != nil {
+		p.opt.Wisdom.record(t)
+	}
+	return t
+}
+
+// treeFor picks a factorization for size n: wisdom first, then the planner.
+func (p *Plan) treeFor(tuner *search.Tuner, n int) *exec.Tree {
+	if p.opt.Wisdom != nil {
+		if t, ok := p.opt.Wisdom.lookup(n); ok {
+			return t
+		}
+	}
+	if p.opt.Planner == PlannerFixed {
+		return exec.RadixTree(n)
+	}
+	return tuner.BestTree(n).Tree
+}
+
+func (p *Plan) planParallel(tuner *search.Tuner) error {
+	opt := p.opt
+	m, ok := exec.SplitFor(p.n, opt.Workers, opt.CacheLineComplex)
+	if !ok {
+		return nil // no admissible split: stay sequential
+	}
+	backend := p.newBackend()
+	if opt.Planner == PlannerMeasure {
+		choice, err := tuner.TuneParallel(p.n, opt.Workers, opt.CacheLineComplex, backend)
+		if err != nil {
+			backend.Close()
+			return err
+		}
+		if !choice.UsedParallel() {
+			backend.Close()
+			return nil
+		}
+		p.par = choice.Parallel
+		p.backend = backend
+		return nil
+	}
+	cfg := exec.ParallelConfig{
+		P:       opt.Workers,
+		Mu:      opt.CacheLineComplex,
+		Backend: backend,
+	}
+	cfg.LeftTree = p.treeFor(tuner, m)
+	cfg.RightTree = p.treeFor(tuner, p.n/m)
+	if opt.Wisdom != nil {
+		opt.Wisdom.record(cfg.LeftTree)
+		opt.Wisdom.record(cfg.RightTree)
+	}
+	par, err := exec.NewParallel(p.n, m, cfg)
+	if err != nil {
+		backend.Close()
+		return err
+	}
+	p.par = par
+	p.backend = backend
+	return nil
+}
+
+func (p *Plan) newBackend() smp.Backend {
+	if p.opt.Backend == BackendSpawn {
+		return smp.NewSpawn(p.opt.Workers)
+	}
+	return smp.NewPool(p.opt.Workers)
+}
+
+// N returns the transform size.
+func (p *Plan) N() int { return p.n }
+
+// IsParallel reports whether the plan executes on multiple workers.
+func (p *Plan) IsParallel() bool { return p.par != nil }
+
+// Workers returns the number of workers the plan actually uses.
+func (p *Plan) Workers() int {
+	if p.par != nil {
+		return p.par.Workers()
+	}
+	return 1
+}
+
+// Split returns the top-level factorization n = m·k of a parallel plan
+// (0, 0 for sequential plans).
+func (p *Plan) Split() (m, k int) {
+	if p.par == nil {
+		return 0, 0
+	}
+	return p.par.Split()
+}
+
+// Tree describes the factorization tree(s) of the plan, e.g.
+// "(16 x 16)" or "parallel p=2: left=(8 x 2), right=16".
+func (p *Plan) Tree() string {
+	if p.par == nil {
+		return p.seq.Tree().String()
+	}
+	l, r := p.par.Trees()
+	return fmt.Sprintf("parallel p=%d: left=%s, right=%s", p.par.Workers(), l.String(), r.String())
+}
+
+// Formula returns the SPL formula the plan implements, in the paper's
+// notation: the multicore Cooley-Tukey FFT (formula (14)) for parallel
+// plans, or the plain Cooley-Tukey formula for sequential ones.
+func (p *Plan) Formula() string {
+	if p.par != nil {
+		m, _ := p.par.Split()
+		f, _, err := rewrite.DeriveMulticoreCT(p.n, m, p.par.Workers(), p.opt.CacheLineComplex)
+		if err == nil {
+			return f.String()
+		}
+	}
+	if g, ok := rewrite.CooleyTukey(firstSplit(p.seq.Tree())).Apply(spl.NewDFT(p.n)); ok {
+		return g.String()
+	}
+	return fmt.Sprintf("DFT_%d", p.n)
+}
+
+// Derivation returns the full rewriting derivation of the plan's formula
+// (parallel plans only; sequential plans return the empty string).
+func (p *Plan) Derivation() string {
+	if p.par == nil {
+		return ""
+	}
+	m, _ := p.par.Split()
+	_, trace, err := rewrite.DeriveMulticoreCT(p.n, m, p.par.Workers(), p.opt.CacheLineComplex)
+	if err != nil {
+		return ""
+	}
+	return trace.String()
+}
+
+// Forward computes dst = DFT_n(src): dst[k] = Σ_j exp(-2πi·kj/n)·src[j].
+// dst == src is allowed. len(dst) and len(src) must equal N().
+func (p *Plan) Forward(dst, src []complex128) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return fmt.Errorf("spiralfft: Forward length mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src))
+	}
+	p.transform(dst, src)
+	return nil
+}
+
+// Inverse computes the unitary inverse: dst = DFT_n^{-1}(src), so that
+// Inverse(Forward(x)) == x. dst == src is allowed.
+func (p *Plan) Inverse(dst, src []complex128) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return fmt.Errorf("spiralfft: Inverse length mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src))
+	}
+	// IDFT(x) = conj(DFT(conj(x))) / n.
+	for i, v := range src {
+		p.invBuf[i] = cmplx.Conj(v)
+	}
+	p.transform(dst, p.invBuf)
+	scale := complex(1/float64(p.n), 0)
+	for i, v := range dst {
+		dst[i] = cmplx.Conj(v) * scale
+	}
+	return nil
+}
+
+func (p *Plan) transform(dst, src []complex128) {
+	if p.par != nil {
+		p.par.Transform(dst, src)
+		return
+	}
+	p.seq.Transform(dst, src, p.scratch)
+}
+
+// Close releases the plan's worker pool (if any). The plan must not be used
+// afterwards. Close is idempotent.
+func (p *Plan) Close() {
+	if p.backend != nil {
+		p.backend.Close()
+		p.backend = nil
+		p.par = nil
+	}
+}
+
+// Forward is a convenience one-shot transform: it plans sequentially,
+// transforms, and returns a fresh result vector.
+func Forward(x []complex128) ([]complex128, error) {
+	p, err := NewPlan(len(x), nil)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]complex128, len(x))
+	if err := p.Forward(y, x); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Inverse is the one-shot unitary inverse transform.
+func Inverse(x []complex128) ([]complex128, error) {
+	p, err := NewPlan(len(x), nil)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]complex128, len(x))
+	if err := p.Inverse(y, x); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+func firstSplit(t *exec.Tree) int {
+	if t.Leaf {
+		return 2
+	}
+	return t.M()
+}

@@ -1,0 +1,333 @@
+package spiralfft
+
+import (
+	"math/cmplx"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/twiddle"
+)
+
+const tol = 1e-10
+
+func refDFT(x []complex128) []complex128 {
+	n := len(x)
+	y := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			y[k] += twiddle.Omega(n, k*j) * x[j]
+		}
+	}
+	return y
+}
+
+func TestForwardMatchesDefinition(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 100, 256, 1024, 60} {
+		p, err := NewPlan(n, nil)
+		if err != nil {
+			t.Fatalf("NewPlan(%d): %v", n, err)
+		}
+		x := complexvec.Random(n, uint64(n))
+		got := make([]complex128, n)
+		if err := p.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		if e := complexvec.RelError(got, refDFT(x)); e > tol {
+			t.Errorf("n=%d: rel error %g", n, e)
+		}
+		p.Close()
+	}
+}
+
+func TestForwardInverseRoundtrip(t *testing.T) {
+	for _, opts := range []*Options{
+		nil,
+		{Workers: 2},
+		{Workers: 2, Backend: BackendSpawn},
+		{Workers: 2, Planner: PlannerEstimate},
+	} {
+		n := 256
+		p, err := NewPlan(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := complexvec.Random(n, 5)
+		freq := make([]complex128, n)
+		back := make([]complex128, n)
+		if err := p.Forward(freq, x); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Inverse(back, freq); err != nil {
+			t.Fatal(err)
+		}
+		if e := complexvec.RelError(back, x); e > tol {
+			t.Errorf("opts %+v: roundtrip error %g", opts, e)
+		}
+		// Inverse must not clobber its input.
+		if err := p.Inverse(back, freq); err != nil {
+			t.Fatal(err)
+		}
+		if e := complexvec.RelError(back, x); e > tol {
+			t.Errorf("opts %+v: second inverse differs: %g", opts, e)
+		}
+		p.Close()
+	}
+}
+
+func TestParallelPlanUsedWhenApplicable(t *testing.T) {
+	p, err := NewPlan(1024, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !p.IsParallel() || p.Workers() != 2 {
+		t.Errorf("expected a 2-worker parallel plan, got parallel=%v workers=%d", p.IsParallel(), p.Workers())
+	}
+	m, k := p.Split()
+	if m*k != 1024 || m%8 != 0 || k%8 != 0 {
+		t.Errorf("split %d·%d violates pµ-divisibility", m, k)
+	}
+	x := complexvec.Random(1024, 7)
+	got := make([]complex128, 1024)
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(got, refDFT(x)); e > tol {
+		t.Errorf("parallel forward: rel error %g", e)
+	}
+}
+
+func TestFallsBackToSequentialWhenNoSplit(t *testing.T) {
+	// 2^5 = 32 has no split with both factors divisible by pµ = 8.
+	p, err := NewPlan(32, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.IsParallel() {
+		t.Error("expected sequential fallback for n=32, p=2, µ=4")
+	}
+	if m, k := p.Split(); m != 0 || k != 0 {
+		t.Errorf("Split = %d,%d for sequential plan", m, k)
+	}
+	x := complexvec.Random(32, 3)
+	got := make([]complex128, 32)
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(got, refDFT(x)); e > tol {
+		t.Errorf("fallback forward: rel error %g", e)
+	}
+}
+
+func TestPlannerVariants(t *testing.T) {
+	for _, pl := range []Planner{PlannerFixed, PlannerEstimate, PlannerExhaustive} {
+		p, err := NewPlan(64, &Options{Planner: pl})
+		if err != nil {
+			t.Fatalf("%v: %v", pl, err)
+		}
+		x := complexvec.Random(64, 9)
+		got := make([]complex128, 64)
+		if err := p.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		if e := complexvec.RelError(got, refDFT(x)); e > tol {
+			t.Errorf("planner %v: rel error %g", pl, e)
+		}
+		p.Close()
+	}
+}
+
+func TestPlannerMeasureDecidesParallelism(t *testing.T) {
+	// Whatever PlannerMeasure decides must be correct; at n=2^14 on any
+	// machine the decision itself is allowed to go either way.
+	p, err := NewPlan(1<<14, &Options{Workers: 2, Planner: PlannerMeasure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	x := complexvec.Random(1<<14, 11)
+	got := make([]complex128, 1<<14)
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(got, refDFT(x)); e > 1e-9 {
+		t.Errorf("measured plan: rel error %g", e)
+	}
+}
+
+func TestInPlaceTransforms(t *testing.T) {
+	p, err := NewPlan(256, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	x := complexvec.Random(256, 13)
+	want := refDFT(x)
+	buf := complexvec.Clone(x)
+	if err := p.Forward(buf, buf); err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(buf, want); e > tol {
+		t.Errorf("in-place forward: %g", e)
+	}
+	if err := p.Inverse(buf, buf); err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(buf, x); e > tol {
+		t.Errorf("in-place inverse: %g", e)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewPlan(0, nil); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := NewPlan(8, &Options{Workers: -1}); err == nil {
+		t.Error("accepted negative workers")
+	}
+	if _, err := NewPlan(8, &Options{CacheLineComplex: -1}); err == nil {
+		t.Error("accepted negative µ")
+	}
+	p, err := NewPlan(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Forward(make([]complex128, 4), make([]complex128, 8)); err == nil {
+		t.Error("accepted short dst")
+	}
+	if err := p.Inverse(make([]complex128, 8), make([]complex128, 4)); err == nil {
+		t.Error("accepted short src")
+	}
+}
+
+func TestTreeAndFormulaRendering(t *testing.T) {
+	p, err := NewPlan(256, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !strings.Contains(p.Tree(), "parallel p=2") {
+		t.Errorf("Tree() = %q", p.Tree())
+	}
+	f := p.Formula()
+	for _, want := range []string{"⊗∥", "⊗̄", "DFT_16", "⊕∥"} {
+		if !strings.Contains(f, want) {
+			t.Errorf("Formula() = %q missing %q", f, want)
+		}
+	}
+	d := p.Derivation()
+	if !strings.Contains(d, "rule(7)") {
+		t.Errorf("Derivation missing rules:\n%s", d)
+	}
+	// Sequential plan renders the Cooley-Tukey formula.
+	s, err := NewPlan(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.Contains(s.Formula(), "DFT_") || s.Derivation() != "" {
+		t.Errorf("sequential Formula/Derivation wrong: %q / %q", s.Formula(), s.Derivation())
+	}
+	if !strings.Contains(s.Tree(), "x") && s.Tree() != "64" {
+		t.Errorf("sequential Tree() = %q", s.Tree())
+	}
+}
+
+func TestCloseIdempotentAndStringers(t *testing.T) {
+	p, err := NewPlan(256, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close()
+	if BackendPool.String() != "pool" || BackendSpawn.String() != "spawn" {
+		t.Error("Backend.String wrong")
+	}
+	if PlannerFixed.String() != "fixed" || PlannerMeasure.String() != "measure" {
+		t.Error("Planner.String wrong")
+	}
+}
+
+func TestOneShotHelpers(t *testing.T) {
+	x := complexvec.Random(128, 1)
+	y, err := Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(y, refDFT(x)); e > tol {
+		t.Errorf("Forward helper: %g", e)
+	}
+	back, err := Inverse(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(back, x); e > tol {
+		t.Errorf("Inverse helper: %g", e)
+	}
+	if _, err := Forward(nil); err == nil {
+		t.Error("Forward(nil) accepted")
+	}
+}
+
+// Property: Parseval for the public API — the unitary-inverse convention
+// means ‖Forward(x)‖² = n·‖x‖².
+func TestQuickParseval(t *testing.T) {
+	p, err := NewPlan(512, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f := func(seed uint64) bool {
+		x := complexvec.Random(512, seed)
+		y := make([]complex128, 512)
+		if err := p.Forward(y, x); err != nil {
+			return false
+		}
+		a := complexvec.L2Norm(y)
+		b := complexvec.L2Norm(x)
+		d := a*a - 512*b*b
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1e-8*(1+a*a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity of the planned transform.
+func TestQuickLinearity(t *testing.T) {
+	p, err := NewPlan(256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f := func(seedX, seedY uint64) bool {
+		x := complexvec.Random(256, seedX)
+		y := complexvec.Random(256, seedY)
+		z := make([]complex128, 256)
+		for i := range z {
+			z[i] = x[i] + 2i*y[i]
+		}
+		fx := make([]complex128, 256)
+		fy := make([]complex128, 256)
+		fz := make([]complex128, 256)
+		p.Forward(fx, x)
+		p.Forward(fy, y)
+		p.Forward(fz, z)
+		for i := range fz {
+			if cmplx.Abs(fz[i]-(fx[i]+2i*fy[i])) > 1e-8*(1+cmplx.Abs(fz[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package spiralfft
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window selects the analysis window of an STFT plan.
+type Window int
+
+const (
+	// WindowHann is the raised cosine window (default; satisfies the
+	// constant-overlap-add condition at 50% overlap).
+	WindowHann Window = iota
+	// WindowHamming is the Hamming window.
+	WindowHamming
+	// WindowRect is the rectangular window (no tapering).
+	WindowRect
+)
+
+// String names the window.
+func (w Window) String() string {
+	switch w {
+	case WindowHamming:
+		return "hamming"
+	case WindowRect:
+		return "rect"
+	default:
+		return "hann"
+	}
+}
+
+// STFTPlan computes the short-time Fourier transform of real signals: the
+// signal is cut into frames of length Frame every Hop samples, each frame
+// is windowed and transformed with a RealPlan (half spectrum), and
+// Synthesize reconstructs the signal by weighted overlap-add. This is the
+// streaming workload (many small transforms per second) for which the
+// paper's low-overhead small-size parallel plans matter.
+type STFTPlan struct {
+	frame, hop int
+	win        []float64
+	winSq      []float64 // window², for the overlap-add normalization
+	rp         *RealPlan
+	buf        []float64
+}
+
+// NewSTFTPlan prepares an STFT with the given frame length (even ≥ 2) and
+// hop (1 ≤ hop ≤ frame). Perfect reconstruction requires the window/hop
+// pair to satisfy the constant-overlap-add condition; Hann with hop =
+// frame/2 (the default pairing) does.
+func NewSTFTPlan(frame, hop int, window Window, o *Options) (*STFTPlan, error) {
+	if frame < 2 || frame%2 != 0 {
+		return nil, fmt.Errorf("spiralfft: STFT frame must be even ≥ 2, got %d", frame)
+	}
+	if hop < 1 || hop > frame {
+		return nil, fmt.Errorf("spiralfft: STFT hop %d out of range [1, %d]", hop, frame)
+	}
+	rp, err := NewRealPlan(frame, o)
+	if err != nil {
+		return nil, err
+	}
+	p := &STFTPlan{
+		frame: frame,
+		hop:   hop,
+		win:   make([]float64, frame),
+		winSq: make([]float64, frame),
+		rp:    rp,
+		buf:   make([]float64, frame),
+	}
+	for i := range p.win {
+		var v float64
+		switch window {
+		case WindowHamming:
+			v = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(frame-1))
+		case WindowRect:
+			v = 1
+		default:
+			v = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(frame))
+		}
+		p.win[i] = v
+		p.winSq[i] = v * v
+	}
+	return p, nil
+}
+
+// Frame returns the frame length.
+func (p *STFTPlan) Frame() int { return p.frame }
+
+// Hop returns the hop size.
+func (p *STFTPlan) Hop() int { return p.hop }
+
+// Bins returns the per-frame spectrum length, frame/2 + 1.
+func (p *STFTPlan) Bins() int { return p.frame/2 + 1 }
+
+// NumFrames returns how many complete frames Analyze extracts from a signal
+// of the given length (frames that would run past the end are dropped).
+func (p *STFTPlan) NumFrames(signalLen int) int {
+	if signalLen < p.frame {
+		return 0
+	}
+	return (signalLen-p.frame)/p.hop + 1
+}
+
+// Analyze computes the spectrogram of signal: dst must have NumFrames rows
+// of Bins() elements each (allocate with NewSpectrogram).
+func (p *STFTPlan) Analyze(dst [][]complex128, signal []float64) error {
+	frames := p.NumFrames(len(signal))
+	if len(dst) != frames {
+		return fmt.Errorf("spiralfft: Analyze needs %d frames, got %d", frames, len(dst))
+	}
+	for f := 0; f < frames; f++ {
+		if len(dst[f]) != p.Bins() {
+			return fmt.Errorf("spiralfft: frame %d has %d bins, want %d", f, len(dst[f]), p.Bins())
+		}
+		off := f * p.hop
+		for i := 0; i < p.frame; i++ {
+			p.buf[i] = signal[off+i] * p.win[i]
+		}
+		if err := p.rp.Forward(dst[f], p.buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewSpectrogram allocates an Analyze output for a signal of the given length.
+func (p *STFTPlan) NewSpectrogram(signalLen int) [][]complex128 {
+	frames := p.NumFrames(signalLen)
+	out := make([][]complex128, frames)
+	for f := range out {
+		out[f] = make([]complex128, p.Bins())
+	}
+	return out
+}
+
+// Synthesize reconstructs a signal from a spectrogram by weighted
+// overlap-add: each frame is inverse-transformed, windowed again, and
+// accumulated; the sum of squared windows normalizes the overlap. signal
+// must have length ≥ (frames-1)·hop + frame. Samples whose window-energy
+// sum is zero (possible only at the very edges with exotic hop choices)
+// are left zero.
+func (p *STFTPlan) Synthesize(signal []float64, frames [][]complex128) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	need := (len(frames)-1)*p.hop + p.frame
+	if len(signal) < need {
+		return fmt.Errorf("spiralfft: Synthesize needs %d samples, got %d", need, len(signal))
+	}
+	norm := make([]float64, len(signal))
+	for i := range signal {
+		signal[i] = 0
+	}
+	for f, spec := range frames {
+		if len(spec) != p.Bins() {
+			return fmt.Errorf("spiralfft: frame %d has %d bins, want %d", f, len(spec), p.Bins())
+		}
+		if err := p.rp.Inverse(p.buf, spec); err != nil {
+			return err
+		}
+		off := f * p.hop
+		for i := 0; i < p.frame; i++ {
+			signal[off+i] += p.buf[i] * p.win[i]
+			norm[off+i] += p.winSq[i]
+		}
+	}
+	for i := range signal {
+		if norm[i] > 1e-12 {
+			signal[i] /= norm[i]
+		}
+	}
+	return nil
+}
+
+// Close releases the inner plan's resources.
+func (p *STFTPlan) Close() { p.rp.Close() }

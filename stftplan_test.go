@@ -1,0 +1,128 @@
+package spiralfft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestSTFTAnalyzeFindsTone(t *testing.T) {
+	p, err := NewSTFTPlan(256, 128, WindowHann, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Frame() != 256 || p.Hop() != 128 || p.Bins() != 129 {
+		t.Fatal("accessors wrong")
+	}
+	n := 256 * 8
+	sig := make([]float64, n)
+	for j := range sig {
+		sig[j] = math.Sin(2 * math.Pi * 32 * float64(j) / 256) // bin 32 of every frame
+	}
+	spec := p.NewSpectrogram(n)
+	if len(spec) != p.NumFrames(n) {
+		t.Fatal("spectrogram shape wrong")
+	}
+	if err := p.Analyze(spec, sig); err != nil {
+		t.Fatal(err)
+	}
+	for f, row := range spec {
+		peak, peakBin := 0.0, -1
+		for k, v := range row {
+			if a := cmplx.Abs(v); a > peak {
+				peak, peakBin = a, k
+			}
+		}
+		if peakBin != 32 {
+			t.Fatalf("frame %d: peak at bin %d, want 32", f, peakBin)
+		}
+	}
+}
+
+func TestSTFTRoundtripHann50(t *testing.T) {
+	// Hann at 50% overlap satisfies COLA: analyze→synthesize must
+	// reconstruct interior samples exactly.
+	for _, opts := range []*Options{nil, {Workers: 2}} {
+		p, err := NewSTFTPlan(512, 256, WindowHann, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 512 * 6
+		sig := randomReal(n, 7)
+		spec := p.NewSpectrogram(n)
+		if err := p.Analyze(spec, sig); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, (len(spec)-1)*p.Hop()+p.Frame())
+		if err := p.Synthesize(out, spec); err != nil {
+			t.Fatal(err)
+		}
+		// Interior samples (skip the first and last frame edges).
+		for i := p.Frame(); i < len(out)-p.Frame(); i++ {
+			if math.Abs(out[i]-sig[i]) > 1e-10 {
+				t.Fatalf("opts %+v: sample %d: %v vs %v", opts, i, out[i], sig[i])
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestSTFTRoundtripOtherWindows(t *testing.T) {
+	// Weighted OLA normalizes by the window-energy sum, so reconstruction
+	// also holds for Hamming and Rect at 50% overlap.
+	for _, w := range []Window{WindowHamming, WindowRect} {
+		p, err := NewSTFTPlan(128, 64, w, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 128 * 5
+		sig := randomReal(n, uint64(w)+3)
+		spec := p.NewSpectrogram(n)
+		if err := p.Analyze(spec, sig); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, (len(spec)-1)*64+128)
+		if err := p.Synthesize(out, spec); err != nil {
+			t.Fatal(err)
+		}
+		for i := 128; i < len(out)-128; i++ {
+			if math.Abs(out[i]-sig[i]) > 1e-9 {
+				t.Fatalf("%v: sample %d: %v vs %v", w, i, out[i], sig[i])
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestSTFTErrors(t *testing.T) {
+	if _, err := NewSTFTPlan(3, 1, WindowHann, nil); err == nil {
+		t.Error("accepted odd frame")
+	}
+	if _, err := NewSTFTPlan(8, 0, WindowHann, nil); err == nil {
+		t.Error("accepted hop=0")
+	}
+	if _, err := NewSTFTPlan(8, 9, WindowHann, nil); err == nil {
+		t.Error("accepted hop > frame")
+	}
+	p, err := NewSTFTPlan(8, 4, WindowHann, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.NumFrames(7) != 0 {
+		t.Error("NumFrames on short signal")
+	}
+	if err := p.Analyze(make([][]complex128, 3), make([]float64, 8)); err == nil {
+		t.Error("accepted wrong frame count")
+	}
+	if err := p.Synthesize(make([]float64, 2), p.NewSpectrogram(16)); err == nil {
+		t.Error("accepted short output")
+	}
+	if err := p.Synthesize(make([]float64, 0), nil); err != nil {
+		t.Error("empty synthesis should be a no-op")
+	}
+	if WindowHann.String() != "hann" || WindowHamming.String() != "hamming" || WindowRect.String() != "rect" {
+		t.Error("Window.String wrong")
+	}
+}

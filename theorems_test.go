@@ -1,0 +1,185 @@
+package spiralfft
+
+import (
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/twiddle"
+)
+
+// Property tests of the classical DFT theorems through the public API —
+// end-to-end checks that the planned transforms implement the actual DFT
+// semantics, not merely something self-consistent.
+
+// TestQuickShiftTheorem: a circular shift by s multiplies bin k by ω_n^{ks}.
+func TestQuickShiftTheorem(t *testing.T) {
+	n := 256
+	p, err := NewPlan(n, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f := func(seed uint64, sRaw uint8) bool {
+		s := int(sRaw) % n
+		x := complexvec.Random(n, seed)
+		shifted := make([]complex128, n)
+		for j := 0; j < n; j++ {
+			shifted[j] = x[((j-s)%n+n)%n]
+		}
+		fx := make([]complex128, n)
+		fs := make([]complex128, n)
+		if p.Forward(fx, x) != nil || p.Forward(fs, shifted) != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			want := fx[k] * twiddle.Omega(n, k*s)
+			if cmplx.Abs(fs[k]-want) > 1e-8*(1+cmplx.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConvolutionTheorem: DFT(x ⊛ y) = DFT(x) ⊙ DFT(y) for circular
+// convolution.
+func TestQuickConvolutionTheorem(t *testing.T) {
+	n := 128
+	p, err := NewPlan(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f := func(seedX, seedY uint64) bool {
+		x := complexvec.Random(n, seedX)
+		y := complexvec.Random(n, seedY)
+		conv := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				conv[i] += x[j] * y[((i-j)%n+n)%n]
+			}
+		}
+		fc := make([]complex128, n)
+		fx := make([]complex128, n)
+		fy := make([]complex128, n)
+		if p.Forward(fc, conv) != nil || p.Forward(fx, x) != nil || p.Forward(fy, y) != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			want := fx[k] * fy[k]
+			if cmplx.Abs(fc[k]-want) > 1e-7*(1+cmplx.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConjugateSymmetry: for real input, X[n-k] = conj(X[k]).
+func TestQuickConjugateSymmetry(t *testing.T) {
+	n := 256
+	p, err := NewPlan(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f := func(seed uint64) bool {
+		xr := randomReal(n, seed)
+		x := make([]complex128, n)
+		for i, v := range xr {
+			x[i] = complex(v, 0)
+		}
+		fx := make([]complex128, n)
+		if p.Forward(fx, x) != nil {
+			return false
+		}
+		for k := 1; k < n; k++ {
+			if cmplx.Abs(fx[n-k]-cmplx.Conj(fx[k])) > 1e-9*(1+cmplx.Abs(fx[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPlancherel: inner products are preserved up to the factor n:
+// ⟨Fx, Fy⟩ = n·⟨x, y⟩.
+func TestQuickPlancherel(t *testing.T) {
+	n := 128
+	p, err := NewPlan(n, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	inner := func(a, b []complex128) complex128 {
+		var s complex128
+		for i := range a {
+			s += a[i] * cmplx.Conj(b[i])
+		}
+		return s
+	}
+	f := func(seedX, seedY uint64) bool {
+		x := complexvec.Random(n, seedX)
+		y := complexvec.Random(n, seedY)
+		fx := make([]complex128, n)
+		fy := make([]complex128, n)
+		if p.Forward(fx, x) != nil || p.Forward(fy, y) != nil {
+			return false
+		}
+		lhs := inner(fx, fy)
+		rhs := complex(float64(n), 0) * inner(x, y)
+		return cmplx.Abs(lhs-rhs) <= 1e-7*(1+cmplx.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRealPlanAgreesWithComplexPlan: the packed real transform and the
+// complex transform of the same (real) data agree on the half spectrum —
+// two completely different code paths.
+func TestQuickRealPlanAgreesWithComplexPlan(t *testing.T) {
+	n := 512
+	cp, err := NewPlan(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	rp, err := NewRealPlan(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	f := func(seed uint64) bool {
+		xr := randomReal(n, seed)
+		x := make([]complex128, n)
+		for i, v := range xr {
+			x[i] = complex(v, 0)
+		}
+		full := make([]complex128, n)
+		half := make([]complex128, n/2+1)
+		if cp.Forward(full, x) != nil || rp.Forward(half, xr) != nil {
+			return false
+		}
+		for k := 0; k <= n/2; k++ {
+			if cmplx.Abs(half[k]-full[k]) > 1e-9*(1+cmplx.Abs(full[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

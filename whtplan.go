@@ -1,0 +1,120 @@
+package spiralfft
+
+import (
+	"fmt"
+
+	"spiralfft/internal/exec"
+	"spiralfft/internal/rewrite"
+	"spiralfft/internal/smp"
+)
+
+// WHTPlan computes the Walsh-Hadamard transform of size n = 2^k. The WHT
+// shares the FFT's tensor structure — Spiral treats it as just another
+// transform in the same framework — and parallelizes by the same rewriting
+// rules; having no twiddle factors, it isolates the pure shared-memory
+// scheduling machinery.
+type WHTPlan struct {
+	n       int
+	inner   *exec.WHTPlan
+	backend smp.Backend
+	opt     Options
+}
+
+// NewWHTPlan prepares a WHT of size n (a power of two ≥ 2). Parallel plans
+// follow the same pµ-divisibility condition as DFT plans and fall back to
+// sequential when no admissible split exists.
+func NewWHTPlan(n int, o *Options) (*WHTPlan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("spiralfft: WHT size must be a power of two ≥ 2, got %d", n)
+	}
+	opt := o.withDefaults()
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("spiralfft: invalid worker count %d", opt.Workers)
+	}
+	k := 0
+	for v := n; v > 1; v >>= 1 {
+		k++
+	}
+	p := &WHTPlan{n: n, opt: opt}
+	workers := opt.Workers
+	var backend smp.Backend
+	if workers > 1 {
+		if _, ok := exec.SplitFor(n, workers, opt.CacheLineComplex); ok {
+			if opt.Backend == BackendSpawn {
+				backend = smp.NewSpawn(workers)
+			} else {
+				backend = smp.NewPool(workers)
+			}
+		} else {
+			workers = 1
+		}
+	}
+	inner, err := exec.NewWHT(k, workers, opt.CacheLineComplex, backend)
+	if err != nil {
+		if backend != nil {
+			backend.Close()
+		}
+		return nil, err
+	}
+	p.inner = inner
+	p.backend = backend
+	return p, nil
+}
+
+// N returns the transform size.
+func (p *WHTPlan) N() int { return p.n }
+
+// IsParallel reports whether the plan uses multiple workers.
+func (p *WHTPlan) IsParallel() bool { return p.inner.IsParallel() }
+
+// Transform computes dst = WHT_n(src); dst == src is allowed. The WHT is
+// self-inverse up to 1/n: Transform∘Transform = n·identity.
+func (p *WHTPlan) Transform(dst, src []complex128) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return fmt.Errorf("spiralfft: WHT length mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src))
+	}
+	p.inner.Transform(dst, src)
+	return nil
+}
+
+// Inverse computes the inverse WHT: Transform scaled by 1/n.
+func (p *WHTPlan) Inverse(dst, src []complex128) error {
+	if err := p.Transform(dst, src); err != nil {
+		return err
+	}
+	s := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= s
+	}
+	return nil
+}
+
+// Formula returns the fully optimized SPL formula for the plan's
+// configuration (parallel plans; sequential plans return "WHT_n").
+func (p *WHTPlan) Formula() string {
+	if !p.inner.IsParallel() {
+		return fmt.Sprintf("WHT_%d", p.n)
+	}
+	k := 0
+	for v := p.n; v > 1; v >>= 1 {
+		k++
+	}
+	m, _ := exec.SplitFor(p.n, p.opt.Workers, p.opt.CacheLineComplex)
+	a := 0
+	for v := m; v > 1; v >>= 1 {
+		a++
+	}
+	f, _, err := rewrite.DeriveMulticoreWHT(k, a, p.opt.Workers, p.opt.CacheLineComplex)
+	if err != nil {
+		return fmt.Sprintf("WHT_%d", p.n)
+	}
+	return f.String()
+}
+
+// Close releases the worker pool (if any). Idempotent.
+func (p *WHTPlan) Close() {
+	if p.backend != nil {
+		p.backend.Close()
+		p.backend = nil
+	}
+}

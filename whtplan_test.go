@@ -1,0 +1,110 @@
+package spiralfft
+
+import (
+	"strings"
+	"testing"
+
+	"spiralfft/internal/complexvec"
+)
+
+// refWHT from the Hadamard matrix definition.
+func refWHT(x []complex128) []complex128 {
+	n := len(x)
+	y := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			bits := k & j
+			c := 0
+			for ; bits != 0; bits &= bits - 1 {
+				c++
+			}
+			if c%2 == 0 {
+				y[k] += x[j]
+			} else {
+				y[k] -= x[j]
+			}
+		}
+	}
+	return y
+}
+
+func TestWHTPlanMatchesDefinition(t *testing.T) {
+	for _, opts := range []*Options{nil, {Workers: 2}} {
+		for _, n := range []int{2, 16, 256, 1024} {
+			p, err := NewWHTPlan(n, opts)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			x := complexvec.Random(n, uint64(n))
+			got := make([]complex128, n)
+			if err := p.Transform(got, x); err != nil {
+				t.Fatal(err)
+			}
+			if e := complexvec.RelError(got, refWHT(x)); e > 1e-12 {
+				t.Errorf("opts %+v n=%d: rel error %g", opts, n, e)
+			}
+			// Inverse roundtrip.
+			back := make([]complex128, n)
+			if err := p.Inverse(back, got); err != nil {
+				t.Fatal(err)
+			}
+			if e := complexvec.RelError(back, x); e > 1e-12 {
+				t.Errorf("opts %+v n=%d: roundtrip error %g", opts, n, e)
+			}
+			p.Close()
+		}
+	}
+}
+
+func TestWHTPlanParallelAndFormula(t *testing.T) {
+	p, err := NewWHTPlan(1024, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !p.IsParallel() || p.N() != 1024 {
+		t.Errorf("parallel=%v n=%d", p.IsParallel(), p.N())
+	}
+	f := p.Formula()
+	for _, want := range []string{"WHT_", "⊗∥", "⊗̄"} {
+		if !strings.Contains(f, want) {
+			t.Errorf("Formula %q missing %q", f, want)
+		}
+	}
+	// Sequential formula is the bare transform.
+	s, err := NewWHTPlan(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Formula() != "WHT_16" {
+		t.Errorf("sequential formula %q", s.Formula())
+	}
+}
+
+func TestWHTPlanErrors(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100} {
+		if _, err := NewWHTPlan(n, nil); err == nil {
+			t.Errorf("accepted n=%d", n)
+		}
+	}
+	p, err := NewWHTPlan(16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Transform(make([]complex128, 8), make([]complex128, 16)); err == nil {
+		t.Error("accepted short dst")
+	}
+}
+
+func TestWHTPlanSmallFallsBackSequential(t *testing.T) {
+	p, err := NewWHTPlan(16, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.IsParallel() {
+		t.Error("small WHT should be sequential")
+	}
+}

@@ -1,0 +1,118 @@
+package spiralfft
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"spiralfft/internal/exec"
+)
+
+// Wisdom accumulates tuned factorization trees so the cost of measured
+// planning (PlannerMeasure, PlannerExhaustive) is paid once and reused
+// across plans and — via Export/Import — across processes, like FFTW's
+// wisdom files.
+//
+// A Wisdom value is safe for concurrent use.
+type Wisdom struct {
+	mu    sync.Mutex
+	trees map[int]string // transform size → tree in (*exec.Tree).String() form
+}
+
+// NewWisdom returns an empty wisdom store.
+func NewWisdom() *Wisdom {
+	return &Wisdom{trees: make(map[int]string)}
+}
+
+// Len reports how many sizes the store covers.
+func (w *Wisdom) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.trees)
+}
+
+// record stores the tree for its size (keeps the first entry: wisdom is
+// written by the tuner that worked hardest first).
+func (w *Wisdom) record(t *exec.Tree) {
+	if t == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.trees[t.N]; !ok {
+		w.trees[t.N] = t.String()
+	}
+}
+
+// lookup returns the stored tree for size n.
+func (w *Wisdom) lookup(n int) (*exec.Tree, bool) {
+	w.mu.Lock()
+	s, ok := w.trees[n]
+	w.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	t, err := exec.ParseTree(s)
+	if err != nil || t.N != n {
+		return nil, false
+	}
+	return t, true
+}
+
+// Export serializes the store, one "size factorization-tree" line per size,
+// sorted by size. The format is stable and human-readable:
+//
+//	256 (64 x 4)
+//	1024 (64 x 16)
+func (w *Wisdom) Export() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sizes := make([]int, 0, len(w.trees))
+	for n := range w.trees {
+		sizes = append(sizes, n)
+	}
+	sort.Ints(sizes)
+	var b strings.Builder
+	for _, n := range sizes {
+		fmt.Fprintf(&b, "%d %s\n", n, w.trees[n])
+	}
+	return b.String()
+}
+
+// Import merges serialized wisdom into the store. Unknown or malformed
+// lines produce an error and nothing of the bad line is imported; valid
+// lines before an error remain imported. Imported entries override existing
+// ones (imported wisdom is presumed tuned).
+func (w *Wisdom) Import(s string) error {
+	sc := bufio.NewScanner(strings.NewReader(s))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("spiralfft: wisdom line %d: missing tree: %q", lineNo, line)
+		}
+		n, err := strconv.Atoi(line[:sp])
+		if err != nil || n < 1 {
+			return fmt.Errorf("spiralfft: wisdom line %d: bad size %q", lineNo, line[:sp])
+		}
+		t, err := exec.ParseTree(strings.TrimSpace(line[sp+1:]))
+		if err != nil {
+			return fmt.Errorf("spiralfft: wisdom line %d: %v", lineNo, err)
+		}
+		if t.N != n {
+			return fmt.Errorf("spiralfft: wisdom line %d: tree size %d does not match declared %d", lineNo, t.N, n)
+		}
+		w.mu.Lock()
+		w.trees[n] = t.String()
+		w.mu.Unlock()
+	}
+	return sc.Err()
+}

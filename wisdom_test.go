@@ -1,0 +1,119 @@
+package spiralfft
+
+import (
+	"strings"
+	"testing"
+
+	"spiralfft/internal/complexvec"
+)
+
+func TestWisdomExportImportRoundtrip(t *testing.T) {
+	w := NewWisdom()
+	if err := w.Import("256 (64 x 4)\n1024 (64 x 16)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	out := w.Export()
+	w2 := NewWisdom()
+	if err := w2.Import(out); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Export() != out {
+		t.Errorf("roundtrip mismatch:\n%q\n%q", out, w2.Export())
+	}
+	// Sizes sorted ascending.
+	if !strings.HasPrefix(out, "256 ") {
+		t.Errorf("export not sorted: %q", out)
+	}
+}
+
+func TestWisdomImportErrors(t *testing.T) {
+	cases := []string{
+		"256",          // missing tree
+		"abc (8 x 2)",  // bad size
+		"256 (64 x 5)", // tree size 320 != 256
+		"16 (8 x",      // malformed tree
+		"0 (2 x 2)",    // bad size value
+	}
+	for _, c := range cases {
+		if err := NewWisdom().Import(c); err == nil {
+			t.Errorf("Import(%q) accepted", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	w := NewWisdom()
+	if err := w.Import("# comment\n\n64 (8 x 8)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Errorf("Len = %d", w.Len())
+	}
+}
+
+func TestWisdomGuidesPlanning(t *testing.T) {
+	// Plant a deliberately recognizable tree and check the plan adopts it.
+	w := NewWisdom()
+	if err := w.Import("256 (4 x (4 x 16))\n"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(256, &Options{Wisdom: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Tree() != "(4 x (4 x 16))" {
+		t.Errorf("plan ignored wisdom: %s", p.Tree())
+	}
+	// And the plan still computes the DFT.
+	x := complexvec.Random(256, 3)
+	got := make([]complex128, 256)
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(got, refDFT(x)); e > tol {
+		t.Errorf("wisdom-guided plan wrong by %g", e)
+	}
+}
+
+func TestWisdomRecordsPlannedTrees(t *testing.T) {
+	w := NewWisdom()
+	p, err := NewPlan(512, &Options{Workers: 2, Wisdom: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// The plan records the sequential tree for n and the two parallel
+	// subtree sizes.
+	if w.Len() < 3 {
+		t.Errorf("wisdom recorded %d entries, want ≥ 3:\n%s", w.Len(), w.Export())
+	}
+	m, k := p.Split()
+	exported := w.Export()
+	for _, n := range []int{512, m, k} {
+		if _, ok := w.lookup(n); !ok {
+			t.Errorf("wisdom missing size %d:\n%s", n, exported)
+		}
+	}
+}
+
+func TestWisdomRecordKeepsFirst(t *testing.T) {
+	w := NewWisdom()
+	if err := w.Import("64 (8 x 8)\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Planning 64 must not overwrite the imported entry.
+	p, err := NewPlan(64, &Options{Wisdom: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tr, _ := w.lookup(64)
+	if tr.String() != "(8 x 8)" {
+		t.Errorf("record overwrote imported wisdom: %s", tr.String())
+	}
+	if p.Tree() != "(8 x 8)" {
+		t.Errorf("plan did not use imported wisdom: %s", p.Tree())
+	}
+}

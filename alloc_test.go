@@ -10,6 +10,9 @@ import (
 // the production requirement that lets plans run in tight real-time loops
 // without GC pressure.
 func TestSteadyStateAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items at random; allocation counts are meaningless")
+	}
 	cases := []struct {
 		name string
 		opts *Options

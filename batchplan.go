@@ -2,6 +2,7 @@ package spiralfft
 
 import (
 	"fmt"
+	"sync"
 
 	"spiralfft/internal/exec"
 	"spiralfft/internal/smp"
@@ -14,29 +15,41 @@ import (
 // n a multiple of µ) free of false sharing without any further rewriting.
 //
 // Signals are stored back to back in one flat slice of length Count()·N().
+//
+// A BatchPlan is safe for concurrent use: per-call workspace is pooled, and
+// parallel regions on the pooled backend serialize on an internal mutex.
 type BatchPlan struct {
 	n, count int
 	seq      *exec.Seq
 	backend  smp.Backend // owned; nil when workers == 1
 	workers  int
-	scratch  [][]complex128
-	invBuf   []complex128
-	// body is the persistent parallel-region closure over curDst/curSrc,
-	// so steady-state batches allocate nothing.
-	body           func(w int)
-	curDst, curSrc []complex128
+	ctxs     sync.Pool // *batchCtx
+	// serial/regionMu/body/cur serialize pooled-backend regions; body is the
+	// persistent parallel-region closure over cur, so steady-state batches
+	// allocate nothing.
+	serial   bool
+	regionMu sync.Mutex
+	body     func(w int)
+	cur      *batchCtx
+}
+
+// batchCtx is the per-call workspace of one batch transform.
+type batchCtx struct {
+	scratch  [][]complex128 // per-worker executor scratch
+	inv      []complex128   // conjugation buffer for Inverse
+	dst, src []complex128   // per-call arguments for the region body
 }
 
 // NewBatchPlan prepares a plan for count signals of length n each.
 // Workers > count is reduced to count (no idle processors).
 func NewBatchPlan(n, count int, o *Options) (*BatchPlan, error) {
 	if n < 1 || count < 1 {
-		return nil, fmt.Errorf("spiralfft: invalid batch %d×%d", count, n)
+		return nil, fmt.Errorf("%w: batch %d×%d", ErrInvalidSize, count, n)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
 	opt := o.withDefaults()
-	if opt.Workers < 1 {
-		return nil, fmt.Errorf("spiralfft: invalid worker count %d", opt.Workers)
-	}
 	workers := opt.Workers
 	if workers > count {
 		workers = count
@@ -60,11 +73,16 @@ func NewBatchPlan(n, count int, o *Options) (*BatchPlan, error) {
 		count:   count,
 		seq:     seq,
 		workers: workers,
-		scratch: make([][]complex128, workers),
-		invBuf:  make([]complex128, n*count),
 	}
-	for w := range b.scratch {
-		b.scratch[w] = seq.NewScratch()
+	b.ctxs.New = func() any {
+		c := &batchCtx{
+			scratch: make([][]complex128, workers),
+			inv:     make([]complex128, n*count),
+		}
+		for w := range c.scratch {
+			c.scratch[w] = seq.NewScratch()
+		}
+		return c
 	}
 	if workers > 1 {
 		if opt.Backend == BackendSpawn {
@@ -72,18 +90,26 @@ func NewBatchPlan(n, count int, o *Options) (*BatchPlan, error) {
 		} else {
 			b.backend = smp.NewPool(workers)
 		}
-		b.body = func(w int) {
-			lo, hi := smp.BlockRange(b.count, b.workers, w)
-			for s := lo; s < hi; s++ {
-				b.seq.TransformStrided(b.curDst, s*b.n, 1, b.curSrc, s*b.n, 1, nil, b.scratch[w])
-			}
-		}
+		b.serial = !b.backend.Concurrent()
+		b.body = func(w int) { b.runWorker(w, b.cur) }
 	}
 	return b, nil
 }
 
+// runWorker transforms worker w's contiguous block of whole signals.
+func (b *BatchPlan) runWorker(w int, ctx *batchCtx) {
+	lo, hi := smp.BlockRange(b.count, b.workers, w)
+	for s := lo; s < hi; s++ {
+		b.seq.TransformStrided(ctx.dst, s*b.n, 1, ctx.src, s*b.n, 1, nil, ctx.scratch[w])
+	}
+}
+
 // N returns the per-signal transform size.
 func (b *BatchPlan) N() int { return b.n }
+
+// Len returns the required slice length for Forward/Inverse: n·count,
+// the whole batch (see Sized for the generic contract).
+func (b *BatchPlan) Len() int { return b.n * b.count }
 
 // Count returns the number of signals per batch.
 func (b *BatchPlan) Count() int { return b.count }
@@ -93,50 +119,64 @@ func (b *BatchPlan) Workers() int { return b.workers }
 
 // Forward transforms all signals: for each s < Count(),
 // dst[s·n : (s+1)·n] = DFT_n(src[s·n : (s+1)·n]). dst == src is allowed.
+// Forward is safe for concurrent use.
 func (b *BatchPlan) Forward(dst, src []complex128) error {
 	if err := b.check(dst, src); err != nil {
 		return err
 	}
-	b.run(dst, src)
+	ctx := b.ctxs.Get().(*batchCtx)
+	b.run(dst, src, ctx)
+	b.ctxs.Put(ctx)
 	return nil
 }
 
 // Inverse applies the unitary inverse to all signals. dst == src is allowed.
+// Inverse is safe for concurrent use.
 func (b *BatchPlan) Inverse(dst, src []complex128) error {
 	if err := b.check(dst, src); err != nil {
 		return err
 	}
+	ctx := b.ctxs.Get().(*batchCtx)
 	// conj → forward → conj/scale, batched.
 	for i, v := range src {
-		b.invBuf[i] = complex(real(v), -imag(v))
+		ctx.inv[i] = complex(real(v), -imag(v))
 	}
-	b.run(dst, b.invBuf)
+	b.run(dst, ctx.inv, ctx)
 	scale := 1 / float64(b.n)
 	for i, v := range dst {
 		dst[i] = complex(real(v)*scale, -imag(v)*scale)
 	}
+	b.ctxs.Put(ctx)
 	return nil
 }
 
 func (b *BatchPlan) check(dst, src []complex128) error {
 	want := b.n * b.count
 	if len(dst) != want || len(src) != want {
-		return fmt.Errorf("spiralfft: batch length mismatch: want %d (= %d signals × %d), dst %d, src %d",
-			want, b.count, b.n, len(dst), len(src))
+		return fmt.Errorf("%w: batch wants %d (= %d signals × %d), dst %d, src %d",
+			ErrLengthMismatch, want, b.count, b.n, len(dst), len(src))
 	}
 	return nil
 }
 
-func (b *BatchPlan) run(dst, src []complex128) {
+func (b *BatchPlan) run(dst, src []complex128, ctx *batchCtx) {
 	if b.backend == nil {
 		for s := 0; s < b.count; s++ {
-			b.seq.TransformStrided(dst, s*b.n, 1, src, s*b.n, 1, nil, b.scratch[0])
+			b.seq.TransformStrided(dst, s*b.n, 1, src, s*b.n, 1, nil, ctx.scratch[0])
 		}
 		return
 	}
-	b.curDst, b.curSrc = dst, src
-	b.backend.Run(b.body)
-	b.curDst, b.curSrc = nil, nil
+	ctx.dst, ctx.src = dst, src
+	if b.serial {
+		b.regionMu.Lock()
+		b.cur = ctx
+		b.backend.Run(b.body)
+		b.cur = nil
+		b.regionMu.Unlock()
+	} else {
+		b.backend.Run(func(w int) { b.runWorker(w, ctx) })
+	}
+	ctx.dst, ctx.src = nil, nil
 }
 
 // Close releases the worker pool (if any). Idempotent.

@@ -18,6 +18,8 @@ package spiralfft_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -491,5 +493,55 @@ func BenchmarkBarrierStructure(b *testing.B) {
 			}
 			reportPseudo(b, n)
 		})
+	}
+}
+
+// BenchmarkCachedPlanParallelGoroutines measures the payoff of the
+// concurrency-safe plan + cache combination: g goroutines share ONE cached
+// plan (the FFTW-wisdom usage pattern) and hammer it with independent
+// transforms. Sequential plans should scale with g; parallel pooled plans
+// serialize their region internally, bounding the loss to lock handoff.
+func BenchmarkCachedPlanParallelGoroutines(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opt  *spiralfft.Options
+	}{
+		{"seq", nil},
+		{"pool", &spiralfft.Options{Workers: benchP}},
+	} {
+		for _, logN := range []int{8, 12} {
+			n := 1 << logN
+			for _, g := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/logN=%d/goroutines=%d", cfg.name, logN, g), func(b *testing.B) {
+					var cache spiralfft.Cache
+					defer cache.Close()
+					p, err := cache.Plan(n, cfg.opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer p.Close()
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					var next atomic.Int64
+					for w := 0; w < g; w++ {
+						wg.Add(1)
+						go func(w int) {
+							defer wg.Done()
+							src := make([]complex128, n)
+							dst := make([]complex128, n)
+							src[w%n] = 1
+							for next.Add(1) <= int64(b.N) {
+								if err := p.Forward(dst, src); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}(w)
+					}
+					wg.Wait()
+					reportPseudo(b, n)
+				})
+			}
+		}
 	}
 }

@@ -3,6 +3,7 @@ package spiralfft
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"spiralfft/internal/twiddle"
 )
@@ -17,17 +18,23 @@ import (
 // library's (possibly parallel) DFT plan, and rotated by a quarter-sample
 // phase. The DCT is the workhorse of block transforms (JPEG/audio), another
 // member of the transform class the Spiral framework targets.
+// A DCTPlan is safe for concurrent use (per-call workspace is pooled).
 type DCTPlan struct {
 	n     int
 	inner *Plan
-	v     []complex128 // reordered input / spectrum workspace
 	w     []complex128 // e^{-iπk/(2n)}, k = 0..n-1
+	ctxs  sync.Pool    // reordered input / spectrum workspace, []complex128 via *dctCtx
+}
+
+// dctCtx is the per-call workspace of one DCT transform.
+type dctCtx struct {
+	v []complex128
 }
 
 // NewDCTPlan prepares a DCT-II of size n ≥ 1.
 func NewDCTPlan(n int, o *Options) (*DCTPlan, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("spiralfft: invalid DCT size %d", n)
+		return nil, fmt.Errorf("%w: DCT size %d", ErrInvalidSize, n)
 	}
 	inner, err := NewPlan(n, o)
 	if err != nil {
@@ -37,7 +44,9 @@ func NewDCTPlan(n int, o *Options) (*DCTPlan, error) {
 	for k := range w {
 		w[k] = twiddle.Omega(4*n, k) // e^{-2πik/(4n)} = e^{-iπk/(2n)}
 	}
-	return &DCTPlan{n: n, inner: inner, v: make([]complex128, n), w: w}, nil
+	p := &DCTPlan{n: n, inner: inner, w: w}
+	p.ctxs.New = func() any { return &dctCtx{v: make([]complex128, n)} }
+	return p, nil
 }
 
 // N returns the transform size.
@@ -47,23 +56,27 @@ func (p *DCTPlan) N() int { return p.n }
 func (p *DCTPlan) IsParallel() bool { return p.inner.IsParallel() }
 
 // Forward computes the unnormalized DCT-II of src into dst (both length n).
+// Forward is safe for concurrent use.
 func (p *DCTPlan) Forward(dst, src []float64) error {
 	if len(dst) != p.n || len(src) != p.n {
-		return fmt.Errorf("spiralfft: DCT Forward lengths: dst %d, src %d, want %d", len(dst), len(src), p.n)
+		return fmt.Errorf("%w: DCT Forward: dst %d, src %d, want %d", ErrLengthMismatch, len(dst), len(src), p.n)
 	}
+	ctx := p.ctxs.Get().(*dctCtx)
+	defer p.ctxs.Put(ctx)
+	v := ctx.v
 	n := p.n
 	// Makhoul reordering: evens ascending then odds descending.
 	for j := 0; 2*j < n; j++ {
-		p.v[j] = complex(src[2*j], 0)
+		v[j] = complex(src[2*j], 0)
 	}
 	for j := 0; 2*j+1 < n; j++ {
-		p.v[n-1-j] = complex(src[2*j+1], 0)
+		v[n-1-j] = complex(src[2*j+1], 0)
 	}
-	if err := p.inner.Forward(p.v, p.v); err != nil {
+	if err := p.inner.Forward(v, v); err != nil {
 		return err
 	}
 	for k := 0; k < n; k++ {
-		dst[k] = real(p.w[k] * p.v[k])
+		dst[k] = real(p.w[k] * v[k])
 	}
 	return nil
 }
@@ -73,23 +86,26 @@ func (p *DCTPlan) Forward(dst, src []float64) error {
 // scaled DCT-III).
 func (p *DCTPlan) Inverse(dst, src []float64) error {
 	if len(dst) != p.n || len(src) != p.n {
-		return fmt.Errorf("spiralfft: DCT Inverse lengths: dst %d, src %d, want %d", len(dst), len(src), p.n)
+		return fmt.Errorf("%w: DCT Inverse: dst %d, src %d, want %d", ErrLengthMismatch, len(dst), len(src), p.n)
 	}
+	ctx := p.ctxs.Get().(*dctCtx)
+	defer p.ctxs.Put(ctx)
+	v := ctx.v
 	n := p.n
 	// Rebuild the DFT spectrum: V[k] = e^{iπk/(2n)}·(C[k] - i·C[n-k]),
 	// V[0] = C[0] (conjugate symmetry of the real reordered signal).
-	p.v[0] = complex(src[0], 0)
+	v[0] = complex(src[0], 0)
 	for k := 1; k < n; k++ {
-		p.v[k] = cmplx.Conj(p.w[k]) * complex(src[k], -src[n-k])
+		v[k] = cmplx.Conj(p.w[k]) * complex(src[k], -src[n-k])
 	}
-	if err := p.inner.Inverse(p.v, p.v); err != nil {
+	if err := p.inner.Inverse(v, v); err != nil {
 		return err
 	}
 	for j := 0; 2*j < n; j++ {
-		dst[2*j] = real(p.v[j])
+		dst[2*j] = real(v[j])
 	}
 	for j := 0; 2*j+1 < n; j++ {
-		dst[2*j+1] = real(p.v[n-1-j])
+		dst[2*j+1] = real(v[n-1-j])
 	}
 	return nil
 }

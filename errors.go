@@ -1,0 +1,52 @@
+package spiralfft
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned (wrapped, with detail) by plan constructors and
+// transform methods. Test with errors.Is:
+//
+//	if _, err := spiralfft.NewPlan(0, nil); errors.Is(err, spiralfft.ErrInvalidSize) { ... }
+var (
+	// ErrInvalidSize reports a transform size outside the constructor's
+	// domain (non-positive, odd for RealPlan, not a power of two for
+	// WHTPlan, ...).
+	ErrInvalidSize = errors.New("spiralfft: invalid transform size")
+	// ErrInvalidOptions reports an Options value that no plan can honor
+	// (negative worker count, out-of-range enum, ...).
+	ErrInvalidOptions = errors.New("spiralfft: invalid options")
+	// ErrLengthMismatch reports dst/src slices whose lengths do not match
+	// what the plan requires.
+	ErrLengthMismatch = errors.New("spiralfft: length mismatch")
+)
+
+// Validate reports whether the options are usable by any plan constructor.
+// The zero value and nil are valid (they select the sequential defaults);
+// zero fields mean "default", so only genuinely meaningless values —
+// negative counts, unknown enum constants — fail. Every New*Plan calls
+// Validate and returns the error wrapped in ErrInvalidOptions.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: negative worker count %d", ErrInvalidOptions, o.Workers)
+	}
+	if o.CacheLineComplex < 0 {
+		return fmt.Errorf("%w: negative cache-line length %d", ErrInvalidOptions, o.CacheLineComplex)
+	}
+	if o.Backend != BackendPool && o.Backend != BackendSpawn {
+		return fmt.Errorf("%w: unknown backend %d", ErrInvalidOptions, int(o.Backend))
+	}
+	if o.Planner < PlannerFixed || o.Planner > PlannerExhaustive {
+		return fmt.Errorf("%w: unknown planner %d", ErrInvalidOptions, int(o.Planner))
+	}
+	return nil
+}
+
+// lengthError builds an ErrLengthMismatch with call-site detail.
+func lengthError(method string, want, dst, src int) error {
+	return fmt.Errorf("%w: %s: plan wants %d, dst %d, src %d", ErrLengthMismatch, method, want, dst, src)
+}

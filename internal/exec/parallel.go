@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"spiralfft/internal/smp"
 	"spiralfft/internal/twiddle"
@@ -44,6 +45,11 @@ func (s Schedule) String() string {
 // pµ | m and pµ | k every per-processor chunk starts and ends on a cache
 // line boundary, so the plan is load-balanced and free of false sharing —
 // exec proves this dynamically in the cachesim tests.
+//
+// A Parallel plan is safe for concurrent use: all per-call state (stage
+// buffer, per-worker scratch, barrier) lives in execution contexts checked
+// out of a pool, and dispatch through a non-concurrent backend (the pooled
+// spin-barrier substrate) is serialized on an internal mutex.
 type Parallel struct {
 	n, m, k int
 	p       int
@@ -52,17 +58,30 @@ type Parallel struct {
 	right   *Seq // DFT_k plan (stage 1)
 	tw      []complex128
 	backend smp.Backend
-	barrier *smp.SpinBarrier
-	t       []complex128   // stage-1 output buffer
-	scratch [][]complex128 // per-worker scratch
 	sched   Schedule
 	itersM  [][]int // per-worker stage-1 iterations
 	itersK  [][]int // per-worker stage-2 iterations
-	// body is the persistent parallel-region closure; curDst/curSrc are its
-	// per-call arguments (set by Transform before dispatch, so the steady
-	// state allocates nothing).
-	body           func(w int)
-	curDst, curSrc []complex128
+	// ctxs pools per-call execution contexts so concurrent Transforms never
+	// share buffers (and the steady state allocates nothing).
+	ctxs sync.Pool
+	// serial marks backends whose Run calls must not overlap; regionMu
+	// serializes dispatch for them, and body/cur are the persistent
+	// parallel-region closure and its per-call context (written under
+	// regionMu, so no closure is allocated per call).
+	serial   bool
+	regionMu sync.Mutex
+	body     func(w int)
+	cur      *parCtx
+}
+
+// parCtx is the per-call mutable state of one Parallel transform. Each
+// context owns its barrier so two concurrent regions on a concurrent-safe
+// backend cannot corrupt each other's barrier protocol.
+type parCtx struct {
+	t        []complex128   // stage-1 output buffer
+	scratch  [][]complex128 // per-worker scratch
+	barrier  *smp.SpinBarrier
+	dst, src []complex128 // per-call arguments
 }
 
 // ParallelConfig configures NewParallel.
@@ -153,10 +172,8 @@ func NewParallel(n, m int, cfg ParallelConfig) (*Parallel, error) {
 		right:   right,
 		tw:      twiddle.GlobalCache().Columns(m, k),
 		backend: cfg.Backend,
-		barrier: smp.NewSpinBarrier(cfg.P),
-		t:       make([]complex128, n),
-		scratch: make([][]complex128, cfg.P),
 		sched:   cfg.Schedule,
+		serial:  !cfg.Backend.Concurrent(),
 	}
 	// Per-worker scratch: stage 1 and stage 2 both run sub-plans, plus an
 	// m-element pre-scale buffer when the stage-2 root is composite.
@@ -171,8 +188,17 @@ func NewParallel(n, m int, cfg ParallelConfig) (*Parallel, error) {
 	if need == 0 {
 		need = 1
 	}
-	for w := range pl.scratch {
-		pl.scratch[w] = make([]complex128, need)
+	p := cfg.P
+	pl.ctxs.New = func() any {
+		c := &parCtx{
+			t:       make([]complex128, n),
+			scratch: make([][]complex128, p),
+			barrier: smp.NewSpinBarrier(p),
+		}
+		for w := range c.scratch {
+			c.scratch[w] = make([]complex128, need)
+		}
+		return c
 	}
 	pl.itersM = make([][]int, cfg.P)
 	pl.itersK = make([][]int, cfg.P)
@@ -180,7 +206,7 @@ func NewParallel(n, m int, cfg ParallelConfig) (*Parallel, error) {
 		pl.itersM[w] = scheduleIters(m, cfg.P, w, cfg.Schedule)
 		pl.itersK[w] = scheduleIters(k, cfg.P, w, cfg.Schedule)
 	}
-	pl.body = pl.runWorker
+	pl.body = func(w int) { pl.runWorker(w, pl.cur) }
 	return pl, nil
 }
 
@@ -211,9 +237,10 @@ func (pl *Parallel) Schedule() Schedule { return pl.sched }
 // Trees returns the two sub-plan factorization trees.
 func (pl *Parallel) Trees() (left, right *Tree) { return pl.left.Tree(), pl.right.Tree() }
 
-// Transform computes dst = DFT_n(src). dst == src is allowed. A Parallel
-// plan must not be used by multiple goroutines concurrently (it owns its
-// stage buffer and backend region).
+// Transform computes dst = DFT_n(src). dst == src is allowed. Transform is
+// safe for concurrent use from multiple goroutines; on a non-concurrent
+// backend (the pooled substrate) concurrent calls serialize on the region
+// mutex, on concurrent-safe backends (spawn) they proceed independently.
 func (pl *Parallel) Transform(dst, src []complex128) {
 	if pl.backend == nil {
 		panic("exec: Transform called on a trace-only plan")
@@ -221,18 +248,29 @@ func (pl *Parallel) Transform(dst, src []complex128) {
 	if len(dst) != pl.n || len(src) != pl.n {
 		panic(fmt.Sprintf("exec: Parallel.Transform length mismatch: plan %d, dst %d, src %d", pl.n, len(dst), len(src)))
 	}
-	pl.curDst, pl.curSrc = dst, src
-	pl.backend.Run(pl.body)
-	pl.curDst, pl.curSrc = nil, nil
+	ctx := pl.ctxs.Get().(*parCtx)
+	ctx.dst, ctx.src = dst, src
+	if pl.serial {
+		pl.regionMu.Lock()
+		pl.cur = ctx
+		pl.backend.Run(pl.body)
+		pl.cur = nil
+		pl.regionMu.Unlock()
+	} else {
+		pl.backend.Run(func(w int) { pl.runWorker(w, ctx) })
+	}
+	ctx.dst, ctx.src = nil, nil
+	pl.ctxs.Put(ctx)
 }
 
-// runWorker is the persistent parallel-region body: worker w executes its
-// contiguous share of both stages with one barrier in between.
-func (pl *Parallel) runWorker(w int) {
+// runWorker is the parallel-region body: worker w executes its contiguous
+// share of both stages with one barrier in between, on the buffers of the
+// call's execution context.
+func (pl *Parallel) runWorker(w int, ctx *parCtx) {
 	m, k := pl.m, pl.k
-	t := pl.t
-	dst, src := pl.curDst, pl.curSrc
-	scratch := pl.scratch[w]
+	t := ctx.t
+	dst, src := ctx.dst, ctx.src
+	scratch := ctx.scratch[w]
 	// Stage 1: I_p ⊗∥ (I_{m/p} ⊗ DFT_k) after the folded right-side
 	// permutations of (14): iteration i gathers src[i::m] and writes the
 	// contiguous block t[i·k:(i+1)·k). Worker w owns iterations
@@ -240,7 +278,7 @@ func (pl *Parallel) runWorker(w int) {
 	for _, i := range pl.itersM[w] {
 		pl.right.TransformStrided(t, i*k, 1, src, i, m, nil, scratch)
 	}
-	pl.barrier.Wait()
+	ctx.barrier.Wait()
 	// Stage 2: (⊕∥ D_i) then I_p ⊗∥ (DFT_m ⊗ I_{k/p}) with the left-side
 	// permutations folded: iteration j reads column t[j::k], scales by
 	// twiddle column j, writes dst[j::k]. Worker w owns columns

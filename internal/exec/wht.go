@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"spiralfft/internal/smp"
 )
@@ -26,15 +27,29 @@ func whtInPlace(buf []complex128) {
 
 // WHTPlan executes the Walsh-Hadamard transform WHT_{2^k}, sequentially or
 // with the multicore two-stage schedule (split 2^k = m·q, contiguous
-// µ-aligned blocks per processor).
+// µ-aligned blocks per processor). WHT plans are safe for concurrent use:
+// per-call buffers come from a context pool and parallel regions on a
+// non-concurrent backend serialize on an internal mutex.
 type WHTPlan struct {
 	k, n    int
 	m, q    int // parallel split (0 when sequential)
 	p       int
 	backend smp.Backend
-	barrier *smp.SpinBarrier
-	t       []complex128
-	scratch [][]complex128
+	ctxs    sync.Pool // *whtCtx (parallel plans only)
+	// serial/regionMu/body/cur: region serialization for pooled backends,
+	// mirroring Parallel (body is persistent so dispatch allocates nothing).
+	serial   bool
+	regionMu sync.Mutex
+	body     func(w int)
+	cur      *whtCtx
+}
+
+// whtCtx is the per-call mutable state of one parallel WHT transform.
+type whtCtx struct {
+	t        []complex128
+	scratch  [][]complex128
+	barrier  *smp.SpinBarrier
+	dst, src []complex128
 }
 
 // NewWHT builds a WHT plan of size 2^k. For p > 1 it picks the most
@@ -63,12 +78,19 @@ func NewWHT(k, p, mu int, backend smp.Backend) (*WHTPlan, error) {
 	pl.m = m
 	pl.q = n / m
 	pl.backend = backend
-	pl.barrier = smp.NewSpinBarrier(p)
-	pl.t = make([]complex128, n)
-	pl.scratch = make([][]complex128, p)
-	for w := range pl.scratch {
-		pl.scratch[w] = make([]complex128, m)
+	pl.serial = !backend.Concurrent()
+	pl.ctxs.New = func() any {
+		c := &whtCtx{
+			t:       make([]complex128, n),
+			scratch: make([][]complex128, p),
+			barrier: smp.NewSpinBarrier(p),
+		}
+		for w := range c.scratch {
+			c.scratch[w] = make([]complex128, m)
+		}
+		return c
 	}
+	pl.body = func(w int) { pl.runWorker(w, pl.cur) }
 	return pl, nil
 }
 
@@ -91,32 +113,48 @@ func (pl *WHTPlan) Transform(dst, src []complex128) {
 		whtInPlace(dst)
 		return
 	}
+	ctx := pl.ctxs.Get().(*whtCtx)
+	ctx.dst, ctx.src = dst, src
+	if pl.serial {
+		pl.regionMu.Lock()
+		pl.cur = ctx
+		pl.backend.Run(pl.body)
+		pl.cur = nil
+		pl.regionMu.Unlock()
+	} else {
+		pl.backend.Run(func(w int) { pl.runWorker(w, ctx) })
+	}
+	ctx.dst, ctx.src = nil, nil
+	pl.ctxs.Put(ctx)
+}
+
+// runWorker executes worker w's share of the two-stage parallel schedule on
+// the buffers of the call's execution context.
+func (pl *WHTPlan) runWorker(w int, ctx *whtCtx) {
 	m, q, p := pl.m, pl.q, pl.p
-	t := pl.t
-	pl.backend.Run(func(w int) {
-		// Stage 1: I_p ⊗∥ (I_{m/p} ⊗ WHT_q). Unlike the Cooley-Tukey FFT
-		// there is no stride permutation in the WHT breakdown: block i is
-		// the contiguous src[i·q:(i+1)·q).
-		lo, hi := smp.BlockRange(m, p, w)
-		for i := lo; i < hi; i++ {
-			block := t[i*q : (i+1)*q]
-			copy(block, src[i*q:(i+1)*q])
-			whtInPlace(block)
+	t, dst, src := ctx.t, ctx.dst, ctx.src
+	// Stage 1: I_p ⊗∥ (I_{m/p} ⊗ WHT_q). Unlike the Cooley-Tukey FFT
+	// there is no stride permutation in the WHT breakdown: block i is
+	// the contiguous src[i·q:(i+1)·q).
+	lo, hi := smp.BlockRange(m, p, w)
+	for i := lo; i < hi; i++ {
+		block := t[i*q : (i+1)*q]
+		copy(block, src[i*q:(i+1)*q])
+		whtInPlace(block)
+	}
+	ctx.barrier.Wait()
+	// Stage 2: I_p ⊗∥ (WHT_m ⊗ I_{q/p}) folded: iteration j collects
+	// column t[j::q] into worker scratch, transforms, scatters to
+	// dst[j::q]. Worker columns are contiguous and µ-aligned.
+	col := ctx.scratch[w]
+	lo, hi = smp.BlockRange(q, p, w)
+	for j := lo; j < hi; j++ {
+		for i := 0; i < m; i++ {
+			col[i] = t[j+i*q]
 		}
-		pl.barrier.Wait()
-		// Stage 2: I_p ⊗∥ (WHT_m ⊗ I_{q/p}) folded: iteration j collects
-		// column t[j::q] into worker scratch, transforms, scatters to
-		// dst[j::q]. Worker columns are contiguous and µ-aligned.
-		col := pl.scratch[w]
-		lo, hi = smp.BlockRange(q, p, w)
-		for j := lo; j < hi; j++ {
-			for i := 0; i < m; i++ {
-				col[i] = t[j+i*q]
-			}
-			whtInPlace(col)
-			for i := 0; i < m; i++ {
-				dst[j+i*q] = col[i]
-			}
+		whtInPlace(col)
+		for i := 0; i < m; i++ {
+			dst[j+i*q] = col[i]
 		}
-	})
+	}
 }

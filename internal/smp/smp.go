@@ -34,8 +34,14 @@ type Backend interface {
 	Workers() int
 	// Run executes fn(0), ..., fn(p-1) concurrently and returns when all
 	// calls have completed (an implicit join barrier). Run must not be
-	// called concurrently with itself or from inside fn.
+	// called from inside fn, and — unless Concurrent reports true — must
+	// not be called concurrently with itself.
 	Run(fn func(worker int))
+	// Concurrent reports whether independent Run calls may proceed
+	// concurrently. Pooled backends dispatch through shared epoch state and
+	// return false (callers must serialize regions); stateless backends
+	// (Spawn, Sequential) return true.
+	Concurrent() bool
 	// Close releases backend resources. The backend must not be used after.
 	Close()
 }
@@ -83,6 +89,10 @@ func NewPool(p int) *Pool {
 
 // Workers returns p.
 func (p *Pool) Workers() int { return p.workers }
+
+// Concurrent returns false: dispatch goes through the pool's single epoch
+// counter, so parallel regions must be serialized by the caller.
+func (p *Pool) Concurrent() bool { return false }
 
 func (p *Pool) workerLoop(id int) {
 	defer p.joined.Done()
@@ -188,6 +198,10 @@ func NewSpawn(p int) Spawn {
 // Workers returns p.
 func (s Spawn) Workers() int { return s.workers }
 
+// Concurrent returns true: every Run builds its own WaitGroup and
+// goroutines, so independent regions do not interfere.
+func (s Spawn) Concurrent() bool { return true }
+
 // Run starts p-1 goroutines, runs worker 0 inline, and joins.
 func (s Spawn) Run(fn func(worker int)) {
 	if s.workers == 1 {
@@ -217,6 +231,9 @@ type Sequential struct{}
 
 // Workers returns 1.
 func (Sequential) Workers() int { return 1 }
+
+// Concurrent returns true: Run is a plain inline call with no shared state.
+func (Sequential) Concurrent() bool { return true }
 
 // Run calls fn(0).
 func (Sequential) Run(fn func(worker int)) { fn(0) }

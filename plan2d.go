@@ -3,6 +3,7 @@ package spiralfft
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"spiralfft/internal/exec"
 	"spiralfft/internal/rewrite"
@@ -15,15 +16,24 @@ import (
 // the rewriting system): the row stage distributes contiguous row blocks
 // (rule (9)), the column stage distributes contiguous, cache-line-aligned
 // column blocks (rule (7)), with one join between the stages.
+// A Plan2D is safe for concurrent use: per-call workspace is pooled and
+// parallel regions on the pooled backend serialize on an internal mutex.
 type Plan2D struct {
 	rows, cols int
 	rowPlan    *exec.Seq
 	colPlan    *exec.Seq
 	p          int
 	backend    smp.Backend
-	scratch    [][]complex128
-	invBuf     []complex128
 	opt        Options
+	ctxs       sync.Pool // *ctx2D
+	serial     bool
+	regionMu   sync.Mutex
+}
+
+// ctx2D is the per-call workspace of one 2D transform.
+type ctx2D struct {
+	scratch [][]complex128 // per-worker executor scratch
+	inv     []complex128   // conjugation buffer for Inverse
 }
 
 // NewPlan2D prepares a rows×cols 2D DFT. For Workers > 1 the plan
@@ -31,12 +41,12 @@ type Plan2D struct {
 // otherwise it runs sequentially.
 func NewPlan2D(rows, cols int, o *Options) (*Plan2D, error) {
 	if rows < 1 || cols < 1 {
-		return nil, fmt.Errorf("spiralfft: invalid 2D size %d×%d", rows, cols)
+		return nil, fmt.Errorf("%w: 2D size %d×%d", ErrInvalidSize, rows, cols)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
 	opt := o.withDefaults()
-	if opt.Workers < 1 {
-		return nil, fmt.Errorf("spiralfft: invalid worker count %d", opt.Workers)
-	}
 	rowPlan, err := exec.NewSeq(exec.RadixTree(cols))
 	if err != nil {
 		return nil, err
@@ -48,9 +58,8 @@ func NewPlan2D(rows, cols int, o *Options) (*Plan2D, error) {
 	p := &Plan2D{
 		rows: rows, cols: cols,
 		rowPlan: rowPlan, colPlan: colPlan,
-		p:      1,
-		invBuf: make([]complex128, rows*cols),
-		opt:    opt,
+		p:   1,
+		opt: opt,
 	}
 	workers := opt.Workers
 	if workers > 1 && rewrite.Parallel2DOK(rows, cols, workers, opt.CacheLineComplex) {
@@ -60,6 +69,7 @@ func NewPlan2D(rows, cols int, o *Options) (*Plan2D, error) {
 		} else {
 			p.backend = smp.NewPool(workers)
 		}
+		p.serial = !p.backend.Concurrent()
 	}
 	need := rowPlan.ScratchLen()
 	if colPlan.ScratchLen() > need {
@@ -68,9 +78,16 @@ func NewPlan2D(rows, cols int, o *Options) (*Plan2D, error) {
 	if need == 0 {
 		need = 1
 	}
-	p.scratch = make([][]complex128, p.p)
-	for w := range p.scratch {
-		p.scratch[w] = make([]complex128, need)
+	numWorkers := p.p
+	p.ctxs.New = func() any {
+		c := &ctx2D{
+			scratch: make([][]complex128, numWorkers),
+			inv:     make([]complex128, rows*cols),
+		}
+		for w := range c.scratch {
+			c.scratch[w] = make([]complex128, need)
+		}
+		return c
 	}
 	return p, nil
 }
@@ -80,6 +97,10 @@ func (p *Plan2D) Size() (rows, cols int) { return p.rows, p.cols }
 
 // Len returns rows·cols, the required slice length.
 func (p *Plan2D) Len() int { return p.rows * p.cols }
+
+// N returns the total transform size rows·cols (the required slice length),
+// satisfying the Transformer interface.
+func (p *Plan2D) N() int { return p.Len() }
 
 // IsParallel reports whether the plan distributes stages over workers.
 func (p *Plan2D) IsParallel() bool { return p.p > 1 }
@@ -96,35 +117,40 @@ func (p *Plan2D) Formula() string {
 }
 
 // Forward computes the 2D DFT of src into dst (both length rows·cols,
-// row-major). dst == src is allowed.
+// row-major). dst == src is allowed. Forward is safe for concurrent use.
 func (p *Plan2D) Forward(dst, src []complex128) error {
 	if len(dst) != p.Len() || len(src) != p.Len() {
-		return fmt.Errorf("spiralfft: Plan2D length mismatch: want %d, dst %d, src %d", p.Len(), len(dst), len(src))
+		return lengthError("Plan2D.Forward", p.Len(), len(dst), len(src))
 	}
-	p.transform(dst, src)
+	ctx := p.ctxs.Get().(*ctx2D)
+	p.transform(dst, src, ctx)
+	p.ctxs.Put(ctx)
 	return nil
 }
 
 // Inverse computes the unitary 2D inverse: Inverse(Forward(x)) == x.
+// Inverse is safe for concurrent use.
 func (p *Plan2D) Inverse(dst, src []complex128) error {
 	if len(dst) != p.Len() || len(src) != p.Len() {
-		return fmt.Errorf("spiralfft: Plan2D length mismatch: want %d, dst %d, src %d", p.Len(), len(dst), len(src))
+		return lengthError("Plan2D.Inverse", p.Len(), len(dst), len(src))
 	}
+	ctx := p.ctxs.Get().(*ctx2D)
 	for i, v := range src {
-		p.invBuf[i] = cmplx.Conj(v)
+		ctx.inv[i] = cmplx.Conj(v)
 	}
-	p.transform(dst, p.invBuf)
+	p.transform(dst, ctx.inv, ctx)
 	scale := complex(1/float64(p.Len()), 0)
 	for i, v := range dst {
 		dst[i] = cmplx.Conj(v) * scale
 	}
+	p.ctxs.Put(ctx)
 	return nil
 }
 
-func (p *Plan2D) transform(dst, src []complex128) {
+func (p *Plan2D) transform(dst, src []complex128, ctx *ctx2D) {
 	rows, cols := p.rows, p.cols
 	if p.p == 1 {
-		s := p.scratch[0]
+		s := ctx.scratch[0]
 		for r := 0; r < rows; r++ {
 			p.rowPlan.TransformStrided(dst, r*cols, 1, src, r*cols, 1, nil, s)
 		}
@@ -133,10 +159,14 @@ func (p *Plan2D) transform(dst, src []complex128) {
 		}
 		return
 	}
+	if p.serial {
+		p.regionMu.Lock()
+		defer p.regionMu.Unlock()
+	}
 	// Stage R: I_rows ⊗ DFT_cols — contiguous row blocks per worker.
 	p.backend.Run(func(w int) {
 		lo, hi := smp.BlockRange(rows, p.p, w)
-		s := p.scratch[w]
+		s := ctx.scratch[w]
 		for r := lo; r < hi; r++ {
 			p.rowPlan.TransformStrided(dst, r*cols, 1, src, r*cols, 1, nil, s)
 		}
@@ -144,7 +174,7 @@ func (p *Plan2D) transform(dst, src []complex128) {
 	// Stage C: DFT_rows ⊗ I_cols — contiguous µ-aligned column blocks.
 	p.backend.Run(func(w int) {
 		lo, hi := smp.BlockRange(cols, p.p, w)
-		s := p.scratch[w]
+		s := ctx.scratch[w]
 		for c := lo; c < hi; c++ {
 			p.colPlan.TransformStrided(dst, c, cols, dst, c, cols, nil, s)
 		}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package spiralfft
+
+// raceEnabled reports whether the race detector instruments this build.
+// Under -race, sync.Pool.Put intentionally drops values at random, so
+// pooled execution contexts re-allocate and the zero-alloc steady-state
+// assertion does not hold by design.
+const raceEnabled = false

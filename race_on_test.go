@@ -1,0 +1,5 @@
+//go:build race
+
+package spiralfft
+
+const raceEnabled = true

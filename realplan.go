@@ -3,6 +3,7 @@ package spiralfft
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"spiralfft/internal/twiddle"
 )
@@ -15,18 +16,29 @@ import (
 //
 // Since the input is real the spectrum is conjugate-symmetric; Forward
 // produces only the n/2+1 non-redundant bins X[0..n/2].
+//
+// A RealPlan is safe for concurrent use (per-call workspace is pooled and
+// the inner complex plan is itself concurrency-safe).
 type RealPlan struct {
-	n     int
-	half  *Plan
+	n    int
+	half *Plan
+	w    []complex128 // e^{-2πik/n}, k = 0..n/2
+	ctxs sync.Pool    // *realCtx
+	// onClose, when set, redirects Close to the owning Cache's ref-count
+	// release instead of destroying the plan.
+	onClose func()
+}
+
+// realCtx is the per-call workspace of one real transform.
+type realCtx struct {
 	z     []complex128 // packed input / half-size spectrum
-	w     []complex128 // e^{-2πik/n}, k = 0..n/2
-	spect []complex128 // scratch for Inverse
+	spect []complex128 // retangling buffer for Inverse
 }
 
 // NewRealPlan prepares a real-input DFT of even size n ≥ 2.
 func NewRealPlan(n int, o *Options) (*RealPlan, error) {
 	if n < 2 || n%2 != 0 {
-		return nil, fmt.Errorf("spiralfft: real plan needs even n ≥ 2, got %d", n)
+		return nil, fmt.Errorf("%w: real plan needs even n ≥ 2, got %d", ErrInvalidSize, n)
 	}
 	half, err := NewPlan(n/2, o)
 	if err != nil {
@@ -37,13 +49,11 @@ func NewRealPlan(n int, o *Options) (*RealPlan, error) {
 	for k := range w {
 		w[k] = twiddle.Omega(n, k)
 	}
-	return &RealPlan{
-		n:     n,
-		half:  half,
-		z:     make([]complex128, h),
-		w:     w,
-		spect: make([]complex128, h+1),
-	}, nil
+	p := &RealPlan{n: n, half: half, w: w}
+	p.ctxs.New = func() any {
+		return &realCtx{z: make([]complex128, h), spect: make([]complex128, h+1)}
+	}
+	return p, nil
 }
 
 // N returns the (real) transform size.
@@ -58,27 +68,31 @@ func (p *RealPlan) IsParallel() bool { return p.half.IsParallel() }
 // Forward computes the non-redundant half spectrum of the real signal src:
 // dst[k] = Σ_j exp(-2πi·kj/n)·src[j] for k = 0..n/2.
 // len(src) must be n and len(dst) must be n/2+1.
+// Forward is safe for concurrent use.
 func (p *RealPlan) Forward(dst []complex128, src []float64) error {
 	h := p.n / 2
 	if len(src) != p.n || len(dst) != h+1 {
-		return fmt.Errorf("spiralfft: RealPlan.Forward lengths: src %d (want %d), dst %d (want %d)",
-			len(src), p.n, len(dst), h+1)
+		return fmt.Errorf("%w: RealPlan.Forward: src %d (want %d), dst %d (want %d)",
+			ErrLengthMismatch, len(src), p.n, len(dst), h+1)
 	}
+	ctx := p.ctxs.Get().(*realCtx)
+	defer p.ctxs.Put(ctx)
+	z := ctx.z
 	// Pack pairs into a half-size complex signal.
 	for j := 0; j < h; j++ {
-		p.z[j] = complex(src[2*j], src[2*j+1])
+		z[j] = complex(src[2*j], src[2*j+1])
 	}
-	if err := p.half.Forward(p.z, p.z); err != nil {
+	if err := p.half.Forward(z, z); err != nil {
 		return err
 	}
 	// Untangle: X[k] = Fe[k] + ω_n^k·Fo[k], where Fe/Fo are the spectra of
 	// the even/odd subsequences recovered from Z's conjugate symmetry.
-	z0 := p.z[0]
+	z0 := z[0]
 	dst[0] = complex(real(z0)+imag(z0), 0)
 	dst[h] = complex(real(z0)-imag(z0), 0)
 	for k := 1; k < h; k++ {
-		zk := p.z[k]
-		zc := cmplx.Conj(p.z[h-k])
+		zk := z[k]
+		zc := cmplx.Conj(z[h-k])
 		fe := (zk + zc) / 2
 		fo := (zk - zc) / 2
 		fo = complex(imag(fo), -real(fo)) // ÷ i
@@ -94,32 +108,45 @@ func (p *RealPlan) Forward(dst []complex128, src []float64) error {
 func (p *RealPlan) Inverse(dst []float64, src []complex128) error {
 	h := p.n / 2
 	if len(src) != h+1 || len(dst) != p.n {
-		return fmt.Errorf("spiralfft: RealPlan.Inverse lengths: src %d (want %d), dst %d (want %d)",
-			len(src), h+1, len(dst), p.n)
+		return fmt.Errorf("%w: RealPlan.Inverse: src %d (want %d), dst %d (want %d)",
+			ErrLengthMismatch, len(src), h+1, len(dst), p.n)
 	}
+	ctx := p.ctxs.Get().(*realCtx)
+	defer p.ctxs.Put(ctx)
+	z, spect := ctx.z, ctx.spect
 	// Retangle the half-size spectrum: Z[k] = Fe[k] + i·Fo[k] with
 	// Fe[k] = (X[k] + conj(X[h-k]))/2, Fo[k] = ω_n^{-k}·(X[k] - conj(X[h-k]))/2.
-	copy(p.spect, src)
-	p.spect[0] = complex(real(src[0]), 0)
-	p.spect[h] = complex(real(src[h]), 0)
+	copy(spect, src)
+	spect[0] = complex(real(src[0]), 0)
+	spect[h] = complex(real(src[h]), 0)
 	for k := 0; k < h; k++ {
-		xk := p.spect[k]
-		xc := cmplx.Conj(p.spect[h-k])
+		xk := spect[k]
+		xc := cmplx.Conj(spect[h-k])
 		fe := (xk + xc) / 2
 		fo := (xk - xc) / 2
 		fo *= cmplx.Conj(p.w[k]) // ω_n^{-k}
 		// Z[k] = Fe[k] + i·Fo[k].
-		p.z[k] = fe + complex(-imag(fo), real(fo))
+		z[k] = fe + complex(-imag(fo), real(fo))
 	}
-	if err := p.half.Inverse(p.z, p.z); err != nil {
+	if err := p.half.Inverse(z, z); err != nil {
 		return err
 	}
 	for j := 0; j < h; j++ {
-		dst[2*j] = real(p.z[j])
-		dst[2*j+1] = imag(p.z[j])
+		dst[2*j] = real(z[j])
+		dst[2*j+1] = imag(z[j])
 	}
 	return nil
 }
 
-// Close releases the inner plan's resources.
-func (p *RealPlan) Close() { p.half.Close() }
+// Close releases the plan. Cache-owned plans release one reference; owned
+// plans close the inner complex plan.
+func (p *RealPlan) Close() {
+	if p.onClose != nil {
+		p.onClose()
+		return
+	}
+	p.destroy()
+}
+
+// destroy closes the inner plan unconditionally (bypassing any cache hook).
+func (p *RealPlan) destroy() { p.half.destroy() }

@@ -21,13 +21,27 @@
 //	plan.Forward(freq, signal)   // freq = DFT(signal)
 //	plan.Inverse(signal, freq)   // signal restored
 //
-// Plans are reusable but not safe for concurrent use; create one plan per
-// goroutine (they share twiddle tables internally).
+// # Concurrency
+//
+// All plan types are safe for concurrent use: any number of goroutines may
+// call Forward/Inverse on one shared plan. Per-call workspace comes from an
+// internal pool, so sequential transforms from different goroutines run
+// truly in parallel; transforms of a parallel plan (Workers > 1) already
+// occupy all of the plan's workers, so concurrent calls on the pooled
+// backend serialize internally (use BackendSpawn for overlapping parallel
+// regions). Expensive planning is best amortized through the process-wide
+// plan cache: CachedPlan(n, opts) returns a shared, ref-counted plan and
+// only plans each (size, options) fingerprint once.
+//
+// Constructors report failures as wrapped sentinel errors (ErrInvalidSize,
+// ErrInvalidOptions); transform methods report slice-length problems as
+// ErrLengthMismatch. Match them with errors.Is.
 package spiralfft
 
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"spiralfft/internal/exec"
 	"spiralfft/internal/rewrite"
@@ -121,16 +135,28 @@ func (o *Options) withDefaults() Options {
 }
 
 // Plan is a prepared DFT of a fixed size. A Plan is reusable across many
-// transforms but must not be used concurrently from multiple goroutines.
+// transforms and safe for concurrent use: per-call workspace is checked out
+// of an internal pool, never stored on the plan.
 type Plan struct {
 	n       int
 	opt     Options
 	seq     *exec.Seq
 	par     *exec.Parallel // nil for sequential plans
 	backend smp.Backend    // owned; nil for sequential plans
-	scratch []complex128
-	invBuf  []complex128
+	ctxs    sync.Pool      // *planCtx
+	// onClose, when set, redirects Close to the owning Cache's ref-count
+	// release instead of destroying the plan.
+	onClose func()
 }
+
+// planCtx is the per-call workspace of one transform.
+type planCtx struct {
+	scratch []complex128 // sequential executor scratch
+	inv     []complex128 // conjugation buffer for Inverse
+}
+
+func (p *Plan) getCtx() *planCtx  { return p.ctxs.Get().(*planCtx) }
+func (p *Plan) putCtx(c *planCtx) { p.ctxs.Put(c) }
 
 // NewPlan prepares a DFT plan of size n (n ≥ 1) with the given options.
 //
@@ -142,15 +168,12 @@ type Plan struct {
 // parallel version is slower at this size.
 func NewPlan(n int, o *Options) (*Plan, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("spiralfft: invalid transform size %d", n)
+		return nil, fmt.Errorf("%w: %d", ErrInvalidSize, n)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
 	opt := o.withDefaults()
-	if opt.Workers < 1 {
-		return nil, fmt.Errorf("spiralfft: invalid worker count %d", opt.Workers)
-	}
-	if opt.CacheLineComplex < 1 {
-		return nil, fmt.Errorf("spiralfft: invalid cache-line length %d", opt.CacheLineComplex)
-	}
 	p := &Plan{n: n, opt: opt}
 
 	tuner := search.NewTuner(strategyFor(opt.Planner))
@@ -160,8 +183,9 @@ func NewPlan(n int, o *Options) (*Plan, error) {
 		return nil, err
 	}
 	p.seq = seq
-	p.scratch = seq.NewScratch()
-	p.invBuf = make([]complex128, n)
+	p.ctxs.New = func() any {
+		return &planCtx{scratch: seq.NewScratch(), inv: make([]complex128, n)}
+	}
 
 	if opt.Workers > 1 {
 		if err := p.planParallel(tuner); err != nil {
@@ -257,6 +281,10 @@ func (p *Plan) newBackend() smp.Backend {
 // N returns the transform size.
 func (p *Plan) N() int { return p.n }
 
+// Len returns the required slice length for Forward/Inverse (equal to N
+// for a 1D plan; see Sized for the generic contract).
+func (p *Plan) Len() int { return p.n }
+
 // IsParallel reports whether the plan executes on multiple workers.
 func (p *Plan) IsParallel() bool { return p.par != nil }
 
@@ -320,43 +348,61 @@ func (p *Plan) Derivation() string {
 
 // Forward computes dst = DFT_n(src): dst[k] = Σ_j exp(-2πi·kj/n)·src[j].
 // dst == src is allowed. len(dst) and len(src) must equal N().
+// Forward is safe for concurrent use.
 func (p *Plan) Forward(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
-		return fmt.Errorf("spiralfft: Forward length mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src))
+		return lengthError("Forward", p.n, len(dst), len(src))
 	}
-	p.transform(dst, src)
+	ctx := p.getCtx()
+	p.transform(dst, src, ctx)
+	p.putCtx(ctx)
 	return nil
 }
 
 // Inverse computes the unitary inverse: dst = DFT_n^{-1}(src), so that
 // Inverse(Forward(x)) == x. dst == src is allowed.
+// Inverse is safe for concurrent use.
 func (p *Plan) Inverse(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
-		return fmt.Errorf("spiralfft: Inverse length mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src))
+		return lengthError("Inverse", p.n, len(dst), len(src))
 	}
+	ctx := p.getCtx()
 	// IDFT(x) = conj(DFT(conj(x))) / n.
 	for i, v := range src {
-		p.invBuf[i] = cmplx.Conj(v)
+		ctx.inv[i] = cmplx.Conj(v)
 	}
-	p.transform(dst, p.invBuf)
+	p.transform(dst, ctx.inv, ctx)
 	scale := complex(1/float64(p.n), 0)
 	for i, v := range dst {
 		dst[i] = cmplx.Conj(v) * scale
 	}
+	p.putCtx(ctx)
 	return nil
 }
 
-func (p *Plan) transform(dst, src []complex128) {
+func (p *Plan) transform(dst, src []complex128, ctx *planCtx) {
 	if p.par != nil {
 		p.par.Transform(dst, src)
 		return
 	}
-	p.seq.Transform(dst, src, p.scratch)
+	p.seq.Transform(dst, src, ctx.scratch)
 }
 
-// Close releases the plan's worker pool (if any). The plan must not be used
-// afterwards. Close is idempotent.
+// Close releases the plan. For a plan the caller constructed with NewPlan
+// it shuts down the worker pool (if any) and is idempotent; the plan must
+// not be used afterwards. For a plan obtained from a Cache it releases one
+// reference — call Close exactly once per CachedPlan/Cache.Plan call.
 func (p *Plan) Close() {
+	if p.onClose != nil {
+		p.onClose()
+		return
+	}
+	p.destroy()
+}
+
+// destroy releases the owned backend unconditionally (bypassing any cache
+// hook). Idempotent.
+func (p *Plan) destroy() {
 	if p.backend != nil {
 		p.backend.Close()
 		p.backend = nil

@@ -3,6 +3,7 @@ package spiralfft
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Window selects the analysis window of an STFT plan.
@@ -36,12 +37,20 @@ func (w Window) String() string {
 // Synthesize reconstructs the signal by weighted overlap-add. This is the
 // streaming workload (many small transforms per second) for which the
 // paper's low-overhead small-size parallel plans matter.
+//
+// An STFTPlan is safe for concurrent use: several goroutines can analyze
+// different signals (or disjoint frame ranges) through one shared plan.
 type STFTPlan struct {
 	frame, hop int
 	win        []float64
 	winSq      []float64 // window², for the overlap-add normalization
 	rp         *RealPlan
-	buf        []float64
+	ctxs       sync.Pool // *stftCtx
+}
+
+// stftCtx is the per-call windowed-frame workspace.
+type stftCtx struct {
+	buf []float64
 }
 
 // NewSTFTPlan prepares an STFT with the given frame length (even ≥ 2) and
@@ -50,10 +59,10 @@ type STFTPlan struct {
 // frame/2 (the default pairing) does.
 func NewSTFTPlan(frame, hop int, window Window, o *Options) (*STFTPlan, error) {
 	if frame < 2 || frame%2 != 0 {
-		return nil, fmt.Errorf("spiralfft: STFT frame must be even ≥ 2, got %d", frame)
+		return nil, fmt.Errorf("%w: STFT frame must be even ≥ 2, got %d", ErrInvalidSize, frame)
 	}
 	if hop < 1 || hop > frame {
-		return nil, fmt.Errorf("spiralfft: STFT hop %d out of range [1, %d]", hop, frame)
+		return nil, fmt.Errorf("%w: STFT hop %d out of range [1, %d]", ErrInvalidSize, hop, frame)
 	}
 	rp, err := NewRealPlan(frame, o)
 	if err != nil {
@@ -65,8 +74,8 @@ func NewSTFTPlan(frame, hop int, window Window, o *Options) (*STFTPlan, error) {
 		win:   make([]float64, frame),
 		winSq: make([]float64, frame),
 		rp:    rp,
-		buf:   make([]float64, frame),
 	}
+	p.ctxs.New = func() any { return &stftCtx{buf: make([]float64, frame)} }
 	for i := range p.win {
 		var v float64
 		switch window {
@@ -86,6 +95,10 @@ func NewSTFTPlan(frame, hop int, window Window, o *Options) (*STFTPlan, error) {
 // Frame returns the frame length.
 func (p *STFTPlan) Frame() int { return p.frame }
 
+// N returns the frame length (the per-frame transform size), satisfying the
+// RealTransformer interface.
+func (p *STFTPlan) N() int { return p.frame }
+
 // Hop returns the hop size.
 func (p *STFTPlan) Hop() int { return p.hop }
 
@@ -101,22 +114,63 @@ func (p *STFTPlan) NumFrames(signalLen int) int {
 	return (signalLen-p.frame)/p.hop + 1
 }
 
+// Forward computes the windowed spectrum of one frame: dst[k] =
+// DFT(win ⊙ src)[k] for the Bins() non-redundant bins. len(src) must be
+// Frame() and len(dst) must be Bins(). This is the per-frame primitive of
+// Analyze, exposed for streaming callers that produce frames one at a time.
+// Forward is safe for concurrent use.
+func (p *STFTPlan) Forward(dst []complex128, src []float64) error {
+	if len(src) != p.frame || len(dst) != p.Bins() {
+		return fmt.Errorf("%w: STFT Forward: src %d (want %d), dst %d (want %d)",
+			ErrLengthMismatch, len(src), p.frame, len(dst), p.Bins())
+	}
+	ctx := p.ctxs.Get().(*stftCtx)
+	defer p.ctxs.Put(ctx)
+	for i := 0; i < p.frame; i++ {
+		ctx.buf[i] = src[i] * p.win[i]
+	}
+	return p.rp.Forward(dst, ctx.buf)
+}
+
+// Inverse computes the windowed inverse of one frame's spectrum: the real
+// inverse DFT followed by the synthesis window — the per-frame step of
+// Synthesize's weighted overlap-add. Exact reconstruction of a signal
+// requires overlap-adding successive frames (use Synthesize); a lone frame
+// additionally carries the window². len(src) must be Bins() and len(dst)
+// must be Frame(). Inverse is safe for concurrent use.
+func (p *STFTPlan) Inverse(dst []float64, src []complex128) error {
+	if len(src) != p.Bins() || len(dst) != p.frame {
+		return fmt.Errorf("%w: STFT Inverse: src %d (want %d), dst %d (want %d)",
+			ErrLengthMismatch, len(src), p.Bins(), len(dst), p.frame)
+	}
+	if err := p.rp.Inverse(dst, src); err != nil {
+		return err
+	}
+	for i := 0; i < p.frame; i++ {
+		dst[i] *= p.win[i]
+	}
+	return nil
+}
+
 // Analyze computes the spectrogram of signal: dst must have NumFrames rows
 // of Bins() elements each (allocate with NewSpectrogram).
+// Analyze is safe for concurrent use.
 func (p *STFTPlan) Analyze(dst [][]complex128, signal []float64) error {
 	frames := p.NumFrames(len(signal))
 	if len(dst) != frames {
-		return fmt.Errorf("spiralfft: Analyze needs %d frames, got %d", frames, len(dst))
+		return fmt.Errorf("%w: Analyze needs %d frames, got %d", ErrLengthMismatch, frames, len(dst))
 	}
+	ctx := p.ctxs.Get().(*stftCtx)
+	defer p.ctxs.Put(ctx)
 	for f := 0; f < frames; f++ {
 		if len(dst[f]) != p.Bins() {
-			return fmt.Errorf("spiralfft: frame %d has %d bins, want %d", f, len(dst[f]), p.Bins())
+			return fmt.Errorf("%w: frame %d has %d bins, want %d", ErrLengthMismatch, f, len(dst[f]), p.Bins())
 		}
 		off := f * p.hop
 		for i := 0; i < p.frame; i++ {
-			p.buf[i] = signal[off+i] * p.win[i]
+			ctx.buf[i] = signal[off+i] * p.win[i]
 		}
-		if err := p.rp.Forward(dst[f], p.buf); err != nil {
+		if err := p.rp.Forward(dst[f], ctx.buf); err != nil {
 			return err
 		}
 	}
@@ -145,22 +199,24 @@ func (p *STFTPlan) Synthesize(signal []float64, frames [][]complex128) error {
 	}
 	need := (len(frames)-1)*p.hop + p.frame
 	if len(signal) < need {
-		return fmt.Errorf("spiralfft: Synthesize needs %d samples, got %d", need, len(signal))
+		return fmt.Errorf("%w: Synthesize needs %d samples, got %d", ErrLengthMismatch, need, len(signal))
 	}
+	ctx := p.ctxs.Get().(*stftCtx)
+	defer p.ctxs.Put(ctx)
 	norm := make([]float64, len(signal))
 	for i := range signal {
 		signal[i] = 0
 	}
 	for f, spec := range frames {
 		if len(spec) != p.Bins() {
-			return fmt.Errorf("spiralfft: frame %d has %d bins, want %d", f, len(spec), p.Bins())
+			return fmt.Errorf("%w: frame %d has %d bins, want %d", ErrLengthMismatch, f, len(spec), p.Bins())
 		}
-		if err := p.rp.Inverse(p.buf, spec); err != nil {
+		if err := p.rp.Inverse(ctx.buf, spec); err != nil {
 			return err
 		}
 		off := f * p.hop
 		for i := 0; i < p.frame; i++ {
-			signal[off+i] += p.buf[i] * p.win[i]
+			signal[off+i] += ctx.buf[i] * p.win[i]
 			norm[off+i] += p.winSq[i]
 		}
 	}

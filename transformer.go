@@ -1,0 +1,70 @@
+package spiralfft
+
+// Transformer is the unified surface of every complex-vector plan type: a
+// fixed-size prepared transform with a forward and a (unitary) inverse
+// direction. N reports the transform size — for BatchPlan that is the
+// per-signal size, so generic code that allocates buffers should use the
+// Sized extension (every implementation provides Len, the exact required
+// slice length) rather than N.
+//
+// All implementations in this package are safe for concurrent use, and
+// Close releases the plan (one reference, for cache-owned plans).
+type Transformer interface {
+	// N returns the transform size (per-signal for BatchPlan; use Sized
+	// for the required slice length).
+	N() int
+	// Forward computes dst = T(src). dst == src is allowed.
+	Forward(dst, src []complex128) error
+	// Inverse computes dst = T⁻¹(src), so Inverse(Forward(x)) == x.
+	Inverse(dst, src []complex128) error
+	// Close releases the plan's resources (or cache reference).
+	Close()
+}
+
+// RealTransformer is the Transformer variant for plans whose time-domain
+// side is real-valued. The spectrum side S differs by transform family —
+// []complex128 half-spectra for the packed real DFT and the STFT,
+// []float64 coefficient vectors for the DCT — so it is a type parameter:
+//
+//	var _ RealTransformer[[]complex128] = (*RealPlan)(nil)
+//	var _ RealTransformer[[]float64]    = (*DCTPlan)(nil)
+type RealTransformer[S any] interface {
+	// N returns the time-domain length.
+	N() int
+	// Forward transforms the real signal src into the spectrum dst.
+	Forward(dst S, src []float64) error
+	// Inverse reconstructs the real signal dst from the spectrum src.
+	Inverse(dst []float64, src S) error
+	// Close releases the plan's resources (or cache reference).
+	Close()
+}
+
+// Sized is the slice-length contract every Transformer in this package
+// also satisfies: Len returns the exact required length of the dst and
+// src slices passed to Forward/Inverse. It equals N for Plan and WHTPlan,
+// rows·cols for Plan2D, and N·Count for BatchPlan. Generic code holding a
+// Transformer can recover it with a type assertion:
+//
+//	buf := make([]complex128, tr.(spiralfft.Sized).Len())
+type Sized interface {
+	// Len returns the required Forward/Inverse slice length.
+	Len() int
+}
+
+// Compile-time interface assertions for all seven plan types, so the
+// surfaces cannot drift.
+var (
+	_ Transformer = (*Plan)(nil)
+	_ Transformer = (*BatchPlan)(nil)
+	_ Transformer = (*Plan2D)(nil)
+	_ Transformer = (*WHTPlan)(nil)
+
+	_ Sized = (*Plan)(nil)
+	_ Sized = (*BatchPlan)(nil)
+	_ Sized = (*Plan2D)(nil)
+	_ Sized = (*WHTPlan)(nil)
+
+	_ RealTransformer[[]complex128] = (*RealPlan)(nil)
+	_ RealTransformer[[]complex128] = (*STFTPlan)(nil)
+	_ RealTransformer[[]float64]    = (*DCTPlan)(nil)
+)

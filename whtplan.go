@@ -13,6 +13,9 @@ import (
 // transform in the same framework — and parallelizes by the same rewriting
 // rules; having no twiddle factors, it isolates the pure shared-memory
 // scheduling machinery.
+//
+// A WHTPlan is safe for concurrent use (the inner executor pools its
+// per-call buffers and serializes pooled-backend regions).
 type WHTPlan struct {
 	n       int
 	inner   *exec.WHTPlan
@@ -25,12 +28,12 @@ type WHTPlan struct {
 // sequential when no admissible split exists.
 func NewWHTPlan(n int, o *Options) (*WHTPlan, error) {
 	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("spiralfft: WHT size must be a power of two ≥ 2, got %d", n)
+		return nil, fmt.Errorf("%w: WHT size must be a power of two ≥ 2, got %d", ErrInvalidSize, n)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
 	opt := o.withDefaults()
-	if opt.Workers < 1 {
-		return nil, fmt.Errorf("spiralfft: invalid worker count %d", opt.Workers)
-	}
 	k := 0
 	for v := n; v > 1; v >>= 1 {
 		k++
@@ -64,20 +67,30 @@ func NewWHTPlan(n int, o *Options) (*WHTPlan, error) {
 // N returns the transform size.
 func (p *WHTPlan) N() int { return p.n }
 
+// Len returns the required slice length for Forward/Inverse (equal to N;
+// see Sized for the generic contract).
+func (p *WHTPlan) Len() int { return p.n }
+
 // IsParallel reports whether the plan uses multiple workers.
 func (p *WHTPlan) IsParallel() bool { return p.inner.IsParallel() }
 
 // Transform computes dst = WHT_n(src); dst == src is allowed. The WHT is
 // self-inverse up to 1/n: Transform∘Transform = n·identity.
+// Transform is safe for concurrent use.
 func (p *WHTPlan) Transform(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
-		return fmt.Errorf("spiralfft: WHT length mismatch: plan %d, dst %d, src %d", p.n, len(dst), len(src))
+		return lengthError("WHT.Transform", p.n, len(dst), len(src))
 	}
 	p.inner.Transform(dst, src)
 	return nil
 }
 
+// Forward is Transform under the name the Transformer interface requires
+// (the WHT has no twiddle direction; "forward" is the plain transform).
+func (p *WHTPlan) Forward(dst, src []complex128) error { return p.Transform(dst, src) }
+
 // Inverse computes the inverse WHT: Transform scaled by 1/n.
+// Inverse is safe for concurrent use.
 func (p *WHTPlan) Inverse(dst, src []complex128) error {
 	if err := p.Transform(dst, src); err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/smp"
 )
 
@@ -31,6 +32,10 @@ type BatchPlan struct {
 	regionMu sync.Mutex
 	body     func(w int)
 	cur      *batchCtx
+	// rec/flops feed Snapshot; one batch performs count·5·n·log2(n) flops.
+	rec       metrics.TransformRecorder
+	flops     int64
+	finalPool *PoolStats
 }
 
 // batchCtx is the per-call workspace of one batch transform.
@@ -73,6 +78,7 @@ func NewBatchPlan(n, count int, o *Options) (*BatchPlan, error) {
 		count:   count,
 		seq:     seq,
 		workers: workers,
+		flops:   int64(float64(count) * exec.FlopCount(n)),
 	}
 	b.ctxs.New = func() any {
 		c := &batchCtx{
@@ -124,9 +130,11 @@ func (b *BatchPlan) Forward(dst, src []complex128) error {
 	if err := b.check(dst, src); err != nil {
 		return err
 	}
+	start := metrics.Now()
 	ctx := b.ctxs.Get().(*batchCtx)
 	b.run(dst, src, ctx)
 	b.ctxs.Put(ctx)
+	recordTransform(&b.rec, tkBatch, start, b.flops)
 	return nil
 }
 
@@ -136,6 +144,7 @@ func (b *BatchPlan) Inverse(dst, src []complex128) error {
 	if err := b.check(dst, src); err != nil {
 		return err
 	}
+	start := metrics.Now()
 	ctx := b.ctxs.Get().(*batchCtx)
 	// conj → forward → conj/scale, batched.
 	for i, v := range src {
@@ -147,6 +156,7 @@ func (b *BatchPlan) Inverse(dst, src []complex128) error {
 		dst[i] = complex(real(v)*scale, -imag(v)*scale)
 	}
 	b.ctxs.Put(ctx)
+	recordTransform(&b.rec, tkBatch, start, b.flops)
 	return nil
 }
 
@@ -179,10 +189,24 @@ func (b *BatchPlan) run(dst, src []complex128, ctx *batchCtx) {
 	ctx.dst, ctx.src = nil, nil
 }
 
-// Close releases the worker pool (if any). Idempotent.
+// Close releases the worker pool (if any). Idempotent; the plan's
+// statistics remain readable via Snapshot.
 func (b *BatchPlan) Close() {
 	if b.backend != nil {
+		b.finalPool = poolStatsOf(b.backend)
 		b.backend.Close()
 		b.backend = nil
 	}
+}
+
+// Snapshot returns the plan's observability record (pool statistics for
+// pooled parallel batches). Safe to call concurrently and after Close.
+func (b *BatchPlan) Snapshot() PlanStats {
+	st := PlanStats{TransformStats: transformStatsOf(&b.rec)}
+	if b.backend != nil {
+		st.Pool = poolStatsOf(b.backend)
+	} else {
+		st.Pool = b.finalPool
+	}
+	return st
 }

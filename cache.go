@@ -23,9 +23,11 @@ import (
 // The zero value is ready to use. The package-level CachedPlan and
 // CachedRealPlan helpers use the process-wide DefaultCache.
 type Cache struct {
-	shards [cacheShardCount]cacheShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	shards  [cacheShardCount]cacheShard
+	hits    atomic.Int64
+	misses  atomic.Int64
+	waits   atomic.Int64 // single-flight waits on an in-flight build
+	evicted atomic.Int64 // entries dropped by Close
 }
 
 const cacheShardCount = 16
@@ -177,7 +179,14 @@ func (c *Cache) get(key cacheKey, buildPlan func() (refPlan, error), setHook fun
 		e.finish(p, nil)
 		return p, nil
 	}
-	<-e.ready
+	select {
+	case <-e.ready:
+	default:
+		// The build is still in flight: this request rides along
+		// (single-flight) and blocks until the builder publishes.
+		c.waits.Add(1)
+		<-e.ready
+	}
 	if e.err != nil {
 		// The build this call piggybacked on failed; the builder already
 		// removed the entry, so just surface the error (no reference to
@@ -248,13 +257,32 @@ type CacheStats struct {
 	Hits int64
 	// Misses counts requests that had to plan from scratch.
 	Misses int64
+	// SingleflightWaits counts hit requests that arrived while the plan was
+	// still being built and blocked on the in-flight build.
+	SingleflightWaits int64
+	// Evictions counts entries dropped from the cache by Close.
+	Evictions int64
 	// Live is the number of plans the cache currently holds.
 	Live int
 }
 
+// HitRate returns Hits / (Hits + Misses), or 0 before any request.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
-	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	st := CacheStats{
+		Hits:              c.hits.Load(),
+		Misses:            c.misses.Load(),
+		SingleflightWaits: c.waits.Load(),
+		Evictions:         c.evicted.Load(),
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
@@ -263,6 +291,10 @@ func (c *Cache) Stats() CacheStats {
 	}
 	return st
 }
+
+// Snapshot is Stats under the name the rest of the observability surface
+// uses (plans, pools, and caches all expose a Snapshot method).
+func (c *Cache) Snapshot() CacheStats { return c.Stats() }
 
 // Close releases the cache's hold on every plan. Plans with outstanding
 // references stay usable and are destroyed when their last holder calls
@@ -276,6 +308,7 @@ func (c *Cache) Close() {
 		var destroy []refPlan
 		for _, e := range s.entries {
 			e.dead = true
+			c.evicted.Add(1)
 			if e.refs == 0 && !e.destroyed && e.plan != nil {
 				e.destroyed = true
 				destroy = append(destroy, e.plan)

@@ -11,15 +11,21 @@
 //
 // Output: -format table (default), chart (ASCII Figure-3 subplot), or csv.
 // -crossover additionally prints the parallelization break-even sizes.
+// -quick shrinks the host sweep to a seconds-long smoke run (2^6..2^10, short
+// timer), and -stats appends a JSON observability snapshot (pool dispatch
+// counters, plan-cache counters, per-family transform aggregates) — the CI
+// artifact that tracks dispatch health across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"spiralfft"
 	"spiralfft/internal/bench"
 	"spiralfft/internal/machine"
 	"spiralfft/internal/search"
@@ -36,8 +42,15 @@ func main() {
 		format    = flag.String("format", "table", "table | chart | csv")
 		crossover = flag.Bool("crossover", false, "report parallelization break-even sizes")
 		minTime   = flag.Duration("mintime", 2*time.Millisecond, "minimum measuring time per point (host mode)")
+		quick     = flag.Bool("quick", false, "smoke-run preset: sizes 2^6..2^10, 200µs timer (host mode)")
+		stats     = flag.Bool("stats", false, "append a JSON observability snapshot (pools, cache, transforms)")
 	)
 	flag.Parse()
+
+	if *quick {
+		*minLogN, *maxLogN = 6, 10
+		*minTime = 200 * time.Microsecond
+	}
 
 	var results []bench.Result
 	switch *platform {
@@ -76,6 +89,30 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *stats {
+		printStats()
+	}
+}
+
+// printStats emits the process-wide observability snapshot as JSON: every
+// pool the benchmark created (the measured series construct and close one
+// per point), the plan cache, and the per-family transform aggregates.
+func printStats() {
+	snap := struct {
+		Pools      spiralfft.AggregatePoolStats
+		Cache      spiralfft.CacheStats
+		Transforms map[string]spiralfft.TransformStats
+	}{
+		Pools:      spiralfft.PoolTotals(),
+		Cache:      spiralfft.DefaultCache().Stats(),
+		Transforms: spiralfft.TransformTotals(),
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("observability snapshot:\n%s\n", out)
 }
 
 func printCrossovers(res bench.Result) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spiralfft/internal/bench"
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/search"
 	"spiralfft/internal/smp"
 )
@@ -23,6 +24,7 @@ func main() {
 		p        = flag.Int("p", runtime.NumCPU(), "workers (1 = sequential only)")
 		mu       = flag.Int("mu", 4, "cache-line length µ")
 		minTime  = flag.Duration("mintime", time.Millisecond, "minimum measuring time per candidate")
+		trace    = flag.Bool("trace", false, "stream every candidate/winner search event to stderr")
 	)
 	flag.Parse()
 
@@ -46,6 +48,9 @@ func main() {
 	}
 	tuner := search.NewTuner(strat)
 	tuner.Timer = search.TimerConfig{MinTime: *minTime, Repeats: 3}
+	if *trace {
+		tuner.Trace = metrics.TraceWriter(os.Stderr)
+	}
 
 	start := time.Now()
 	seq := tuner.BestTree(*n)
@@ -75,7 +80,14 @@ func main() {
 				fmt.Printf("best parallel  : %v (not used)\n", choice.ParTime)
 			}
 		}
+		ps := pool.Stats()
+		fmt.Printf("pool dispatch  : %d regions (wakeups: %d spin / %d yield / %d park%s)\n",
+			ps.Regions, ps.SpinWakeups, ps.YieldWakeups, ps.ParkWakeups,
+			map[bool]string{true: ", oversubscribed", false: ""}[ps.Oversubscribed])
 	}
+	st := tuner.Stats()
+	fmt.Printf("search work    : %d searches, %d candidates considered, %d measured\n",
+		st.Searches, st.Considered, st.Measured)
 	fmt.Printf("tuning took    : %v\n", time.Since(start))
 }
 

@@ -5,6 +5,8 @@ import (
 	"math/cmplx"
 	"sync"
 
+	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/twiddle"
 )
 
@@ -24,6 +26,9 @@ type DCTPlan struct {
 	inner *Plan
 	w     []complex128 // e^{-iπk/(2n)}, k = 0..n-1
 	ctxs  sync.Pool    // reordered input / spectrum workspace, []complex128 via *dctCtx
+	// rec/flops feed Snapshot; the inner complex DFT dominates the count.
+	rec   metrics.TransformRecorder
+	flops int64
 }
 
 // dctCtx is the per-call workspace of one DCT transform.
@@ -44,7 +49,7 @@ func NewDCTPlan(n int, o *Options) (*DCTPlan, error) {
 	for k := range w {
 		w[k] = twiddle.Omega(4*n, k) // e^{-2πik/(4n)} = e^{-iπk/(2n)}
 	}
-	p := &DCTPlan{n: n, inner: inner, w: w}
+	p := &DCTPlan{n: n, inner: inner, w: w, flops: int64(exec.FlopCount(n))}
 	p.ctxs.New = func() any { return &dctCtx{v: make([]complex128, n)} }
 	return p, nil
 }
@@ -61,6 +66,7 @@ func (p *DCTPlan) Forward(dst, src []float64) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return fmt.Errorf("%w: DCT Forward: dst %d, src %d, want %d", ErrLengthMismatch, len(dst), len(src), p.n)
 	}
+	start := metrics.Now()
 	ctx := p.ctxs.Get().(*dctCtx)
 	defer p.ctxs.Put(ctx)
 	v := ctx.v
@@ -78,6 +84,7 @@ func (p *DCTPlan) Forward(dst, src []float64) error {
 	for k := 0; k < n; k++ {
 		dst[k] = real(p.w[k] * v[k])
 	}
+	recordTransform(&p.rec, tkDCT, start, p.flops)
 	return nil
 }
 
@@ -88,6 +95,7 @@ func (p *DCTPlan) Inverse(dst, src []float64) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return fmt.Errorf("%w: DCT Inverse: dst %d, src %d, want %d", ErrLengthMismatch, len(dst), len(src), p.n)
 	}
+	start := metrics.Now()
 	ctx := p.ctxs.Get().(*dctCtx)
 	defer p.ctxs.Put(ctx)
 	v := ctx.v
@@ -107,8 +115,19 @@ func (p *DCTPlan) Inverse(dst, src []float64) error {
 	for j := 0; 2*j+1 < n; j++ {
 		dst[2*j+1] = real(v[n-1-j])
 	}
+	recordTransform(&p.rec, tkDCT, start, p.flops)
 	return nil
 }
 
 // Close releases the inner plan's resources.
 func (p *DCTPlan) Close() { p.inner.Close() }
+
+// Snapshot returns the plan's observability record; pool and barrier
+// statistics come from the inner complex plan that carries the parallelism.
+func (p *DCTPlan) Snapshot() PlanStats {
+	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
+	inner := p.inner.Snapshot()
+	st.BarrierWait = inner.BarrierWait
+	st.Pool = inner.Pool
+	return st
+}

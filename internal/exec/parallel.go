@@ -1,9 +1,14 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"time"
 
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/smp"
 	"spiralfft/internal/twiddle"
 )
@@ -72,6 +77,9 @@ type Parallel struct {
 	regionMu sync.Mutex
 	body     func(w int)
 	cur      *parCtx
+	// barrierNs accumulates worker time spent in the inter-stage barrier
+	// (recorded only while metrics are enabled).
+	barrierNs metrics.Counter
 }
 
 // parCtx is the per-call mutable state of one Parallel transform. Each
@@ -250,6 +258,22 @@ func (pl *Parallel) Transform(dst, src []complex128) {
 	}
 	ctx := pl.ctxs.Get().(*parCtx)
 	ctx.dst, ctx.src = dst, src
+	if metrics.Enabled() {
+		// Label the region for CPU profiles. Labels cover worker 0 (inline)
+		// and, on the spawn backend, the per-region goroutines it creates;
+		// pre-created pool workers keep their own label set.
+		pprof.Do(context.Background(),
+			pprof.Labels("spiralfft.region", "multicore-ct", "spiralfft.n", strconv.Itoa(pl.n)),
+			func(context.Context) { pl.dispatch(ctx) })
+	} else {
+		pl.dispatch(ctx)
+	}
+	ctx.dst, ctx.src = nil, nil
+	pl.ctxs.Put(ctx)
+}
+
+// dispatch runs the two-stage region body on the backend.
+func (pl *Parallel) dispatch(ctx *parCtx) {
 	if pl.serial {
 		pl.regionMu.Lock()
 		pl.cur = ctx
@@ -259,9 +283,16 @@ func (pl *Parallel) Transform(dst, src []complex128) {
 	} else {
 		pl.backend.Run(func(w int) { pl.runWorker(w, ctx) })
 	}
-	ctx.dst, ctx.src = nil, nil
-	pl.ctxs.Put(ctx)
 }
+
+// BarrierWait returns the total time workers have spent in the inter-stage
+// barrier. Accumulated only while metrics are enabled.
+func (pl *Parallel) BarrierWait() time.Duration {
+	return time.Duration(pl.barrierNs.Load())
+}
+
+// Backend returns the plan's threading backend (nil for trace-only plans).
+func (pl *Parallel) Backend() smp.Backend { return pl.backend }
 
 // runWorker is the parallel-region body: worker w executes its contiguous
 // share of both stages with one barrier in between, on the buffers of the
@@ -278,7 +309,11 @@ func (pl *Parallel) runWorker(w int, ctx *parCtx) {
 	for _, i := range pl.itersM[w] {
 		pl.right.TransformStrided(t, i*k, 1, src, i, m, nil, scratch)
 	}
+	bs := metrics.Now()
 	ctx.barrier.Wait()
+	if !bs.IsZero() {
+		pl.barrierNs.Add(int64(time.Since(bs)))
+	}
 	// Stage 2: (⊕∥ D_i) then I_p ⊗∥ (DFT_m ⊗ I_{k/p}) with the left-side
 	// permutations folded: iteration j reads column t[j::k], scales by
 	// twiddle column j, writes dst[j::k]. Worker w owns columns

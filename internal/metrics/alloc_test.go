@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledRecordingZeroAlloc pins the package's core contract: with
+// metrics disabled, the Now/Record pair, counters, and histogram observation
+// must not allocate — instrumentation threaded through every transform hot
+// path has to be free when nobody is looking.
+func TestDisabledRecordingZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	Disable()
+	var r TransformRecorder
+	var c Counter
+	var h Histogram
+	if got := testing.AllocsPerRun(1000, func() {
+		start := Now()
+		r.Record(start, 5120)
+	}); got > 0 {
+		t.Errorf("disabled Now+Record: %.1f allocs/op", got)
+	}
+	if got := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); got > 0 {
+		t.Errorf("Counter: %.1f allocs/op", got)
+	}
+	if got := testing.AllocsPerRun(1000, func() { h.Observe(time.Microsecond) }); got > 0 {
+		t.Errorf("Histogram.Observe: %.1f allocs/op", got)
+	}
+}
+
+// TestEnabledRecordingZeroAlloc: even enabled, recording itself stays
+// allocation-free (time.Now + atomic adds), so flipping metrics on does not
+// create GC pressure in transform loops.
+func TestEnabledRecordingZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	Enable()
+	defer Disable()
+	var r TransformRecorder
+	if got := testing.AllocsPerRun(1000, func() {
+		start := Now()
+		r.Record(start, 5120)
+	}); got > 0 {
+		t.Errorf("enabled Now+Record: %.1f allocs/op", got)
+	}
+}

@@ -1,0 +1,256 @@
+// Package metrics is the library's observability substrate. The paper's
+// whole methodology is runtime-feedback-driven — Spiral times candidate
+// formulas and reports pseudo Mflop/s 5·N·log2(N)/t[µs] (Figure 3) — and
+// this package makes the same signal available at runtime: per-plan
+// transform counters and latency histograms, worker-pool dispatch
+// statistics, plan-cache effectiveness, and planner/search trace events.
+//
+// Recording is disabled by default and must cost essentially nothing on the
+// hot path: the one global switch is an atomic bool, timed sections are
+// guarded by Now (which returns the zero Time while disabled, so the paired
+// Record call is a single branch), and every recorder is allocation-free.
+// Plain event counters (a single atomic add) record unconditionally, like
+// the plan cache's hit/miss counters always have.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the process-wide switch for timed instrumentation.
+var enabled atomic.Bool
+
+// Enable turns on timed instrumentation (latency histograms, barrier/join
+// wait times, pprof region labels). Counters count regardless.
+func Enable() { enabled.Store(true) }
+
+// Disable turns timed instrumentation back off (the default state).
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether timed instrumentation is on.
+func Enabled() bool { return enabled.Load() }
+
+// Now returns time.Now() when metrics are enabled and the zero Time
+// otherwise. Pair it with a recorder's Record method, which ignores zero
+// start times — the disabled hot path then costs one atomic load and one
+// branch, and allocates nothing.
+func Now() time.Time {
+	if !enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is an allocation-free concurrency-safe event counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// HistBuckets is the number of power-of-two latency buckets: bucket i counts
+// observations with duration in (2^(i-1), 2^i] nanoseconds (bucket 0 is
+// everything ≤ 1ns), so 40 buckets cover 1ns up to ~18 minutes.
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket power-of-two latency histogram. Observing is
+// lock-free and allocation-free; the zero value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram (buckets are
+// read individually; concurrent observations may straddle the read).
+type HistogramSnapshot struct {
+	// Counts[i] is the number of observations in bucket i; see BucketUpper.
+	Counts [HistBuckets]int64
+	Count  int64
+	Sum    time.Duration
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i.
+func BucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return time.Nanosecond
+	}
+	return time.Duration(int64(1) << uint(i))
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) from the
+// bucket boundaries — e.g. Quantile(0.99) is a p99 latency bound.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target >= s.Count {
+		target = s.Count - 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen > target {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Snapshot copies the histogram counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Transform recorder
+
+// TransformRecorder accumulates per-plan transform statistics: how many
+// transforms ran, how long they took (histogram), and how much nominal
+// arithmetic they performed — from which the paper's pseudo Mflop/s metric
+// is derived. The zero value is ready to use; all methods are safe for
+// concurrent use and allocation-free.
+type TransformRecorder struct {
+	transforms atomic.Int64
+	flops      atomic.Int64
+	lat        Histogram
+}
+
+// Record logs one transform that began at start (a value from Now) and
+// performed the given nominal flop count. A zero start — metrics disabled —
+// still counts the transform but records no timing.
+func (r *TransformRecorder) Record(start time.Time, flops int64) {
+	r.transforms.Add(1)
+	if start.IsZero() {
+		return
+	}
+	r.flops.Add(flops)
+	r.lat.Observe(time.Since(start))
+}
+
+// TransformSnapshot is a point-in-time copy of a TransformRecorder.
+type TransformSnapshot struct {
+	// Transforms counts every transform executed (always maintained).
+	Transforms int64
+	// Timed counts the transforms that ran with metrics enabled; the
+	// remaining fields cover only those.
+	Timed int64
+	// TotalTime is the summed wall-clock time of the timed transforms.
+	TotalTime time.Duration
+	// AvgTime is TotalTime / Timed.
+	AvgTime time.Duration
+	// PseudoMflops is the paper's metric 5·N·log2(N)/t[µs] computed over all
+	// timed transforms (total nominal flops / total microseconds).
+	PseudoMflops float64
+	// Latency is the timed-transform latency histogram.
+	Latency HistogramSnapshot
+}
+
+// Snapshot copies the recorder's counters.
+func (r *TransformRecorder) Snapshot() TransformSnapshot {
+	lat := r.lat.Snapshot()
+	s := TransformSnapshot{
+		Transforms: r.transforms.Load(),
+		Timed:      lat.Count,
+		TotalTime:  lat.Sum,
+		Latency:    lat,
+	}
+	s.AvgTime = lat.Mean()
+	if us := float64(lat.Sum) / 1e3; us > 0 {
+		s.PseudoMflops = float64(r.flops.Load()) / us
+	}
+	return s
+}
+
+// PseudoMflops converts one (flops, duration) measurement into the paper's
+// unit: flops / t[µs].
+func PseudoMflops(flops float64, d time.Duration) float64 {
+	us := float64(d) / 1e3
+	if us <= 0 {
+		return 0
+	}
+	return flops / us
+}
+
+// ---------------------------------------------------------------------------
+// Search / planner tracing
+
+// TraceEvent is one planner/search event: a candidate tree considered, a
+// measurement taken, or a winner chosen.
+type TraceEvent struct {
+	// Kind is "candidate", "winner", "parallel-candidate", or
+	// "parallel-winner".
+	Kind string
+	// N is the transform size under search.
+	N int
+	// Tree is the factorization tree in (*exec.Tree).String() form (for
+	// parallel events, the top-level split as "m·k").
+	Tree string
+	// Time is the measured or modeled cost (0 when untimed).
+	Time time.Duration
+}
+
+// String renders the event as one log line.
+func (e TraceEvent) String() string {
+	if e.Time > 0 {
+		return fmt.Sprintf("search: n=%d %s %s %v", e.N, e.Kind, e.Tree, e.Time)
+	}
+	return fmt.Sprintf("search: n=%d %s %s", e.N, e.Kind, e.Tree)
+}
+
+// TraceWriter returns a trace hook that serializes events to w, one line
+// each, with writes serialized by an internal mutex.
+func TraceWriter(w io.Writer) func(TraceEvent) {
+	var mu sync.Mutex
+	return func(e TraceEvent) {
+		mu.Lock()
+		fmt.Fprintln(w, e.String())
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEnableDisable(t *testing.T) {
+	if Enabled() {
+		t.Fatal("metrics must start disabled")
+	}
+	if !Now().IsZero() {
+		t.Error("disabled Now must be the zero Time")
+	}
+	Enable()
+	if !Enabled() {
+		t.Error("Enable did not stick")
+	}
+	if Now().IsZero() {
+		t.Error("enabled Now returned the zero Time")
+	}
+	Disable()
+	if Enabled() {
+		t.Error("Disable did not stick")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1010 {
+		t.Errorf("counter = %d, want %d", got, 8*1010)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	var h Histogram
+	h.Observe(0)                    // bucket 0
+	h.Observe(time.Nanosecond)      // bucket 1 (Len64(1) = 1)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(time.Millisecond)
+	h.Observe(-time.Second) // clamped to 0
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.Sum != time.Millisecond+101*time.Nanosecond {
+		t.Errorf("sum = %v", s.Sum)
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("bucket totals = %d", total)
+	}
+	if s.Counts[0] != 2 { // the two zero-ns observations
+		t.Errorf("bucket 0 = %d, want 2", s.Counts[0])
+	}
+}
+
+func TestHistogramMeanAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(10 * time.Nanosecond)
+	}
+	h.Observe(time.Second)
+	s := h.Snapshot()
+	if m := s.Mean(); m < 10*time.Millisecond || m > 11*time.Millisecond {
+		t.Errorf("mean = %v", m)
+	}
+	// p50 must bound the common case; p995 must reach the outlier's bucket.
+	if q := s.Quantile(0.5); q > 16*time.Nanosecond {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := s.Quantile(0.995); q < time.Second {
+		t.Errorf("p99.5 = %v, want ≥ 1s", q)
+	}
+	if (HistogramSnapshot{}).Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	if (HistogramSnapshot{}).Mean() != 0 {
+		t.Error("empty histogram mean must be 0")
+	}
+}
+
+func TestBucketUpperMonotone(t *testing.T) {
+	prev := time.Duration(0)
+	for i := 0; i < HistBuckets; i++ {
+		u := BucketUpper(i)
+		if u <= prev {
+			t.Fatalf("BucketUpper(%d) = %v not > %v", i, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestTransformRecorderDisabledCountsOnly(t *testing.T) {
+	var r TransformRecorder
+	r.Record(time.Time{}, 1000) // what a disabled hot path passes
+	s := r.Snapshot()
+	if s.Transforms != 1 {
+		t.Errorf("Transforms = %d", s.Transforms)
+	}
+	if s.Timed != 0 || s.TotalTime != 0 || s.PseudoMflops != 0 {
+		t.Errorf("disabled record leaked timing: %+v", s)
+	}
+}
+
+func TestTransformRecorderEnabled(t *testing.T) {
+	var r TransformRecorder
+	start := time.Now().Add(-10 * time.Microsecond)
+	r.Record(start, 50000) // 50000 flops over ≥10µs → ≤5000 "Mflop/s"
+	s := r.Snapshot()
+	if s.Transforms != 1 || s.Timed != 1 {
+		t.Errorf("counts: %+v", s)
+	}
+	if s.TotalTime < 10*time.Microsecond {
+		t.Errorf("TotalTime = %v", s.TotalTime)
+	}
+	if s.AvgTime != s.TotalTime {
+		t.Errorf("AvgTime %v != TotalTime %v for a single transform", s.AvgTime, s.TotalTime)
+	}
+	if s.PseudoMflops <= 0 || s.PseudoMflops > 5000 {
+		t.Errorf("PseudoMflops = %v", s.PseudoMflops)
+	}
+}
+
+func TestTransformRecorderConcurrent(t *testing.T) {
+	var r TransformRecorder
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(time.Now(), 10)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Transforms != 2000 || s.Timed != 2000 {
+		t.Errorf("Transforms = %d, Timed = %d, want 2000 each", s.Transforms, s.Timed)
+	}
+}
+
+func TestPseudoMflops(t *testing.T) {
+	// 51200 flops in 10.24µs → 5000 Mflop/s (Figure 3's unit).
+	if got := PseudoMflops(51200, 10240*time.Nanosecond); got < 4999 || got > 5001 {
+		t.Errorf("PseudoMflops = %v", got)
+	}
+	if PseudoMflops(100, 0) != 0 {
+		t.Error("zero duration must yield 0")
+	}
+}
+
+func TestTraceWriter(t *testing.T) {
+	// TraceWriter's internal mutex serializes the writes, so a bare
+	// strings.Builder is a valid sink even under concurrent hooks.
+	var b strings.Builder
+	hook := TraceWriter(&b)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hook(TraceEvent{Kind: "candidate", N: 64, Tree: "(8 x 8)", Time: time.Microsecond})
+			hook(TraceEvent{Kind: "winner", N: 64, Tree: "(8 x 8)"})
+		}()
+	}
+	wg.Wait()
+	out := b.String()
+	if got := strings.Count(out, "\n"); got != 8 {
+		t.Errorf("trace lines = %d, want 8:\n%s", got, out)
+	}
+	if !strings.Contains(out, "search: n=64 candidate (8 x 8) 1µs") {
+		t.Errorf("missing timed candidate line:\n%s", out)
+	}
+	if !strings.Contains(out, "search: n=64 winner (8 x 8)\n") {
+		t.Errorf("missing untimed winner line:\n%s", out)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"spiralfft/internal/codelet"
 	"spiralfft/internal/complexvec"
 	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/smp"
 )
 
@@ -49,9 +50,38 @@ type Tuner struct {
 	Timer    TimerConfig
 	// RandomSamples bounds StrategyRandom (default 30).
 	RandomSamples int
+	// Trace, when set, receives one event per candidate tree considered
+	// (with its measured or modeled cost) and one per winner chosen —
+	// Spiral's search log as a stream. Opt-in: nil (the default) costs
+	// nothing.
+	Trace func(metrics.TraceEvent)
 	// rng drives random search deterministically.
 	rng  *rand.Rand
 	memo map[int]Result
+	// stats counts search work (Tuner is single-goroutine, plain ints).
+	stats TunerStats
+}
+
+// TunerStats counts the work a Tuner has done.
+type TunerStats struct {
+	// Searches counts BestTree cache misses (one search per size) plus
+	// TuneParallel calls.
+	Searches int64
+	// Considered counts candidate trees examined across all searches.
+	Considered int64
+	// Measured counts candidates timed by running the actual plan (as
+	// opposed to modeled analytically).
+	Measured int64
+}
+
+// Stats returns the accumulated search counters.
+func (t *Tuner) Stats() TunerStats { return t.stats }
+
+// trace emits ev to the Trace hook if one is installed.
+func (t *Tuner) trace(kind string, n int, tree string, d time.Duration) {
+	if t.Trace != nil {
+		t.Trace(metrics.TraceEvent{Kind: kind, N: n, Tree: tree, Time: d})
+	}
 }
 
 // Result is a tuned sequential plan for one size.
@@ -78,6 +108,7 @@ func (t *Tuner) BestTree(n int) Result {
 	if r, ok := t.memo[n]; ok {
 		return r
 	}
+	t.stats.Searches++
 	var r Result
 	switch t.Strategy {
 	case StrategyEstimate:
@@ -90,6 +121,9 @@ func (t *Tuner) BestTree(n int) Result {
 		r = t.dp(n)
 	}
 	t.memo[n] = r
+	if r.Tree != nil {
+		t.trace("winner", n, r.Tree.String(), r.Time)
+	}
 	return r
 }
 
@@ -116,7 +150,9 @@ func (t *Tuner) estimate(n int) Result {
 	})
 	best := Result{Candidates: len(candidates)}
 	for _, tr := range candidates {
+		t.stats.Considered++
 		c := time.Duration(ModelCost(tr))
+		t.trace("candidate", tr.N, tr.String(), c)
 		if best.Tree == nil || c < best.Time {
 			best.Tree, best.Time = tr, c
 		}
@@ -173,14 +209,18 @@ func (t *Tuner) candidateTrees(n int, sub func(m, k int) (*exec.Tree, *exec.Tree
 
 // measureTree times one transform of the tree's compiled plan.
 func (t *Tuner) measureTree(tr *exec.Tree) time.Duration {
+	t.stats.Considered++
 	s, err := exec.NewSeq(tr)
 	if err != nil {
 		return 1<<62 - 1
 	}
+	t.stats.Measured++
 	x := complexvec.Random(tr.N, 7)
 	y := make([]complex128, tr.N)
 	scratch := s.NewScratch()
-	return Measure(func() { s.Transform(y, x, scratch) }, t.Timer)
+	d := Measure(func() { s.Transform(y, x, scratch) }, t.Timer)
+	t.trace("candidate", tr.N, tr.String(), d)
+	return d
 }
 
 func (t *Tuner) randomTree(n int) *exec.Tree {
@@ -295,6 +335,7 @@ func (t *Tuner) TuneParallel(n, p, mu int, backend smp.Backend) (ParallelChoice,
 	if p < 1 {
 		return ParallelChoice{}, fmt.Errorf("search: TuneParallel p=%d", p)
 	}
+	t.stats.Searches++
 	seq := t.BestTree(n)
 	choice := ParallelChoice{N: n, Tree: seq.Tree, SeqTime: seq.Time}
 	if t.Strategy == StrategyEstimate {
@@ -321,6 +362,9 @@ func (t *Tuner) TuneParallel(n, p, mu int, backend smp.Backend) (ParallelChoice,
 			continue
 		}
 		d := Measure(func() { pl.Transform(y, x) }, t.Timer)
+		t.stats.Considered++
+		t.stats.Measured++
+		t.trace("parallel-candidate", n, fmt.Sprintf("%d·%d", m, n/m), d)
 		if choice.Parallel == nil || d < bestPar {
 			choice.Parallel = pl
 			choice.Split = m
@@ -334,6 +378,11 @@ func (t *Tuner) TuneParallel(n, p, mu int, backend smp.Backend) (ParallelChoice,
 			choice.Parallel = nil
 			choice.Split = 0
 		}
+	}
+	if choice.Parallel != nil {
+		t.trace("parallel-winner", n, fmt.Sprintf("%d·%d", choice.Split, n/choice.Split), choice.ParTime)
+	} else {
+		t.trace("parallel-winner", n, "sequential", choice.SeqTime)
 	}
 	return choice, nil
 }

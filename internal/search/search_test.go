@@ -6,6 +6,7 @@ import (
 
 	"spiralfft/internal/complexvec"
 	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/smp"
 	"spiralfft/internal/twiddle"
 )
@@ -184,5 +185,83 @@ func TestStrategyString(t *testing.T) {
 	if StrategyDP.String() != "dp" || StrategyEstimate.String() != "estimate" ||
 		StrategyExhaustive.String() != "exhaustive" || StrategyRandom.String() != "random" {
 		t.Error("Strategy.String wrong")
+	}
+}
+
+func TestTunerTraceAndStats(t *testing.T) {
+	var events []metrics.TraceEvent
+	tu := NewTuner(StrategyEstimate)
+	tu.Trace = func(e metrics.TraceEvent) { events = append(events, e) }
+	tu.BestTree(64)
+	tu.BestTree(64) // memo hit: no new search, no new events
+
+	st := tu.Stats()
+	if st.Searches < 1 {
+		t.Errorf("Searches = %d", st.Searches)
+	}
+	if st.Considered < 1 {
+		t.Errorf("Considered = %d", st.Considered)
+	}
+	if st.Measured != 0 {
+		t.Errorf("estimate strategy measured %d candidates", st.Measured)
+	}
+	var candidates, winners int
+	for _, e := range events {
+		switch e.Kind {
+		case "candidate":
+			candidates++
+		case "winner":
+			winners++
+		default:
+			t.Errorf("unexpected event kind %q", e.Kind)
+		}
+		if e.Tree == "" {
+			t.Errorf("event without tree: %+v", e)
+		}
+	}
+	// One winner per size searched (64 plus its memoized subsizes), one
+	// candidate event per tree considered, and the memoized second call
+	// must not have added anything.
+	if winners < 1 || int64(candidates) != st.Considered {
+		t.Errorf("trace: %d candidates (stats say %d), %d winners", candidates, st.Considered, winners)
+	}
+	n := len(events)
+	tu.BestTree(64)
+	if len(events) != n {
+		t.Error("memoized search emitted trace events")
+	}
+}
+
+func TestTunerMeasuredStats(t *testing.T) {
+	tu := NewTuner(StrategyDP)
+	tu.Timer = fastTimer
+	tu.BestTree(64)
+	st := tu.Stats()
+	if st.Measured < 1 {
+		t.Errorf("DP strategy measured %d candidates", st.Measured)
+	}
+	if st.Measured != st.Considered {
+		t.Errorf("DP: measured %d != considered %d", st.Measured, st.Considered)
+	}
+}
+
+func TestTuneParallelTraces(t *testing.T) {
+	var events []metrics.TraceEvent
+	tu := NewTuner(StrategyDP)
+	tu.Timer = fastTimer
+	tu.Trace = func(e metrics.TraceEvent) { events = append(events, e) }
+	b := smp.NewSpawn(2)
+	defer b.Close()
+	if _, err := tu.TuneParallel(256, 2, 4, b); err != nil {
+		t.Fatal(err)
+	}
+	var winner bool
+	for _, e := range events {
+		if e.Kind == "parallel-winner" {
+			winner = true
+		}
+	}
+	if !winner {
+		t.Errorf("no parallel-winner event in %d events", len(events))
 	}
 }

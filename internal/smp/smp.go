@@ -26,6 +26,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"spiralfft/internal/metrics"
 )
 
 // Backend executes parallel regions across a fixed set of workers.
@@ -46,9 +49,19 @@ type Backend interface {
 	Close()
 }
 
-// spinLimit bounds pure busy-waiting before yielding the OS thread, so
-// oversubscribed configurations (p > GOMAXPROCS) still make progress.
+// spinLimit bounds pure busy-waiting before yielding the OS thread.
 const spinLimit = 1 << 14
+
+// yieldLimit bounds the Gosched phase of an oversubscribed (noSpin) waiter
+// before it parks: enough yields to catch a back-to-back dispatch, few
+// enough that an idle oversubscribed pool stops burning scheduler passes
+// almost immediately.
+const yieldLimit = 128
+
+// oversubscribed reports whether p waiters would exceed the schedulable
+// processors: busy-waiting then only burns the CPU the productive worker
+// needs, so waiters should yield/park immediately instead of spinning.
+func oversubscribed(p int) bool { return p > runtime.GOMAXPROCS(0) }
 
 // ---------------------------------------------------------------------------
 // Pool backend
@@ -59,8 +72,15 @@ const spinLimit = 1 << 14
 // transforms). A worker that has spun for a long time without work parks on
 // a condition variable so an idle pool burns no CPU — important when the
 // machine is shared, and irrelevant to the latency of a busy pool.
+//
+// A pool constructed with more workers than schedulable processors
+// (p > GOMAXPROCS) is oversubscribed: busy-waiting would only steal cycles
+// from the workers that hold the processors, so its waiters skip the spin
+// phases entirely — a brief runtime.Gosched() loop, then park. Stats
+// reports which wakeup paths the workers actually took.
 type Pool struct {
 	workers int
+	noSpin  bool // oversubscribed at construction: yield/park, never spin
 	fn      func(int) // current region body; written before epoch bump
 	epoch   atomic.Uint32
 	done    atomic.Uint32
@@ -70,6 +90,19 @@ type Pool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	parked  int
+	ctr     poolCounters
+}
+
+// poolCounters is the pool's dispatch statistics. Wakeup counters record
+// one event per worker per region (not per spin iteration), so maintaining
+// them costs one atomic add on a path that already includes a dispatch.
+type poolCounters struct {
+	regions      metrics.Counter
+	spinWakeups  metrics.Counter
+	yieldWakeups metrics.Counter
+	parkWakeups  metrics.Counter
+	joinYields   metrics.Counter
+	joinWaitNs   metrics.Counter // recorded only while metrics are enabled
 }
 
 // NewPool starts a pool with p persistent workers (p ≥ 1). The calling
@@ -78,9 +111,10 @@ func NewPool(p int) *Pool {
 	if p < 1 {
 		panic(fmt.Sprintf("smp: NewPool(%d)", p))
 	}
-	pool := &Pool{workers: p}
+	pool := &Pool{workers: p, noSpin: oversubscribed(p)}
 	pool.cond = sync.NewCond(&pool.mu)
 	pool.joined.Add(p - 1)
+	registerPool(pool)
 	for i := 1; i < p; i++ {
 		go pool.workerLoop(i)
 	}
@@ -110,18 +144,29 @@ func (p *Pool) workerLoop(id int) {
 
 // awaitEpoch waits until the epoch differs from last: pure spin first (the
 // low-latency fast path), yielding spins next, then parking on the condition
-// variable until Run wakes the pool.
+// variable until Run wakes the pool. Oversubscribed pools skip the pure-spin
+// phase and shorten the yield phase: with fewer processors than waiters,
+// spinning only delays the worker that owns the processor.
 func (p *Pool) awaitEpoch(last uint32) uint32 {
 	spins := 0
+	spinBudget, yieldBudget := spinLimit, 4*spinLimit
+	if p.noSpin {
+		spinBudget, yieldBudget = 0, yieldLimit
+	}
 	for {
 		if e := p.epoch.Load(); e != last {
+			if spins <= spinBudget {
+				p.ctr.spinWakeups.Inc()
+			} else {
+				p.ctr.yieldWakeups.Inc()
+			}
 			return e
 		}
 		spins++
-		if spins <= spinLimit {
+		if spins <= spinBudget {
 			continue
 		}
-		if spins <= 4*spinLimit {
+		if spins <= yieldBudget {
 			runtime.Gosched()
 			continue
 		}
@@ -135,6 +180,7 @@ func (p *Pool) awaitEpoch(last uint32) uint32 {
 		}
 		p.parked--
 		p.mu.Unlock()
+		p.ctr.parkWakeups.Inc()
 		return p.epoch.Load()
 	}
 }
@@ -143,21 +189,35 @@ func (p *Pool) awaitEpoch(last uint32) uint32 {
 // itself, so a 1-worker pool runs fn inline with zero overhead.
 func (p *Pool) Run(fn func(worker int)) {
 	if p.workers == 1 {
+		p.ctr.regions.Inc()
 		fn(0)
 		return
 	}
+	p.ctr.regions.Inc()
 	p.fn = fn
 	p.done.Store(0)
 	p.epoch.Add(1) // release: publishes p.fn to the spinning workers
 	p.wakeParked()
 	fn(0)
+	joinStart := metrics.Now()
 	spins := 0
 	for p.done.Load() != uint32(p.workers-1) {
+		if p.noSpin {
+			// Oversubscribed: the missing workers need this processor to
+			// finish, so hand it over instead of spinning.
+			runtime.Gosched()
+			p.ctr.joinYields.Inc()
+			continue
+		}
 		spins++
 		if spins > spinLimit {
 			runtime.Gosched()
+			p.ctr.joinYields.Inc()
 			spins = 0
 		}
+	}
+	if !joinStart.IsZero() {
+		p.ctr.joinWaitNs.Add(int64(time.Since(joinStart)))
 	}
 }
 
@@ -171,14 +231,109 @@ func (p *Pool) wakeParked() {
 }
 
 // Close terminates the worker goroutines and waits for them to exit.
-// Close is idempotent.
+// Close is idempotent. The pool's counters remain readable through Stats
+// after Close, and its totals stay in the package-wide aggregate.
 func (p *Pool) Close() {
 	p.closed.Do(func() {
 		p.stop.Store(true)
 		p.epoch.Add(1)
 		p.wakeParked()
 		p.joined.Wait()
+		unregisterPool(p)
 	})
+}
+
+// PoolStats is a snapshot of one pool's dispatch statistics.
+type PoolStats struct {
+	// Workers is the pool size p.
+	Workers int
+	// Oversubscribed reports p > GOMAXPROCS at construction: the pool's
+	// waiters skip busy-spinning and go straight to yield/park.
+	Oversubscribed bool
+	// Regions counts Run calls dispatched.
+	Regions int64
+	// SpinWakeups, YieldWakeups and ParkWakeups classify how workers
+	// received dispatches: within the pure-spin budget, during the
+	// yielded-spin phase, or by being woken from the parked state.
+	SpinWakeups, YieldWakeups, ParkWakeups int64
+	// JoinYields counts runtime.Gosched calls in Run's join loop.
+	JoinYields int64
+	// JoinWait is the total time Run spent waiting for workers after
+	// finishing its own share. Accumulated only while metrics are enabled.
+	JoinWait time.Duration
+}
+
+// Add accumulates other into s (Workers is kept; Oversubscribed ORs).
+func (s *PoolStats) Add(other PoolStats) {
+	s.Oversubscribed = s.Oversubscribed || other.Oversubscribed
+	s.Regions += other.Regions
+	s.SpinWakeups += other.SpinWakeups
+	s.YieldWakeups += other.YieldWakeups
+	s.ParkWakeups += other.ParkWakeups
+	s.JoinYields += other.JoinYields
+	s.JoinWait += other.JoinWait
+}
+
+// Stats returns a snapshot of the pool's dispatch counters. It is safe to
+// call concurrently with Run and after Close.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:        p.workers,
+		Oversubscribed: p.noSpin,
+		Regions:        p.ctr.regions.Load(),
+		SpinWakeups:    p.ctr.spinWakeups.Load(),
+		YieldWakeups:   p.ctr.yieldWakeups.Load(),
+		ParkWakeups:    p.ctr.parkWakeups.Load(),
+		JoinYields:     p.ctr.joinYields.Load(),
+		JoinWait:       time.Duration(p.ctr.joinWaitNs.Load()),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pool registry (process-wide aggregate for expvar-style export)
+
+var poolReg struct {
+	mu      sync.Mutex
+	live    map[*Pool]struct{}
+	retired PoolStats // summed stats of closed pools
+	created int64
+}
+
+func registerPool(p *Pool) {
+	poolReg.mu.Lock()
+	if poolReg.live == nil {
+		poolReg.live = make(map[*Pool]struct{})
+	}
+	poolReg.live[p] = struct{}{}
+	poolReg.created++
+	poolReg.mu.Unlock()
+}
+
+func unregisterPool(p *Pool) {
+	poolReg.mu.Lock()
+	delete(poolReg.live, p)
+	poolReg.retired.Add(p.Stats())
+	poolReg.mu.Unlock()
+}
+
+// AggregatePoolStats sums dispatch statistics over every pool the process
+// has created (live and closed).
+type AggregatePoolStats struct {
+	// Pools counts pools ever created; Live counts pools not yet closed.
+	Pools, Live int64
+	PoolStats
+}
+
+// AggregateStats returns the process-wide pool statistics.
+func AggregateStats() AggregatePoolStats {
+	poolReg.mu.Lock()
+	defer poolReg.mu.Unlock()
+	agg := AggregatePoolStats{Pools: poolReg.created, Live: int64(len(poolReg.live))}
+	agg.PoolStats = poolReg.retired
+	for p := range poolReg.live {
+		agg.PoolStats.Add(p.Stats())
+	}
+	return agg
 }
 
 // ---------------------------------------------------------------------------
@@ -249,17 +404,22 @@ func (Sequential) Close() {}
 // is how the multicore Cooley-Tukey executor separates its compute stages
 // without paying a fork-join per stage.
 type SpinBarrier struct {
-	n     int32
-	count atomic.Int32
-	sense atomic.Uint32
+	n      int32
+	noSpin bool // oversubscribed: yield instead of burning the spin budget
+	count  atomic.Int32
+	sense  atomic.Uint32
+	waitNs metrics.Counter
 }
 
-// NewSpinBarrier returns a barrier for n participants (n ≥ 1).
+// NewSpinBarrier returns a barrier for n participants (n ≥ 1). A barrier
+// with more participants than schedulable processors yields on every wait
+// iteration instead of busy-spinning (the processors are needed by the
+// participants that have not arrived yet).
 func NewSpinBarrier(n int) *SpinBarrier {
 	if n < 1 {
 		panic(fmt.Sprintf("smp: NewSpinBarrier(%d)", n))
 	}
-	return &SpinBarrier{n: int32(n)}
+	return &SpinBarrier{n: int32(n), noSpin: oversubscribed(n)}
 }
 
 // Wait blocks until all n participants have called Wait for the current
@@ -274,14 +434,28 @@ func (b *SpinBarrier) Wait() {
 		b.sense.Add(1) // release the other participants
 		return
 	}
+	start := metrics.Now()
 	spins := 0
 	for b.sense.Load() == s {
+		if b.noSpin {
+			runtime.Gosched()
+			continue
+		}
 		spins++
 		if spins > spinLimit {
 			runtime.Gosched()
 			spins = 0
 		}
 	}
+	if !start.IsZero() {
+		b.waitNs.Add(int64(time.Since(start)))
+	}
+}
+
+// WaitTime returns the total time participants spent blocked in Wait.
+// Accumulated only while metrics are enabled.
+func (b *SpinBarrier) WaitTime() time.Duration {
+	return time.Duration(b.waitNs.Load())
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,14 @@
 package smp
 
 import (
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"spiralfft/internal/metrics"
 )
 
 func backends(p int) map[string]Backend {
@@ -258,6 +261,140 @@ func TestSchedulingHelperPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestPoolOversubscriptionDetection(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	small := NewPool(1)
+	defer small.Close()
+	if small.Stats().Oversubscribed {
+		t.Error("1-worker pool reported oversubscribed")
+	}
+	big := NewPool(procs + 1)
+	defer big.Close()
+	if !big.Stats().Oversubscribed {
+		t.Errorf("pool with %d workers on %d procs not reported oversubscribed", procs+1, procs)
+	}
+	if NewSpinBarrier(procs).noSpin {
+		t.Error("barrier with GOMAXPROCS participants should spin")
+	}
+	if !NewSpinBarrier(procs + 1).noSpin {
+		t.Error("barrier with GOMAXPROCS+1 participants should not spin")
+	}
+}
+
+func TestPoolStatsClassifyEveryWakeup(t *testing.T) {
+	// Each worker takes exactly one wakeup path per region, so after Run
+	// returns the three classes must sum to (p-1)·regions.
+	const regions = 50
+	for _, p := range []int{2, 4} {
+		pool := NewPool(p)
+		for i := 0; i < regions; i++ {
+			pool.Run(func(int) {})
+		}
+		st := pool.Stats()
+		pool.Close()
+		if st.Regions != regions {
+			t.Errorf("p=%d: Regions = %d, want %d", p, st.Regions, regions)
+		}
+		if got, want := st.SpinWakeups+st.YieldWakeups+st.ParkWakeups, int64((p-1)*regions); got != want {
+			t.Errorf("p=%d: wakeups %d+%d+%d = %d, want %d",
+				p, st.SpinWakeups, st.YieldWakeups, st.ParkWakeups, got, want)
+		}
+		if st.Workers != p {
+			t.Errorf("p=%d: Workers = %d", p, st.Workers)
+		}
+	}
+}
+
+func TestOversubscribedPoolSkipsSpinPhase(t *testing.T) {
+	// An oversubscribed pool's waiters must never report a pure-spin wakeup
+	// beyond the free epoch-check (spinBudget 0 admits only spins == 0).
+	procs := runtime.GOMAXPROCS(0)
+	pool := NewPool(procs + 2)
+	defer pool.Close()
+	var ran atomic.Int32
+	for i := 0; i < 20; i++ {
+		pool.Run(func(int) { ran.Add(1) })
+	}
+	if got := ran.Load(); got != int32(20*(procs+2)) {
+		t.Fatalf("ran %d bodies, want %d", got, 20*(procs+2))
+	}
+	st := pool.Stats()
+	// With spinBudget = 0, a wakeup is classified "spin" only when the very
+	// first epoch check already sees the new epoch — possible, but the yield
+	// and park classes must carry the bulk of the traffic.
+	if st.YieldWakeups+st.ParkWakeups == 0 {
+		t.Errorf("oversubscribed pool recorded no yield/park wakeups: %+v", st)
+	}
+}
+
+func TestAggregateStatsSurvivesClose(t *testing.T) {
+	before := AggregateStats()
+	pool := NewPool(2)
+	const regions = 7
+	for i := 0; i < regions; i++ {
+		pool.Run(func(int) {})
+	}
+	mid := AggregateStats()
+	if mid.Pools != before.Pools+1 || mid.Live != before.Live+1 {
+		t.Errorf("after create: pools %d→%d live %d→%d", before.Pools, mid.Pools, before.Live, mid.Live)
+	}
+	pool.Close()
+	after := AggregateStats()
+	if after.Live != before.Live {
+		t.Errorf("after close: live = %d, want %d", after.Live, before.Live)
+	}
+	if got := after.Regions - before.Regions; got != regions {
+		t.Errorf("aggregate regions grew by %d, want %d (closed pool's stats must be retained)", got, regions)
+	}
+}
+
+func TestPoolJoinWaitRecordedWhenMetricsEnabled(t *testing.T) {
+	metrics.Enable()
+	defer metrics.Disable()
+	pool := NewPool(2)
+	defer pool.Close()
+	for i := 0; i < 4; i++ {
+		pool.Run(func(w int) {
+			if w != 0 {
+				time.Sleep(2 * time.Millisecond) // worker 0 must wait in join
+			}
+		})
+	}
+	if st := pool.Stats(); st.JoinWait <= 0 {
+		t.Errorf("JoinWait = %v, want > 0 with metrics enabled", st.JoinWait)
+	}
+}
+
+func TestSpinBarrierWaitTime(t *testing.T) {
+	metrics.Enable()
+	defer metrics.Disable()
+	b := NewSpinBarrier(2)
+	done := make(chan struct{})
+	go func() {
+		b.Wait() // arrives first, waits for the sleeper
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	b.Wait()
+	<-done
+	if wt := b.WaitTime(); wt <= 0 {
+		t.Errorf("WaitTime = %v, want > 0", wt)
+	}
+}
+
+// BenchmarkOversubscribedDispatch is the regression guard for the
+// oversubscription fix: dispatch on a pool with more workers than
+// processors must stay in the microsecond range instead of burning the
+// spin budgets (which made each region cost milliseconds of stolen CPU).
+func BenchmarkOversubscribedDispatch(b *testing.B) {
+	pool := NewPool(runtime.GOMAXPROCS(0) + 2)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Run(func(int) {})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/rewrite"
 	"spiralfft/internal/smp"
 )
@@ -28,6 +29,11 @@ type Plan2D struct {
 	ctxs       sync.Pool // *ctx2D
 	serial     bool
 	regionMu   sync.Mutex
+	// rec/flops feed Snapshot; the separable 2D transform performs
+	// rows·(cost of DFT_cols) + cols·(cost of DFT_rows) flops.
+	rec       metrics.TransformRecorder
+	flops     int64
+	finalPool *PoolStats
 }
 
 // ctx2D is the per-call workspace of one 2D transform.
@@ -58,8 +64,9 @@ func NewPlan2D(rows, cols int, o *Options) (*Plan2D, error) {
 	p := &Plan2D{
 		rows: rows, cols: cols,
 		rowPlan: rowPlan, colPlan: colPlan,
-		p:   1,
-		opt: opt,
+		p:     1,
+		opt:   opt,
+		flops: int64(float64(rows)*exec.FlopCount(cols) + float64(cols)*exec.FlopCount(rows)),
 	}
 	workers := opt.Workers
 	if workers > 1 && rewrite.Parallel2DOK(rows, cols, workers, opt.CacheLineComplex) {
@@ -122,9 +129,11 @@ func (p *Plan2D) Forward(dst, src []complex128) error {
 	if len(dst) != p.Len() || len(src) != p.Len() {
 		return lengthError("Plan2D.Forward", p.Len(), len(dst), len(src))
 	}
+	start := metrics.Now()
 	ctx := p.ctxs.Get().(*ctx2D)
 	p.transform(dst, src, ctx)
 	p.ctxs.Put(ctx)
+	recordTransform(&p.rec, tk2D, start, p.flops)
 	return nil
 }
 
@@ -134,6 +143,7 @@ func (p *Plan2D) Inverse(dst, src []complex128) error {
 	if len(dst) != p.Len() || len(src) != p.Len() {
 		return lengthError("Plan2D.Inverse", p.Len(), len(dst), len(src))
 	}
+	start := metrics.Now()
 	ctx := p.ctxs.Get().(*ctx2D)
 	for i, v := range src {
 		ctx.inv[i] = cmplx.Conj(v)
@@ -144,6 +154,7 @@ func (p *Plan2D) Inverse(dst, src []complex128) error {
 		dst[i] = cmplx.Conj(v) * scale
 	}
 	p.ctxs.Put(ctx)
+	recordTransform(&p.rec, tk2D, start, p.flops)
 	return nil
 }
 
@@ -181,10 +192,24 @@ func (p *Plan2D) transform(dst, src []complex128, ctx *ctx2D) {
 	})
 }
 
-// Close releases the worker pool (if any). Idempotent.
+// Close releases the worker pool (if any). Idempotent; the plan's
+// statistics remain readable via Snapshot.
 func (p *Plan2D) Close() {
 	if p.backend != nil {
+		p.finalPool = poolStatsOf(p.backend)
 		p.backend.Close()
 		p.backend = nil
 	}
+}
+
+// Snapshot returns the plan's observability record (pool statistics for
+// pooled parallel plans). Safe to call concurrently and after Close.
+func (p *Plan2D) Snapshot() PlanStats {
+	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
+	if p.backend != nil {
+		st.Pool = poolStatsOf(p.backend)
+	} else {
+		st.Pool = p.finalPool
+	}
+	return st
 }

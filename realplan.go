@@ -5,6 +5,8 @@ import (
 	"math/cmplx"
 	"sync"
 
+	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/twiddle"
 )
 
@@ -27,6 +29,10 @@ type RealPlan struct {
 	// onClose, when set, redirects Close to the owning Cache's ref-count
 	// release instead of destroying the plan.
 	onClose func()
+	// rec/flops feed Snapshot; a real transform's nominal flop count is
+	// half the complex one, 2.5·n·log2(n).
+	rec   metrics.TransformRecorder
+	flops int64
 }
 
 // realCtx is the per-call workspace of one real transform.
@@ -49,7 +55,7 @@ func NewRealPlan(n int, o *Options) (*RealPlan, error) {
 	for k := range w {
 		w[k] = twiddle.Omega(n, k)
 	}
-	p := &RealPlan{n: n, half: half, w: w}
+	p := &RealPlan{n: n, half: half, w: w, flops: int64(exec.FlopCount(n) / 2)}
 	p.ctxs.New = func() any {
 		return &realCtx{z: make([]complex128, h), spect: make([]complex128, h+1)}
 	}
@@ -75,6 +81,7 @@ func (p *RealPlan) Forward(dst []complex128, src []float64) error {
 		return fmt.Errorf("%w: RealPlan.Forward: src %d (want %d), dst %d (want %d)",
 			ErrLengthMismatch, len(src), p.n, len(dst), h+1)
 	}
+	start := metrics.Now()
 	ctx := p.ctxs.Get().(*realCtx)
 	defer p.ctxs.Put(ctx)
 	z := ctx.z
@@ -98,6 +105,7 @@ func (p *RealPlan) Forward(dst []complex128, src []float64) error {
 		fo = complex(imag(fo), -real(fo)) // ÷ i
 		dst[k] = fe + p.w[k]*fo
 	}
+	recordTransform(&p.rec, tkReal, start, p.flops)
 	return nil
 }
 
@@ -111,6 +119,7 @@ func (p *RealPlan) Inverse(dst []float64, src []complex128) error {
 		return fmt.Errorf("%w: RealPlan.Inverse: src %d (want %d), dst %d (want %d)",
 			ErrLengthMismatch, len(src), h+1, len(dst), p.n)
 	}
+	start := metrics.Now()
 	ctx := p.ctxs.Get().(*realCtx)
 	defer p.ctxs.Put(ctx)
 	z, spect := ctx.z, ctx.spect
@@ -135,6 +144,7 @@ func (p *RealPlan) Inverse(dst []float64, src []complex128) error {
 		dst[2*j] = real(z[j])
 		dst[2*j+1] = imag(z[j])
 	}
+	recordTransform(&p.rec, tkReal, start, p.flops)
 	return nil
 }
 
@@ -150,3 +160,14 @@ func (p *RealPlan) Close() {
 
 // destroy closes the inner plan unconditionally (bypassing any cache hook).
 func (p *RealPlan) destroy() { p.half.destroy() }
+
+// Snapshot returns the plan's observability record. The real plan's own
+// transform counts are reported; pool and barrier statistics come from the
+// inner half-size complex plan that carries the parallelism.
+func (p *RealPlan) Snapshot() PlanStats {
+	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
+	inner := p.half.Snapshot()
+	st.BarrierWait = inner.BarrierWait
+	st.Pool = inner.Pool
+	return st
+}

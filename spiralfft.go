@@ -42,8 +42,10 @@ import (
 	"fmt"
 	"math/cmplx"
 	"sync"
+	"time"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/rewrite"
 	"spiralfft/internal/search"
 	"spiralfft/internal/smp"
@@ -147,6 +149,14 @@ type Plan struct {
 	// onClose, when set, redirects Close to the owning Cache's ref-count
 	// release instead of destroying the plan.
 	onClose func()
+	// rec/flops feed Snapshot: the per-plan transform record and the
+	// nominal flop count 5·n·log2(n) of one transform.
+	rec   metrics.TransformRecorder
+	flops int64
+	// finalPool/finalBarrier preserve the parallel statistics across
+	// destroy, so Snapshot stays consistent after Close.
+	finalPool    *PoolStats
+	finalBarrier time.Duration
 }
 
 // planCtx is the per-call workspace of one transform.
@@ -174,7 +184,7 @@ func NewPlan(n int, o *Options) (*Plan, error) {
 		return nil, err
 	}
 	opt := o.withDefaults()
-	p := &Plan{n: n, opt: opt}
+	p := &Plan{n: n, opt: opt, flops: int64(exec.FlopCount(n))}
 
 	tuner := search.NewTuner(strategyFor(opt.Planner))
 	tree := p.sequentialTree(tuner)
@@ -209,24 +219,32 @@ func strategyFor(pl Planner) search.Strategy {
 }
 
 func (p *Plan) sequentialTree(tuner *search.Tuner) *exec.Tree {
-	t := p.treeFor(tuner, p.n)
+	t, cost := p.treeFor(tuner, p.n)
 	if p.opt.Wisdom != nil {
-		p.opt.Wisdom.record(t)
+		p.opt.Wisdom.record(t, cost)
 	}
 	return t
 }
 
 // treeFor picks a factorization for size n: wisdom first, then the planner.
-func (p *Plan) treeFor(tuner *search.Tuner, n int) *exec.Tree {
+// The returned cost is the tuner's measured per-transform time, or 0 when
+// nothing was measured (wisdom hit, fixed planner, or the estimate
+// planner's model units, which are not comparable to real times).
+func (p *Plan) treeFor(tuner *search.Tuner, n int) (*exec.Tree, time.Duration) {
 	if p.opt.Wisdom != nil {
 		if t, ok := p.opt.Wisdom.lookup(n); ok {
-			return t
+			return t, 0
 		}
 	}
 	if p.opt.Planner == PlannerFixed {
-		return exec.RadixTree(n)
+		return exec.RadixTree(n), 0
 	}
-	return tuner.BestTree(n).Tree
+	r := tuner.BestTree(n)
+	cost := r.Time
+	if p.opt.Planner == PlannerEstimate {
+		cost = 0
+	}
+	return r.Tree, cost
 }
 
 func (p *Plan) planParallel(tuner *search.Tuner) error {
@@ -255,11 +273,12 @@ func (p *Plan) planParallel(tuner *search.Tuner) error {
 		Mu:      opt.CacheLineComplex,
 		Backend: backend,
 	}
-	cfg.LeftTree = p.treeFor(tuner, m)
-	cfg.RightTree = p.treeFor(tuner, p.n/m)
+	var leftCost, rightCost time.Duration
+	cfg.LeftTree, leftCost = p.treeFor(tuner, m)
+	cfg.RightTree, rightCost = p.treeFor(tuner, p.n/m)
 	if opt.Wisdom != nil {
-		opt.Wisdom.record(cfg.LeftTree)
-		opt.Wisdom.record(cfg.RightTree)
+		opt.Wisdom.record(cfg.LeftTree, leftCost)
+		opt.Wisdom.record(cfg.RightTree, rightCost)
 	}
 	par, err := exec.NewParallel(p.n, m, cfg)
 	if err != nil {
@@ -353,9 +372,11 @@ func (p *Plan) Forward(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return lengthError("Forward", p.n, len(dst), len(src))
 	}
+	start := metrics.Now()
 	ctx := p.getCtx()
 	p.transform(dst, src, ctx)
 	p.putCtx(ctx)
+	recordTransform(&p.rec, tkDFT, start, p.flops)
 	return nil
 }
 
@@ -366,6 +387,7 @@ func (p *Plan) Inverse(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return lengthError("Inverse", p.n, len(dst), len(src))
 	}
+	start := metrics.Now()
 	ctx := p.getCtx()
 	// IDFT(x) = conj(DFT(conj(x))) / n.
 	for i, v := range src {
@@ -377,6 +399,7 @@ func (p *Plan) Inverse(dst, src []complex128) error {
 		dst[i] = cmplx.Conj(v) * scale
 	}
 	p.putCtx(ctx)
+	recordTransform(&p.rec, tkDFT, start, p.flops)
 	return nil
 }
 
@@ -401,13 +424,33 @@ func (p *Plan) Close() {
 }
 
 // destroy releases the owned backend unconditionally (bypassing any cache
-// hook). Idempotent.
+// hook). Idempotent. The plan's statistics remain readable via Snapshot.
 func (p *Plan) destroy() {
 	if p.backend != nil {
+		p.finalPool = poolStatsOf(p.backend)
+		if p.par != nil {
+			p.finalBarrier = p.par.BarrierWait()
+		}
 		p.backend.Close()
 		p.backend = nil
 		p.par = nil
 	}
+}
+
+// Snapshot returns the plan's observability record: transform counts and,
+// with metrics enabled (EnableMetrics), latency and pseudo-Mflop/s in the
+// paper's unit, plus pool dispatch and barrier statistics for parallel
+// plans. Safe to call concurrently with transforms and after Close.
+func (p *Plan) Snapshot() PlanStats {
+	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
+	if p.par != nil {
+		st.BarrierWait = p.par.BarrierWait()
+		st.Pool = poolStatsOf(p.backend)
+	} else if p.finalPool != nil {
+		st.BarrierWait = p.finalBarrier
+		st.Pool = p.finalPool
+	}
+	return st
 }
 
 // Forward is a convenience one-shot transform: it plans sequentially,

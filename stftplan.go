@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
 )
 
 // Window selects the analysis window of an STFT plan.
@@ -46,6 +49,10 @@ type STFTPlan struct {
 	winSq      []float64 // window², for the overlap-add normalization
 	rp         *RealPlan
 	ctxs       sync.Pool // *stftCtx
+	// rec/frameFlops feed Snapshot; one frame costs a real transform,
+	// 2.5·frame·log2(frame). Analyze/Synthesize record frames·that.
+	rec        metrics.TransformRecorder
+	frameFlops int64
 }
 
 // stftCtx is the per-call windowed-frame workspace.
@@ -69,11 +76,12 @@ func NewSTFTPlan(frame, hop int, window Window, o *Options) (*STFTPlan, error) {
 		return nil, err
 	}
 	p := &STFTPlan{
-		frame: frame,
-		hop:   hop,
-		win:   make([]float64, frame),
-		winSq: make([]float64, frame),
-		rp:    rp,
+		frame:      frame,
+		hop:        hop,
+		win:        make([]float64, frame),
+		winSq:      make([]float64, frame),
+		rp:         rp,
+		frameFlops: int64(exec.FlopCount(frame) / 2),
 	}
 	p.ctxs.New = func() any { return &stftCtx{buf: make([]float64, frame)} }
 	for i := range p.win {
@@ -124,12 +132,17 @@ func (p *STFTPlan) Forward(dst []complex128, src []float64) error {
 		return fmt.Errorf("%w: STFT Forward: src %d (want %d), dst %d (want %d)",
 			ErrLengthMismatch, len(src), p.frame, len(dst), p.Bins())
 	}
+	start := metrics.Now()
 	ctx := p.ctxs.Get().(*stftCtx)
 	defer p.ctxs.Put(ctx)
 	for i := 0; i < p.frame; i++ {
 		ctx.buf[i] = src[i] * p.win[i]
 	}
-	return p.rp.Forward(dst, ctx.buf)
+	if err := p.rp.Forward(dst, ctx.buf); err != nil {
+		return err
+	}
+	recordTransform(&p.rec, tkSTFT, start, p.frameFlops)
+	return nil
 }
 
 // Inverse computes the windowed inverse of one frame's spectrum: the real
@@ -143,12 +156,14 @@ func (p *STFTPlan) Inverse(dst []float64, src []complex128) error {
 		return fmt.Errorf("%w: STFT Inverse: src %d (want %d), dst %d (want %d)",
 			ErrLengthMismatch, len(src), p.Bins(), len(dst), p.frame)
 	}
+	start := metrics.Now()
 	if err := p.rp.Inverse(dst, src); err != nil {
 		return err
 	}
 	for i := 0; i < p.frame; i++ {
 		dst[i] *= p.win[i]
 	}
+	recordTransform(&p.rec, tkSTFT, start, p.frameFlops)
 	return nil
 }
 
@@ -160,6 +175,7 @@ func (p *STFTPlan) Analyze(dst [][]complex128, signal []float64) error {
 	if len(dst) != frames {
 		return fmt.Errorf("%w: Analyze needs %d frames, got %d", ErrLengthMismatch, frames, len(dst))
 	}
+	start := metrics.Now()
 	ctx := p.ctxs.Get().(*stftCtx)
 	defer p.ctxs.Put(ctx)
 	for f := 0; f < frames; f++ {
@@ -174,6 +190,7 @@ func (p *STFTPlan) Analyze(dst [][]complex128, signal []float64) error {
 			return err
 		}
 	}
+	recordTransform(&p.rec, tkSTFT, start, int64(frames)*p.frameFlops)
 	return nil
 }
 
@@ -201,6 +218,7 @@ func (p *STFTPlan) Synthesize(signal []float64, frames [][]complex128) error {
 	if len(signal) < need {
 		return fmt.Errorf("%w: Synthesize needs %d samples, got %d", ErrLengthMismatch, need, len(signal))
 	}
+	start := metrics.Now()
 	ctx := p.ctxs.Get().(*stftCtx)
 	defer p.ctxs.Put(ctx)
 	norm := make([]float64, len(signal))
@@ -225,8 +243,22 @@ func (p *STFTPlan) Synthesize(signal []float64, frames [][]complex128) error {
 			signal[i] /= norm[i]
 		}
 	}
+	recordTransform(&p.rec, tkSTFT, start, int64(len(frames))*p.frameFlops)
 	return nil
 }
 
 // Close releases the inner plan's resources.
 func (p *STFTPlan) Close() { p.rp.Close() }
+
+// Snapshot returns the plan's observability record. Transform counts cover
+// every entry point (per-frame Forward/Inverse and whole-signal
+// Analyze/Synthesize, the latter weighted by their frame count); pool and
+// barrier statistics come from the inner real plan that carries the
+// parallelism.
+func (p *STFTPlan) Snapshot() PlanStats {
+	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
+	inner := p.rp.Snapshot()
+	st.BarrierWait = inner.BarrierWait
+	st.Pool = inner.Pool
+	return st
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
 	"spiralfft/internal/rewrite"
 	"spiralfft/internal/smp"
 )
@@ -21,6 +22,10 @@ type WHTPlan struct {
 	inner   *exec.WHTPlan
 	backend smp.Backend
 	opt     Options
+	// rec/flops feed Snapshot; the WHT performs n·log2(n) additions.
+	rec       metrics.TransformRecorder
+	flops     int64
+	finalPool *PoolStats
 }
 
 // NewWHTPlan prepares a WHT of size n (a power of two ≥ 2). Parallel plans
@@ -38,7 +43,7 @@ func NewWHTPlan(n int, o *Options) (*WHTPlan, error) {
 	for v := n; v > 1; v >>= 1 {
 		k++
 	}
-	p := &WHTPlan{n: n, opt: opt}
+	p := &WHTPlan{n: n, opt: opt, flops: int64(n) * int64(k)}
 	workers := opt.Workers
 	var backend smp.Backend
 	if workers > 1 {
@@ -81,7 +86,9 @@ func (p *WHTPlan) Transform(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return lengthError("WHT.Transform", p.n, len(dst), len(src))
 	}
+	start := metrics.Now()
 	p.inner.Transform(dst, src)
+	recordTransform(&p.rec, tkWHT, start, p.flops)
 	return nil
 }
 
@@ -124,10 +131,24 @@ func (p *WHTPlan) Formula() string {
 	return f.String()
 }
 
-// Close releases the worker pool (if any). Idempotent.
+// Close releases the worker pool (if any). Idempotent; the plan's
+// statistics remain readable via Snapshot.
 func (p *WHTPlan) Close() {
 	if p.backend != nil {
+		p.finalPool = poolStatsOf(p.backend)
 		p.backend.Close()
 		p.backend = nil
 	}
+}
+
+// Snapshot returns the plan's observability record (pool statistics for
+// pooled parallel plans). Safe to call concurrently and after Close.
+func (p *WHTPlan) Snapshot() PlanStats {
+	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
+	if p.backend != nil {
+		st.Pool = poolStatsOf(p.backend)
+	} else {
+		st.Pool = p.finalPool
+	}
+	return st
 }

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"spiralfft/internal/exec"
 )
@@ -16,15 +17,37 @@ import (
 // across plans and — via Export/Import — across processes, like FFTW's
 // wisdom files.
 //
+// Each size carries the cheapest tree seen so far: when two tuners (or two
+// imported files) disagree, the one with the lower measured per-transform
+// cost wins. Entries without a measured cost (estimate-mode planning,
+// legacy wisdom files) never displace a measured entry.
+//
 // A Wisdom value is safe for concurrent use.
 type Wisdom struct {
 	mu    sync.Mutex
-	trees map[int]string // transform size → tree in (*exec.Tree).String() form
+	trees map[int]wisdomEntry // transform size → best tree seen
+}
+
+// wisdomEntry is one stored tree with its measured per-transform cost
+// (0 = unknown: estimate-mode or legacy import).
+type wisdomEntry struct {
+	tree string // (*exec.Tree).String() form
+	cost time.Duration
+}
+
+// better reports whether candidate should replace existing. Measured beats
+// unmeasured; among measured entries the cheaper wins; an unmeasured
+// candidate never displaces anything (first writer keeps the slot).
+func (e wisdomEntry) better(than wisdomEntry) bool {
+	if e.cost <= 0 {
+		return false
+	}
+	return than.cost <= 0 || e.cost < than.cost
 }
 
 // NewWisdom returns an empty wisdom store.
 func NewWisdom() *Wisdom {
-	return &Wisdom{trees: make(map[int]string)}
+	return &Wisdom{trees: make(map[int]wisdomEntry)}
 }
 
 // Len reports how many sizes the store covers.
@@ -34,28 +57,31 @@ func (w *Wisdom) Len() int {
 	return len(w.trees)
 }
 
-// record stores the tree for its size (keeps the first entry: wisdom is
-// written by the tuner that worked hardest first).
-func (w *Wisdom) record(t *exec.Tree) {
+// record stores the tree for its size, keeping whichever tree has the lower
+// measured cost (cost ≤ 0 means unmeasured; such entries only fill empty
+// slots).
+func (w *Wisdom) record(t *exec.Tree, cost time.Duration) {
 	if t == nil {
 		return
 	}
+	cand := wisdomEntry{tree: t.String(), cost: cost}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if _, ok := w.trees[t.N]; !ok {
-		w.trees[t.N] = t.String()
+	cur, ok := w.trees[t.N]
+	if !ok || cand.better(cur) {
+		w.trees[t.N] = cand
 	}
 }
 
 // lookup returns the stored tree for size n.
 func (w *Wisdom) lookup(n int) (*exec.Tree, bool) {
 	w.mu.Lock()
-	s, ok := w.trees[n]
+	e, ok := w.trees[n]
 	w.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
-	t, err := exec.ParseTree(s)
+	t, err := exec.ParseTree(e.tree)
 	if err != nil || t.N != n {
 		return nil, false
 	}
@@ -63,10 +89,13 @@ func (w *Wisdom) lookup(n int) (*exec.Tree, bool) {
 }
 
 // Export serializes the store, one "size factorization-tree" line per size,
-// sorted by size. The format is stable and human-readable:
+// sorted by size. Entries with a measured cost append it after an "@"
+// separator (a time.Duration string); older readers that split at the first
+// space and parse the remainder as a tree must ignore the suffix, and
+// Import without it still works. The format is stable and human-readable:
 //
 //	256 (64 x 4)
-//	1024 (64 x 16)
+//	1024 (64 x 16) @ 12.5µs
 func (w *Wisdom) Export() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -77,15 +106,23 @@ func (w *Wisdom) Export() string {
 	sort.Ints(sizes)
 	var b strings.Builder
 	for _, n := range sizes {
-		fmt.Fprintf(&b, "%d %s\n", n, w.trees[n])
+		e := w.trees[n]
+		if e.cost > 0 {
+			fmt.Fprintf(&b, "%d %s @ %s\n", n, e.tree, e.cost)
+		} else {
+			fmt.Fprintf(&b, "%d %s\n", n, e.tree)
+		}
 	}
 	return b.String()
 }
 
 // Import merges serialized wisdom into the store. Unknown or malformed
 // lines produce an error and nothing of the bad line is imported; valid
-// lines before an error remain imported. Imported entries override existing
-// ones (imported wisdom is presumed tuned).
+// lines before an error remain imported. Merging is by cost: an imported
+// entry replaces an existing one when it carries a lower measured cost, or
+// when the existing entry has no measured cost (imported wisdom is
+// presumed tuned). A costless imported line never displaces a measured
+// entry for the same size.
 func (w *Wisdom) Import(s string) error {
 	sc := bufio.NewScanner(strings.NewReader(s))
 	lineNo := 0
@@ -103,15 +140,30 @@ func (w *Wisdom) Import(s string) error {
 		if err != nil || n < 1 {
 			return fmt.Errorf("spiralfft: wisdom line %d: bad size %q", lineNo, line[:sp])
 		}
-		t, err := exec.ParseTree(strings.TrimSpace(line[sp+1:]))
+		rest := strings.TrimSpace(line[sp+1:])
+		var cost time.Duration
+		if at := strings.LastIndex(rest, " @ "); at >= 0 {
+			cost, err = time.ParseDuration(strings.TrimSpace(rest[at+3:]))
+			if err != nil || cost < 0 {
+				return fmt.Errorf("spiralfft: wisdom line %d: bad cost %q", lineNo, rest[at+3:])
+			}
+			rest = strings.TrimSpace(rest[:at])
+		}
+		t, err := exec.ParseTree(rest)
 		if err != nil {
 			return fmt.Errorf("spiralfft: wisdom line %d: %v", lineNo, err)
 		}
 		if t.N != n {
 			return fmt.Errorf("spiralfft: wisdom line %d: tree size %d does not match declared %d", lineNo, t.N, n)
 		}
+		cand := wisdomEntry{tree: t.String(), cost: cost}
 		w.mu.Lock()
-		w.trees[n] = t.String()
+		cur, ok := w.trees[n]
+		// Imported wisdom is presumed tuned: it wins unless the resident
+		// entry has a measured cost that the import cannot beat.
+		if !ok || cand.better(cur) || cur.cost <= 0 {
+			w.trees[n] = cand
+		}
 		w.mu.Unlock()
 	}
 	return sc.Err()

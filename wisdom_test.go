@@ -3,8 +3,10 @@ package spiralfft
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"spiralfft/internal/complexvec"
+	"spiralfft/internal/exec"
 )
 
 func TestWisdomExportImportRoundtrip(t *testing.T) {
@@ -95,6 +97,118 @@ func TestWisdomRecordsPlannedTrees(t *testing.T) {
 		if _, ok := w.lookup(n); !ok {
 			t.Errorf("wisdom missing size %d:\n%s", n, exported)
 		}
+	}
+}
+
+func mustTree(t *testing.T, s string) *exec.Tree {
+	t.Helper()
+	tr, err := exec.ParseTree(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestWisdomRecordKeepsCheaper(t *testing.T) {
+	w := NewWisdom()
+	w.record(mustTree(t, "(8 x 8)"), 100*time.Microsecond)
+	// A slower measurement must not displace the resident tree.
+	w.record(mustTree(t, "(4 x 16)"), 200*time.Microsecond)
+	if tr, _ := w.lookup(64); tr.String() != "(8 x 8)" {
+		t.Errorf("slower tree displaced cheaper one: %s", tr)
+	}
+	// A faster measurement must.
+	w.record(mustTree(t, "(2 x 32)"), 50*time.Microsecond)
+	if tr, _ := w.lookup(64); tr.String() != "(2 x 32)" {
+		t.Errorf("faster tree did not win: %s", tr)
+	}
+	// An unmeasured record (cost 0) never displaces a measured entry.
+	w.record(mustTree(t, "(16 x 4)"), 0)
+	if tr, _ := w.lookup(64); tr.String() != "(2 x 32)" {
+		t.Errorf("unmeasured tree displaced measured one: %s", tr)
+	}
+	// But an unmeasured record does fill an empty slot.
+	w.record(mustTree(t, "(16 x 16)"), 0)
+	if tr, ok := w.lookup(256); !ok || tr.String() != "(16 x 16)" {
+		t.Error("unmeasured record did not fill empty slot")
+	}
+}
+
+func TestWisdomExportCarriesCost(t *testing.T) {
+	w := NewWisdom()
+	w.record(mustTree(t, "(8 x 8)"), 12500*time.Nanosecond)
+	w.record(mustTree(t, "(16 x 16)"), 0)
+	out := w.Export()
+	if !strings.Contains(out, "64 (8 x 8) @ 12.5µs") {
+		t.Errorf("export missing cost annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "256 (16 x 16)\n") {
+		t.Errorf("costless entry must export the legacy format:\n%s", out)
+	}
+	// Roundtrip preserves costs (so re-imported wisdom still merges by cost).
+	w2 := NewWisdom()
+	if err := w2.Import(out); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Export() != out {
+		t.Errorf("cost roundtrip mismatch:\n%q\n%q", out, w2.Export())
+	}
+}
+
+func TestWisdomImportMergesByCost(t *testing.T) {
+	w := NewWisdom()
+	if err := w.Import("64 (8 x 8) @ 10µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	// A more expensive import loses.
+	if err := w.Import("64 (4 x 16) @ 20µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := w.lookup(64); tr.String() != "(8 x 8)" {
+		t.Errorf("more expensive import won: %s", tr)
+	}
+	// A cheaper import wins.
+	if err := w.Import("64 (2 x 32) @ 5µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := w.lookup(64); tr.String() != "(2 x 32)" {
+		t.Errorf("cheaper import lost: %s", tr)
+	}
+	// A costless (legacy) import does not displace a measured entry...
+	if err := w.Import("64 (16 x 4)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := w.lookup(64); tr.String() != "(2 x 32)" {
+		t.Errorf("legacy import displaced measured entry: %s", tr)
+	}
+	// ...but does override a costless one (imported wisdom is presumed tuned).
+	if err := w.Import("256 (16 x 16)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Import("256 (4 x 64)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := w.lookup(256); tr.String() != "(4 x 64)" {
+		t.Errorf("legacy import did not override costless entry: %s", tr)
+	}
+	// Malformed costs are rejected.
+	if err := NewWisdom().Import("64 (8 x 8) @ fast\n"); err == nil {
+		t.Error("bad cost accepted")
+	}
+}
+
+func TestWisdomMeasuredPlannerRecordsCosts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured planning")
+	}
+	w := NewWisdom()
+	p, err := NewPlan(256, &Options{Planner: PlannerMeasure, Wisdom: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if !strings.Contains(w.Export(), " @ ") {
+		t.Errorf("measured planner exported no costs:\n%s", w.Export())
 	}
 }
 

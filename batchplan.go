@@ -2,11 +2,10 @@ package spiralfft
 
 import (
 	"fmt"
-	"sync"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/ir"
 	"spiralfft/internal/metrics"
-	"spiralfft/internal/smp"
 )
 
 // BatchPlan transforms many independent equal-length signals in one call.
@@ -14,35 +13,22 @@ import (
 // parallelizes directly: each processor executes a contiguous block of
 // whole transforms — embarrassingly parallel, load balanced, and (for
 // n a multiple of µ) free of false sharing without any further rewriting.
+// The schedule is lowered to a one-region IR program and runs through the
+// shared executor.
 //
 // Signals are stored back to back in one flat slice of length Count()·N().
 //
 // A BatchPlan is safe for concurrent use: per-call workspace is pooled, and
-// parallel regions on the pooled backend serialize on an internal mutex.
+// parallel regions on the pooled backend serialize inside the executor.
 type BatchPlan struct {
 	n, count int
-	seq      *exec.Seq
-	backend  smp.Backend // owned; nil when workers == 1
 	workers  int
-	ctxs     sync.Pool // *batchCtx
-	// serial/regionMu/body/cur serialize pooled-backend regions; body is the
-	// persistent parallel-region closure over cur, so steady-state batches
-	// allocate nothing.
-	serial   bool
-	regionMu sync.Mutex
-	body     func(w int)
-	cur      *batchCtx
-	// rec/flops feed Snapshot; one batch performs count·5·n·log2(n) flops.
-	rec       metrics.TransformRecorder
-	flops     int64
-	finalPool *PoolStats
-}
-
-// batchCtx is the per-call workspace of one batch transform.
-type batchCtx struct {
-	scratch  [][]complex128 // per-worker executor scratch
-	inv      []complex128   // conjugation buffer for Inverse
-	dst, src []complex128   // per-call arguments for the region body
+	planCore
+	// tree is the per-signal factorization; seqExe its single-worker
+	// program, kept as the fallback when no backend is owned (workers == 1,
+	// or after Close).
+	tree   *exec.Tree
+	seqExe *ir.Executor
 }
 
 // NewBatchPlan prepares a plan for count signals of length n each.
@@ -66,48 +52,32 @@ func NewBatchPlan(n, count int, o *Options) (*BatchPlan, error) {
 		if err != nil {
 			return nil, err
 		}
-		tree = single.seq.Tree()
+		tree = single.tree
 		single.Close()
 	}
-	seq, err := exec.NewSeq(tree)
+	b := &BatchPlan{n: n, count: count, workers: workers, tree: tree}
+	b.init(tkBatch, int64(float64(count)*exec.FlopCount(n)), n*count)
+	seqProg, err := ir.LowerBatch(tree, count, 1)
 	if err != nil {
 		return nil, err
 	}
-	b := &BatchPlan{
-		n:       n,
-		count:   count,
-		seq:     seq,
-		workers: workers,
-		flops:   int64(float64(count) * exec.FlopCount(n)),
-	}
-	b.ctxs.New = func() any {
-		c := &batchCtx{
-			scratch: make([][]complex128, workers),
-			inv:     make([]complex128, n*count),
-		}
-		for w := range c.scratch {
-			c.scratch[w] = seq.NewScratch()
-		}
-		return c
+	if b.seqExe, err = ir.NewExecutor(seqProg, nil); err != nil {
+		return nil, err
 	}
 	if workers > 1 {
-		if opt.Backend == BackendSpawn {
-			b.backend = smp.NewSpawn(workers)
-		} else {
-			b.backend = smp.NewPool(workers)
+		prog, err := ir.LowerBatch(tree, count, workers)
+		if err != nil {
+			return nil, err
 		}
-		b.serial = !b.backend.Concurrent()
-		b.body = func(w int) { b.runWorker(w, b.cur) }
+		backend := newBackendFor(opt, workers)
+		exe, err := ir.NewExecutor(prog, backend)
+		if err != nil {
+			backend.Close()
+			return nil, err
+		}
+		b.exe, b.backend = exe, backend
 	}
 	return b, nil
-}
-
-// runWorker transforms worker w's contiguous block of whole signals.
-func (b *BatchPlan) runWorker(w int, ctx *batchCtx) {
-	lo, hi := smp.BlockRange(b.count, b.workers, w)
-	for s := lo; s < hi; s++ {
-		b.seq.TransformStrided(ctx.dst, s*b.n, 1, ctx.src, s*b.n, 1, nil, ctx.scratch[w])
-	}
 }
 
 // N returns the per-signal transform size.
@@ -123,6 +93,15 @@ func (b *BatchPlan) Count() int { return b.count }
 // Workers returns the number of workers the batch uses.
 func (b *BatchPlan) Workers() int { return b.workers }
 
+// Program returns the lowered IR program the plan executes. The program is
+// shared — callers must not mutate it.
+func (b *BatchPlan) Program() *ir.Program {
+	if e := b.exe; e != nil {
+		return e.Program()
+	}
+	return b.seqExe.Program()
+}
+
 // Forward transforms all signals: for each s < Count(),
 // dst[s·n : (s+1)·n] = DFT_n(src[s·n : (s+1)·n]). dst == src is allowed.
 // Forward is safe for concurrent use.
@@ -131,10 +110,8 @@ func (b *BatchPlan) Forward(dst, src []complex128) error {
 		return err
 	}
 	start := metrics.Now()
-	ctx := b.ctxs.Get().(*batchCtx)
-	b.run(dst, src, ctx)
-	b.ctxs.Put(ctx)
-	recordTransform(&b.rec, tkBatch, start, b.flops)
+	b.run(dst, src)
+	b.record(start)
 	return nil
 }
 
@@ -145,18 +122,18 @@ func (b *BatchPlan) Inverse(dst, src []complex128) error {
 		return err
 	}
 	start := metrics.Now()
-	ctx := b.ctxs.Get().(*batchCtx)
 	// conj → forward → conj/scale, batched.
+	buf := b.getInv()
 	for i, v := range src {
-		ctx.inv[i] = complex(real(v), -imag(v))
+		buf.v[i] = complex(real(v), -imag(v))
 	}
-	b.run(dst, ctx.inv, ctx)
+	b.run(dst, buf.v)
 	scale := 1 / float64(b.n)
 	for i, v := range dst {
 		dst[i] = complex(real(v)*scale, -imag(v)*scale)
 	}
-	b.ctxs.Put(ctx)
-	recordTransform(&b.rec, tkBatch, start, b.flops)
+	b.putInv(buf)
+	b.record(start)
 	return nil
 }
 
@@ -169,44 +146,15 @@ func (b *BatchPlan) check(dst, src []complex128) error {
 	return nil
 }
 
-func (b *BatchPlan) run(dst, src []complex128, ctx *batchCtx) {
-	if b.backend == nil {
-		for s := 0; s < b.count; s++ {
-			b.seq.TransformStrided(dst, s*b.n, 1, src, s*b.n, 1, nil, ctx.scratch[0])
-		}
+func (b *BatchPlan) run(dst, src []complex128) {
+	if e := b.exe; e != nil {
+		e.Transform(dst, src)
 		return
 	}
-	ctx.dst, ctx.src = dst, src
-	if b.serial {
-		b.regionMu.Lock()
-		b.cur = ctx
-		b.backend.Run(b.body)
-		b.cur = nil
-		b.regionMu.Unlock()
-	} else {
-		b.backend.Run(func(w int) { b.runWorker(w, ctx) })
-	}
-	ctx.dst, ctx.src = nil, nil
+	b.seqExe.Transform(dst, src)
 }
 
 // Close releases the worker pool (if any). Idempotent; the plan's
-// statistics remain readable via Snapshot.
-func (b *BatchPlan) Close() {
-	if b.backend != nil {
-		b.finalPool = poolStatsOf(b.backend)
-		b.backend.Close()
-		b.backend = nil
-	}
-}
-
-// Snapshot returns the plan's observability record (pool statistics for
-// pooled parallel batches). Safe to call concurrently and after Close.
-func (b *BatchPlan) Snapshot() PlanStats {
-	st := PlanStats{TransformStats: transformStatsOf(&b.rec)}
-	if b.backend != nil {
-		st.Pool = poolStatsOf(b.backend)
-	} else {
-		st.Pool = b.finalPool
-	}
-	return st
-}
+// statistics remain readable via Snapshot, and subsequent transforms fall
+// back to the sequential program.
+func (b *BatchPlan) Close() { b.release() }

@@ -6,6 +6,12 @@
 //
 //	spiralgen -n 256 -p 2 -formula        # show formula (14) and derivation
 //	spiralgen -n 256 -p 2 -main -o gen.go # emit a self-testing program
+//	spiralgen -family real -n 256 -main   # emit any of the seven plan families
+//
+// With -family, the requested plan family is lowered to the stage-plan IR
+// (internal/ir) exactly as the library lowers it at plan time, and the IR
+// backend of the generator walks that program — the same pipeline the
+// executor and the cache simulator consume.
 package main
 
 import (
@@ -24,7 +30,10 @@ import (
 func main() {
 	var (
 		transform = flag.String("transform", "dft", "dft | wht | 2d")
+		family    = flag.String("family", "", "emit code for a plan family via the IR backend: dft | real | batch | 2d | wht | dct | stft")
 		cols      = flag.Int("cols", 0, "2d only: column count (rows come from -n)")
+		count     = flag.Int("count", 4, "batch family: signal count")
+		hop       = flag.Int("hop", 0, "stft family: hop size (default frame/2)")
 		n         = flag.Int("n", 256, "transform size")
 		p         = flag.Int("p", runtime.NumCPU(), "workers (1 = sequential)")
 		mu        = flag.Int("mu", 4, "cache-line length µ in complex128 elements")
@@ -50,8 +59,25 @@ func main() {
 		}
 		return
 	}
+	if *family != "" {
+		src, err := codegen.GenerateFamily(codegen.FamilySpec{
+			Family:  *family,
+			N:       *n,
+			Cols:    *cols,
+			Count:   *count,
+			Hop:     *hop,
+			Workers: *p,
+			Mu:      *mu,
+		}, codegen.Config{PackageName: *pkg, FuncName: *fn, EmitMain: *emitMain})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		writeOut(*out, src, fmt.Sprintf("family %s, n=%d, p=%d", *family, *n, *p))
+		return
+	}
 	if *transform != "dft" {
-		fmt.Fprintln(os.Stderr, "code emission currently supports -transform dft only; use -formula for wht/2d")
+		fmt.Fprintln(os.Stderr, "code emission currently supports -transform dft only (or use -family); use -formula for wht/2d")
 		os.Exit(2)
 	}
 
@@ -67,15 +93,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *out == "" {
+	writeOut(*out, src, "factorization "+tree.String())
+}
+
+// writeOut prints the generated source to stdout or writes it to a file.
+func writeOut(path, src, desc string) {
+	if path == "" {
 		fmt.Print(src)
 		return
 	}
-	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes, factorization %s)\n", *out, len(src), tree.String())
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes, %s)\n", path, len(src), desc)
 }
 
 // chooseTree picks the factorization: for parallel targets the top split

@@ -3,7 +3,6 @@ package spiralfft
 import (
 	"fmt"
 	"math/cmplx"
-	"sync"
 
 	"spiralfft/internal/exec"
 	"spiralfft/internal/metrics"
@@ -25,15 +24,10 @@ type DCTPlan struct {
 	n     int
 	inner *Plan
 	w     []complex128 // e^{-iπk/(2n)}, k = 0..n-1
-	ctxs  sync.Pool    // reordered input / spectrum workspace, []complex128 via *dctCtx
-	// rec/flops feed Snapshot; the inner complex DFT dominates the count.
-	rec   metrics.TransformRecorder
-	flops int64
-}
-
-// dctCtx is the per-call workspace of one DCT transform.
-type dctCtx struct {
-	v []complex128
+	// planCore carries the transform recorder (the inner complex DFT
+	// dominates the flop count), the pooled reordering workspace, and
+	// delegates pool and barrier statistics to the inner plan.
+	planCore
 }
 
 // NewDCTPlan prepares a DCT-II of size n ≥ 1.
@@ -49,8 +43,9 @@ func NewDCTPlan(n int, o *Options) (*DCTPlan, error) {
 	for k := range w {
 		w[k] = twiddle.Omega(4*n, k) // e^{-2πik/(4n)} = e^{-iπk/(2n)}
 	}
-	p := &DCTPlan{n: n, inner: inner, w: w, flops: int64(exec.FlopCount(n))}
-	p.ctxs.New = func() any { return &dctCtx{v: make([]complex128, n)} }
+	p := &DCTPlan{n: n, inner: inner, w: w}
+	p.init(tkDCT, int64(exec.FlopCount(n)), n)
+	p.planCore.inner = inner
 	return p, nil
 }
 
@@ -67,9 +62,9 @@ func (p *DCTPlan) Forward(dst, src []float64) error {
 		return fmt.Errorf("%w: DCT Forward: dst %d, src %d, want %d", ErrLengthMismatch, len(dst), len(src), p.n)
 	}
 	start := metrics.Now()
-	ctx := p.ctxs.Get().(*dctCtx)
-	defer p.ctxs.Put(ctx)
-	v := ctx.v
+	b := p.getInv()
+	defer p.putInv(b)
+	v := b.v
 	n := p.n
 	// Makhoul reordering: evens ascending then odds descending.
 	for j := 0; 2*j < n; j++ {
@@ -84,7 +79,7 @@ func (p *DCTPlan) Forward(dst, src []float64) error {
 	for k := 0; k < n; k++ {
 		dst[k] = real(p.w[k] * v[k])
 	}
-	recordTransform(&p.rec, tkDCT, start, p.flops)
+	p.record(start)
 	return nil
 }
 
@@ -96,9 +91,9 @@ func (p *DCTPlan) Inverse(dst, src []float64) error {
 		return fmt.Errorf("%w: DCT Inverse: dst %d, src %d, want %d", ErrLengthMismatch, len(dst), len(src), p.n)
 	}
 	start := metrics.Now()
-	ctx := p.ctxs.Get().(*dctCtx)
-	defer p.ctxs.Put(ctx)
-	v := ctx.v
+	b := p.getInv()
+	defer p.putInv(b)
+	v := b.v
 	n := p.n
 	// Rebuild the DFT spectrum: V[k] = e^{iπk/(2n)}·(C[k] - i·C[n-k]),
 	// V[0] = C[0] (conjugate symmetry of the real reordered signal).
@@ -115,19 +110,9 @@ func (p *DCTPlan) Inverse(dst, src []float64) error {
 	for j := 0; 2*j+1 < n; j++ {
 		dst[2*j+1] = real(v[n-1-j])
 	}
-	recordTransform(&p.rec, tkDCT, start, p.flops)
+	p.record(start)
 	return nil
 }
 
 // Close releases the inner plan's resources.
 func (p *DCTPlan) Close() { p.inner.Close() }
-
-// Snapshot returns the plan's observability record; pool and barrier
-// statistics come from the inner complex plan that carries the parallelism.
-func (p *DCTPlan) Snapshot() PlanStats {
-	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
-	inner := p.inner.Snapshot()
-	st.BarrierWait = inner.BarrierWait
-	st.Pool = inner.Pool
-	return st
-}

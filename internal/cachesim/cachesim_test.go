@@ -6,6 +6,7 @@ import (
 
 	"spiralfft/internal/exec"
 	"spiralfft/internal/fusion"
+	"spiralfft/internal/ir"
 	"spiralfft/internal/rewrite"
 	"spiralfft/internal/smp"
 	"spiralfft/internal/spl"
@@ -110,6 +111,61 @@ func TestDerivedFormulaPlanIsClean(t *testing.T) {
 		}
 		if rep.MaxImbalance() != 1.0 {
 			t.Errorf("%+v: imbalance %v", c, rep.MaxImbalance())
+		}
+	}
+}
+
+// TestProductionIRIsFalseSharingFree extends E9 to the unified IR pipeline:
+// the *production-lowered* program for formula (14) — the very program the
+// public Plan executes, not a trace-only shadow — reports zero false-sharing
+// events and perfect load balance for p ∈ {2,4}, µ = 4. This closes the gap
+// where only the formula path was audited.
+func TestProductionIRIsFalseSharingFree(t *testing.T) {
+	for _, c := range []struct{ n, m, p, mu int }{
+		{256, 16, 2, 4}, {1024, 32, 2, 4}, {256, 16, 4, 4}, {4096, 64, 4, 4},
+	} {
+		prog, err := ir.LowerCT(c.n, c.m, ir.CTConfig{P: c.p, Mu: c.mu})
+		if err != nil {
+			t.Fatalf("LowerCT(%+v): %v", c, err)
+		}
+		rep := AnalyzeProgram(prog, c.mu)
+		if !rep.FalseSharingFree() {
+			t.Errorf("%+v: production IR false-shares:\n%s", c, rep.String())
+		}
+		if rep.MaxImbalance() != 1.0 {
+			t.Errorf("%+v: production IR imbalance %v, want perfect 1.0", c, rep.MaxImbalance())
+		}
+		if got := len(rep.Stages); got != 2 {
+			t.Errorf("%+v: production IR has %d stages, want the two-stage schedule", c, got)
+		}
+	}
+}
+
+// TestFoldedFormulaIRIsClean verifies the same claim for the formula path
+// lowered through the IR and folded: loop merging must not introduce
+// sharing or imbalance.
+func TestFoldedFormulaIRIsClean(t *testing.T) {
+	for _, c := range []struct{ n, m, p, mu int }{
+		{256, 16, 2, 4}, {1024, 32, 4, 4},
+	} {
+		f, _, err := rewrite.DeriveMulticoreCT(c.n, c.m, c.p, c.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := ir.FromFormula(f, c.p, c.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		folded, err := ir.Fold(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := AnalyzeProgram(folded, c.mu)
+		if !rep.FalseSharingFree() {
+			t.Errorf("%+v: folded formula IR false-shares:\n%s", c, rep.String())
+		}
+		if rep.MaxImbalance() != 1.0 {
+			t.Errorf("%+v: folded formula IR imbalance %v", c, rep.MaxImbalance())
 		}
 	}
 }

@@ -1,0 +1,113 @@
+package codegen
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	xexec "spiralfft/internal/exec"
+	"spiralfft/internal/ir"
+)
+
+// familyCases covers every public plan family, each with a shape that
+// exercises the parallel schedule where the family admits one.
+var familyCases = []FamilySpec{
+	{Family: "dft", N: 64, Workers: 2},
+	{Family: "real", N: 128, Workers: 2}, // inner DFT_64 parallelizes
+	{Family: "batch", N: 16, Count: 4, Workers: 2},
+	{Family: "2d", N: 16, Cols: 16, Workers: 2},
+	{Family: "wht", N: 64, Workers: 2},
+	{Family: "dct", N: 64, Workers: 2},
+	{Family: "stft", N: 32, Hop: 16},
+}
+
+func TestGenerateFamilyParses(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, spec := range familyCases {
+		src, err := GenerateFamily(spec, Config{EmitMain: true})
+		if err != nil {
+			t.Fatalf("GenerateFamily(%s): %v", spec.Family, err)
+		}
+		if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+			t.Errorf("family %s: generated source does not parse: %v\nfirst lines:\n%s",
+				spec.Family, err, firstLines(src, 40))
+		}
+		if !strings.Contains(src, "package main") {
+			t.Errorf("family %s: missing package clause", spec.Family)
+		}
+	}
+}
+
+func TestGenerateFamilyErrors(t *testing.T) {
+	if _, err := GenerateFamily(FamilySpec{Family: "nope", N: 8}, Config{}); err == nil {
+		t.Error("accepted unknown family")
+	}
+	if _, err := GenerateFamily(FamilySpec{Family: "real", N: 9}, Config{}); err == nil {
+		t.Error("accepted odd real size")
+	}
+	if _, err := GenerateFamily(FamilySpec{Family: "wht", N: 12}, Config{}); err == nil {
+		t.Error("accepted non-power-of-two WHT size")
+	}
+	if _, err := GenerateFamily(FamilySpec{Family: "stft", N: 16, Hop: 99}, Config{}); err == nil {
+		t.Error("accepted out-of-range stft hop")
+	}
+}
+
+// TestGenerateProgramRejectsGeneric pins the contract that only fully typed
+// programs reach emission.
+func TestGenerateProgramRejectsGeneric(t *testing.T) {
+	prog, err := ir.LowerTree(xexec.RadixTree(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GenerateProgram(prog, Config{FuncName: "DFT8"})
+	if err != nil {
+		t.Fatalf("GenerateProgram: %v", err)
+	}
+	for _, want := range []string{"package main", "func DFT8(dst, src []complex128)"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}
+
+// TestGeneratedFamiliesRun compiles and runs the emitted program of every
+// family: each self-tests against a naive reference and prints OK.
+func TestGeneratedFamiliesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run integration in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	for _, spec := range familyCases {
+		spec := spec
+		t.Run(spec.Family, func(t *testing.T) {
+			t.Parallel()
+			src, err := GenerateFamily(spec, Config{EmitMain: true})
+			if err != nil {
+				t.Fatalf("GenerateFamily(%s): %v", spec.Family, err)
+			}
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module gen\n\ngo 1.22\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command("go", "run", ".")
+			cmd.Dir = dir
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("family %s: go run failed: %v\n%s", spec.Family, err, out)
+			}
+			if got := strings.TrimSpace(string(out)); got != "OK" {
+				t.Errorf("family %s: generated program printed %q, want OK", spec.Family, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseTree fuzzes the wisdom tree parser: ParseTree must never panic on
+// arbitrary input, and parse→String→parse must be the identity (idempotent
+// round-trip) on every accepted input. The wisdom format appends an optional
+// " @ duration" cost suffix before the parser runs; the fuzzer exercises the
+// same stripping path so suffixed lines cannot break the round-trip either.
+func FuzzParseTree(f *testing.F) {
+	for _, seed := range []string{
+		"1024",
+		"(8 x (4 x 2))",
+		"(64 x 16)",
+		"((2 x 2) x (2 x 2))",
+		"( 16 x 4 )",
+		"(8x2)",
+		"0",
+		"()",
+		"(8 x",
+		"8)",
+		"(8 y 2)",
+		"4294967296",
+		"(64 x 16) @ 12.5µs",
+		"(64 x 16) @ not-a-duration",
+		"1024 @ 3ms",
+		"\x00(2 x 2)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// The wisdom import path strips an optional " @ duration" cost suffix
+		// before parsing; apply the same normalization here.
+		rest := s
+		if at := strings.LastIndex(rest, " @ "); at >= 0 {
+			if _, err := time.ParseDuration(strings.TrimSpace(rest[at+3:])); err == nil {
+				rest = strings.TrimSpace(rest[:at])
+			}
+		}
+		tr, err := ParseTree(rest)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ParseTree(%q) returned invalid tree: %v", rest, err)
+		}
+		// Round-trip: String() must re-parse to an identical rendering.
+		s1 := tr.String()
+		tr2, err := ParseTree(s1)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", s1, rest, err)
+		}
+		if s2 := tr2.String(); s2 != s1 {
+			t.Fatalf("round-trip not idempotent: %q → %q → %q", rest, s1, s2)
+		}
+		if tr2.N != tr.N {
+			t.Fatalf("round-trip changed size: %d → %d for %q", tr.N, tr2.N, rest)
+		}
+	})
+}

@@ -12,6 +12,12 @@ import (
 // rules (7), (9) and (10): two barrier-separated stages of independent
 // sub-WHTs over contiguous per-processor blocks.
 
+// WHTInPlace applies the 2^k-point WHT to buf (length a power of two) in
+// place by radix-2 butterflies. Exported for the IR executor, which runs
+// WHT stage ops through the same butterfly ordering so results stay
+// bit-identical to this package's plans.
+func WHTInPlace(buf []complex128) { whtInPlace(buf) }
+
 // whtInPlace applies the 2^k-point WHT to buf[0:2^k] by radix-2 butterflies.
 func whtInPlace(buf []complex128) {
 	n := len(buf)

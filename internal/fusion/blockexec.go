@@ -1,101 +1,23 @@
 package fusion
 
 import (
-	"spiralfft/internal/exec"
+	"spiralfft/internal/ir"
 	"spiralfft/internal/spl"
 )
 
-// Block-body compilation. A stage's blocks carry arbitrary subformulas
-// (DFT_m ⊗ I_k, I_m ⊗ DFT_k, twiddle diagonals, nested products after full
-// expansion). Executing them through spl.Apply means O(n²) DFT leaves; this
-// mini-compiler recognizes the constructs the rewriting system emits and
-// lowers them onto the fast strided executor, falling back to reference
-// semantics for anything else. The result: formula-level plans run at
-// codelet speed, so the formula path is usable beyond validation.
+// Block-body compilation lives in internal/ir (block.go): the IR is the
+// canonical program representation and its mini-compiler is shared by the
+// executor's Generic ops and by this package's stage blocks. fusion keeps
+// only this shim.
 
 // blockFn computes dst = F(src) for one block (len == F.Size()).
-type blockFn func(dst, src []complex128)
+type blockFn = ir.BlockFn
 
-// compileBlock returns an executor for f.
+// compileBlock delegates to the canonical block mini-compiler in internal/ir.
 func compileBlock(f spl.Formula) blockFn {
-	switch t := f.(type) {
-	case spl.DFT:
-		seq, err := exec.NewSeq(exec.RadixTree(t.N))
-		if err != nil {
-			break
-		}
-		scratch := seq.NewScratch()
-		return func(dst, src []complex128) {
-			seq.Transform(dst, src, scratch)
-		}
-	case spl.WHT:
-		pl, err := exec.NewWHT(t.K, 1, 1, nil)
-		if err != nil {
-			break
-		}
-		return func(dst, src []complex128) {
-			pl.Transform(dst, src)
-		}
-	case spl.Identity:
-		return func(dst, src []complex128) {
-			copy(dst, src)
-		}
-	case spl.Diag:
-		d := t.D
-		return func(dst, src []complex128) {
-			for i := range d {
-				dst[i] = d[i] * src[i]
-			}
-		}
-	case spl.Tensor:
-		// I_m ⊗ A: m contiguous sub-blocks.
-		if im, ok := t.A.(spl.Identity); ok {
-			inner := compileBlock(t.B)
-			s := t.B.Size()
-			return func(dst, src []complex128) {
-				for i := 0; i < im.N; i++ {
-					inner(dst[i*s:(i+1)*s], src[i*s:(i+1)*s])
-				}
-			}
-		}
-		// A ⊗ I_k with A a DFT: k strided transforms through the executor.
-		if ik, ok := t.B.(spl.Identity); ok {
-			if d, ok := t.A.(spl.DFT); ok {
-				seq, err := exec.NewSeq(exec.RadixTree(d.N))
-				if err != nil {
-					break
-				}
-				scratch := seq.NewScratch()
-				k := ik.N
-				return func(dst, src []complex128) {
-					for j := 0; j < k; j++ {
-						seq.TransformStrided(dst, j, k, src, j, k, nil, scratch)
-					}
-				}
-			}
-		}
-	case spl.Compose:
-		fns := make([]blockFn, len(t.Factors))
-		for i, fac := range t.Factors {
-			fns[i] = compileBlock(fac)
-		}
-		n := t.Size()
-		cur := make([]complex128, n)
-		nxt := make([]complex128, n)
-		return func(dst, src []complex128) {
-			copy(cur, src)
-			for i := len(fns) - 1; i >= 0; i-- {
-				fns[i](nxt, cur)
-				cur, nxt = nxt, cur
-			}
-			copy(dst, cur)
-		}
+	fn, err := ir.CompileBlock(f)
+	if err != nil { // unreachable: f comes from a validated formula tree
+		panic(err)
 	}
-	// Reference fallback (permutations, tags, exotic nodes).
-	ff := f
-	buf := make([]complex128, f.Size())
-	return func(dst, src []complex128) {
-		copy(buf, src)
-		ff.Apply(dst, buf)
-	}
+	return fn
 }

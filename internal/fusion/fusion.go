@@ -16,11 +16,18 @@
 // and, more importantly, expose every shared-buffer access each processor
 // performs per stage, which is what the cache simulator consumes to verify
 // the paper's load-balance and false-sharing claims dynamically.
+//
+// The canonical program representation is the stage-plan IR (internal/ir):
+// ir.FromFormula lowers the same grammar to typed IR ops and ir.Fold performs
+// the loop merging as IR→IR passes. This package remains as the lightweight
+// formula-path surface and delegates its block compiler (blockexec.go) and
+// work model (formulaOps) to the IR.
 package fusion
 
 import (
 	"fmt"
 
+	"spiralfft/internal/ir"
 	"spiralfft/internal/smp"
 	"spiralfft/internal/spl"
 )
@@ -263,44 +270,7 @@ func (p *Plan) WorkPerWorker(st *Stage) []float64 {
 	return out
 }
 
-// formulaOps estimates flops for a formula.
-func formulaOps(f spl.Formula) float64 {
-	switch t := f.(type) {
-	case spl.DFT:
-		if t.N == 1 {
-			return 0
-		}
-		return flops(t.N)
-	case spl.WHT:
-		return 2 * float64(t.Size()) * float64(t.K) // adds only
-	case spl.Identity:
-		return 0
-	case spl.Stride, spl.Perm:
-		return float64(f.Size())
-	case spl.Diag:
-		return 6 * float64(f.Size()) // complex multiply
-	case spl.Twiddle:
-		return 6 * float64(f.Size())
-	}
-	sum := 0.0
-	switch t := f.(type) {
-	case spl.Tensor:
-		return float64(t.A.Size())*formulaOps(t.B) + float64(t.B.Size())*formulaOps(t.A)
-	case spl.BarTensor:
-		return float64(f.Size())
-	case spl.TensorPar:
-		return float64(t.P) * formulaOps(t.A)
-	}
-	for _, c := range f.Children() {
-		sum += formulaOps(c)
-	}
-	return sum
-}
-
-func flops(n int) float64 {
-	l := 0.0
-	for v := n; v > 1; v >>= 1 {
-		l++
-	}
-	return 5 * float64(n) * l
-}
+// formulaOps estimates flops for a formula. The work model is the IR's
+// (internal/ir.FormulaOps) — the canonical representation owns the cost
+// model, same as it owns the block compiler.
+func formulaOps(f spl.Formula) float64 { return ir.FormulaOps(f) }

@@ -1,0 +1,374 @@
+package ir
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"spiralfft/internal/exec"
+	"spiralfft/internal/metrics"
+	"spiralfft/internal/smp"
+)
+
+// Executor runs a lowered Program through the existing codelets and the smp
+// threading substrate. It is the production backend of the IR: all seven
+// public plan families execute through it.
+//
+// An Executor is safe for concurrent use: all per-call state (temp buffers,
+// per-worker scratch, barrier) lives in execution contexts checked out of a
+// pool, and dispatch through a non-concurrent backend (the pooled
+// spin-barrier substrate) is serialized on an internal mutex. Programs
+// containing Generic ops are the one exception: their block closures own
+// captured buffers, so the executor serializes every call on such programs
+// regardless of backend (root plans never lower to Generic, so the
+// production paths are unaffected).
+type Executor struct {
+	prog    *Program
+	n, p    int
+	backend smp.Backend
+	// workers[w] is worker w's fully compiled op sequence, with barrier
+	// markers inlined at the positions of the program's Barrier nodes (every
+	// worker carries the same barrier count — that is what makes the shared
+	// SpinBarrier protocol line up).
+	workers [][]compiledOp
+	need    int // per-worker scratch length
+	// ctxs pools per-call execution contexts so concurrent Transforms never
+	// share buffers (and the steady state allocates nothing).
+	ctxs sync.Pool
+	// serial marks dispatches that must not overlap: non-concurrent backends,
+	// and any program with Generic ops (captured block buffers). regionMu
+	// serializes them; body/cur are the persistent region closure and its
+	// per-call context, mirroring exec.Parallel.
+	serial   bool
+	regionMu sync.Mutex
+	body     func(w int)
+	cur      *execCtx
+	// barrierNs accumulates worker time spent in barriers (recorded only
+	// while metrics are enabled).
+	barrierNs metrics.Counter
+}
+
+// execCtx is the per-call mutable state of one Executor.Transform. Each
+// context owns its barrier so two concurrent calls on a concurrent-safe
+// backend cannot corrupt each other's barrier protocol.
+type execCtx struct {
+	temps    [][]complex128
+	scratch  [][]complex128
+	barrier  *smp.SpinBarrier
+	dst, src []complex128
+}
+
+// compiledOp is the flattened, dispatch-ready form of one Op (or barrier).
+// Flat struct + kind switch keeps the hot loop free of interface dispatch.
+type compiledOp struct {
+	kind     opKind
+	dst, src Buf
+	doff, ds int
+	soff, ss int
+	n        int
+	seq      *exec.Seq    // opCodelet, opCodeletPre
+	tw       []complex128 // codelet input scale / Scale weights
+	idx      []int32      // opPermute
+	fn       BlockFn      // opGeneric
+}
+
+type opKind uint8
+
+const (
+	opBarrier    opKind = iota
+	opCodelet           // strided sub-DFT, Tw (if any) fused into the leaf kernel
+	opCodeletPre        // composite-root sub-DFT with Tw: pre-scale into scratch
+	opWHT               // contiguous WHT: copy + in-place butterflies
+	opWHTStrided        // strided WHT: gather to scratch, transform, scatter
+	opScale
+	opPermute
+	opCopy
+	opGeneric
+)
+
+// NewExecutor compiles prog for execution on backend. For P > 1 the backend
+// is required and must have exactly P workers; for P == 1 it may be nil (the
+// executor runs inline). The executor does not own the backend: it is never
+// closed here.
+func NewExecutor(prog *Program, backend smp.Backend) (*Executor, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.P > 1 {
+		if backend == nil {
+			return nil, fmt.Errorf("ir: NewExecutor needs a backend for p=%d", prog.P)
+		}
+		if backend.Workers() != prog.P {
+			return nil, fmt.Errorf("ir: backend has %d workers, program wants %d", backend.Workers(), prog.P)
+		}
+	}
+	e := &Executor{
+		prog:    prog,
+		n:       prog.N,
+		p:       prog.P,
+		backend: backend,
+		workers: make([][]compiledOp, prog.P),
+	}
+	seqs := make(map[*exec.Tree]*exec.Seq)
+	hasGeneric := false
+	for _, nd := range prog.Nodes {
+		switch t := nd.(type) {
+		case Barrier:
+			for w := 0; w < prog.P; w++ {
+				e.workers[w] = append(e.workers[w], compiledOp{kind: opBarrier})
+			}
+		case *Region:
+			for w, ops := range t.Workers {
+				for _, op := range ops {
+					co, need, err := compileOp(op, seqs)
+					if err != nil {
+						return nil, fmt.Errorf("ir: region %q worker %d: %w", t.Name, w, err)
+					}
+					if co.kind == opGeneric {
+						hasGeneric = true
+					}
+					if need > e.need {
+						e.need = need
+					}
+					e.workers[w] = append(e.workers[w], co)
+				}
+			}
+		}
+	}
+	if e.need == 0 {
+		e.need = 1
+	}
+	e.serial = hasGeneric || (backend != nil && !backend.Concurrent())
+	p, need, tempLens := prog.P, e.need, prog.Temps
+	e.ctxs.New = func() any {
+		c := &execCtx{
+			temps:   make([][]complex128, len(tempLens)),
+			scratch: make([][]complex128, p),
+			barrier: smp.NewSpinBarrier(p),
+		}
+		for i, ln := range tempLens {
+			c.temps[i] = make([]complex128, ln)
+		}
+		for w := range c.scratch {
+			c.scratch[w] = make([]complex128, need)
+		}
+		return c
+	}
+	e.body = func(w int) { e.runWorker(w, e.cur) }
+	return e, nil
+}
+
+// compileOp lowers one IR op to its dispatch-ready form and reports the
+// scratch it needs. Seq plans are shared across ops referring to the same
+// tree value (LowerCT emits one tree per stage).
+func compileOp(op Op, seqs map[*exec.Tree]*exec.Seq) (compiledOp, int, error) {
+	switch t := op.(type) {
+	case CodeletCall:
+		s := seqs[t.Tree]
+		if s == nil {
+			var err error
+			s, err = exec.NewSeq(t.Tree)
+			if err != nil {
+				return compiledOp{}, 0, err
+			}
+			seqs[t.Tree] = s
+		}
+		co := compiledOp{
+			kind: opCodelet,
+			dst:  t.Dst, src: t.Src,
+			doff: t.DOff, ds: t.DS,
+			soff: t.SOff, ss: t.SS,
+			n: t.Tree.N, seq: s, tw: t.Tw,
+		}
+		need := s.ScratchLen()
+		if t.Tw != nil && !s.RootIsLeaf() {
+			// Composite roots cannot fuse the input scale: pre-scale into
+			// scratch[:n] and recurse at stride 1, exactly as the recursive
+			// executor's stage 2 does.
+			co.kind = opCodeletPre
+			need += t.Tree.N
+		}
+		return co, need, nil
+	case WHTCall:
+		co := compiledOp{
+			kind: opWHT,
+			dst:  t.Dst, src: t.Src,
+			doff: t.DOff, ds: t.DS,
+			soff: t.SOff, ss: t.SS,
+			n: t.N,
+		}
+		if t.DS != 1 || t.SS != 1 {
+			co.kind = opWHTStrided
+			return co, t.N, nil
+		}
+		return co, 0, nil
+	case Scale:
+		return compiledOp{
+			kind: opScale,
+			dst:  t.Dst, src: t.Src,
+			doff: t.Off, soff: t.Off,
+			n: len(t.W), tw: t.W,
+		}, 0, nil
+	case Permute:
+		return compiledOp{
+			kind: opPermute,
+			dst:  t.Dst, src: t.Src,
+			doff: t.Lo, n: len(t.Idx), idx: t.Idx,
+		}, 0, nil
+	case Copy:
+		return compiledOp{
+			kind: opCopy,
+			dst:  t.Dst, src: t.Src,
+			doff: t.DOff, soff: t.SOff, n: t.N,
+		}, 0, nil
+	case Generic:
+		fn, err := CompileBlock(t.F)
+		if err != nil {
+			return compiledOp{}, 0, err
+		}
+		return compiledOp{
+			kind: opGeneric,
+			dst:  t.Dst, src: t.Src,
+			doff: t.DOff, soff: t.SOff,
+			n: t.F.Size(), fn: fn,
+		}, 0, nil
+	default:
+		return compiledOp{}, 0, fmt.Errorf("unknown op type %T", op)
+	}
+}
+
+// N returns the transform size.
+func (e *Executor) N() int { return e.n }
+
+// Workers returns the program's worker count.
+func (e *Executor) Workers() int { return e.p }
+
+// Program returns the program the executor was compiled from.
+func (e *Executor) Program() *Program { return e.prog }
+
+// Backend returns the executor's threading backend (nil for P == 1).
+func (e *Executor) Backend() smp.Backend { return e.backend }
+
+// BarrierWait returns the total time workers have spent in barriers.
+// Accumulated only while metrics are enabled.
+func (e *Executor) BarrierWait() time.Duration {
+	return time.Duration(e.barrierNs.Load())
+}
+
+// Transform computes dst = program(src). dst == src is allowed whenever the
+// lowering permits it (every Lower* in this package does). Transform is safe
+// for concurrent use; see the type comment for the Generic-op exception.
+func (e *Executor) Transform(dst, src []complex128) {
+	if len(dst) != e.n || len(src) != e.n {
+		panic(fmt.Sprintf("ir: Transform length mismatch: program %d, dst %d, src %d", e.n, len(dst), len(src)))
+	}
+	ctx := e.ctxs.Get().(*execCtx)
+	ctx.dst, ctx.src = dst, src
+	if metrics.Enabled() {
+		pprof.Do(context.Background(),
+			pprof.Labels("spiralfft.region", e.prog.Name, "spiralfft.n", strconv.Itoa(e.n)),
+			func(context.Context) { e.dispatch(ctx) })
+	} else {
+		e.dispatch(ctx)
+	}
+	ctx.dst, ctx.src = nil, nil
+	e.ctxs.Put(ctx)
+}
+
+// dispatch runs the whole program — all regions, one backend.Run — so the
+// inter-stage barriers are the cheap in-region spin barriers rather than
+// full region joins (the same single-region schedule exec.Parallel uses).
+func (e *Executor) dispatch(ctx *execCtx) {
+	if e.p == 1 {
+		if e.serial {
+			e.regionMu.Lock()
+			defer e.regionMu.Unlock()
+		}
+		e.runWorker(0, ctx)
+		return
+	}
+	if e.serial {
+		e.regionMu.Lock()
+		e.cur = ctx
+		e.backend.Run(e.body)
+		e.cur = nil
+		e.regionMu.Unlock()
+	} else {
+		e.backend.Run(func(w int) { e.runWorker(w, ctx) })
+	}
+}
+
+// buf resolves a Buf id against the call's context.
+func (ctx *execCtx) buf(b Buf) []complex128 {
+	switch b {
+	case BufSrc:
+		return ctx.src
+	case BufDst:
+		return ctx.dst
+	default:
+		return ctx.temps[b.TempIndex()]
+	}
+}
+
+// runWorker executes worker w's compiled op sequence on the buffers of the
+// call's execution context.
+func (e *Executor) runWorker(w int, ctx *execCtx) {
+	scratch := ctx.scratch[w]
+	for _, op := range e.workers[w] {
+		switch op.kind {
+		case opBarrier:
+			if e.p == 1 {
+				continue
+			}
+			bs := metrics.Now()
+			ctx.barrier.Wait()
+			if !bs.IsZero() {
+				e.barrierNs.Add(int64(time.Since(bs)))
+			}
+		case opCodelet:
+			op.seq.TransformStrided(ctx.buf(op.dst), op.doff, op.ds, ctx.buf(op.src), op.soff, op.ss, op.tw, scratch)
+		case opCodeletPre:
+			src := ctx.buf(op.src)
+			pre := scratch[:op.n]
+			for i := 0; i < op.n; i++ {
+				pre[i] = src[op.soff+i*op.ss] * op.tw[i]
+			}
+			op.seq.TransformStrided(ctx.buf(op.dst), op.doff, op.ds, pre, 0, 1, nil, scratch[op.n:])
+		case opWHT:
+			dst := ctx.buf(op.dst)[op.doff : op.doff+op.n]
+			src := ctx.buf(op.src)[op.soff : op.soff+op.n]
+			if &dst[0] != &src[0] {
+				copy(dst, src)
+			}
+			exec.WHTInPlace(dst)
+		case opWHTStrided:
+			dst, src := ctx.buf(op.dst), ctx.buf(op.src)
+			col := scratch[:op.n]
+			for i := 0; i < op.n; i++ {
+				col[i] = src[op.soff+i*op.ss]
+			}
+			exec.WHTInPlace(col)
+			for i := 0; i < op.n; i++ {
+				dst[op.doff+i*op.ds] = col[i]
+			}
+		case opScale:
+			dst, src := ctx.buf(op.dst), ctx.buf(op.src)
+			for i, c := range op.tw {
+				dst[op.doff+i] = src[op.soff+i] * c
+			}
+		case opPermute:
+			dst, src := ctx.buf(op.dst), ctx.buf(op.src)
+			out := dst[op.doff : op.doff+op.n]
+			for t, s := range op.idx {
+				out[t] = src[s]
+			}
+		case opCopy:
+			copy(ctx.buf(op.dst)[op.doff:op.doff+op.n], ctx.buf(op.src)[op.soff:op.soff+op.n])
+		case opGeneric:
+			op.fn(ctx.buf(op.dst)[op.doff:op.doff+op.n], ctx.buf(op.src)[op.soff:op.soff+op.n])
+		}
+	}
+}

@@ -1,0 +1,654 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// IR→IR folding passes: the paper's loop merging, performed on lowered
+// programs instead of formulas. Fold absorbs permutation stages into the
+// gather/scatter strides of adjacent compute stages and twiddle diagonal
+// stages into the codelet calls' fused input scale — turning the faithful
+// stage-by-stage rendition FromFormula emits (for formula (14): perm, perm,
+// codelets, scale, perm, codelets, perm) into the two-compute-region,
+// one-barrier schedule the production lowering (LowerCT) builds directly.
+//
+// All folds are guarded: a stage folds only when its buffer is a temp used
+// by no other stage, its permutation covers the buffer, and every rewritten
+// access pattern stays affine. Anything that fails a guard simply stays — a
+// folded program is always observationally equivalent to its input.
+
+// Fold applies the loop-merging passes to fixpoint and returns a new
+// program; prog is not modified. It expects the alternating
+// region/barrier/region shape the lowerings emit.
+func Fold(prog *Program) (*Program, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	regions := copyRegions(prog.Regions())
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i+1 < len(regions); i++ {
+			if foldPair(prog, regions, i) {
+				regions = dropEmpty(regions)
+				changed = true
+				break
+			}
+		}
+	}
+	out := &Program{Name: prog.Name, N: prog.N, P: prog.P, Mu: prog.Mu, Temps: prog.Temps}
+	for i, r := range regions {
+		if i > 0 {
+			out.Nodes = append(out.Nodes, Barrier{})
+		}
+		out.Nodes = append(out.Nodes, r)
+	}
+	compactTemps(out)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: Fold produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+// foldPair tries each fold between regions[i] and regions[i+1].
+func foldPair(prog *Program, regions []*Region, i int) bool {
+	switch {
+	case foldPermPerm(prog, regions, i):
+		return true
+	case foldPermIntoGathers(prog, regions, i):
+		return true
+	case foldScatterPerm(prog, regions, i):
+		return true
+	case foldScaleIntoCalls(prog, regions, i):
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Fold guards
+
+// soleLink reports whether the def of temp x flowing from regions[i] to
+// regions[i+1] is the buffer's only live use: every op of regions[i] writes
+// x (and reads elsewhere), every op of regions[i+1] reads x (and writes
+// elsewhere), and no later region reads this def of x — the forward scan
+// stops once a region fully redefines x (the ping-pong lowering reuses
+// temps; a complete overwrite starts a fresh def, and reads beyond it see
+// that def, not ours). Earlier defs of x are dead only if regions[i]
+// overwrites x completely, which each fold enforces with its own coverage
+// check.
+func soleLink(prog *Program, regions []*Region, i int, x Buf) bool {
+	if !x.IsTemp() {
+		return false
+	}
+	a, b := regions[i], regions[i+1]
+	for _, ops := range a.Workers {
+		for _, op := range ops {
+			if op.DstBuf() != x || op.SrcBuf() == x {
+				return false
+			}
+		}
+	}
+	for _, ops := range b.Workers {
+		for _, op := range ops {
+			if op.SrcBuf() != x || op.DstBuf() == x {
+				return false
+			}
+		}
+	}
+	for j := i + 2; j < len(regions); j++ {
+		if readsBuf(regions[j], x) {
+			return false
+		}
+		if coversBuf(prog, regions[j], x) {
+			break
+		}
+	}
+	return true
+}
+
+// coversBuf reports whether region r writes every element of buffer x.
+func coversBuf(prog *Program, r *Region, x Buf) bool {
+	n := prog.BufLen(x)
+	written := make([]bool, n)
+	cnt := 0
+	mark := func(off, stride, count int) {
+		for k := 0; k < count; k++ {
+			d := off + k*stride
+			if d >= 0 && d < n && !written[d] {
+				written[d] = true
+				cnt++
+			}
+		}
+	}
+	for _, ops := range r.Workers {
+		for _, op := range ops {
+			if op.DstBuf() != x {
+				continue
+			}
+			switch t := op.(type) {
+			case CodeletCall:
+				mark(t.DOff, t.DS, t.Tree.N)
+			case WHTCall:
+				mark(t.DOff, t.DS, t.N)
+			case Scale:
+				mark(t.Off, 1, len(t.W))
+			case Permute:
+				mark(t.Lo, 1, len(t.Idx))
+			case Copy:
+				mark(t.DOff, 1, t.N)
+			case Generic:
+				mark(t.DOff, 1, t.F.Size())
+			}
+		}
+	}
+	return cnt == n
+}
+
+// soleDst returns the single buffer region r writes, or -1.
+func soleDst(r *Region) Buf {
+	d := Buf(-1)
+	for _, ops := range r.Workers {
+		for _, op := range ops {
+			if d == -1 {
+				d = op.DstBuf()
+			} else if op.DstBuf() != d {
+				return -1
+			}
+		}
+	}
+	return d
+}
+
+// soleSrc returns the single buffer region r reads, or -1.
+func soleSrc(r *Region) Buf {
+	s := Buf(-1)
+	for _, ops := range r.Workers {
+		for _, op := range ops {
+			if s == -1 {
+				s = op.SrcBuf()
+			} else if op.SrcBuf() != s {
+				return -1
+			}
+		}
+	}
+	return s
+}
+
+// writesBuf reports whether any op of r writes x. Used to reject folds that
+// would leave a region reading and writing the same buffer concurrently
+// (workers would race on positions they don't own).
+func writesBuf(r *Region, x Buf) bool {
+	for _, ops := range r.Workers {
+		for _, op := range ops {
+			if op.DstBuf() == x {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// readsBuf reports whether any op of r reads x.
+func readsBuf(r *Region, x Buf) bool {
+	for _, ops := range r.Workers {
+		for _, op := range ops {
+			if op.SrcBuf() == x {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func allPermute(r *Region) bool {
+	any := false
+	for _, ops := range r.Workers {
+		for _, op := range ops {
+			if _, ok := op.(Permute); !ok {
+				return false
+			}
+			any = true
+		}
+	}
+	return any
+}
+
+func allScale(r *Region) bool {
+	any := false
+	for _, ops := range r.Workers {
+		for _, op := range ops {
+			if _, ok := op.(Scale); !ok {
+				return false
+			}
+			any = true
+		}
+	}
+	return any
+}
+
+// allCalls reports whether r consists solely of codelet/WHT calls.
+func allCalls(r *Region) bool {
+	any := false
+	for _, ops := range r.Workers {
+		for _, op := range ops {
+			switch op.(type) {
+			case CodeletCall, WHTCall:
+				any = true
+			default:
+				return false
+			}
+		}
+	}
+	return any
+}
+
+// permMap materializes a permutation region's full output←source map over
+// buffer x (length n). Returns nil unless every element of x is written
+// exactly once.
+func permMap(r *Region, n int) []int32 {
+	tbl := make([]int32, n)
+	seen := make([]bool, n)
+	cnt := 0
+	for _, ops := range r.Workers {
+		for _, op := range ops {
+			p := op.(Permute)
+			for t, s := range p.Idx {
+				d := p.Lo + t
+				if d >= n || seen[d] {
+					return nil
+				}
+				seen[d] = true
+				tbl[d] = s
+				cnt++
+			}
+		}
+	}
+	if cnt != n {
+		return nil
+	}
+	return tbl
+}
+
+// affine checks that idx(i) = f(i) is affine over i < n and returns (base,
+// stride). n ≥ 1; for n == 1 the stride is 1.
+func affine(n int, f func(int) int) (base, stride int, ok bool) {
+	base = f(0)
+	if n == 1 {
+		return base, 1, true
+	}
+	stride = f(1) - base
+	for i := 2; i < n; i++ {
+		if f(i) != base+i*stride {
+			return 0, 0, false
+		}
+	}
+	if stride == 0 {
+		return 0, 0, false
+	}
+	return base, stride, true
+}
+
+// ---------------------------------------------------------------------------
+// The folds
+
+// foldPermPerm merges two adjacent permutation stages (perm ∘ perm) into
+// one, keeping the consumer's worker partition.
+func foldPermPerm(prog *Program, regions []*Region, i int) bool {
+	a, b := regions[i], regions[i+1]
+	if !allPermute(a) || !allPermute(b) {
+		return false
+	}
+	x := soleDst(a)
+	if x == -1 || !soleLink(prog, regions, i, x) {
+		return false
+	}
+	src := soleSrc(a)
+	if src == -1 || writesBuf(b, src) {
+		return false
+	}
+	tbl := permMap(a, prog.BufLen(x))
+	if tbl == nil {
+		return false
+	}
+	for w, ops := range b.Workers {
+		for j, op := range ops {
+			p := op.(Permute)
+			idx := make([]int32, len(p.Idx))
+			for t, s := range p.Idx {
+				idx[t] = tbl[s]
+			}
+			b.Workers[w][j] = Permute{Dst: p.Dst, Src: src, Lo: p.Lo, Idx: idx}
+		}
+	}
+	clearRegion(a)
+	return true
+}
+
+// foldPermIntoGathers absorbs a permutation stage into the gather strides of
+// the following compute stage (L folded into stage-1 loads — the right-side
+// merge of formula (14)). Every rewritten access pattern must stay affine.
+func foldPermIntoGathers(prog *Program, regions []*Region, i int) bool {
+	a, b := regions[i], regions[i+1]
+	if !allPermute(a) || !allCalls(b) {
+		return false
+	}
+	x := soleDst(a)
+	if x == -1 || !soleLink(prog, regions, i, x) {
+		return false
+	}
+	src := soleSrc(a)
+	if src == -1 || writesBuf(b, src) {
+		return false
+	}
+	tbl := permMap(a, prog.BufLen(x))
+	if tbl == nil {
+		return false
+	}
+	// Dry-run the affine checks before mutating anything.
+	type rewrite struct{ soff, ss int }
+	rws := make(map[[2]int]rewrite)
+	for w, ops := range b.Workers {
+		for j, op := range ops {
+			soff, ss, n := callSrc(op)
+			base, stride, ok := affine(n, func(i int) int { return int(tbl[soff+i*ss]) })
+			if !ok {
+				return false
+			}
+			rws[[2]int{w, j}] = rewrite{base, stride}
+		}
+	}
+	for w, ops := range b.Workers {
+		for j, op := range ops {
+			rw := rws[[2]int{w, j}]
+			b.Workers[w][j] = withCallSrc(op, src, rw.soff, rw.ss)
+		}
+	}
+	clearRegion(a)
+	return true
+}
+
+// foldScatterPerm absorbs a permutation stage into the scatter strides of
+// the preceding compute stage (L folded into stage-2 stores — the left-side
+// merge of formula (14)), via the permutation's inverse.
+func foldScatterPerm(prog *Program, regions []*Region, i int) bool {
+	a, b := regions[i], regions[i+1]
+	if !allCalls(a) || !allPermute(b) {
+		return false
+	}
+	x := soleDst(a)
+	if x == -1 || !soleLink(prog, regions, i, x) {
+		return false
+	}
+	out := soleDst(b)
+	if out == -1 || readsBuf(a, out) {
+		return false
+	}
+	n := prog.BufLen(x)
+	// a must define every element of x: b reads all of it, and positions a
+	// left stale would silently vanish from the folded program.
+	written := make([]bool, n)
+	wcnt := 0
+	for _, ops := range a.Workers {
+		for _, op := range ops {
+			doff, ds, cn := callDst(op)
+			for k := 0; k < cn; k++ {
+				d := doff + k*ds
+				if written[d] {
+					return false
+				}
+				written[d] = true
+				wcnt++
+			}
+		}
+	}
+	if wcnt != n {
+		return false
+	}
+	// Invert: b computes out[Lo+t] = x[Idx[t]], so x[j] lands at inv[j].
+	inv := make([]int32, n)
+	seen := make([]bool, n)
+	cnt := 0
+	for _, ops := range b.Workers {
+		for _, op := range ops {
+			p := op.(Permute)
+			for t, s := range p.Idx {
+				if seen[s] {
+					return false
+				}
+				seen[s] = true
+				inv[s] = int32(p.Lo + t)
+				cnt++
+			}
+		}
+	}
+	if cnt != n {
+		return false
+	}
+	type rewrite struct{ doff, ds int }
+	rws := make(map[[2]int]rewrite)
+	for w, ops := range a.Workers {
+		for j, op := range ops {
+			doff, ds, cn := callDst(op)
+			base, stride, ok := affine(cn, func(i int) int { return int(inv[doff+i*ds]) })
+			if !ok {
+				return false
+			}
+			rws[[2]int{w, j}] = rewrite{base, stride}
+		}
+	}
+	for w, ops := range a.Workers {
+		for j, op := range ops {
+			rw := rws[[2]int{w, j}]
+			a.Workers[w][j] = withCallDst(op, out, rw.doff, rw.ds)
+		}
+	}
+	clearRegion(b)
+	return true
+}
+
+// foldScaleIntoCalls absorbs a diagonal stage into the fused input scale of
+// the following codelet calls (D ⊕∥ D folded into stage-2 twiddle vectors).
+func foldScaleIntoCalls(prog *Program, regions []*Region, i int) bool {
+	a, b := regions[i], regions[i+1]
+	if !allScale(a) {
+		return false
+	}
+	x := soleDst(a)
+	if x == -1 || !soleLink(prog, regions, i, x) {
+		return false
+	}
+	src := soleSrc(a)
+	if src == -1 || writesBuf(b, src) {
+		return false
+	}
+	// Consumers must all be codelet calls with a free Tw slot.
+	any := false
+	for _, ops := range b.Workers {
+		for _, op := range ops {
+			c, ok := op.(CodeletCall)
+			if !ok || c.Tw != nil {
+				return false
+			}
+			any = true
+		}
+	}
+	if !any {
+		return false
+	}
+	// Materialize the full diagonal; a must cover x completely, or b would
+	// read positions whose value came from an earlier (stale) def of x.
+	w := make([]complex128, prog.BufLen(x))
+	covered := make([]bool, len(w))
+	ccnt := 0
+	for _, ops := range a.Workers {
+		for _, op := range ops {
+			s := op.(Scale)
+			copy(w[s.Off:s.Off+len(s.W)], s.W)
+			for k := s.Off; k < s.Off+len(s.W); k++ {
+				if !covered[k] {
+					covered[k] = true
+					ccnt++
+				}
+			}
+		}
+	}
+	if ccnt != len(w) {
+		return false
+	}
+	for wi, ops := range b.Workers {
+		for j, op := range ops {
+			c := op.(CodeletCall)
+			tw := make([]complex128, c.Tree.N)
+			for i := range tw {
+				tw[i] = w[c.SOff+i*c.SS]
+			}
+			c.Tw = tw
+			c.Src = src
+			b.Workers[wi][j] = c
+		}
+	}
+	clearRegion(a)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+func callSrc(op Op) (soff, ss, n int) {
+	switch c := op.(type) {
+	case CodeletCall:
+		return c.SOff, c.SS, c.Tree.N
+	case WHTCall:
+		return c.SOff, c.SS, c.N
+	}
+	panic("ir: callSrc on non-call op")
+}
+
+func callDst(op Op) (doff, ds, n int) {
+	switch c := op.(type) {
+	case CodeletCall:
+		return c.DOff, c.DS, c.Tree.N
+	case WHTCall:
+		return c.DOff, c.DS, c.N
+	}
+	panic("ir: callDst on non-call op")
+}
+
+func withCallSrc(op Op, src Buf, soff, ss int) Op {
+	switch c := op.(type) {
+	case CodeletCall:
+		c.Src, c.SOff, c.SS = src, soff, ss
+		return c
+	case WHTCall:
+		c.Src, c.SOff, c.SS = src, soff, ss
+		return c
+	}
+	panic("ir: withCallSrc on non-call op")
+}
+
+func withCallDst(op Op, dst Buf, doff, ds int) Op {
+	switch c := op.(type) {
+	case CodeletCall:
+		c.Dst, c.DOff, c.DS = dst, doff, ds
+		return c
+	case WHTCall:
+		c.Dst, c.DOff, c.DS = dst, doff, ds
+		return c
+	}
+	panic("ir: withCallDst on non-call op")
+}
+
+func clearRegion(r *Region) {
+	for w := range r.Workers {
+		r.Workers[w] = nil
+	}
+}
+
+func dropEmpty(regions []*Region) []*Region {
+	out := regions[:0]
+	for _, r := range regions {
+		empty := true
+		for _, ops := range r.Workers {
+			if len(ops) > 0 {
+				empty = false
+				break
+			}
+		}
+		if !empty {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func copyRegions(regions []*Region) []*Region {
+	out := make([]*Region, len(regions))
+	for i, r := range regions {
+		nr := &Region{Name: r.Name, Workers: make([][]Op, len(r.Workers))}
+		for w, ops := range r.Workers {
+			nr.Workers[w] = append([]Op(nil), ops...)
+		}
+		out[i] = nr
+	}
+	return out
+}
+
+// compactTemps renumbers the temp buffers a program actually uses and drops
+// the rest (folding typically eliminates one of the two ping-pong temps).
+func compactTemps(p *Program) {
+	used := make(map[Buf]bool)
+	for _, r := range p.Regions() {
+		for _, ops := range r.Workers {
+			for _, op := range ops {
+				if op.DstBuf().IsTemp() {
+					used[op.DstBuf()] = true
+				}
+				if op.SrcBuf().IsTemp() {
+					used[op.SrcBuf()] = true
+				}
+			}
+		}
+	}
+	remap := make(map[Buf]Buf)
+	var temps []int
+	for i := range p.Temps {
+		old := TempBuf(i)
+		if used[old] {
+			remap[old] = TempBuf(len(temps))
+			temps = append(temps, p.Temps[i])
+		}
+	}
+	p.Temps = temps
+	mapBuf := func(b Buf) Buf {
+		if nb, ok := remap[b]; ok {
+			return nb
+		}
+		return b
+	}
+	for _, r := range p.Regions() {
+		for w, ops := range r.Workers {
+			for j, op := range ops {
+				switch c := op.(type) {
+				case CodeletCall:
+					c.Dst, c.Src = mapBuf(c.Dst), mapBuf(c.Src)
+					r.Workers[w][j] = c
+				case WHTCall:
+					c.Dst, c.Src = mapBuf(c.Dst), mapBuf(c.Src)
+					r.Workers[w][j] = c
+				case Scale:
+					c.Dst, c.Src = mapBuf(c.Dst), mapBuf(c.Src)
+					r.Workers[w][j] = c
+				case Permute:
+					c.Dst, c.Src = mapBuf(c.Dst), mapBuf(c.Src)
+					r.Workers[w][j] = c
+				case Copy:
+					c.Dst, c.Src = mapBuf(c.Dst), mapBuf(c.Src)
+					r.Workers[w][j] = c
+				case Generic:
+					c.Dst, c.Src = mapBuf(c.Dst), mapBuf(c.Src)
+					r.Workers[w][j] = c
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package ir
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"spiralfft/internal/rewrite"
+	"spiralfft/internal/smp"
+	"spiralfft/internal/spl"
+)
+
+// The formula path: FromFormula renders a fully optimized formula stage by
+// stage; Fold performs the paper's loop merging as IR→IR passes. For formula
+// (14) the folded program must collapse to the production schedule — two
+// compute regions, one barrier — and both raw and folded programs must
+// compute the same transform as the formula's reference semantics.
+
+func applyRef(f spl.Formula, src []complex128) []complex128 {
+	dst := make([]complex128, f.Size())
+	f.Apply(dst, src)
+	return dst
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFromFormulaMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, m, p, mu = 64, 8, 2, 2
+	f, _, err := rewrite.DeriveMulticoreCT(n, m, p, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := FromFormula(f, p, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("raw program invalid: %v", err)
+	}
+	backend := smp.NewPool(p)
+	defer backend.Close()
+	e, err := NewExecutor(prog, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randVec(n, rng)
+	want := applyRef(f, src)
+	got := make([]complex128, n)
+	e.Transform(got, src)
+	if d := maxDiff(want, got); d > 1e-9 {
+		t.Fatalf("raw formula program deviates from reference by %g", d)
+	}
+}
+
+func TestFoldCollapsesFormula14ToProductionSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cases := []struct{ n, m, p, mu int }{
+		{64, 8, 2, 2},
+		{256, 16, 2, 4},
+		{1024, 32, 4, 4},
+	}
+	for _, tc := range cases {
+		f, _, err := rewrite.DeriveMulticoreCT(tc.n, tc.m, tc.p, tc.mu)
+		if err != nil {
+			t.Fatalf("derive n=%d: %v", tc.n, err)
+		}
+		raw, err := FromFormula(f, tc.p, tc.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		folded, err := Fold(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions := folded.Regions()
+		if len(regions) != 2 {
+			t.Fatalf("n=%d: folded to %d regions, want 2 (the production two-stage schedule):\n%s",
+				tc.n, len(regions), folded)
+		}
+		if got := len(folded.Nodes); got != 3 { // region, barrier, region
+			t.Fatalf("n=%d: folded program has %d nodes, want 3", tc.n, got)
+		}
+		if len(folded.Temps) != 1 {
+			t.Fatalf("n=%d: folded program keeps %d temps, want 1", tc.n, len(folded.Temps))
+		}
+		// Every op must be a typed codelet call — permutations live in the
+		// strides, the twiddle diagonal in stage-2 Tw vectors.
+		for ri, r := range regions {
+			for w, ops := range r.Workers {
+				if len(ops) == 0 {
+					t.Fatalf("n=%d: region %d worker %d has no work (imbalance)", tc.n, ri, w)
+				}
+				for _, op := range ops {
+					c, ok := op.(CodeletCall)
+					if !ok {
+						t.Fatalf("n=%d: region %d holds non-codelet op %s after folding", tc.n, ri, op)
+					}
+					if ri == 1 && c.Tw == nil {
+						t.Fatalf("n=%d: stage-2 call lost its twiddle vector: %s", tc.n, c)
+					}
+				}
+			}
+		}
+		// Both raw and folded must agree with the reference semantics.
+		backend := smp.NewPool(tc.p)
+		eRaw, err := NewExecutor(raw, backend)
+		if err != nil {
+			backend.Close()
+			t.Fatal(err)
+		}
+		eFold, err := NewExecutor(folded, backend)
+		if err != nil {
+			backend.Close()
+			t.Fatal(err)
+		}
+		src := randVec(tc.n, rng)
+		want := applyRef(f, src)
+		gotRaw := make([]complex128, tc.n)
+		gotFold := make([]complex128, tc.n)
+		eRaw.Transform(gotRaw, src)
+		eFold.Transform(gotFold, src)
+		if d := maxDiff(want, gotRaw); d > 1e-6 {
+			t.Fatalf("n=%d: raw program deviates by %g", tc.n, d)
+		}
+		if d := maxDiff(want, gotFold); d > 1e-6 {
+			t.Fatalf("n=%d: folded program deviates by %g", tc.n, d)
+		}
+		backend.Close()
+	}
+}
+
+func TestFoldLeavesUnfoldableProgramsIntact(t *testing.T) {
+	// A sequential fallback stage (Generic) must survive folding untouched.
+	f := spl.NewCompose(spl.NewDFT(8), spl.NewStride(8, 2))
+	raw, err := FromFormula(f, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := Fold(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stride permutation feeds a full-size DFT codelet call: it can fold
+	// into the gather. Whatever the outcome, semantics must hold.
+	e, err := NewExecutor(folded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	src := randVec(8, rng)
+	want := applyRef(f, src)
+	got := make([]complex128, 8)
+	e.Transform(got, src)
+	if d := maxDiff(want, got); d > 1e-9 {
+		t.Fatalf("folded program deviates by %g", d)
+	}
+}

@@ -1,0 +1,115 @@
+package spiralfft
+
+import (
+	"sync"
+	"time"
+
+	"spiralfft/internal/ir"
+	"spiralfft/internal/metrics"
+	"spiralfft/internal/smp"
+)
+
+// planCore is the shared execution core embedded by every root plan family.
+// It owns the pieces the seven plan types used to copy independently: the
+// transform recorder feeding Snapshot, the nominal flop count, the threading
+// backend and the compiled IR executor bound to it, the pooled per-call
+// conjugation buffers used by the Inverse entry points, and the final
+// statistics preserved across Close. Families that carry their own
+// parallelism set exe/backend; wrapper families (RealPlan, DCTPlan,
+// STFTPlan) set inner to the plan that does.
+type planCore struct {
+	kind  transformKind
+	flops int64
+	rec   metrics.TransformRecorder
+	// exe is the family's backend-bound executor (the lowered parallel
+	// program); nil for plans running their sequential fallback program.
+	exe *ir.Executor
+	// backend is the owned threading substrate behind exe; nil for
+	// sequential plans. Set and cleared together with exe.
+	backend smp.Backend
+	// inner, when set, is the wrapped plan that carries the parallelism;
+	// Snapshot delegates pool and barrier statistics to it.
+	inner interface{ Snapshot() PlanStats }
+	// invs pools per-call workspace buffers (conjugation input for Inverse,
+	// reordering workspace for the DCT).
+	invs sync.Pool
+	// finalPool/finalBarrier preserve the parallel statistics across
+	// release, so Snapshot stays consistent after Close.
+	finalPool    *PoolStats
+	finalBarrier time.Duration
+}
+
+// init sets the recorder identity and, for invLen > 0, the pooled
+// per-call buffer size.
+func (c *planCore) init(kind transformKind, flops int64, invLen int) {
+	c.kind = kind
+	c.flops = flops
+	if invLen > 0 {
+		c.invs.New = func() any { return &invBuf{v: make([]complex128, invLen)} }
+	}
+}
+
+// invBuf wraps the pooled workspace slice (pooling the pointer keeps the
+// steady state allocation-free).
+type invBuf struct{ v []complex128 }
+
+func (c *planCore) getInv() *invBuf  { return c.invs.Get().(*invBuf) }
+func (c *planCore) putInv(b *invBuf) { c.invs.Put(b) }
+
+// record logs one completed transform of the plan's nominal flop count.
+func (c *planCore) record(start time.Time) { recordTransform(&c.rec, c.kind, start, c.flops) }
+
+// recordN logs one completed transform of an explicit flop count (entry
+// points whose work scales with the call, e.g. STFT whole-signal passes).
+func (c *planCore) recordN(start time.Time, flops int64) {
+	recordTransform(&c.rec, c.kind, start, flops)
+}
+
+// release shuts down the owned backend, preserving its final statistics for
+// Snapshot, and drops the backend-bound executor (families with a sequential
+// fallback program keep serving transforms through it). Idempotent.
+func (c *planCore) release() {
+	if c.backend != nil {
+		c.finalPool = poolStatsOf(c.backend)
+		if c.exe != nil {
+			c.finalBarrier = c.exe.BarrierWait()
+		}
+		c.backend.Close()
+		c.backend = nil
+	}
+	c.exe = nil
+}
+
+// Snapshot returns the plan's observability record: transform counts and,
+// with metrics enabled (EnableMetrics), latency and pseudo-Mflop/s in the
+// paper's unit, plus pool dispatch and barrier statistics for parallel
+// plans. Wrapper families (RealPlan, DCTPlan, STFTPlan) report their own
+// transform counts with the pool and barrier statistics of the inner plan
+// that carries the parallelism. Safe to call concurrently with transforms
+// and after Close.
+func (c *planCore) Snapshot() PlanStats {
+	st := PlanStats{TransformStats: transformStatsOf(&c.rec)}
+	switch {
+	case c.inner != nil:
+		in := c.inner.Snapshot()
+		st.BarrierWait = in.BarrierWait
+		st.Pool = in.Pool
+	case c.backend != nil:
+		if c.exe != nil {
+			st.BarrierWait = c.exe.BarrierWait()
+		}
+		st.Pool = poolStatsOf(c.backend)
+	default:
+		st.BarrierWait = c.finalBarrier
+		st.Pool = c.finalPool
+	}
+	return st
+}
+
+// newBackendFor creates the threading substrate the options select.
+func newBackendFor(opt Options, workers int) smp.Backend {
+	if opt.Backend == BackendSpawn {
+		return smp.NewSpawn(workers)
+	}
+	return smp.NewPool(workers)
+}

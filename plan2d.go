@@ -3,12 +3,11 @@ package spiralfft
 import (
 	"fmt"
 	"math/cmplx"
-	"sync"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/ir"
 	"spiralfft/internal/metrics"
 	"spiralfft/internal/rewrite"
-	"spiralfft/internal/smp"
 )
 
 // Plan2D computes two-dimensional DFTs of rows×cols arrays stored row-major
@@ -16,30 +15,20 @@ import (
 // — and parallelizes by the same Table-1 rules as the 1D case (Derive2D in
 // the rewriting system): the row stage distributes contiguous row blocks
 // (rule (9)), the column stage distributes contiguous, cache-line-aligned
-// column blocks (rule (7)), with one join between the stages.
+// column blocks (rule (7)), with one barrier between the stages. The whole
+// schedule is one lowered IR program, so a parallel transform costs a
+// single region dispatch with an in-region spin barrier at the stage join.
+//
 // A Plan2D is safe for concurrent use: per-call workspace is pooled and
-// parallel regions on the pooled backend serialize on an internal mutex.
+// parallel regions on the pooled backend serialize inside the executor.
 type Plan2D struct {
 	rows, cols int
-	rowPlan    *exec.Seq
-	colPlan    *exec.Seq
 	p          int
-	backend    smp.Backend
 	opt        Options
-	ctxs       sync.Pool // *ctx2D
-	serial     bool
-	regionMu   sync.Mutex
-	// rec/flops feed Snapshot; the separable 2D transform performs
-	// rows·(cost of DFT_cols) + cols·(cost of DFT_rows) flops.
-	rec       metrics.TransformRecorder
-	flops     int64
-	finalPool *PoolStats
-}
-
-// ctx2D is the per-call workspace of one 2D transform.
-type ctx2D struct {
-	scratch [][]complex128 // per-worker executor scratch
-	inv     []complex128   // conjugation buffer for Inverse
+	planCore
+	// seqExe is the single-worker program: the execution path for
+	// sequential plans and the post-Close fallback for parallel ones.
+	seqExe *ir.Executor
 }
 
 // NewPlan2D prepares a rows×cols 2D DFT. For Workers > 1 the plan
@@ -53,48 +42,31 @@ func NewPlan2D(rows, cols int, o *Options) (*Plan2D, error) {
 		return nil, err
 	}
 	opt := o.withDefaults()
-	rowPlan, err := exec.NewSeq(exec.RadixTree(cols))
+	rowTree := exec.RadixTree(cols)
+	colTree := exec.RadixTree(rows)
+	p := &Plan2D{rows: rows, cols: cols, p: 1, opt: opt}
+	p.init(tk2D, int64(float64(rows)*exec.FlopCount(cols)+float64(cols)*exec.FlopCount(rows)), rows*cols)
+	seqProg, err := ir.Lower2D(rows, cols, 1, rowTree, colTree)
 	if err != nil {
 		return nil, err
 	}
-	colPlan, err := exec.NewSeq(exec.RadixTree(rows))
-	if err != nil {
+	if p.seqExe, err = ir.NewExecutor(seqProg, nil); err != nil {
 		return nil, err
-	}
-	p := &Plan2D{
-		rows: rows, cols: cols,
-		rowPlan: rowPlan, colPlan: colPlan,
-		p:     1,
-		opt:   opt,
-		flops: int64(float64(rows)*exec.FlopCount(cols) + float64(cols)*exec.FlopCount(rows)),
 	}
 	workers := opt.Workers
 	if workers > 1 && rewrite.Parallel2DOK(rows, cols, workers, opt.CacheLineComplex) {
+		prog, err := ir.Lower2D(rows, cols, workers, rowTree, colTree)
+		if err != nil {
+			return nil, err
+		}
+		backend := newBackendFor(opt, workers)
+		exe, err := ir.NewExecutor(prog, backend)
+		if err != nil {
+			backend.Close()
+			return nil, err
+		}
+		p.exe, p.backend = exe, backend
 		p.p = workers
-		if opt.Backend == BackendSpawn {
-			p.backend = smp.NewSpawn(workers)
-		} else {
-			p.backend = smp.NewPool(workers)
-		}
-		p.serial = !p.backend.Concurrent()
-	}
-	need := rowPlan.ScratchLen()
-	if colPlan.ScratchLen() > need {
-		need = colPlan.ScratchLen()
-	}
-	if need == 0 {
-		need = 1
-	}
-	numWorkers := p.p
-	p.ctxs.New = func() any {
-		c := &ctx2D{
-			scratch: make([][]complex128, numWorkers),
-			inv:     make([]complex128, rows*cols),
-		}
-		for w := range c.scratch {
-			c.scratch[w] = make([]complex128, need)
-		}
-		return c
 	}
 	return p, nil
 }
@@ -111,6 +83,15 @@ func (p *Plan2D) N() int { return p.Len() }
 
 // IsParallel reports whether the plan distributes stages over workers.
 func (p *Plan2D) IsParallel() bool { return p.p > 1 }
+
+// Program returns the lowered IR program the plan executes. The program is
+// shared — callers must not mutate it.
+func (p *Plan2D) Program() *ir.Program {
+	if e := p.exe; e != nil {
+		return e.Program()
+	}
+	return p.seqExe.Program()
+}
 
 // Formula returns the SPL formula of the parallel schedule (Derive2D's
 // output) or the plain tensor formula for sequential plans.
@@ -130,10 +111,8 @@ func (p *Plan2D) Forward(dst, src []complex128) error {
 		return lengthError("Plan2D.Forward", p.Len(), len(dst), len(src))
 	}
 	start := metrics.Now()
-	ctx := p.ctxs.Get().(*ctx2D)
-	p.transform(dst, src, ctx)
-	p.ctxs.Put(ctx)
-	recordTransform(&p.rec, tk2D, start, p.flops)
+	p.transform(dst, src)
+	p.record(start)
 	return nil
 }
 
@@ -144,72 +123,29 @@ func (p *Plan2D) Inverse(dst, src []complex128) error {
 		return lengthError("Plan2D.Inverse", p.Len(), len(dst), len(src))
 	}
 	start := metrics.Now()
-	ctx := p.ctxs.Get().(*ctx2D)
+	b := p.getInv()
 	for i, v := range src {
-		ctx.inv[i] = cmplx.Conj(v)
+		b.v[i] = cmplx.Conj(v)
 	}
-	p.transform(dst, ctx.inv, ctx)
+	p.transform(dst, b.v)
 	scale := complex(1/float64(p.Len()), 0)
 	for i, v := range dst {
 		dst[i] = cmplx.Conj(v) * scale
 	}
-	p.ctxs.Put(ctx)
-	recordTransform(&p.rec, tk2D, start, p.flops)
+	p.putInv(b)
+	p.record(start)
 	return nil
 }
 
-func (p *Plan2D) transform(dst, src []complex128, ctx *ctx2D) {
-	rows, cols := p.rows, p.cols
-	if p.p == 1 {
-		s := ctx.scratch[0]
-		for r := 0; r < rows; r++ {
-			p.rowPlan.TransformStrided(dst, r*cols, 1, src, r*cols, 1, nil, s)
-		}
-		for c := 0; c < cols; c++ {
-			p.colPlan.TransformStrided(dst, c, cols, dst, c, cols, nil, s)
-		}
+func (p *Plan2D) transform(dst, src []complex128) {
+	if e := p.exe; e != nil {
+		e.Transform(dst, src)
 		return
 	}
-	if p.serial {
-		p.regionMu.Lock()
-		defer p.regionMu.Unlock()
-	}
-	// Stage R: I_rows ⊗ DFT_cols — contiguous row blocks per worker.
-	p.backend.Run(func(w int) {
-		lo, hi := smp.BlockRange(rows, p.p, w)
-		s := ctx.scratch[w]
-		for r := lo; r < hi; r++ {
-			p.rowPlan.TransformStrided(dst, r*cols, 1, src, r*cols, 1, nil, s)
-		}
-	})
-	// Stage C: DFT_rows ⊗ I_cols — contiguous µ-aligned column blocks.
-	p.backend.Run(func(w int) {
-		lo, hi := smp.BlockRange(cols, p.p, w)
-		s := ctx.scratch[w]
-		for c := lo; c < hi; c++ {
-			p.colPlan.TransformStrided(dst, c, cols, dst, c, cols, nil, s)
-		}
-	})
+	p.seqExe.Transform(dst, src)
 }
 
 // Close releases the worker pool (if any). Idempotent; the plan's
-// statistics remain readable via Snapshot.
-func (p *Plan2D) Close() {
-	if p.backend != nil {
-		p.finalPool = poolStatsOf(p.backend)
-		p.backend.Close()
-		p.backend = nil
-	}
-}
-
-// Snapshot returns the plan's observability record (pool statistics for
-// pooled parallel plans). Safe to call concurrently and after Close.
-func (p *Plan2D) Snapshot() PlanStats {
-	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
-	if p.backend != nil {
-		st.Pool = poolStatsOf(p.backend)
-	} else {
-		st.Pool = p.finalPool
-	}
-	return st
-}
+// statistics remain readable via Snapshot, and subsequent transforms fall
+// back to the sequential program.
+func (p *Plan2D) Close() { p.release() }

@@ -26,13 +26,13 @@ type RealPlan struct {
 	half *Plan
 	w    []complex128 // e^{-2πik/n}, k = 0..n/2
 	ctxs sync.Pool    // *realCtx
+	// planCore carries the transform recorder (a real transform's nominal
+	// flop count is half the complex one, 2.5·n·log2(n)) and delegates pool
+	// and barrier statistics to the inner complex plan.
+	planCore
 	// onClose, when set, redirects Close to the owning Cache's ref-count
 	// release instead of destroying the plan.
 	onClose func()
-	// rec/flops feed Snapshot; a real transform's nominal flop count is
-	// half the complex one, 2.5·n·log2(n).
-	rec   metrics.TransformRecorder
-	flops int64
 }
 
 // realCtx is the per-call workspace of one real transform.
@@ -55,7 +55,9 @@ func NewRealPlan(n int, o *Options) (*RealPlan, error) {
 	for k := range w {
 		w[k] = twiddle.Omega(n, k)
 	}
-	p := &RealPlan{n: n, half: half, w: w, flops: int64(exec.FlopCount(n) / 2)}
+	p := &RealPlan{n: n, half: half, w: w}
+	p.init(tkReal, int64(exec.FlopCount(n)/2), 0)
+	p.inner = half
 	p.ctxs.New = func() any {
 		return &realCtx{z: make([]complex128, h), spect: make([]complex128, h+1)}
 	}
@@ -105,7 +107,7 @@ func (p *RealPlan) Forward(dst []complex128, src []float64) error {
 		fo = complex(imag(fo), -real(fo)) // ÷ i
 		dst[k] = fe + p.w[k]*fo
 	}
-	recordTransform(&p.rec, tkReal, start, p.flops)
+	p.record(start)
 	return nil
 }
 
@@ -144,7 +146,7 @@ func (p *RealPlan) Inverse(dst []float64, src []complex128) error {
 		dst[2*j] = real(z[j])
 		dst[2*j+1] = imag(z[j])
 	}
-	recordTransform(&p.rec, tkReal, start, p.flops)
+	p.record(start)
 	return nil
 }
 
@@ -160,14 +162,3 @@ func (p *RealPlan) Close() {
 
 // destroy closes the inner plan unconditionally (bypassing any cache hook).
 func (p *RealPlan) destroy() { p.half.destroy() }
-
-// Snapshot returns the plan's observability record. The real plan's own
-// transform counts are reported; pool and barrier statistics come from the
-// inner half-size complex plan that carries the parallelism.
-func (p *RealPlan) Snapshot() PlanStats {
-	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
-	inner := p.half.Snapshot()
-	st.BarrierWait = inner.BarrierWait
-	st.Pool = inner.Pool
-	return st
-}

@@ -12,6 +12,13 @@
 // feedback, and executes the result either sequentially or on a pool of
 // persistent workers synchronized by spin barriers.
 //
+// Every plan family lowers its schedule into the shared stage-plan IR
+// (internal/ir) — typed regions of codelet calls, twiddle scales and
+// permutations separated by barriers — and executes the lowered program
+// through one common executor. The same programs drive the code generator
+// (internal/codegen) and the cache-line simulator (internal/cachesim), so
+// what is audited and what is emitted is exactly what runs.
+//
 // # Quick start
 //
 //	plan, err := spiralfft.NewPlan(1024, &spiralfft.Options{Workers: 2})
@@ -41,10 +48,10 @@ package spiralfft
 import (
 	"fmt"
 	"math/cmplx"
-	"sync"
 	"time"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/ir"
 	"spiralfft/internal/metrics"
 	"spiralfft/internal/rewrite"
 	"spiralfft/internal/search"
@@ -138,35 +145,28 @@ func (o *Options) withDefaults() Options {
 
 // Plan is a prepared DFT of a fixed size. A Plan is reusable across many
 // transforms and safe for concurrent use: per-call workspace is checked out
-// of an internal pool, never stored on the plan.
+// of internal pools, never stored on the plan.
+//
+// The plan's schedule is a lowered IR program: sequential plans run the
+// single-call program of their factorization tree, parallel plans the
+// two-stage multicore Cooley-Tukey program (formula (14)), both through the
+// shared internal/ir executor.
 type Plan struct {
-	n       int
-	opt     Options
-	seq     *exec.Seq
-	par     *exec.Parallel // nil for sequential plans
-	backend smp.Backend    // owned; nil for sequential plans
-	ctxs    sync.Pool      // *planCtx
+	n   int
+	opt Options
+	planCore
+	// tree is the sequential factorization; seqExe its compiled program,
+	// kept even for parallel plans as the post-Close fallback.
+	tree   *exec.Tree
+	seqExe *ir.Executor
+	// m is the parallel top-level split factor (0 when sequential);
+	// ltree/rtree are the tuned sub-plan factorizations.
+	m            int
+	ltree, rtree *exec.Tree
 	// onClose, when set, redirects Close to the owning Cache's ref-count
 	// release instead of destroying the plan.
 	onClose func()
-	// rec/flops feed Snapshot: the per-plan transform record and the
-	// nominal flop count 5·n·log2(n) of one transform.
-	rec   metrics.TransformRecorder
-	flops int64
-	// finalPool/finalBarrier preserve the parallel statistics across
-	// destroy, so Snapshot stays consistent after Close.
-	finalPool    *PoolStats
-	finalBarrier time.Duration
 }
-
-// planCtx is the per-call workspace of one transform.
-type planCtx struct {
-	scratch []complex128 // sequential executor scratch
-	inv     []complex128 // conjugation buffer for Inverse
-}
-
-func (p *Plan) getCtx() *planCtx  { return p.ctxs.Get().(*planCtx) }
-func (p *Plan) putCtx(c *planCtx) { p.ctxs.Put(c) }
 
 // NewPlan prepares a DFT plan of size n (n ≥ 1) with the given options.
 //
@@ -184,17 +184,17 @@ func NewPlan(n int, o *Options) (*Plan, error) {
 		return nil, err
 	}
 	opt := o.withDefaults()
-	p := &Plan{n: n, opt: opt, flops: int64(exec.FlopCount(n))}
+	p := &Plan{n: n, opt: opt}
+	p.init(tkDFT, int64(exec.FlopCount(n)), n)
 
 	tuner := search.NewTuner(strategyFor(opt.Planner))
-	tree := p.sequentialTree(tuner)
-	seq, err := exec.NewSeq(tree)
+	p.tree = p.sequentialTree(tuner)
+	prog, err := ir.LowerTree(p.tree)
 	if err != nil {
 		return nil, err
 	}
-	p.seq = seq
-	p.ctxs.New = func() any {
-		return &planCtx{scratch: seq.NewScratch(), inv: make([]complex128, n)}
+	if p.seqExe, err = ir.NewExecutor(prog, nil); err != nil {
+		return nil, err
 	}
 
 	if opt.Workers > 1 {
@@ -253,7 +253,7 @@ func (p *Plan) planParallel(tuner *search.Tuner) error {
 	if !ok {
 		return nil // no admissible split: stay sequential
 	}
-	backend := p.newBackend()
+	backend := newBackendFor(opt, opt.Workers)
 	if opt.Planner == PlannerMeasure {
 		choice, err := tuner.TuneParallel(p.n, opt.Workers, opt.CacheLineComplex, backend)
 		if err != nil {
@@ -264,37 +264,37 @@ func (p *Plan) planParallel(tuner *search.Tuner) error {
 			backend.Close()
 			return nil
 		}
-		p.par = choice.Parallel
-		p.backend = backend
-		return nil
-	}
-	cfg := exec.ParallelConfig{
-		P:       opt.Workers,
-		Mu:      opt.CacheLineComplex,
-		Backend: backend,
+		lt, rt := choice.Parallel.Trees()
+		return p.buildParallel(choice.Split, lt, rt, backend)
 	}
 	var leftCost, rightCost time.Duration
-	cfg.LeftTree, leftCost = p.treeFor(tuner, m)
-	cfg.RightTree, rightCost = p.treeFor(tuner, p.n/m)
+	lt, leftCost := p.treeFor(tuner, m)
+	rt, rightCost := p.treeFor(tuner, p.n/m)
 	if opt.Wisdom != nil {
-		opt.Wisdom.record(cfg.LeftTree, leftCost)
-		opt.Wisdom.record(cfg.RightTree, rightCost)
+		opt.Wisdom.record(lt, leftCost)
+		opt.Wisdom.record(rt, rightCost)
 	}
-	par, err := exec.NewParallel(p.n, m, cfg)
-	if err != nil {
-		backend.Close()
-		return err
-	}
-	p.par = par
-	p.backend = backend
-	return nil
+	return p.buildParallel(m, lt, rt, backend)
 }
 
-func (p *Plan) newBackend() smp.Backend {
-	if p.opt.Backend == BackendSpawn {
-		return smp.NewSpawn(p.opt.Workers)
+// buildParallel lowers formula (14) for the chosen split and compiles it on
+// the backend; on failure the backend is closed and the error returned.
+func (p *Plan) buildParallel(m int, lt, rt *exec.Tree, backend smp.Backend) error {
+	prog, err := ir.LowerCT(p.n, m, ir.CTConfig{
+		P:        p.opt.Workers,
+		Mu:       p.opt.CacheLineComplex,
+		LeftTree: lt, RightTree: rt,
+	})
+	if err == nil {
+		var exe *ir.Executor
+		if exe, err = ir.NewExecutor(prog, backend); err == nil {
+			p.exe, p.backend = exe, backend
+			p.m, p.ltree, p.rtree = m, lt, rt
+			return nil
+		}
 	}
-	return smp.NewPool(p.opt.Workers)
+	backend.Close()
+	return err
 }
 
 // N returns the transform size.
@@ -305,12 +305,12 @@ func (p *Plan) N() int { return p.n }
 func (p *Plan) Len() int { return p.n }
 
 // IsParallel reports whether the plan executes on multiple workers.
-func (p *Plan) IsParallel() bool { return p.par != nil }
+func (p *Plan) IsParallel() bool { return p.exe != nil }
 
 // Workers returns the number of workers the plan actually uses.
 func (p *Plan) Workers() int {
-	if p.par != nil {
-		return p.par.Workers()
+	if p.exe != nil {
+		return p.exe.Workers()
 	}
 	return 1
 }
@@ -318,34 +318,42 @@ func (p *Plan) Workers() int {
 // Split returns the top-level factorization n = m·k of a parallel plan
 // (0, 0 for sequential plans).
 func (p *Plan) Split() (m, k int) {
-	if p.par == nil {
+	if p.exe == nil {
 		return 0, 0
 	}
-	return p.par.Split()
+	return p.m, p.n / p.m
 }
 
 // Tree describes the factorization tree(s) of the plan, e.g.
 // "(16 x 16)" or "parallel p=2: left=(8 x 2), right=16".
 func (p *Plan) Tree() string {
-	if p.par == nil {
-		return p.seq.Tree().String()
+	if p.exe == nil {
+		return p.tree.String()
 	}
-	l, r := p.par.Trees()
-	return fmt.Sprintf("parallel p=%d: left=%s, right=%s", p.par.Workers(), l.String(), r.String())
+	return fmt.Sprintf("parallel p=%d: left=%s, right=%s", p.exe.Workers(), p.ltree.String(), p.rtree.String())
+}
+
+// Program returns the lowered IR program the plan executes (the sequential
+// single-call program, or the two-stage multicore Cooley-Tukey program for
+// parallel plans). The program is shared — callers must not mutate it.
+func (p *Plan) Program() *ir.Program {
+	if e := p.exe; e != nil {
+		return e.Program()
+	}
+	return p.seqExe.Program()
 }
 
 // Formula returns the SPL formula the plan implements, in the paper's
 // notation: the multicore Cooley-Tukey FFT (formula (14)) for parallel
 // plans, or the plain Cooley-Tukey formula for sequential ones.
 func (p *Plan) Formula() string {
-	if p.par != nil {
-		m, _ := p.par.Split()
-		f, _, err := rewrite.DeriveMulticoreCT(p.n, m, p.par.Workers(), p.opt.CacheLineComplex)
+	if p.exe != nil {
+		f, _, err := rewrite.DeriveMulticoreCT(p.n, p.m, p.exe.Workers(), p.opt.CacheLineComplex)
 		if err == nil {
 			return f.String()
 		}
 	}
-	if g, ok := rewrite.CooleyTukey(firstSplit(p.seq.Tree())).Apply(spl.NewDFT(p.n)); ok {
+	if g, ok := rewrite.CooleyTukey(firstSplit(p.tree)).Apply(spl.NewDFT(p.n)); ok {
 		return g.String()
 	}
 	return fmt.Sprintf("DFT_%d", p.n)
@@ -354,11 +362,10 @@ func (p *Plan) Formula() string {
 // Derivation returns the full rewriting derivation of the plan's formula
 // (parallel plans only; sequential plans return the empty string).
 func (p *Plan) Derivation() string {
-	if p.par == nil {
+	if p.exe == nil {
 		return ""
 	}
-	m, _ := p.par.Split()
-	_, trace, err := rewrite.DeriveMulticoreCT(p.n, m, p.par.Workers(), p.opt.CacheLineComplex)
+	_, trace, err := rewrite.DeriveMulticoreCT(p.n, p.m, p.exe.Workers(), p.opt.CacheLineComplex)
 	if err != nil {
 		return ""
 	}
@@ -373,10 +380,8 @@ func (p *Plan) Forward(dst, src []complex128) error {
 		return lengthError("Forward", p.n, len(dst), len(src))
 	}
 	start := metrics.Now()
-	ctx := p.getCtx()
-	p.transform(dst, src, ctx)
-	p.putCtx(ctx)
-	recordTransform(&p.rec, tkDFT, start, p.flops)
+	p.transform(dst, src)
+	p.record(start)
 	return nil
 }
 
@@ -388,27 +393,27 @@ func (p *Plan) Inverse(dst, src []complex128) error {
 		return lengthError("Inverse", p.n, len(dst), len(src))
 	}
 	start := metrics.Now()
-	ctx := p.getCtx()
 	// IDFT(x) = conj(DFT(conj(x))) / n.
+	b := p.getInv()
 	for i, v := range src {
-		ctx.inv[i] = cmplx.Conj(v)
+		b.v[i] = cmplx.Conj(v)
 	}
-	p.transform(dst, ctx.inv, ctx)
+	p.transform(dst, b.v)
 	scale := complex(1/float64(p.n), 0)
 	for i, v := range dst {
 		dst[i] = cmplx.Conj(v) * scale
 	}
-	p.putCtx(ctx)
-	recordTransform(&p.rec, tkDFT, start, p.flops)
+	p.putInv(b)
+	p.record(start)
 	return nil
 }
 
-func (p *Plan) transform(dst, src []complex128, ctx *planCtx) {
-	if p.par != nil {
-		p.par.Transform(dst, src)
+func (p *Plan) transform(dst, src []complex128) {
+	if e := p.exe; e != nil {
+		e.Transform(dst, src)
 		return
 	}
-	p.seq.Transform(dst, src, ctx.scratch)
+	p.seqExe.Transform(dst, src)
 }
 
 // Close releases the plan. For a plan the caller constructed with NewPlan
@@ -425,33 +430,7 @@ func (p *Plan) Close() {
 
 // destroy releases the owned backend unconditionally (bypassing any cache
 // hook). Idempotent. The plan's statistics remain readable via Snapshot.
-func (p *Plan) destroy() {
-	if p.backend != nil {
-		p.finalPool = poolStatsOf(p.backend)
-		if p.par != nil {
-			p.finalBarrier = p.par.BarrierWait()
-		}
-		p.backend.Close()
-		p.backend = nil
-		p.par = nil
-	}
-}
-
-// Snapshot returns the plan's observability record: transform counts and,
-// with metrics enabled (EnableMetrics), latency and pseudo-Mflop/s in the
-// paper's unit, plus pool dispatch and barrier statistics for parallel
-// plans. Safe to call concurrently with transforms and after Close.
-func (p *Plan) Snapshot() PlanStats {
-	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
-	if p.par != nil {
-		st.BarrierWait = p.par.BarrierWait()
-		st.Pool = poolStatsOf(p.backend)
-	} else if p.finalPool != nil {
-		st.BarrierWait = p.finalBarrier
-		st.Pool = p.finalPool
-	}
-	return st
-}
+func (p *Plan) destroy() { p.release() }
 
 // Forward is a convenience one-shot transform: it plans sequentially,
 // transforms, and returns a fresh result vector.

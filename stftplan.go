@@ -49,10 +49,10 @@ type STFTPlan struct {
 	winSq      []float64 // window², for the overlap-add normalization
 	rp         *RealPlan
 	ctxs       sync.Pool // *stftCtx
-	// rec/frameFlops feed Snapshot; one frame costs a real transform,
-	// 2.5·frame·log2(frame). Analyze/Synthesize record frames·that.
-	rec        metrics.TransformRecorder
-	frameFlops int64
+	// planCore carries the transform recorder — the nominal count is per
+	// frame, 2.5·frame·log2(frame); Analyze/Synthesize record frames·that —
+	// and delegates pool and barrier statistics to the inner real plan.
+	planCore
 }
 
 // stftCtx is the per-call windowed-frame workspace.
@@ -76,13 +76,14 @@ func NewSTFTPlan(frame, hop int, window Window, o *Options) (*STFTPlan, error) {
 		return nil, err
 	}
 	p := &STFTPlan{
-		frame:      frame,
-		hop:        hop,
-		win:        make([]float64, frame),
-		winSq:      make([]float64, frame),
-		rp:         rp,
-		frameFlops: int64(exec.FlopCount(frame) / 2),
+		frame: frame,
+		hop:   hop,
+		win:   make([]float64, frame),
+		winSq: make([]float64, frame),
+		rp:    rp,
 	}
+	p.init(tkSTFT, int64(exec.FlopCount(frame)/2), 0)
+	p.inner = rp
 	p.ctxs.New = func() any { return &stftCtx{buf: make([]float64, frame)} }
 	for i := range p.win {
 		var v float64
@@ -141,7 +142,7 @@ func (p *STFTPlan) Forward(dst []complex128, src []float64) error {
 	if err := p.rp.Forward(dst, ctx.buf); err != nil {
 		return err
 	}
-	recordTransform(&p.rec, tkSTFT, start, p.frameFlops)
+	p.record(start)
 	return nil
 }
 
@@ -163,7 +164,7 @@ func (p *STFTPlan) Inverse(dst []float64, src []complex128) error {
 	for i := 0; i < p.frame; i++ {
 		dst[i] *= p.win[i]
 	}
-	recordTransform(&p.rec, tkSTFT, start, p.frameFlops)
+	p.record(start)
 	return nil
 }
 
@@ -190,7 +191,7 @@ func (p *STFTPlan) Analyze(dst [][]complex128, signal []float64) error {
 			return err
 		}
 	}
-	recordTransform(&p.rec, tkSTFT, start, int64(frames)*p.frameFlops)
+	p.recordN(start, int64(frames)*p.flops)
 	return nil
 }
 
@@ -243,22 +244,9 @@ func (p *STFTPlan) Synthesize(signal []float64, frames [][]complex128) error {
 			signal[i] /= norm[i]
 		}
 	}
-	recordTransform(&p.rec, tkSTFT, start, int64(len(frames))*p.frameFlops)
+	p.recordN(start, int64(len(frames))*p.flops)
 	return nil
 }
 
 // Close releases the inner plan's resources.
 func (p *STFTPlan) Close() { p.rp.Close() }
-
-// Snapshot returns the plan's observability record. Transform counts cover
-// every entry point (per-frame Forward/Inverse and whole-signal
-// Analyze/Synthesize, the latter weighted by their frame count); pool and
-// barrier statistics come from the inner real plan that carries the
-// parallelism.
-func (p *STFTPlan) Snapshot() PlanStats {
-	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
-	inner := p.rp.Snapshot()
-	st.BarrierWait = inner.BarrierWait
-	st.Pool = inner.Pool
-	return st
-}

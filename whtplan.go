@@ -4,28 +4,28 @@ import (
 	"fmt"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/ir"
 	"spiralfft/internal/metrics"
 	"spiralfft/internal/rewrite"
-	"spiralfft/internal/smp"
 )
 
 // WHTPlan computes the Walsh-Hadamard transform of size n = 2^k. The WHT
 // shares the FFT's tensor structure — Spiral treats it as just another
 // transform in the same framework — and parallelizes by the same rewriting
 // rules; having no twiddle factors, it isolates the pure shared-memory
-// scheduling machinery.
+// scheduling machinery. The schedule lowers to the same two-stage IR
+// program shape as the multicore DFT and runs through the shared executor.
 //
-// A WHTPlan is safe for concurrent use (the inner executor pools its
-// per-call buffers and serializes pooled-backend regions).
+// A WHTPlan is safe for concurrent use (the executor pools its per-call
+// buffers and serializes pooled-backend regions).
 type WHTPlan struct {
-	n       int
-	inner   *exec.WHTPlan
-	backend smp.Backend
-	opt     Options
-	// rec/flops feed Snapshot; the WHT performs n·log2(n) additions.
-	rec       metrics.TransformRecorder
-	flops     int64
-	finalPool *PoolStats
+	n        int
+	opt      Options
+	parallel bool
+	planCore
+	// seqExe is the single-call sequential program: the execution path for
+	// sequential plans and the post-Close fallback for parallel ones.
+	seqExe *ir.Executor
 }
 
 // NewWHTPlan prepares a WHT of size n (a power of two ≥ 2). Parallel plans
@@ -43,29 +43,31 @@ func NewWHTPlan(n int, o *Options) (*WHTPlan, error) {
 	for v := n; v > 1; v >>= 1 {
 		k++
 	}
-	p := &WHTPlan{n: n, opt: opt, flops: int64(n) * int64(k)}
-	workers := opt.Workers
-	var backend smp.Backend
-	if workers > 1 {
-		if _, ok := exec.SplitFor(n, workers, opt.CacheLineComplex); ok {
-			if opt.Backend == BackendSpawn {
-				backend = smp.NewSpawn(workers)
-			} else {
-				backend = smp.NewPool(workers)
-			}
-		} else {
-			workers = 1
-		}
-	}
-	inner, err := exec.NewWHT(k, workers, opt.CacheLineComplex, backend)
+	p := &WHTPlan{n: n, opt: opt}
+	p.init(tkWHT, int64(n)*int64(k), 0)
+	seqProg, err := ir.LowerWHT(n, 1, opt.CacheLineComplex)
 	if err != nil {
-		if backend != nil {
-			backend.Close()
-		}
 		return nil, err
 	}
-	p.inner = inner
-	p.backend = backend
+	if p.seqExe, err = ir.NewExecutor(seqProg, nil); err != nil {
+		return nil, err
+	}
+	if opt.Workers > 1 {
+		prog, err := ir.LowerWHT(n, opt.Workers, opt.CacheLineComplex)
+		if err != nil {
+			return nil, err
+		}
+		if prog.P > 1 { // admissible split found: parallel two-stage schedule
+			backend := newBackendFor(opt, prog.P)
+			exe, err := ir.NewExecutor(prog, backend)
+			if err != nil {
+				backend.Close()
+				return nil, err
+			}
+			p.exe, p.backend = exe, backend
+			p.parallel = true
+		}
+	}
 	return p, nil
 }
 
@@ -77,7 +79,16 @@ func (p *WHTPlan) N() int { return p.n }
 func (p *WHTPlan) Len() int { return p.n }
 
 // IsParallel reports whether the plan uses multiple workers.
-func (p *WHTPlan) IsParallel() bool { return p.inner.IsParallel() }
+func (p *WHTPlan) IsParallel() bool { return p.parallel }
+
+// Program returns the lowered IR program the plan executes. The program is
+// shared — callers must not mutate it.
+func (p *WHTPlan) Program() *ir.Program {
+	if e := p.exe; e != nil {
+		return e.Program()
+	}
+	return p.seqExe.Program()
+}
 
 // Transform computes dst = WHT_n(src); dst == src is allowed. The WHT is
 // self-inverse up to 1/n: Transform∘Transform = n·identity.
@@ -87,8 +98,12 @@ func (p *WHTPlan) Transform(dst, src []complex128) error {
 		return lengthError("WHT.Transform", p.n, len(dst), len(src))
 	}
 	start := metrics.Now()
-	p.inner.Transform(dst, src)
-	recordTransform(&p.rec, tkWHT, start, p.flops)
+	if e := p.exe; e != nil {
+		e.Transform(dst, src)
+	} else {
+		p.seqExe.Transform(dst, src)
+	}
+	p.record(start)
 	return nil
 }
 
@@ -112,7 +127,7 @@ func (p *WHTPlan) Inverse(dst, src []complex128) error {
 // Formula returns the fully optimized SPL formula for the plan's
 // configuration (parallel plans; sequential plans return "WHT_n").
 func (p *WHTPlan) Formula() string {
-	if !p.inner.IsParallel() {
+	if !p.parallel {
 		return fmt.Sprintf("WHT_%d", p.n)
 	}
 	k := 0
@@ -132,23 +147,6 @@ func (p *WHTPlan) Formula() string {
 }
 
 // Close releases the worker pool (if any). Idempotent; the plan's
-// statistics remain readable via Snapshot.
-func (p *WHTPlan) Close() {
-	if p.backend != nil {
-		p.finalPool = poolStatsOf(p.backend)
-		p.backend.Close()
-		p.backend = nil
-	}
-}
-
-// Snapshot returns the plan's observability record (pool statistics for
-// pooled parallel plans). Safe to call concurrently and after Close.
-func (p *WHTPlan) Snapshot() PlanStats {
-	st := PlanStats{TransformStats: transformStatsOf(&p.rec)}
-	if p.backend != nil {
-		st.Pool = poolStatsOf(p.backend)
-	} else {
-		st.Pool = p.finalPool
-	}
-	return st
-}
+// statistics remain readable via Snapshot, and subsequent transforms fall
+// back to the sequential program.
+func (p *WHTPlan) Close() { p.release() }

@@ -1,6 +1,7 @@
 package spiralfft
 
 import (
+	"context"
 	"fmt"
 
 	"spiralfft/internal/exec"
@@ -109,8 +110,25 @@ func (b *BatchPlan) Forward(dst, src []complex128) error {
 	if err := b.check(dst, src); err != nil {
 		return err
 	}
+	defer rethrowAsRegionPanic()
 	start := metrics.Now()
 	b.run(dst, src)
+	b.record(start)
+	return nil
+}
+
+// ForwardCtx is Forward under a context: cancellation is observed before
+// the batch starts and at region boundaries; on cancellation the error is
+// ctx.Err() and dst is unspecified. A nil ctx behaves like Forward.
+func (b *BatchPlan) ForwardCtx(ctx context.Context, dst, src []complex128) error {
+	if err := b.check(dst, src); err != nil {
+		return err
+	}
+	defer rethrowAsRegionPanic()
+	start := metrics.Now()
+	if err := b.runCtx(ctx, dst, src); err != nil {
+		return err
+	}
 	b.record(start)
 	return nil
 }
@@ -121,9 +139,11 @@ func (b *BatchPlan) Inverse(dst, src []complex128) error {
 	if err := b.check(dst, src); err != nil {
 		return err
 	}
+	defer rethrowAsRegionPanic()
 	start := metrics.Now()
 	// conj → forward → conj/scale, batched.
 	buf := b.getInv()
+	defer b.putInv(buf)
 	for i, v := range src {
 		buf.v[i] = complex(real(v), -imag(v))
 	}
@@ -132,7 +152,30 @@ func (b *BatchPlan) Inverse(dst, src []complex128) error {
 	for i, v := range dst {
 		dst[i] = complex(real(v)*scale, -imag(v)*scale)
 	}
-	b.putInv(buf)
+	b.record(start)
+	return nil
+}
+
+// InverseCtx is Inverse under a context, with the same cancellation
+// contract as ForwardCtx.
+func (b *BatchPlan) InverseCtx(ctx context.Context, dst, src []complex128) error {
+	if err := b.check(dst, src); err != nil {
+		return err
+	}
+	defer rethrowAsRegionPanic()
+	start := metrics.Now()
+	buf := b.getInv()
+	defer b.putInv(buf)
+	for i, v := range src {
+		buf.v[i] = complex(real(v), -imag(v))
+	}
+	if err := b.runCtx(ctx, dst, buf.v); err != nil {
+		return err
+	}
+	scale := 1 / float64(b.n)
+	for i, v := range dst {
+		dst[i] = complex(real(v)*scale, -imag(v)*scale)
+	}
 	b.record(start)
 	return nil
 }
@@ -152,6 +195,13 @@ func (b *BatchPlan) run(dst, src []complex128) {
 		return
 	}
 	b.seqExe.Transform(dst, src)
+}
+
+func (b *BatchPlan) runCtx(ctx context.Context, dst, src []complex128) error {
+	if e := b.exe; e != nil {
+		return e.TransformCtx(ctx, dst, src)
+	}
+	return b.seqExe.TransformCtx(ctx, dst, src)
 }
 
 // Close releases the worker pool (if any). Idempotent; the plan's

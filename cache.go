@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Cache is a process-wide, concurrency-safe plan cache in the spirit of
@@ -61,6 +62,7 @@ type optionsFP struct {
 	backend Backend
 	planner Planner
 	wisdom  *Wisdom
+	budget  time.Duration
 }
 
 // fingerprint returns the canonical key fields of the (possibly nil)
@@ -74,6 +76,7 @@ func (o *Options) fingerprint() optionsFP {
 		backend: opt.Backend,
 		planner: opt.Planner,
 		wisdom:  opt.Wisdom,
+		budget:  opt.PlanBudget,
 	}
 }
 
@@ -87,6 +90,9 @@ func (o *Options) Fingerprint() string {
 	s := fmt.Sprintf("w=%d mu=%d backend=%s planner=%s", fp.workers, fp.mu, fp.backend, fp.planner)
 	if fp.wisdom != nil {
 		s += fmt.Sprintf(" wisdom=%p", fp.wisdom)
+	}
+	if fp.budget > 0 {
+		s += fmt.Sprintf(" budget=%s", fp.budget)
 	}
 	return s
 }
@@ -167,15 +173,36 @@ func (e *cacheEntry) release() {
 
 // get is the shared lookup/build/singleflight path. setHook installs the
 // ref-count Close hook on a freshly built plan before it is published.
+//
+// The build path is panic-safe: if buildPlan panics, the deferred recovery
+// publishes a build error (closing ready, so every single-flight waiter
+// unblocks with that error instead of hanging forever), removes the entry so
+// the next request retries, and re-panics so the builder goroutine still
+// observes its own failure.
 func (c *Cache) get(key cacheKey, buildPlan func() (refPlan, error), setHook func(refPlan, func())) (refPlan, error) {
 	e, build := c.acquire(key)
 	if build {
+		finished := false
+		defer func() {
+			if finished {
+				return
+			}
+			// buildPlan panicked past us (or the goroutine is exiting):
+			// unwedge the waiters before the unwind continues.
+			r := recover()
+			e.finish(nil, fmt.Errorf("spiralfft: plan build panicked: %v", r))
+			if r != nil {
+				panic(r)
+			}
+		}()
 		p, err := buildPlan()
 		if err != nil {
+			finished = true
 			e.finish(nil, err)
 			return nil, err
 		}
 		setHook(p, e.release)
+		finished = true
 		e.finish(p, nil)
 		return p, nil
 	}

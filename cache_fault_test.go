@@ -1,0 +1,140 @@
+package spiralfft
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCacheSingleflightBuilderPanic is the acceptance test for the
+// single-flight hang fix: a builder that panics mid-build must (1) unblock
+// every waiter riding on the in-flight build with a build error, (2) still
+// panic on its own goroutine, and (3) leave the cache retryable — the next
+// request for the same key builds afresh and succeeds.
+func TestCacheSingleflightBuilderPanic(t *testing.T) {
+	var c Cache
+	key := cacheKey{kindComplex, 64, (&Options{}).fingerprint()}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	builderPanic := make(chan any, 1)
+
+	go func() {
+		defer func() { builderPanic <- recover() }()
+		c.get(key,
+			func() (refPlan, error) {
+				close(started)
+				<-release // hold the build until the waiters have piled up
+				panic("boom")
+			},
+			func(refPlan, func()) {})
+	}()
+	<-started
+
+	const waiters = 5
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := c.get(key,
+				func() (refPlan, error) {
+					return nil, fmt.Errorf("second build must not start while the first is in flight")
+				},
+				func(refPlan, func()) {})
+			errs <- err
+		}()
+	}
+	// All waiters must be blocked on the in-flight build before it panics.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().SingleflightWaits < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters joined the flight", c.Stats().SingleflightWaits, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("waiter got a plan from a panicked build")
+			}
+			if !strings.Contains(err.Error(), "panicked") {
+				t.Errorf("waiter error does not report the panic: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d still hung %s after the builder panicked", i, "5s")
+		}
+	}
+	select {
+	case r := <-builderPanic:
+		if fmt.Sprint(r) != "boom" {
+			t.Errorf("builder re-panic = %v, want boom", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("builder goroutine never re-panicked")
+	}
+
+	// The failed entry was removed: a fresh request retries and succeeds.
+	p, err := c.Plan(64, nil)
+	if err != nil {
+		t.Fatalf("retry after panicked build: %v", err)
+	}
+	defer p.Close()
+	if st := c.Stats(); st.Live != 1 {
+		t.Errorf("Live = %d after retry, want 1", st.Live)
+	}
+}
+
+// TestCacheBuildErrorUnblocksWaiters: the ordinary failed-build path must
+// give every single-flight waiter the builder's error and leave the entry
+// removed for retry.
+func TestCacheBuildErrorUnblocksWaiters(t *testing.T) {
+	var c Cache
+	key := cacheKey{kindComplex, 128, (&Options{}).fingerprint()}
+	buildErr := fmt.Errorf("no such codelet")
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+
+	go func() {
+		c.get(key,
+			func() (refPlan, error) {
+				close(started)
+				<-release
+				return nil, buildErr
+			},
+			func(refPlan, func()) {})
+	}()
+	<-started
+	const waiters = 4
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.get(key, func() (refPlan, error) { return nil, nil }, func(refPlan, func()) {})
+			errs <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().SingleflightWaits < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters joined the flight", c.Stats().SingleflightWaits, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; err != buildErr {
+			t.Errorf("waiter error = %v, want the builder's error", err)
+		}
+	}
+	if st := c.Stats(); st.Live != 0 {
+		t.Errorf("failed entry still cached: Live = %d", st.Live)
+	}
+}

@@ -1,6 +1,7 @@
 package spiralfft
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 
@@ -58,6 +59,14 @@ func (p *DCTPlan) IsParallel() bool { return p.inner.IsParallel() }
 // Forward computes the unnormalized DCT-II of src into dst (both length n).
 // Forward is safe for concurrent use.
 func (p *DCTPlan) Forward(dst, src []float64) error {
+	return p.ForwardCtx(nil, dst, src)
+}
+
+// ForwardCtx is Forward under a context: cancellation is observed before
+// the inner DFT and at its region boundaries; on cancellation the error is
+// ctx.Err() and dst is unspecified. A nil ctx behaves like Forward. Region
+// panics surface as *RegionPanicError (see Plan.Forward).
+func (p *DCTPlan) ForwardCtx(ctx context.Context, dst, src []float64) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return fmt.Errorf("%w: DCT Forward: dst %d, src %d, want %d", ErrLengthMismatch, len(dst), len(src), p.n)
 	}
@@ -73,7 +82,7 @@ func (p *DCTPlan) Forward(dst, src []float64) error {
 	for j := 0; 2*j+1 < n; j++ {
 		v[n-1-j] = complex(src[2*j+1], 0)
 	}
-	if err := p.inner.Forward(v, v); err != nil {
+	if err := p.inner.ForwardCtx(ctx, v, v); err != nil {
 		return err
 	}
 	for k := 0; k < n; k++ {
@@ -87,6 +96,12 @@ func (p *DCTPlan) Forward(dst, src []float64) error {
 // coefficients: Inverse(Forward(x)) == x (it applies the appropriately
 // scaled DCT-III).
 func (p *DCTPlan) Inverse(dst, src []float64) error {
+	return p.InverseCtx(nil, dst, src)
+}
+
+// InverseCtx is Inverse under a context, with the same cancellation
+// contract as ForwardCtx.
+func (p *DCTPlan) InverseCtx(ctx context.Context, dst, src []float64) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return fmt.Errorf("%w: DCT Inverse: dst %d, src %d, want %d", ErrLengthMismatch, len(dst), len(src), p.n)
 	}
@@ -101,7 +116,7 @@ func (p *DCTPlan) Inverse(dst, src []float64) error {
 	for k := 1; k < n; k++ {
 		v[k] = cmplx.Conj(p.w[k]) * complex(src[k], -src[n-k])
 	}
-	if err := p.inner.Inverse(v, v); err != nil {
+	if err := p.inner.InverseCtx(ctx, v, v); err != nil {
 		return err
 	}
 	for j := 0; 2*j < n; j++ {

@@ -1,0 +1,103 @@
+// Package faultinject provides test-only fault hooks for the execution
+// substrate. Tests arm a Config describing a fault — a panic on the Nth
+// region entry of a chosen worker, an artificial delay, or a cancellation
+// trigger — and the IR executor reports every region entry through the
+// Region hook, which applies the armed fault.
+//
+// The package is wired into production code paths but costs a single atomic
+// pointer load per region entry while disarmed (the permanent state outside
+// tests), so the recovery and cancellation paths it exercises are exactly
+// the ones production traffic takes.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes one armed fault.
+type Config struct {
+	// Worker targets one worker index; AnyWorker (-1) matches all workers.
+	Worker int
+	// PanicAt, when > 0, panics with PanicValue on the PanicAt-th matching
+	// region entry (1-based).
+	PanicAt int64
+	// PanicValue is the value passed to panic (default a descriptive string).
+	PanicValue any
+	// Delay, when > 0, sleeps at every matching region entry — for widening
+	// race windows and exercising slow-worker joins.
+	Delay time.Duration
+	// CancelAt, when > 0, calls Cancel once on the CancelAt-th matching
+	// region entry — for injecting context cancellation mid-transform.
+	CancelAt int64
+	// Cancel is the function CancelAt invokes (typically a context.CancelFunc).
+	Cancel func()
+}
+
+// AnyWorker is the Config.Worker value matching every worker.
+const AnyWorker = -1
+
+// injector is one armed fault with its entry counter.
+type injector struct {
+	cfg   Config
+	count atomic.Int64
+}
+
+// current holds the armed injector; nil (the steady state) disarms all hooks.
+var current atomic.Pointer[injector]
+
+// Arm installs the fault described by c and returns the disarm function.
+// Only one fault may be armed at a time; tests must defer the returned
+// disarm. Arm panics when a fault is already armed (overlapping tests).
+func Arm(c Config) (disarm func()) {
+	in := &injector{cfg: c}
+	if !current.CompareAndSwap(nil, in) {
+		panic("faultinject: a fault is already armed")
+	}
+	return func() { current.CompareAndSwap(in, nil) }
+}
+
+// Armed reports whether a fault is currently armed.
+func Armed() bool { return current.Load() != nil }
+
+// Count returns the number of matching region entries the armed fault has
+// observed (0 when disarmed).
+func Count() int64 {
+	if in := current.Load(); in != nil {
+		return in.count.Load()
+	}
+	return 0
+}
+
+// Region is the hook the IR executor calls once per worker per region entry
+// (at program start and after every barrier). Disarmed it is one atomic
+// load; armed it counts matching entries and applies the configured fault.
+func Region(worker int) {
+	in := current.Load()
+	if in == nil {
+		return
+	}
+	in.region(worker)
+}
+
+func (in *injector) region(worker int) {
+	c := &in.cfg
+	if c.Worker != AnyWorker && worker != c.Worker {
+		return
+	}
+	n := in.count.Add(1)
+	if c.Delay > 0 {
+		time.Sleep(c.Delay)
+	}
+	if c.CancelAt > 0 && n == c.CancelAt && c.Cancel != nil {
+		c.Cancel()
+	}
+	if c.PanicAt > 0 && n == c.PanicAt {
+		v := c.PanicValue
+		if v == nil {
+			v = fmt.Sprintf("faultinject: injected panic at region entry %d of worker %d", n, worker)
+		}
+		panic(v)
+	}
+}

@@ -3,12 +3,14 @@ package ir
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/faultinject"
 	"spiralfft/internal/metrics"
 	"spiralfft/internal/smp"
 )
@@ -46,6 +48,11 @@ type Executor struct {
 	regionMu sync.Mutex
 	body     func(w int)
 	cur      *execCtx
+	// numBarriers is the per-worker barrier count (every worker carries the
+	// same count); the panic-containment path uses it to drain a panicking
+	// worker's remaining barrier arrivals so the other workers' protocol
+	// still lines up.
+	numBarriers int
 	// barrierNs accumulates worker time spent in barriers (recorded only
 	// while metrics are enabled).
 	barrierNs metrics.Counter
@@ -59,6 +66,10 @@ type execCtx struct {
 	scratch  [][]complex128
 	barrier  *smp.SpinBarrier
 	dst, src []complex128
+	// cancel, when non-nil, is the TransformCtx context: workers poll it at
+	// region boundaries (after every barrier) and abandon the remaining
+	// regions once it is cancelled, so cancellation latency is one region.
+	cancel context.Context
 }
 
 // compiledOp is the flattened, dispatch-ready form of one Op (or barrier).
@@ -117,6 +128,7 @@ func NewExecutor(prog *Program, backend smp.Backend) (*Executor, error) {
 	for _, nd := range prog.Nodes {
 		switch t := nd.(type) {
 		case Barrier:
+			e.numBarriers++
 			for w := 0; w < prog.P; w++ {
 				e.workers[w] = append(e.workers[w], compiledOp{kind: opBarrier})
 			}
@@ -261,12 +273,51 @@ func (e *Executor) BarrierWait() time.Duration {
 // Transform computes dst = program(src). dst == src is allowed whenever the
 // lowering permits it (every Lower* in this package does). Transform is safe
 // for concurrent use; see the type comment for the Generic-op exception.
+//
+// A panic inside a region body (a codelet, an injected fault) does not
+// crash the worker pool or wedge the barrier protocol: the panicking worker
+// drains its remaining barrier arrivals, the region joins normally, and
+// Transform re-panics one representative *smp.WorkerPanic on the caller's
+// goroutine. The executor remains fully usable afterwards.
 func (e *Executor) Transform(dst, src []complex128) {
+	e.run(nil, dst, src)
+}
+
+// TransformCtx is Transform with cooperative cancellation: an already
+// cancelled context returns its error without running any region, and a
+// context cancelled mid-transform is observed at the next region boundary
+// (dst is then left partially written — a deterministic prefix of the
+// program's regions). The returned error is ctx.Err() or nil.
+func (e *Executor) TransformCtx(ctx context.Context, dst, src []complex128) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			metrics.CancelledTransforms.Inc()
+			return err
+		}
+	}
+	e.run(ctx, dst, src)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			metrics.CancelledTransforms.Inc()
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Executor) run(cctx context.Context, dst, src []complex128) {
 	if len(dst) != e.n || len(src) != e.n {
 		panic(fmt.Sprintf("ir: Transform length mismatch: program %d, dst %d, src %d", e.n, len(dst), len(src)))
 	}
 	ctx := e.ctxs.Get().(*execCtx)
-	ctx.dst, ctx.src = dst, src
+	ctx.dst, ctx.src, ctx.cancel = dst, src, cctx
+	// The context is returned to the pool even when a contained region
+	// panic propagates: the barrier protocol has fully joined by then, so
+	// the buffers are quiescent and safe to reuse.
+	defer func() {
+		ctx.dst, ctx.src, ctx.cancel = nil, nil, nil
+		e.ctxs.Put(ctx)
+	}()
 	if metrics.Enabled() {
 		pprof.Do(context.Background(),
 			pprof.Labels("spiralfft.region", e.prog.Name, "spiralfft.n", strconv.Itoa(e.n)),
@@ -274,28 +325,41 @@ func (e *Executor) Transform(dst, src []complex128) {
 	} else {
 		e.dispatch(ctx)
 	}
-	ctx.dst, ctx.src = nil, nil
-	e.ctxs.Put(ctx)
 }
 
 // dispatch runs the whole program — all regions, one backend.Run — so the
 // inter-stage barriers are the cheap in-region spin barriers rather than
 // full region joins (the same single-region schedule exec.Parallel uses).
+// Serialization state is released via defer so a contained panic cannot
+// leave the executor wedged.
 func (e *Executor) dispatch(ctx *execCtx) {
 	if e.p == 1 {
 		if e.serial {
 			e.regionMu.Lock()
 			defer e.regionMu.Unlock()
 		}
+		// Wrap inline panics as *smp.WorkerPanic so the containment
+		// contract is uniform with the backend-dispatched paths.
+		defer func() {
+			if r := recover(); r != nil {
+				if wp, ok := r.(*smp.WorkerPanic); ok {
+					panic(wp)
+				}
+				metrics.RecoveredPanics.Inc()
+				panic(&smp.WorkerPanic{Worker: 0, Value: r, Stack: debug.Stack()})
+			}
+		}()
 		e.runWorker(0, ctx)
 		return
 	}
 	if e.serial {
 		e.regionMu.Lock()
+		defer func() {
+			e.cur = nil
+			e.regionMu.Unlock()
+		}()
 		e.cur = ctx
 		e.backend.Run(e.body)
-		e.cur = nil
-		e.regionMu.Unlock()
 	} else {
 		e.backend.Run(func(w int) { e.runWorker(w, ctx) })
 	}
@@ -315,19 +379,53 @@ func (ctx *execCtx) buf(b Buf) []complex128 {
 
 // runWorker executes worker w's compiled op sequence on the buffers of the
 // call's execution context.
+//
+// Fault containment: if an op panics, the worker drains its remaining
+// barrier arrivals before re-throwing, so the other workers — which keep
+// waiting at the shared SpinBarrier — always see a complete protocol and
+// the region joins. Cancellation: with a TransformCtx context installed,
+// the worker polls ctx.cancel at every region boundary and drains out early
+// once it is cancelled.
 func (e *Executor) runWorker(w int, ctx *execCtx) {
+	passed := 0 // barriers this worker has arrived at
+	if e.p > 1 {
+		defer func() {
+			if r := recover(); r != nil {
+				for ; passed < e.numBarriers; passed++ {
+					ctx.barrier.Wait()
+				}
+				panic(r)
+			}
+		}()
+	}
+	faultinject.Region(w)
 	scratch := ctx.scratch[w]
 	for _, op := range e.workers[w] {
 		switch op.kind {
 		case opBarrier:
 			if e.p == 1 {
+				if cc := ctx.cancel; cc != nil && cc.Err() != nil {
+					return
+				}
+				faultinject.Region(w)
 				continue
 			}
 			bs := metrics.Now()
 			ctx.barrier.Wait()
+			passed++
 			if !bs.IsZero() {
 				e.barrierNs.Add(int64(time.Since(bs)))
 			}
+			if cc := ctx.cancel; cc != nil && cc.Err() != nil {
+				// Cancelled: skip the remaining regions, draining the
+				// remaining barrier arrivals so workers that race past this
+				// check still join cleanly.
+				for ; passed < e.numBarriers; passed++ {
+					ctx.barrier.Wait()
+				}
+				return
+			}
+			faultinject.Region(w)
 		case opCodelet:
 			op.seq.TransformStrided(ctx.buf(op.dst), op.doff, op.ds, ctx.buf(op.src), op.soff, op.ss, op.tw, scratch)
 		case opCodeletPre:

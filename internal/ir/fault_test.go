@@ -1,0 +1,174 @@
+package ir
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"spiralfft/internal/exec"
+	"spiralfft/internal/faultinject"
+	"spiralfft/internal/smp"
+)
+
+// parallelProg lowers the 4-worker multicore CT program used by the fault
+// tests (two stages, so every worker passes at least one barrier).
+func parallelProg(t *testing.T) *Program {
+	t.Helper()
+	prog, err := LowerCT(1024, 64, CTConfig{P: 4})
+	if err != nil {
+		t.Fatalf("LowerCT: %v", err)
+	}
+	return prog
+}
+
+// TestExecutorPanicDrainsBarriers injects a panic into one worker of a
+// multi-barrier parallel program: the other workers' barrier protocol must
+// still complete (no deadlock), Transform must re-panic a *smp.WorkerPanic
+// naming the worker, and the same executor must then produce bit-correct
+// output.
+func TestExecutorPanicDrainsBarriers(t *testing.T) {
+	prog := parallelProg(t)
+	backend := smp.NewPool(4)
+	defer backend.Close()
+	e, err := NewExecutor(prog, backend)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	src := randVec(1024, rng)
+	want := make([]complex128, 1024)
+	e.Transform(want, src) // healthy reference output from this executor
+
+	for _, target := range []int{0, 1, 3} {
+		func() {
+			disarm := faultinject.Arm(faultinject.Config{Worker: target, PanicAt: 1})
+			defer disarm()
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("worker %d: injected panic was swallowed", target)
+				}
+				wp, ok := r.(*smp.WorkerPanic)
+				if !ok {
+					t.Fatalf("worker %d: re-panic is %T, want *smp.WorkerPanic", target, r)
+				}
+				if wp.Worker != target {
+					t.Errorf("WorkerPanic.Worker = %d, want %d", wp.Worker, target)
+				}
+			}()
+			got := make([]complex128, 1024)
+			e.Transform(got, src)
+		}()
+		// The executor (and its pool) must be fully usable afterwards.
+		got := make([]complex128, 1024)
+		e.Transform(got, src)
+		requireIdentical(t, want, got, "post-panic transform")
+	}
+}
+
+// TestExecutorPanicMidProgram panics a worker at its second region entry
+// (i.e. after it has already passed a barrier), exercising the partial-drain
+// path where only the remaining barriers are drained.
+func TestExecutorPanicMidProgram(t *testing.T) {
+	prog := parallelProg(t)
+	backend := smp.NewPool(4)
+	defer backend.Close()
+	e, err := NewExecutor(prog, backend)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	src := randVec(1024, rng)
+	want := make([]complex128, 1024)
+	e.Transform(want, src)
+
+	func() {
+		disarm := faultinject.Arm(faultinject.Config{Worker: 2, PanicAt: 2})
+		defer disarm()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("mid-program panic was swallowed")
+			}
+		}()
+		got := make([]complex128, 1024)
+		e.Transform(got, src)
+	}()
+	got := make([]complex128, 1024)
+	e.Transform(got, src)
+	requireIdentical(t, want, got, "post-mid-panic transform")
+}
+
+// TestTransformCtxPreCancelled: an already-cancelled context must return
+// promptly without entering a single region.
+func TestTransformCtxPreCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prog, err := LowerCT(1024, 64, CTConfig{P: workers})
+		if workers == 1 {
+			tree := exec.RadixTree(1024)
+			prog, err = LowerTree(tree)
+		}
+		if err != nil {
+			t.Fatalf("lower (p=%d): %v", workers, err)
+		}
+		var backend smp.Backend
+		if workers > 1 {
+			pool := smp.NewPool(workers)
+			defer pool.Close()
+			backend = pool
+		}
+		e, err := NewExecutor(prog, backend)
+		if err != nil {
+			t.Fatalf("NewExecutor: %v", err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		disarm := faultinject.Arm(faultinject.Config{Worker: faultinject.AnyWorker})
+		src := make([]complex128, 1024)
+		dst := make([]complex128, 1024)
+		if err := e.TransformCtx(ctx, dst, src); !errors.Is(err, context.Canceled) {
+			disarm()
+			t.Fatalf("p=%d: TransformCtx on cancelled ctx = %v, want context.Canceled", workers, err)
+		}
+		if n := faultinject.Count(); n != 0 {
+			disarm()
+			t.Fatalf("p=%d: %d region entries ran despite pre-cancelled ctx", workers, n)
+		}
+		disarm()
+	}
+}
+
+// TestTransformCtxCancelMidTransform cancels at a region boundary via the
+// injection hook: the call must return ctx.Err() and the executor must stay
+// usable.
+func TestTransformCtxCancelMidTransform(t *testing.T) {
+	prog := parallelProg(t)
+	backend := smp.NewPool(4)
+	defer backend.Close()
+	e, err := NewExecutor(prog, backend)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	src := randVec(1024, rng)
+	want := make([]complex128, 1024)
+	e.Transform(want, src)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel when worker 0 enters its first region: the cancellation is
+	// then observed at the stage barrier.
+	disarm := faultinject.Arm(faultinject.Config{Worker: 0, CancelAt: 1, Cancel: cancel})
+	got := make([]complex128, 1024)
+	err = e.TransformCtx(ctx, got, src)
+	disarm()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("TransformCtx = %v, want context.Canceled", err)
+	}
+	// Executor unharmed: a fresh uncancelled transform is bit-correct.
+	got2 := make([]complex128, 1024)
+	if err := e.TransformCtx(context.Background(), got2, src); err != nil {
+		t.Fatalf("post-cancel TransformCtx: %v", err)
+	}
+	requireIdentical(t, want, got2, "post-cancel transform")
+}

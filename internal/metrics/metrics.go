@@ -62,6 +62,20 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 func (c *Counter) Load() int64 { return c.v.Load() }
 
 // ---------------------------------------------------------------------------
+// Process-wide fault counters
+
+// RecoveredPanics counts region-body panics the execution substrate has
+// recovered (the panic is re-thrown to the transform caller as a typed
+// error value; the worker pool itself survives). A nonzero value under
+// production traffic means some input or codelet is poisoning transforms.
+var RecoveredPanics Counter
+
+// CancelledTransforms counts context-aware transforms abandoned because
+// their context was cancelled or hit its deadline, either before running or
+// at a region boundary.
+var CancelledTransforms Counter
+
+// ---------------------------------------------------------------------------
 // Histogram
 
 // HistBuckets is the number of power-of-two latency buckets: bucket i counts

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -50,6 +51,12 @@ type Tuner struct {
 	Timer    TimerConfig
 	// RandomSamples bounds StrategyRandom (default 30).
 	RandomSamples int
+	// Budget, when positive, bounds the total planning time of each
+	// top-level BestTree/TuneParallel call: once it is spent, candidate
+	// loops stop and the best tree found so far wins (the balanced radix
+	// tree when nothing was measured in time). A context deadline passed to
+	// the Ctx variants composes with it — the earlier of the two applies.
+	Budget time.Duration
 	// Trace, when set, receives one event per candidate tree considered
 	// (with its measured or modeled cost) and one per winner chosen —
 	// Spiral's search log as a stream. Opt-in: nil (the default) costs
@@ -60,6 +67,11 @@ type Tuner struct {
 	memo map[int]Result
 	// stats counts search work (Tuner is single-goroutine, plain ints).
 	stats TunerStats
+	// Active-search deadline state, set by beginSearch on the outermost
+	// BestTree/TuneParallel entry and cleared by endSearch.
+	ctx      context.Context
+	deadline time.Time
+	depth    int
 }
 
 // TunerStats counts the work a Tuner has done.
@@ -105,6 +117,72 @@ func NewTuner(s Strategy) *Tuner {
 
 // BestTree returns the tuned factorization tree for DFT_n.
 func (t *Tuner) BestTree(n int) Result {
+	return t.BestTreeCtx(context.Background(), n)
+}
+
+// BestTreeCtx is BestTree under a context: the search observes ctx's
+// deadline/cancellation (and the Tuner's Budget, whichever is earlier) at
+// candidate granularity and returns the best tree found so far when time
+// runs out — falling back to the balanced radix tree if no candidate was
+// measured. Truncated results are not memoized, so a later call with fresh
+// budget searches again.
+func (t *Tuner) BestTreeCtx(ctx context.Context, n int) Result {
+	t.beginSearch(ctx)
+	defer t.endSearch()
+	return t.bestTree(n)
+}
+
+// beginSearch arms the deadline state for a top-level search entry; nested
+// entries (dp recursing through BestTree) inherit the outer deadline.
+func (t *Tuner) beginSearch(ctx context.Context) {
+	t.depth++
+	if t.depth > 1 {
+		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t.ctx = ctx
+	t.deadline = time.Time{}
+	if t.Budget > 0 {
+		t.deadline = now().Add(t.Budget)
+	}
+	if d, ok := ctx.Deadline(); ok && (t.deadline.IsZero() || d.Before(t.deadline)) {
+		t.deadline = d
+	}
+}
+
+func (t *Tuner) endSearch() {
+	t.depth--
+	if t.depth == 0 {
+		t.ctx = nil
+		t.deadline = time.Time{}
+	}
+}
+
+// expired reports whether the active search is out of time.
+func (t *Tuner) expired() bool {
+	if t.ctx != nil && t.ctx.Err() != nil {
+		return true
+	}
+	return !t.deadline.IsZero() && !now().Before(t.deadline)
+}
+
+// measureContext derives the context handed to MeasureCtx so that a single
+// slow candidate cannot overrun the search deadline by more than one
+// measurement round.
+func (t *Tuner) measureContext() (context.Context, context.CancelFunc) {
+	ctx := t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if t.deadline.IsZero() {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, t.deadline)
+}
+
+func (t *Tuner) bestTree(n int) Result {
 	if r, ok := t.memo[n]; ok {
 		return r
 	}
@@ -120,7 +198,14 @@ func (t *Tuner) BestTree(n int) Result {
 	default:
 		r = t.dp(n)
 	}
-	t.memo[n] = r
+	if r.Tree == nil {
+		// Deadline preempted every candidate: the balanced radix tree is
+		// always admissible and a sound untuned default.
+		r.Tree = exec.RadixTree(n)
+	}
+	if !t.expired() {
+		t.memo[n] = r
+	}
 	if r.Tree != nil {
 		t.trace("winner", n, r.Tree.String(), r.Time)
 	}
@@ -131,10 +216,13 @@ func (t *Tuner) BestTree(n int) Result {
 // trees of m and k, cost measured by running the actual subplan.
 func (t *Tuner) dp(n int) Result {
 	candidates := t.candidateTrees(n, func(m, k int) (*exec.Tree, *exec.Tree) {
-		return t.BestTree(m).Tree, t.BestTree(k).Tree
+		return t.bestTree(m).Tree, t.bestTree(k).Tree
 	})
 	best := Result{Candidates: len(candidates)}
 	for _, tr := range candidates {
+		if t.expired() {
+			break
+		}
 		d := t.measureTree(tr)
 		if best.Tree == nil || d < best.Time {
 			best.Tree, best.Time = tr, d
@@ -146,10 +234,13 @@ func (t *Tuner) dp(n int) Result {
 // estimate: same candidate set, analytic cost model instead of measurement.
 func (t *Tuner) estimate(n int) Result {
 	candidates := t.candidateTrees(n, func(m, k int) (*exec.Tree, *exec.Tree) {
-		return t.BestTree(m).Tree, t.BestTree(k).Tree
+		return t.bestTree(m).Tree, t.bestTree(k).Tree
 	})
 	best := Result{Candidates: len(candidates)}
 	for _, tr := range candidates {
+		if t.expired() {
+			break
+		}
 		t.stats.Considered++
 		c := time.Duration(ModelCost(tr))
 		t.trace("candidate", tr.N, tr.String(), c)
@@ -165,6 +256,9 @@ func (t *Tuner) exhaustive(n int) Result {
 	trees := allTrees(n, make(map[int][]*exec.Tree))
 	best := Result{Candidates: len(trees)}
 	for _, tr := range trees {
+		if t.expired() {
+			break
+		}
 		d := t.measureTree(tr)
 		if best.Tree == nil || d < best.Time {
 			best.Tree, best.Time = tr, d
@@ -177,6 +271,9 @@ func (t *Tuner) exhaustive(n int) Result {
 func (t *Tuner) random(n int) Result {
 	best := Result{Candidates: t.RandomSamples}
 	for i := 0; i < t.RandomSamples; i++ {
+		if t.expired() {
+			break
+		}
 		tr := t.randomTree(n)
 		d := t.measureTree(tr)
 		if best.Tree == nil || d < best.Time {
@@ -212,13 +309,15 @@ func (t *Tuner) measureTree(tr *exec.Tree) time.Duration {
 	t.stats.Considered++
 	s, err := exec.NewSeq(tr)
 	if err != nil {
-		return 1<<62 - 1
+		return unmeasured
 	}
 	t.stats.Measured++
 	x := complexvec.Random(tr.N, 7)
 	y := make([]complex128, tr.N)
 	scratch := s.NewScratch()
-	d := Measure(func() { s.Transform(y, x, scratch) }, t.Timer)
+	ctx, cancel := t.measureContext()
+	d := MeasureCtx(ctx, func() { s.Transform(y, x, scratch) }, t.Timer)
+	cancel()
 	t.trace("candidate", tr.N, tr.String(), d)
 	return d
 }
@@ -332,11 +431,21 @@ func (c ParallelChoice) Time() time.Duration {
 // returns the fastest. The returned Parallel plan (if any) references the
 // backend; the caller owns both.
 func (t *Tuner) TuneParallel(n, p, mu int, backend smp.Backend) (ParallelChoice, error) {
+	return t.TuneParallelCtx(context.Background(), n, p, mu, backend)
+}
+
+// TuneParallelCtx is TuneParallel under a context deadline (composed with
+// Tuner.Budget, the earlier applies): when time runs out it stops trying
+// further splits and returns the best plan measured so far — at worst the
+// untuned sequential radix-tree plan, never an error from expiry alone.
+func (t *Tuner) TuneParallelCtx(ctx context.Context, n, p, mu int, backend smp.Backend) (ParallelChoice, error) {
 	if p < 1 {
 		return ParallelChoice{}, fmt.Errorf("search: TuneParallel p=%d", p)
 	}
+	t.beginSearch(ctx)
+	defer t.endSearch()
 	t.stats.Searches++
-	seq := t.BestTree(n)
+	seq := t.bestTree(n)
 	choice := ParallelChoice{N: n, Tree: seq.Tree, SeqTime: seq.Time}
 	if t.Strategy == StrategyEstimate {
 		// The cost model has no synchronization term; re-measure the
@@ -351,17 +460,22 @@ func (t *Tuner) TuneParallel(n, p, mu int, backend smp.Backend) (ParallelChoice,
 	y := make([]complex128, n)
 	bestPar := time.Duration(0)
 	for _, m := range parallelSplits(n, p, mu) {
+		if t.expired() {
+			break
+		}
 		pl, err := exec.NewParallel(n, m, exec.ParallelConfig{
 			P:         p,
 			Mu:        mu,
 			Backend:   backend,
-			LeftTree:  t.BestTree(m).Tree,
-			RightTree: t.BestTree(n / m).Tree,
+			LeftTree:  t.bestTree(m).Tree,
+			RightTree: t.bestTree(n / m).Tree,
 		})
 		if err != nil {
 			continue
 		}
-		d := Measure(func() { pl.Transform(y, x) }, t.Timer)
+		mctx, cancel := t.measureContext()
+		d := MeasureCtx(mctx, func() { pl.Transform(y, x) }, t.Timer)
+		cancel()
 		t.stats.Considered++
 		t.stats.Measured++
 		t.trace("parallel-candidate", n, fmt.Sprintf("%d·%d", m, n/m), d)

@@ -1,0 +1,182 @@
+package smp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// runRecovering runs fn and returns the *WorkerPanic it re-panics, or nil.
+func runRecovering(t *testing.T, fn func()) (wp *WorkerPanic) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var ok bool
+		if wp, ok = r.(*WorkerPanic); !ok {
+			t.Fatalf("re-panic value is %T (%v), want *WorkerPanic", r, r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// checkBackendSurvivesPanic drives one backend through the containment
+// contract: a panicking region re-panics a *WorkerPanic naming the worker,
+// and the same backend then completes a full region correctly.
+func checkBackendSurvivesPanic(t *testing.T, b Backend, target int) {
+	t.Helper()
+	p := b.Workers()
+	wp := runRecovering(t, func() {
+		b.Run(func(w int) {
+			if w == target {
+				panic(fmt.Sprintf("injected on %d", w))
+			}
+		})
+	})
+	if wp == nil {
+		t.Fatalf("worker %d panic was swallowed", target)
+	}
+	if wp.Worker != target {
+		t.Errorf("WorkerPanic.Worker = %d, want %d", wp.Worker, target)
+	}
+	if !strings.Contains(fmt.Sprint(wp.Value), "injected") {
+		t.Errorf("panic value lost: %v", wp.Value)
+	}
+	if len(wp.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	// The backend must be fully usable afterwards.
+	hits := make([]atomic.Int32, p)
+	b.Run(func(w int) { hits[w].Add(1) })
+	for w := range hits {
+		if got := hits[w].Load(); got != 1 {
+			t.Errorf("post-panic region: worker %d ran %d times, want 1", w, got)
+		}
+	}
+}
+
+func TestPoolPanicContainment(t *testing.T) {
+	for _, target := range []int{0, 1, 3} {
+		t.Run(fmt.Sprintf("worker%d", target), func(t *testing.T) {
+			pool := NewPool(4)
+			defer pool.Close()
+			checkBackendSurvivesPanic(t, pool, target)
+			if got := pool.Stats().RecoveredPanics; got != 1 {
+				t.Errorf("RecoveredPanics = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestPoolAllWorkersPanic(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	wp := runRecovering(t, func() {
+		pool.Run(func(w int) { panic(w) })
+	})
+	if wp == nil {
+		t.Fatal("all-worker panic was swallowed")
+	}
+	if got := pool.Stats().RecoveredPanics; got != 4 {
+		t.Errorf("RecoveredPanics = %d, want 4", got)
+	}
+	// One representative only; the pool must have cleared the slot.
+	var sum atomic.Int32
+	pool.Run(func(w int) { sum.Add(int32(w + 1)) })
+	if sum.Load() != 1+2+3+4 {
+		t.Errorf("post-panic region incomplete: sum = %d", sum.Load())
+	}
+}
+
+func TestPoolSingleWorkerPanic(t *testing.T) {
+	pool := NewPool(1)
+	defer pool.Close()
+	checkBackendSurvivesPanic(t, pool, 0)
+}
+
+func TestPoolErrorPanicUnwraps(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	sentinel := errors.New("poisoned table")
+	wp := runRecovering(t, func() {
+		pool.Run(func(w int) {
+			if w == 1 {
+				panic(sentinel)
+			}
+		})
+	})
+	if wp == nil {
+		t.Fatal("panic swallowed")
+	}
+	if !errors.Is(wp, sentinel) {
+		t.Errorf("errors.Is(wp, sentinel) = false; Unwrap broken")
+	}
+}
+
+func TestSpawnPanicContainment(t *testing.T) {
+	checkBackendSurvivesPanic(t, NewSpawn(4), 2)
+}
+
+func TestSequentialPanicContainment(t *testing.T) {
+	checkBackendSurvivesPanic(t, Sequential{}, 0)
+}
+
+// TestPoolCloseAfterPanic checks the full lifecycle: panic, reuse, clean
+// shutdown (Close must not hang on a pool that contained a panic).
+func TestPoolCloseAfterPanic(t *testing.T) {
+	pool := NewPool(3)
+	runRecovering(t, func() {
+		pool.Run(func(w int) {
+			if w == 2 {
+				panic("late worker")
+			}
+		})
+	})
+	var n atomic.Int32
+	pool.Run(func(int) { n.Add(1) })
+	if n.Load() != 3 {
+		t.Fatalf("region ran on %d workers, want 3", n.Load())
+	}
+	pool.Close()
+	pool.Close() // idempotent
+}
+
+// TestPoolOversubscriptionLive checks that the spin-vs-yield policy and the
+// Stats report track GOMAXPROCS changes made after the pool was built.
+func TestPoolOversubscriptionLive(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skip("needs GOMAXPROCS >= 2")
+	}
+	pool := NewPool(2)
+	defer pool.Close()
+	if pool.Stats().Oversubscribed {
+		t.Fatalf("2-worker pool on %d procs reported oversubscribed", procs)
+	}
+	runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(procs)
+	if !pool.Stats().Oversubscribed {
+		t.Error("Stats froze the construction-time policy: want live oversubscribed=true after GOMAXPROCS(1)")
+	}
+	// A region must still dispatch and join under the flipped policy.
+	var n atomic.Int32
+	pool.Run(func(int) { n.Add(1) })
+	if n.Load() != 2 {
+		t.Errorf("oversubscribed region ran on %d workers, want 2", n.Load())
+	}
+	if !pool.noSpin.Load() {
+		t.Error("Run did not re-evaluate the noSpin policy")
+	}
+	runtime.GOMAXPROCS(procs)
+	var m atomic.Int32
+	pool.Run(func(int) { m.Add(1) })
+	if pool.noSpin.Load() {
+		t.Error("noSpin policy stuck after GOMAXPROCS restored")
+	}
+}

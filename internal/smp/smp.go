@@ -24,6 +24,7 @@ package smp
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,12 @@ type Backend interface {
 	// calls have completed (an implicit join barrier). Run must not be
 	// called from inside fn, and — unless Concurrent reports true — must
 	// not be called concurrently with itself.
+	//
+	// A panic inside fn is contained: it is recovered on the worker that
+	// raised it (the join barrier still completes, and pooled workers keep
+	// running), and after the join Run re-panics one representative
+	// *WorkerPanic on the caller's goroutine. The backend remains fully
+	// usable afterwards.
 	Run(fn func(worker int))
 	// Concurrent reports whether independent Run calls may proceed
 	// concurrently. Pooled backends dispatch through shared epoch state and
@@ -64,6 +71,47 @@ const yieldLimit = 128
 func oversubscribed(p int) bool { return p > runtime.GOMAXPROCS(0) }
 
 // ---------------------------------------------------------------------------
+// Worker panic containment
+
+// WorkerPanic is the value Run re-panics on the caller's goroutine when a
+// region body panics inside a worker. The original panic value and the
+// panicking worker's stack are preserved; when several workers panic in one
+// region, the first one recovered is the representative (the others are
+// counted but dropped).
+type WorkerPanic struct {
+	// Worker is the index of the worker whose region body panicked.
+	Worker int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker's stack, captured at recovery.
+	Stack []byte
+}
+
+// Error renders the panic for use as an error value; WorkerPanic satisfies
+// the error interface so recovered values compose with errors.As.
+func (w *WorkerPanic) Error() string {
+	return fmt.Sprintf("smp: worker %d panicked: %v", w.Worker, w.Value)
+}
+
+// Unwrap exposes an underlying error panic value to errors.Is/As chains.
+func (w *WorkerPanic) Unwrap() error {
+	if err, ok := w.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// capturePanic wraps a recovered panic value as a *WorkerPanic, preserving
+// an existing wrapper (nested Run calls) and counting the recovery.
+func capturePanic(worker int, r any) *WorkerPanic {
+	metrics.RecoveredPanics.Inc()
+	if wp, ok := r.(*WorkerPanic); ok {
+		return wp
+	}
+	return &WorkerPanic{Worker: worker, Value: r, Stack: debug.Stack()}
+}
+
+// ---------------------------------------------------------------------------
 // Pool backend
 
 // Pool is the persistent-worker backend. Workers wait for dispatch in a
@@ -80,8 +128,8 @@ func oversubscribed(p int) bool { return p > runtime.GOMAXPROCS(0) }
 // reports which wakeup paths the workers actually took.
 type Pool struct {
 	workers int
-	noSpin  bool // oversubscribed at construction: yield/park, never spin
-	fn      func(int) // current region body; written before epoch bump
+	noSpin  atomic.Bool // oversubscription policy, re-evaluated at every Run
+	fn      func(int)   // current region body; written before epoch bump
 	epoch   atomic.Uint32
 	done    atomic.Uint32
 	stop    atomic.Bool
@@ -90,7 +138,10 @@ type Pool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	parked  int
-	ctr     poolCounters
+	// panicked holds the representative *WorkerPanic of the current region
+	// (first recovery wins); Run swaps it out and re-panics after the join.
+	panicked atomic.Pointer[WorkerPanic]
+	ctr      poolCounters
 }
 
 // poolCounters is the pool's dispatch statistics. Wakeup counters record
@@ -103,6 +154,7 @@ type poolCounters struct {
 	parkWakeups  metrics.Counter
 	joinYields   metrics.Counter
 	joinWaitNs   metrics.Counter // recorded only while metrics are enabled
+	recovered    metrics.Counter // region-body panics recovered in this pool
 }
 
 // NewPool starts a pool with p persistent workers (p ≥ 1). The calling
@@ -111,7 +163,8 @@ func NewPool(p int) *Pool {
 	if p < 1 {
 		panic(fmt.Sprintf("smp: NewPool(%d)", p))
 	}
-	pool := &Pool{workers: p, noSpin: oversubscribed(p)}
+	pool := &Pool{workers: p}
+	pool.noSpin.Store(oversubscribed(p))
 	pool.cond = sync.NewCond(&pool.mu)
 	pool.joined.Add(p - 1)
 	registerPool(pool)
@@ -137,8 +190,35 @@ func (p *Pool) workerLoop(id int) {
 		if p.stop.Load() {
 			return
 		}
-		p.fn(id)
-		p.done.Add(1)
+		p.runBody(id)
+	}
+}
+
+// runBody executes the current region body for one pooled worker with panic
+// containment: a panic is recovered and recorded for Run to re-throw, and
+// the join counter still advances — the barrier completes, the worker loop
+// keeps running, and the pool stays usable.
+func (p *Pool) runBody(id int) {
+	defer p.done.Add(1) // deferred first, runs last: after any recovery
+	defer p.recoverBody(id)
+	p.fn(id)
+}
+
+// recoverBody recovers a region-body panic and records the first one as the
+// region's representative.
+func (p *Pool) recoverBody(id int) {
+	if r := recover(); r != nil {
+		p.ctr.recovered.Inc()
+		p.panicked.CompareAndSwap(nil, capturePanic(id, r))
+	}
+}
+
+// rethrow re-panics the region's representative panic, if any, on the
+// caller's goroutine. Called by Run strictly after the join, so the pool's
+// dispatch state is quiescent when the panic propagates.
+func (p *Pool) rethrow() {
+	if wp := p.panicked.Swap(nil); wp != nil {
+		panic(wp)
 	}
 }
 
@@ -146,11 +226,13 @@ func (p *Pool) workerLoop(id int) {
 // low-latency fast path), yielding spins next, then parking on the condition
 // variable until Run wakes the pool. Oversubscribed pools skip the pure-spin
 // phase and shorten the yield phase: with fewer processors than waiters,
-// spinning only delays the worker that owns the processor.
+// spinning only delays the worker that owns the processor. The policy is
+// read once per wait, so a GOMAXPROCS change (re-evaluated by Run) takes
+// effect at the next region.
 func (p *Pool) awaitEpoch(last uint32) uint32 {
 	spins := 0
 	spinBudget, yieldBudget := spinLimit, 4*spinLimit
-	if p.noSpin {
+	if p.noSpin.Load() {
 		spinBudget, yieldBudget = 0, yieldLimit
 	}
 	for {
@@ -186,23 +268,30 @@ func (p *Pool) awaitEpoch(last uint32) uint32 {
 }
 
 // Run dispatches fn to all workers and joins. The caller executes worker 0
-// itself, so a 1-worker pool runs fn inline with zero overhead.
+// itself, so a 1-worker pool runs fn inline with zero overhead. A panic in
+// any worker's fn is recovered (the join still completes) and re-panicked
+// here as a *WorkerPanic; the pool remains usable afterwards.
 func (p *Pool) Run(fn func(worker int)) {
+	p.ctr.regions.Inc()
+	// Re-evaluate the oversubscription policy against the live GOMAXPROCS:
+	// a pool constructed before runtime.GOMAXPROCS changed must not keep
+	// spinning when it should yield (or vice versa).
+	noSpin := oversubscribed(p.workers)
+	p.noSpin.Store(noSpin)
 	if p.workers == 1 {
-		p.ctr.regions.Inc()
-		fn(0)
+		p.runLocal(fn)
+		p.rethrow()
 		return
 	}
-	p.ctr.regions.Inc()
 	p.fn = fn
 	p.done.Store(0)
 	p.epoch.Add(1) // release: publishes p.fn to the spinning workers
 	p.wakeParked()
-	fn(0)
+	p.runLocal(fn)
 	joinStart := metrics.Now()
 	spins := 0
 	for p.done.Load() != uint32(p.workers-1) {
-		if p.noSpin {
+		if noSpin {
 			// Oversubscribed: the missing workers need this processor to
 			// finish, so hand it over instead of spinning.
 			runtime.Gosched()
@@ -219,6 +308,15 @@ func (p *Pool) Run(fn func(worker int)) {
 	if !joinStart.IsZero() {
 		p.ctr.joinWaitNs.Add(int64(time.Since(joinStart)))
 	}
+	p.rethrow()
+}
+
+// runLocal runs worker 0's share on the calling goroutine with the same
+// panic containment as the pooled workers (no done bump: the join counts
+// only workers 1..p-1).
+func (p *Pool) runLocal(fn func(worker int)) {
+	defer p.recoverBody(0)
+	fn(0)
 }
 
 // wakeParked broadcasts to any workers that gave up spinning.
@@ -247,8 +345,9 @@ func (p *Pool) Close() {
 type PoolStats struct {
 	// Workers is the pool size p.
 	Workers int
-	// Oversubscribed reports p > GOMAXPROCS at construction: the pool's
-	// waiters skip busy-spinning and go straight to yield/park.
+	// Oversubscribed reports p > GOMAXPROCS against the live processor
+	// count (re-evaluated at every Run, not frozen at construction): the
+	// pool's waiters skip busy-spinning and go straight to yield/park.
 	Oversubscribed bool
 	// Regions counts Run calls dispatched.
 	Regions int64
@@ -261,6 +360,9 @@ type PoolStats struct {
 	// JoinWait is the total time Run spent waiting for workers after
 	// finishing its own share. Accumulated only while metrics are enabled.
 	JoinWait time.Duration
+	// RecoveredPanics counts region-body panics recovered in this pool's
+	// workers (each re-thrown to the Run caller as a *WorkerPanic).
+	RecoveredPanics int64
 }
 
 // Add accumulates other into s (Workers is kept; Oversubscribed ORs).
@@ -272,20 +374,23 @@ func (s *PoolStats) Add(other PoolStats) {
 	s.ParkWakeups += other.ParkWakeups
 	s.JoinYields += other.JoinYields
 	s.JoinWait += other.JoinWait
+	s.RecoveredPanics += other.RecoveredPanics
 }
 
 // Stats returns a snapshot of the pool's dispatch counters. It is safe to
-// call concurrently with Run and after Close.
+// call concurrently with Run and after Close. Oversubscribed reflects the
+// live GOMAXPROCS value at the time of the call.
 func (p *Pool) Stats() PoolStats {
 	return PoolStats{
-		Workers:        p.workers,
-		Oversubscribed: p.noSpin,
-		Regions:        p.ctr.regions.Load(),
-		SpinWakeups:    p.ctr.spinWakeups.Load(),
-		YieldWakeups:   p.ctr.yieldWakeups.Load(),
-		ParkWakeups:    p.ctr.parkWakeups.Load(),
-		JoinYields:     p.ctr.joinYields.Load(),
-		JoinWait:       time.Duration(p.ctr.joinWaitNs.Load()),
+		Workers:         p.workers,
+		Oversubscribed:  oversubscribed(p.workers),
+		Regions:         p.ctr.regions.Load(),
+		SpinWakeups:     p.ctr.spinWakeups.Load(),
+		YieldWakeups:    p.ctr.yieldWakeups.Load(),
+		ParkWakeups:     p.ctr.parkWakeups.Load(),
+		JoinYields:      p.ctr.joinYields.Load(),
+		JoinWait:        time.Duration(p.ctr.joinWaitNs.Load()),
+		RecoveredPanics: p.ctr.recovered.Load(),
 	}
 }
 
@@ -357,22 +462,36 @@ func (s Spawn) Workers() int { return s.workers }
 // goroutines, so independent regions do not interfere.
 func (s Spawn) Concurrent() bool { return true }
 
-// Run starts p-1 goroutines, runs worker 0 inline, and joins.
+// Run starts p-1 goroutines, runs worker 0 inline, and joins. A panic in
+// any worker's fn is recovered (the join still completes) and re-panicked
+// here as a *WorkerPanic.
 func (s Spawn) Run(fn func(worker int)) {
-	if s.workers == 1 {
-		fn(0)
-		return
+	var panicked atomic.Pointer[WorkerPanic]
+	body := func(id int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, capturePanic(id, r))
+			}
+		}()
+		fn(id)
 	}
-	var wg sync.WaitGroup
-	wg.Add(s.workers - 1)
-	for i := 1; i < s.workers; i++ {
-		go func(id int) {
-			defer wg.Done()
-			fn(id)
-		}(i)
+	if s.workers > 1 {
+		var wg sync.WaitGroup
+		wg.Add(s.workers - 1)
+		for i := 1; i < s.workers; i++ {
+			go func(id int) {
+				defer wg.Done()
+				body(id)
+			}(i)
+		}
+		body(0)
+		wg.Wait()
+	} else {
+		body(0)
 	}
-	fn(0)
-	wg.Wait()
+	if wp := panicked.Load(); wp != nil {
+		panic(wp)
+	}
 }
 
 // Close is a no-op: spawn backends hold no resources.
@@ -390,8 +509,16 @@ func (Sequential) Workers() int { return 1 }
 // Concurrent returns true: Run is a plain inline call with no shared state.
 func (Sequential) Concurrent() bool { return true }
 
-// Run calls fn(0).
-func (Sequential) Run(fn func(worker int)) { fn(0) }
+// Run calls fn(0). A panic in fn is re-panicked as a *WorkerPanic so the
+// containment contract is uniform across backends.
+func (Sequential) Run(fn func(worker int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(capturePanic(0, r))
+		}
+	}()
+	fn(0)
+}
 
 // Close is a no-op.
 func (Sequential) Close() {}
@@ -405,7 +532,6 @@ func (Sequential) Close() {}
 // without paying a fork-join per stage.
 type SpinBarrier struct {
 	n      int32
-	noSpin bool // oversubscribed: yield instead of burning the spin budget
 	count  atomic.Int32
 	sense  atomic.Uint32
 	waitNs metrics.Counter
@@ -414,12 +540,13 @@ type SpinBarrier struct {
 // NewSpinBarrier returns a barrier for n participants (n ≥ 1). A barrier
 // with more participants than schedulable processors yields on every wait
 // iteration instead of busy-spinning (the processors are needed by the
-// participants that have not arrived yet).
+// participants that have not arrived yet); the check is against the live
+// GOMAXPROCS, re-evaluated at every Wait.
 func NewSpinBarrier(n int) *SpinBarrier {
 	if n < 1 {
 		panic(fmt.Sprintf("smp: NewSpinBarrier(%d)", n))
 	}
-	return &SpinBarrier{n: int32(n), noSpin: oversubscribed(n)}
+	return &SpinBarrier{n: int32(n)}
 }
 
 // Wait blocks until all n participants have called Wait for the current
@@ -434,10 +561,11 @@ func (b *SpinBarrier) Wait() {
 		b.sense.Add(1) // release the other participants
 		return
 	}
+	noSpin := oversubscribed(int(b.n))
 	start := metrics.Now()
 	spins := 0
 	for b.sense.Load() == s {
-		if b.noSpin {
+		if noSpin {
 			runtime.Gosched()
 			continue
 		}

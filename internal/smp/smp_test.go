@@ -276,10 +276,10 @@ func TestPoolOversubscriptionDetection(t *testing.T) {
 	if !big.Stats().Oversubscribed {
 		t.Errorf("pool with %d workers on %d procs not reported oversubscribed", procs+1, procs)
 	}
-	if NewSpinBarrier(procs).noSpin {
+	if oversubscribed(procs) {
 		t.Error("barrier with GOMAXPROCS participants should spin")
 	}
-	if !NewSpinBarrier(procs + 1).noSpin {
+	if !oversubscribed(procs + 1) {
 		t.Error("barrier with GOMAXPROCS+1 participants should not spin")
 	}
 }

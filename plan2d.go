@@ -1,6 +1,7 @@
 package spiralfft
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 
@@ -110,8 +111,26 @@ func (p *Plan2D) Forward(dst, src []complex128) error {
 	if len(dst) != p.Len() || len(src) != p.Len() {
 		return lengthError("Plan2D.Forward", p.Len(), len(dst), len(src))
 	}
+	defer rethrowAsRegionPanic()
 	start := metrics.Now()
 	p.transform(dst, src)
+	p.record(start)
+	return nil
+}
+
+// ForwardCtx is Forward under a context: cancellation is observed before
+// the transform starts and at the row/column stage boundary (and any other
+// region boundary); on cancellation the error is ctx.Err() and dst is
+// unspecified. A nil ctx behaves like Forward.
+func (p *Plan2D) ForwardCtx(ctx context.Context, dst, src []complex128) error {
+	if len(dst) != p.Len() || len(src) != p.Len() {
+		return lengthError("Plan2D.ForwardCtx", p.Len(), len(dst), len(src))
+	}
+	defer rethrowAsRegionPanic()
+	start := metrics.Now()
+	if err := p.transformCtx(ctx, dst, src); err != nil {
+		return err
+	}
 	p.record(start)
 	return nil
 }
@@ -122,8 +141,10 @@ func (p *Plan2D) Inverse(dst, src []complex128) error {
 	if len(dst) != p.Len() || len(src) != p.Len() {
 		return lengthError("Plan2D.Inverse", p.Len(), len(dst), len(src))
 	}
+	defer rethrowAsRegionPanic()
 	start := metrics.Now()
 	b := p.getInv()
+	defer p.putInv(b)
 	for i, v := range src {
 		b.v[i] = cmplx.Conj(v)
 	}
@@ -132,7 +153,30 @@ func (p *Plan2D) Inverse(dst, src []complex128) error {
 	for i, v := range dst {
 		dst[i] = cmplx.Conj(v) * scale
 	}
-	p.putInv(b)
+	p.record(start)
+	return nil
+}
+
+// InverseCtx is Inverse under a context, with the same cancellation
+// contract as ForwardCtx.
+func (p *Plan2D) InverseCtx(ctx context.Context, dst, src []complex128) error {
+	if len(dst) != p.Len() || len(src) != p.Len() {
+		return lengthError("Plan2D.InverseCtx", p.Len(), len(dst), len(src))
+	}
+	defer rethrowAsRegionPanic()
+	start := metrics.Now()
+	b := p.getInv()
+	defer p.putInv(b)
+	for i, v := range src {
+		b.v[i] = cmplx.Conj(v)
+	}
+	if err := p.transformCtx(ctx, dst, b.v); err != nil {
+		return err
+	}
+	scale := complex(1/float64(p.Len()), 0)
+	for i, v := range dst {
+		dst[i] = cmplx.Conj(v) * scale
+	}
 	p.record(start)
 	return nil
 }
@@ -143,6 +187,13 @@ func (p *Plan2D) transform(dst, src []complex128) {
 		return
 	}
 	p.seqExe.Transform(dst, src)
+}
+
+func (p *Plan2D) transformCtx(ctx context.Context, dst, src []complex128) error {
+	if e := p.exe; e != nil {
+		return e.TransformCtx(ctx, dst, src)
+	}
+	return p.seqExe.TransformCtx(ctx, dst, src)
 }
 
 // Close releases the worker pool (if any). Idempotent; the plan's

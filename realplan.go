@@ -1,6 +1,7 @@
 package spiralfft
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 	"sync"
@@ -78,6 +79,14 @@ func (p *RealPlan) IsParallel() bool { return p.half.IsParallel() }
 // len(src) must be n and len(dst) must be n/2+1.
 // Forward is safe for concurrent use.
 func (p *RealPlan) Forward(dst []complex128, src []float64) error {
+	return p.ForwardCtx(nil, dst, src)
+}
+
+// ForwardCtx is Forward under a context: cancellation is observed before
+// the inner complex transform and at its region boundaries; on cancellation
+// the error is ctx.Err() and dst is unspecified. A nil ctx behaves like
+// Forward. Region panics surface as *RegionPanicError (see Plan.Forward).
+func (p *RealPlan) ForwardCtx(cctx context.Context, dst []complex128, src []float64) error {
 	h := p.n / 2
 	if len(src) != p.n || len(dst) != h+1 {
 		return fmt.Errorf("%w: RealPlan.Forward: src %d (want %d), dst %d (want %d)",
@@ -91,7 +100,7 @@ func (p *RealPlan) Forward(dst []complex128, src []float64) error {
 	for j := 0; j < h; j++ {
 		z[j] = complex(src[2*j], src[2*j+1])
 	}
-	if err := p.half.Forward(z, z); err != nil {
+	if err := p.half.ForwardCtx(cctx, z, z); err != nil {
 		return err
 	}
 	// Untangle: X[k] = Fe[k] + ω_n^k·Fo[k], where Fe/Fo are the spectra of
@@ -116,6 +125,12 @@ func (p *RealPlan) Forward(dst []complex128, src []float64) error {
 // len(src) must be n/2+1 and len(dst) must be n. The imaginary parts of
 // src[0] and src[n/2] are ignored (they are zero for any real signal).
 func (p *RealPlan) Inverse(dst []float64, src []complex128) error {
+	return p.InverseCtx(nil, dst, src)
+}
+
+// InverseCtx is Inverse under a context, with the same cancellation
+// contract as ForwardCtx.
+func (p *RealPlan) InverseCtx(cctx context.Context, dst []float64, src []complex128) error {
 	h := p.n / 2
 	if len(src) != h+1 || len(dst) != p.n {
 		return fmt.Errorf("%w: RealPlan.Inverse: src %d (want %d), dst %d (want %d)",
@@ -139,7 +154,7 @@ func (p *RealPlan) Inverse(dst []float64, src []complex128) error {
 		// Z[k] = Fe[k] + i·Fo[k].
 		z[k] = fe + complex(-imag(fo), real(fo))
 	}
-	if err := p.half.Inverse(z, z); err != nil {
+	if err := p.half.InverseCtx(cctx, z, z); err != nil {
 		return err
 	}
 	for j := 0; j < h; j++ {

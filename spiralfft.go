@@ -46,6 +46,7 @@
 package spiralfft
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 	"time"
@@ -127,6 +128,12 @@ type Options struct {
 	// trees (skipping re-tuning) and receives the trees this plan settles
 	// on. Share one Wisdom across plans and persist it with Export/Import.
 	Wisdom *Wisdom
+	// PlanBudget, when positive, bounds the total time the measuring
+	// planners (PlannerMeasure, PlannerExhaustive) may spend searching: on
+	// expiry the best factorization found so far is used (at worst the
+	// fixed radix tree), so planning completes in bounded time instead of
+	// scaling with the size of the search space. Zero means unbounded.
+	PlanBudget time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -188,6 +195,7 @@ func NewPlan(n int, o *Options) (*Plan, error) {
 	p.init(tkDFT, int64(exec.FlopCount(n)), n)
 
 	tuner := search.NewTuner(strategyFor(opt.Planner))
+	tuner.Budget = opt.PlanBudget
 	p.tree = p.sequentialTree(tuner)
 	prog, err := ir.LowerTree(p.tree)
 	if err != nil {
@@ -375,12 +383,35 @@ func (p *Plan) Derivation() string {
 // Forward computes dst = DFT_n(src): dst[k] = Σ_j exp(-2πi·kj/n)·src[j].
 // dst == src is allowed. len(dst) and len(src) must equal N().
 // Forward is safe for concurrent use.
+//
+// If a region body panics during the transform, the panic is contained by
+// the execution substrate (the worker pool and the plan survive) and
+// re-raised on the calling goroutine as a *RegionPanicError.
 func (p *Plan) Forward(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return lengthError("Forward", p.n, len(dst), len(src))
 	}
+	defer rethrowAsRegionPanic()
 	start := metrics.Now()
 	p.transform(dst, src)
+	p.record(start)
+	return nil
+}
+
+// ForwardCtx is Forward under a context: cancellation is observed before
+// the transform starts and again at every region boundary (barrier), so the
+// call returns within about one region's worth of work after ctx is
+// cancelled. On cancellation the returned error is ctx.Err() and dst is
+// unspecified (possibly partially written). A nil ctx behaves like Forward.
+func (p *Plan) ForwardCtx(ctx context.Context, dst, src []complex128) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return lengthError("ForwardCtx", p.n, len(dst), len(src))
+	}
+	defer rethrowAsRegionPanic()
+	start := metrics.Now()
+	if err := p.transformCtx(ctx, dst, src); err != nil {
+		return err
+	}
 	p.record(start)
 	return nil
 }
@@ -392,9 +423,11 @@ func (p *Plan) Inverse(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return lengthError("Inverse", p.n, len(dst), len(src))
 	}
+	defer rethrowAsRegionPanic()
 	start := metrics.Now()
 	// IDFT(x) = conj(DFT(conj(x))) / n.
 	b := p.getInv()
+	defer p.putInv(b)
 	for i, v := range src {
 		b.v[i] = cmplx.Conj(v)
 	}
@@ -403,7 +436,30 @@ func (p *Plan) Inverse(dst, src []complex128) error {
 	for i, v := range dst {
 		dst[i] = cmplx.Conj(v) * scale
 	}
-	p.putInv(b)
+	p.record(start)
+	return nil
+}
+
+// InverseCtx is Inverse under a context, with the same cancellation
+// contract as ForwardCtx.
+func (p *Plan) InverseCtx(ctx context.Context, dst, src []complex128) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return lengthError("InverseCtx", p.n, len(dst), len(src))
+	}
+	defer rethrowAsRegionPanic()
+	start := metrics.Now()
+	b := p.getInv()
+	defer p.putInv(b)
+	for i, v := range src {
+		b.v[i] = cmplx.Conj(v)
+	}
+	if err := p.transformCtx(ctx, dst, b.v); err != nil {
+		return err
+	}
+	scale := complex(1/float64(p.n), 0)
+	for i, v := range dst {
+		dst[i] = cmplx.Conj(v) * scale
+	}
 	p.record(start)
 	return nil
 }
@@ -414,6 +470,13 @@ func (p *Plan) transform(dst, src []complex128) {
 		return
 	}
 	p.seqExe.Transform(dst, src)
+}
+
+func (p *Plan) transformCtx(ctx context.Context, dst, src []complex128) error {
+	if e := p.exe; e != nil {
+		return e.TransformCtx(ctx, dst, src)
+	}
+	return p.seqExe.TransformCtx(ctx, dst, src)
 }
 
 // Close releases the plan. For a plan the caller constructed with NewPlan

@@ -1,6 +1,7 @@
 package spiralfft
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -172,6 +173,15 @@ func (p *STFTPlan) Inverse(dst []float64, src []complex128) error {
 // of Bins() elements each (allocate with NewSpectrogram).
 // Analyze is safe for concurrent use.
 func (p *STFTPlan) Analyze(dst [][]complex128, signal []float64) error {
+	return p.AnalyzeCtx(nil, dst, signal)
+}
+
+// AnalyzeCtx is Analyze under a context: cancellation is observed between
+// frames (and inside each frame's transform at region boundaries), so a
+// long spectrogram pass abandons within about one frame of a cancel. On
+// cancellation the error is ctx.Err() and dst holds the frames completed so
+// far. A nil ctx behaves like Analyze.
+func (p *STFTPlan) AnalyzeCtx(cctx context.Context, dst [][]complex128, signal []float64) error {
 	frames := p.NumFrames(len(signal))
 	if len(dst) != frames {
 		return fmt.Errorf("%w: Analyze needs %d frames, got %d", ErrLengthMismatch, frames, len(dst))
@@ -180,6 +190,11 @@ func (p *STFTPlan) Analyze(dst [][]complex128, signal []float64) error {
 	ctx := p.ctxs.Get().(*stftCtx)
 	defer p.ctxs.Put(ctx)
 	for f := 0; f < frames; f++ {
+		if cctx != nil {
+			if err := cctx.Err(); err != nil {
+				return err
+			}
+		}
 		if len(dst[f]) != p.Bins() {
 			return fmt.Errorf("%w: frame %d has %d bins, want %d", ErrLengthMismatch, f, len(dst[f]), p.Bins())
 		}
@@ -187,7 +202,7 @@ func (p *STFTPlan) Analyze(dst [][]complex128, signal []float64) error {
 		for i := 0; i < p.frame; i++ {
 			ctx.buf[i] = signal[off+i] * p.win[i]
 		}
-		if err := p.rp.Forward(dst[f], ctx.buf); err != nil {
+		if err := p.rp.ForwardCtx(cctx, dst[f], ctx.buf); err != nil {
 			return err
 		}
 	}
@@ -212,6 +227,13 @@ func (p *STFTPlan) NewSpectrogram(signalLen int) [][]complex128 {
 // sum is zero (possible only at the very edges with exotic hop choices)
 // are left zero.
 func (p *STFTPlan) Synthesize(signal []float64, frames [][]complex128) error {
+	return p.SynthesizeCtx(nil, signal, frames)
+}
+
+// SynthesizeCtx is Synthesize under a context: cancellation is observed
+// between frames; on cancellation the error is ctx.Err() and signal is
+// unspecified (partially accumulated). A nil ctx behaves like Synthesize.
+func (p *STFTPlan) SynthesizeCtx(cctx context.Context, signal []float64, frames [][]complex128) error {
 	if len(frames) == 0 {
 		return nil
 	}
@@ -227,10 +249,15 @@ func (p *STFTPlan) Synthesize(signal []float64, frames [][]complex128) error {
 		signal[i] = 0
 	}
 	for f, spec := range frames {
+		if cctx != nil {
+			if err := cctx.Err(); err != nil {
+				return err
+			}
+		}
 		if len(spec) != p.Bins() {
 			return fmt.Errorf("%w: frame %d has %d bins, want %d", ErrLengthMismatch, f, len(spec), p.Bins())
 		}
-		if err := p.rp.Inverse(ctx.buf, spec); err != nil {
+		if err := p.rp.InverseCtx(cctx, ctx.buf, spec); err != nil {
 			return err
 		}
 		off := f * p.hop

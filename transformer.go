@@ -1,5 +1,7 @@
 package spiralfft
 
+import "context"
+
 // Transformer is the unified surface of every complex-vector plan type: a
 // fixed-size prepared transform with a forward and a (unitary) inverse
 // direction. N reports the transform size — for BatchPlan that is the
@@ -39,6 +41,25 @@ type RealTransformer[S any] interface {
 	Close()
 }
 
+// ContextTransformer is the context-aware extension every complex-vector
+// plan type also satisfies. The Ctx variants observe cancellation before
+// the transform starts and again at every region boundary of the lowered
+// program, so cancellation latency is bounded by one region of work; on
+// cancellation they return ctx.Err() and leave dst unspecified. A nil
+// context behaves like the plain method.
+//
+// All transform methods — plain and Ctx — share the fault-containment
+// contract: a panic inside a region body is recovered by the execution
+// substrate (the worker pool and the plan stay usable) and re-raised on the
+// calling goroutine as a *RegionPanicError.
+type ContextTransformer interface {
+	Transformer
+	// ForwardCtx is Forward with cancellation at region boundaries.
+	ForwardCtx(ctx context.Context, dst, src []complex128) error
+	// InverseCtx is Inverse with cancellation at region boundaries.
+	InverseCtx(ctx context.Context, dst, src []complex128) error
+}
+
 // Sized is the slice-length contract every Transformer in this package
 // also satisfies: Len returns the exact required length of the dst and
 // src slices passed to Forward/Inverse. It equals N for Plan and WHTPlan,
@@ -58,6 +79,11 @@ var (
 	_ Transformer = (*BatchPlan)(nil)
 	_ Transformer = (*Plan2D)(nil)
 	_ Transformer = (*WHTPlan)(nil)
+
+	_ ContextTransformer = (*Plan)(nil)
+	_ ContextTransformer = (*BatchPlan)(nil)
+	_ ContextTransformer = (*Plan2D)(nil)
+	_ ContextTransformer = (*WHTPlan)(nil)
 
 	_ Sized = (*Plan)(nil)
 	_ Sized = (*BatchPlan)(nil)

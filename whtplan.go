@@ -1,6 +1,7 @@
 package spiralfft
 
 import (
+	"context"
 	"fmt"
 
 	"spiralfft/internal/exec"
@@ -97,6 +98,7 @@ func (p *WHTPlan) Transform(dst, src []complex128) error {
 	if len(dst) != p.n || len(src) != p.n {
 		return lengthError("WHT.Transform", p.n, len(dst), len(src))
 	}
+	defer rethrowAsRegionPanic()
 	start := metrics.Now()
 	if e := p.exe; e != nil {
 		e.Transform(dst, src)
@@ -107,14 +109,55 @@ func (p *WHTPlan) Transform(dst, src []complex128) error {
 	return nil
 }
 
+// TransformCtx is Transform under a context: cancellation is observed
+// before the transform starts and at region boundaries; on cancellation
+// the error is ctx.Err() and dst is unspecified. A nil ctx behaves like
+// Transform.
+func (p *WHTPlan) TransformCtx(ctx context.Context, dst, src []complex128) error {
+	if len(dst) != p.n || len(src) != p.n {
+		return lengthError("WHT.TransformCtx", p.n, len(dst), len(src))
+	}
+	defer rethrowAsRegionPanic()
+	start := metrics.Now()
+	var err error
+	if e := p.exe; e != nil {
+		err = e.TransformCtx(ctx, dst, src)
+	} else {
+		err = p.seqExe.TransformCtx(ctx, dst, src)
+	}
+	if err != nil {
+		return err
+	}
+	p.record(start)
+	return nil
+}
+
 // Forward is Transform under the name the Transformer interface requires
 // (the WHT has no twiddle direction; "forward" is the plain transform).
 func (p *WHTPlan) Forward(dst, src []complex128) error { return p.Transform(dst, src) }
+
+// ForwardCtx is TransformCtx under the ContextTransformer name.
+func (p *WHTPlan) ForwardCtx(ctx context.Context, dst, src []complex128) error {
+	return p.TransformCtx(ctx, dst, src)
+}
 
 // Inverse computes the inverse WHT: Transform scaled by 1/n.
 // Inverse is safe for concurrent use.
 func (p *WHTPlan) Inverse(dst, src []complex128) error {
 	if err := p.Transform(dst, src); err != nil {
+		return err
+	}
+	s := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= s
+	}
+	return nil
+}
+
+// InverseCtx is Inverse under a context, with the same cancellation
+// contract as TransformCtx.
+func (p *WHTPlan) InverseCtx(ctx context.Context, dst, src []complex128) error {
+	if err := p.TransformCtx(ctx, dst, src); err != nil {
 		return err
 	}
 	s := complex(1/float64(p.n), 0)

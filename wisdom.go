@@ -116,14 +116,17 @@ func (w *Wisdom) Export() string {
 	return b.String()
 }
 
-// Import merges serialized wisdom into the store. Unknown or malformed
-// lines produce an error and nothing of the bad line is imported; valid
-// lines before an error remain imported. Merging is by cost: an imported
-// entry replaces an existing one when it carries a lower measured cost, or
-// when the existing entry has no measured cost (imported wisdom is
+// Import merges serialized wisdom into the store atomically: the input is
+// parsed and validated in full first, and only if every line is valid is
+// anything committed. On error the store is untouched — a malformed file can
+// no longer leave a half-imported prefix behind. Merging is by cost: an
+// imported entry replaces an existing one when it carries a lower measured
+// cost, or when the existing entry has no measured cost (imported wisdom is
 // presumed tuned). A costless imported line never displaces a measured
 // entry for the same size.
 func (w *Wisdom) Import(s string) error {
+	// Stage: parse everything before touching the store.
+	staged := make(map[int]wisdomEntry)
 	sc := bufio.NewScanner(strings.NewReader(s))
 	lineNo := 0
 	for sc.Scan() {
@@ -157,14 +160,26 @@ func (w *Wisdom) Import(s string) error {
 			return fmt.Errorf("spiralfft: wisdom line %d: tree size %d does not match declared %d", lineNo, t.N, n)
 		}
 		cand := wisdomEntry{tree: t.String(), cost: cost}
-		w.mu.Lock()
+		if cur, ok := staged[n]; !ok || cand.better(cur) || cur.cost <= 0 {
+			staged[n] = cand
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// Commit: merge the fully validated batch under one lock acquisition.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.trees == nil {
+		w.trees = make(map[int]wisdomEntry)
+	}
+	for n, cand := range staged {
 		cur, ok := w.trees[n]
 		// Imported wisdom is presumed tuned: it wins unless the resident
 		// entry has a measured cost that the import cannot beat.
 		if !ok || cand.better(cur) || cur.cost <= 0 {
 			w.trees[n] = cand
 		}
-		w.mu.Unlock()
 	}
-	return sc.Err()
+	return nil
 }

@@ -54,6 +54,39 @@ func TestWisdomImportErrors(t *testing.T) {
 	}
 }
 
+// TestWisdomImportAtomic checks the all-or-nothing contract: a file whose
+// tail is malformed must leave the store exactly as it was — no
+// half-imported prefix, no displaced resident entries.
+func TestWisdomImportAtomic(t *testing.T) {
+	w := NewWisdom()
+	if err := w.Import("64 (8 x 8) @ 10µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	before := w.Export()
+	// Two valid lines (one of which would displace the resident 64-entry)
+	// followed by a malformed one.
+	bad := "64 (4 x 16) @ 1µs\n256 (64 x 4)\n16 (8 x\n"
+	if err := w.Import(bad); err == nil {
+		t.Fatal("malformed import accepted")
+	}
+	if w.Len() != 1 {
+		t.Fatalf("failed import mutated the store: Len = %d, want 1", w.Len())
+	}
+	if got := w.Export(); got != before {
+		t.Errorf("failed import mutated the store:\nbefore %q\nafter  %q", before, got)
+	}
+	// The same lines without the malformed tail import fully.
+	if err := w.Import("64 (4 x 16) @ 1µs\n256 (64 x 4)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Errorf("Len = %d, want 2", w.Len())
+	}
+	if !strings.Contains(w.Export(), "64 (4 x 16) @ 1µs") {
+		t.Errorf("cheaper entry did not displace resident: %q", w.Export())
+	}
+}
+
 func TestWisdomGuidesPlanning(t *testing.T) {
 	// Plant a deliberately recognizable tree and check the plan adopts it.
 	w := NewWisdom()

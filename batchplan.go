@@ -58,6 +58,7 @@ func NewBatchPlan(n, count int, o *Options) (*BatchPlan, error) {
 	}
 	b := &BatchPlan{n: n, count: count, workers: workers, tree: tree}
 	b.init(tkBatch, int64(float64(count)*exec.FlopCount(n)), n*count)
+	b.initComplexLeases(n*count, n*count)
 	seqProg, err := ir.LowerBatch(tree, count, 1)
 	if err != nil {
 		return nil, err

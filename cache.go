@@ -349,17 +349,79 @@ func (c *Cache) Close() {
 	}
 }
 
-// defaultCache is the process-wide cache behind CachedPlan/CachedRealPlan.
+// defaultCache is the process-wide cache behind Acquire/Release.
 var defaultCache Cache
 
 // DefaultCache returns the process-wide plan cache.
 func DefaultCache() *Cache { return &defaultCache }
 
+// Cacheable constrains Acquire's type parameter to the plan types the cache
+// can vend. (The remaining families compose these two: DCT and STFT plans
+// wrap a cached complex or real plan internally when built through the
+// server, and carry too many shape parameters — count, rows, frame, hop —
+// for a single size-keyed surface.)
+type Cacheable interface {
+	*Plan | *RealPlan
+}
+
+// Acquire checks the shared plan of type T for size n out of the process-
+// wide cache, planning it on first use — the checkout half of the cache's
+// lease-style surface, mirroring Plan.Buffers at the plan level:
+//
+//	p, err := spiralfft.Acquire[*spiralfft.Plan](4096, nil)
+//	if err != nil { ... }
+//	defer spiralfft.Release(p)
+//
+// Concurrent Acquires of one fingerprint share a single build and return
+// the identical plan. Every successful Acquire must be balanced by exactly
+// one Release (Release(p) and p.Close() are equivalent; use whichever reads
+// better at the call site, but only one of them, once).
+func Acquire[T Cacheable](n int, o *Options) (T, error) {
+	return AcquireFrom[T](&defaultCache, n, o)
+}
+
+// AcquireFrom is Acquire against an explicit cache instead of the
+// process-wide one.
+func AcquireFrom[T Cacheable](c *Cache, n int, o *Options) (T, error) {
+	var zero T
+	switch any(zero).(type) {
+	case *Plan:
+		p, err := c.Plan(n, o)
+		if err != nil {
+			return zero, err
+		}
+		return any(p).(T), nil
+	default: // *RealPlan — the only other type Cacheable admits
+		p, err := c.RealPlan(n, o)
+		if err != nil {
+			return zero, err
+		}
+		return any(p).(T), nil
+	}
+}
+
+// Release returns one cache reference taken by Acquire/AcquireFrom. The
+// plan is destroyed only when the cache and every other holder have
+// released it. Releasing a nil plan is a no-op.
+func Release[T Cacheable](p T) {
+	var zero T
+	if p == zero {
+		return
+	}
+	any(p).(interface{ Close() }).Close()
+}
+
 // CachedPlan returns a shared DFT plan of size n from the process-wide
 // cache, planning it on first use. The plan is safe for concurrent use;
 // Close it exactly once when done (the plan itself survives until the
 // cache and all other holders release it).
+//
+// Deprecated: use Acquire[*Plan] with Release, the generic checkout surface
+// that covers every cacheable family. CachedPlan remains supported.
 func CachedPlan(n int, o *Options) (*Plan, error) { return defaultCache.Plan(n, o) }
 
 // CachedRealPlan is CachedPlan for real-input plans.
+//
+// Deprecated: use Acquire[*RealPlan] with Release. CachedRealPlan remains
+// supported.
 func CachedRealPlan(n int, o *Options) (*RealPlan, error) { return defaultCache.RealPlan(n, o) }

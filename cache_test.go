@@ -274,3 +274,74 @@ func TestCacheErrors(t *testing.T) {
 	}
 	p.Close()
 }
+
+// TestAcquireGenericSurface: fft.Acquire[T] must share plans with the legacy
+// helpers (same cache, same fingerprints, pointer identity) and fft.Release
+// must balance references.
+func TestAcquireGenericSurface(t *testing.T) {
+	var c fft.Cache
+	defer c.Close()
+
+	p1, err := fft.AcquireFrom[*fft.Plan](&c, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Plan(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("fft.Acquire and fft.Cache.Plan returned different plans for one fingerprint")
+	}
+	fft.Release(p1)
+	p2.Close()
+
+	r1, err := fft.AcquireFrom[*fft.RealPlan](&c, 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.RealPlan(128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("fft.Acquire[*fft.RealPlan] and fft.Cache.RealPlan returned different plans")
+	}
+	fft.Release(r1)
+	fft.Release(r2)
+
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 2 {
+		t.Errorf("cache stats hits=%d misses=%d, want 2/2", st.Hits, st.Misses)
+	}
+
+	// Errors surface through the generic path too.
+	if _, err := fft.AcquireFrom[*fft.Plan](&c, -1, nil); !errors.Is(err, fft.ErrInvalidSize) {
+		t.Errorf("fft.Acquire(-1) error = %v, want fft.ErrInvalidSize", err)
+	}
+	if _, err := fft.AcquireFrom[*fft.RealPlan](&c, 3, nil); !errors.Is(err, fft.ErrInvalidSize) {
+		t.Errorf("fft.Acquire[*fft.RealPlan](3) error = %v, want fft.ErrInvalidSize", err)
+	}
+
+	// Releasing nil is a no-op.
+	fft.Release[*fft.Plan](nil)
+	fft.Release[*fft.RealPlan](nil)
+}
+
+// TestAcquireDefaultCache: the package-level fft.Acquire goes through
+// DefaultCache, like the deprecated helpers.
+func TestAcquireDefaultCache(t *testing.T) {
+	p, err := fft.Acquire[*fft.Plan](32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := fft.CachedPlan(32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != q {
+		t.Error("fft.Acquire and fft.CachedPlan disagree on the default cache")
+	}
+	fft.Release(p)
+	q.Close()
+}

@@ -1,0 +1,296 @@
+// Package client is the Go client for fftd, the transform-serving daemon
+// (cmd/fftd). It speaks the binary wire protocol of SPEC.md: transform
+// parameters in headers, payloads as raw little-endian float64 sequences,
+// read into and written from caller-supplied slices so a steady-state
+// client round-trip reuses its buffers instead of reallocating them.
+//
+// One-shot calls go through Do (or the Forward/Inverse DFT conveniences);
+// many transforms against the same plan should use Stream, which holds one
+// admission slot and one warmed plan for its whole lifetime.
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"spiralfft/internal/wire"
+)
+
+// Family names a servable plan family; values mirror the daemon's.
+type Family string
+
+// The seven servable plan families.
+const (
+	FamilyDFT   Family = "dft"
+	FamilyBatch Family = "batch"
+	FamilyDFT2D Family = "dft2d"
+	FamilyWHT   Family = "wht"
+	FamilyReal  Family = "real"
+	FamilyDCT   Family = "dct"
+	FamilySTFT  Family = "stft"
+)
+
+// Job describes one transform request. The zero value plus N is a forward
+// DFT job.
+type Job struct {
+	Family  Family // default FamilyDFT
+	Inverse bool
+
+	// N is the transform size (dft, wht, real, dct), per-transform size
+	// (batch), or signal length (stft).
+	N int
+	// Count (batch), Rows/Cols (dft2d), Frame/Hop (stft).
+	Count      int
+	Rows, Cols int
+	Frame, Hop int
+
+	// Deadline, when positive, rides to the server as the request's
+	// remaining execution budget; the server cancels the transform at the
+	// next region boundary once it expires. Independent of (and combined
+	// with) any deadline on the call's context.
+	Deadline time.Duration
+}
+
+// OverloadedError is returned when the daemon sheds the request (HTTP 429).
+type OverloadedError struct {
+	// RetryAfter is the server's back-off hint.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("fftd: overloaded, retry after %v", e.RetryAfter)
+}
+
+// RemoteError is a non-overload failure reported by the daemon.
+type RemoteError struct {
+	Status int // HTTP status, 0 for mid-stream errors
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("fftd: %s (HTTP %d)", e.Msg, e.Status)
+	}
+	return "fftd: " + e.Msg
+}
+
+// Client talks to one fftd daemon. The zero value is not usable; call New.
+// Clients are safe for concurrent use.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7723".
+	BaseURL string
+	// HTTPClient is the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Tenant, when set, namespaces plan wisdom on the daemon.
+	Tenant string
+}
+
+// New returns a Client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// setHeaders writes job parameters onto the request.
+func (c *Client) setHeaders(h http.Header, job *Job) {
+	fam := job.Family
+	if fam == "" {
+		fam = FamilyDFT
+	}
+	h.Set(wire.HdrFamily, string(fam))
+	if job.Inverse {
+		h.Set(wire.HdrDirection, "inverse")
+	}
+	seti := func(name string, v int) {
+		if v != 0 {
+			h.Set(name, strconv.Itoa(v))
+		}
+	}
+	seti(wire.HdrN, job.N)
+	seti(wire.HdrCount, job.Count)
+	seti(wire.HdrRows, job.Rows)
+	seti(wire.HdrCols, job.Cols)
+	seti(wire.HdrFrame, job.Frame)
+	seti(wire.HdrHop, job.Hop)
+	if job.Deadline > 0 {
+		h.Set(wire.HdrDeadline, strconv.FormatInt(int64(job.Deadline/time.Millisecond), 10))
+	}
+	if c.Tenant != "" {
+		h.Set(wire.HdrTenant, c.Tenant)
+	}
+}
+
+// do runs one transform: body supplies the input payload (exactly inBytes
+// long), and the response payload is decoded by recv.
+func (c *Client) do(ctx context.Context, job *Job, inBytes int64, body io.Reader, recv func(io.Reader) error) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/transform", body)
+	if err != nil {
+		return err
+	}
+	c.setHeaders(hr.Header, job)
+	hr.Header.Set("Content-Type", wire.ContentTypeBinary)
+	hr.ContentLength = inBytes
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	return recv(resp.Body)
+}
+
+// checkStatus maps a non-200 response to a typed error.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if secs < 1 {
+			secs = 1
+		}
+		return &OverloadedError{RetryAfter: time.Duration(secs) * time.Second}
+	}
+	return &RemoteError{Status: resp.StatusCode, Msg: trimmed(msg)}
+}
+
+func trimmed(b []byte) string {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}
+
+// DoComplex runs a complex-payload job (dft, batch, dft2d, wht families;
+// also real-inverse input): dst receives the transform of src. Lengths
+// must match the job's shape exactly.
+func (c *Client) DoComplex(ctx context.Context, job Job, dst, src []complex128) error {
+	return c.do(ctx, &job, int64(len(src))*16, complexReader(src), func(r io.Reader) error {
+		return wire.ReadComplexLE(r, dst)
+	})
+}
+
+// Do runs a float-payload job (real-forward input, dct, stft): dst
+// receives the transform of src, both as raw float payloads (complex
+// results arrive as interleaved re/im pairs — shape them with the job's
+// geometry).
+func (c *Client) Do(ctx context.Context, job Job, dst, src []float64) error {
+	return c.do(ctx, &job, int64(len(src))*8, floatReader(src), func(r io.Reader) error {
+		return wire.ReadFloatLE(r, dst)
+	})
+}
+
+// Forward computes the forward DFT of x on the daemon.
+func (c *Client) Forward(ctx context.Context, x []complex128) ([]complex128, error) {
+	y := make([]complex128, len(x))
+	err := c.ForwardInto(ctx, y, x)
+	if err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// ForwardInto is Forward with a caller-owned destination (reusable across
+// calls; the steady-state client allocation is just the HTTP request).
+func (c *Client) ForwardInto(ctx context.Context, dst, src []complex128) error {
+	return c.DoComplex(ctx, Job{Family: FamilyDFT, N: len(src)}, dst, src)
+}
+
+// Inverse computes the unitary inverse DFT of x on the daemon.
+func (c *Client) Inverse(ctx context.Context, x []complex128) ([]complex128, error) {
+	y := make([]complex128, len(x))
+	err := c.DoComplex(ctx, Job{Family: FamilyDFT, N: len(x), Inverse: true}, y, x)
+	if err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// complexReader wraps a complex vector as a wire-order byte stream —
+// a zero-copy view of the caller's memory on little-endian hosts.
+func complexReader(v []complex128) io.Reader {
+	if wire.HostLE() {
+		return bytes.NewReader(wire.ComplexBytes(v))
+	}
+	var buf bytes.Buffer
+	wire.WriteComplexLE(&buf, v)
+	return &buf
+}
+
+// floatReader wraps a float vector as a wire-order byte stream.
+func floatReader(v []float64) io.Reader {
+	if wire.HostLE() {
+		return bytes.NewReader(wire.FloatBytes(v))
+	}
+	var buf bytes.Buffer
+	wire.WriteFloatLE(&buf, v)
+	return &buf
+}
+
+// Stats fetches /v1/stats as raw JSON.
+func (c *Client) Stats(ctx context.Context) ([]byte, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ExportWisdom downloads the client tenant's wisdom (plan trees) from the
+// daemon in the library's textual wisdom format.
+func (c *Client) ExportWisdom(ctx context.Context) (string, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/wisdom?tenant="+c.Tenant, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return "", err
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// ImportWisdom uploads wisdom into the client tenant's namespace.
+func (c *Client) ImportWisdom(ctx context.Context, wisdom string) error {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPut, c.BaseURL+"/v1/wisdom?tenant="+c.Tenant, strings.NewReader(wisdom))
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return checkStatus(resp)
+}

@@ -1,0 +1,395 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spiralfft"
+	"spiralfft/client"
+	"spiralfft/internal/baseline"
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/faultinject"
+	"spiralfft/internal/server"
+)
+
+// newDaemon spins up an in-process daemon over httptest and returns a
+// client pointed at it plus the server core for direct inspection.
+func newDaemon(t *testing.T, cfg server.Config) (*client.Client, *server.Server) {
+	t.Helper()
+	if cfg.Cache == nil {
+		cfg.Cache = &spiralfft.Cache{}
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	s := server.New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	c := client.New(hs.URL)
+	c.HTTPClient = hs.Client()
+	return c, s
+}
+
+// TestForwardMatchesOracle: a round trip through HTTP, the daemon's plan
+// table, and the leased-buffer hot path equals the naive DFT definition.
+func TestForwardMatchesOracle(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{})
+	const n = 128
+	x := complexvec.Random(n, 1)
+
+	got, err := c.Forward(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, n)
+	baseline.NewNaive(n).Transform(want, x)
+	if !complexvec.Equalish(got, want, 1e-9) {
+		t.Fatalf("served forward differs from naive oracle by %g", complexvec.MaxError(got, want))
+	}
+
+	back, err := c.Inverse(context.Background(), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complexvec.Equalish(back, x, 1e-9) {
+		t.Fatalf("inverse(forward(x)) differs from x by %g", complexvec.MaxError(back, x))
+	}
+}
+
+// TestForwardIntoReuse: ForwardInto works repeatedly with the same
+// caller-owned buffers.
+func TestForwardIntoReuse(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{})
+	const n = 64
+	dst := make([]complex128, n)
+	want := make([]complex128, n)
+	for seed := uint64(1); seed <= 3; seed++ {
+		x := complexvec.Random(n, seed)
+		if err := c.ForwardInto(context.Background(), dst, x); err != nil {
+			t.Fatal(err)
+		}
+		baseline.NewNaive(n).Transform(want, x)
+		if !complexvec.Equalish(dst, want, 1e-9) {
+			t.Fatalf("seed %d: error %g", seed, complexvec.MaxError(dst, want))
+		}
+	}
+}
+
+// TestRealFamilyViaDo: the float-payload path (real forward) returns the
+// half spectrum as interleaved floats.
+func TestRealFamilyViaDo(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{})
+	const n = 64
+	x := make([]float64, n)
+	cx := make([]complex128, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+		cx[i] = complex(x[i], 0)
+	}
+	out := make([]float64, (n/2+1)*2)
+	if err := c.Do(context.Background(), client.Job{Family: client.FamilyReal, N: n}, out, x); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, n)
+	baseline.NewNaive(n).Transform(want, cx)
+	for k := 0; k <= n/2; k++ {
+		got := complex(out[2*k], out[2*k+1])
+		if d := got - want[k]; real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatalf("bin %d: got %v, want %v", k, got, want[k])
+		}
+	}
+}
+
+// TestOverloadShedsWith429: when the daemon is saturated the client gets a
+// typed OverloadedError carrying Retry-After.
+func TestOverloadShedsWith429(t *testing.T) {
+	c, s := newDaemon(t, server.Config{MaxInFlight: 1})
+
+	// Occupy the only admission slot directly, then ask for work.
+	release, _, ok := s.Admit()
+	if !ok {
+		t.Fatal("idle server shed the first admit")
+	}
+	defer release()
+
+	_, err := c.Forward(context.Background(), complexvec.Random(64, 2))
+	var oe *client.OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error %v (%T), want OverloadedError", err, err)
+	}
+	if oe.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter %v, want ≥ 1s", oe.RetryAfter)
+	}
+	if s.Metrics().Shed == 0 {
+		t.Fatal("shed not counted")
+	}
+}
+
+// TestDeadlinePropagation: a request deadline rides the wire, becomes the
+// server-side context, and cancels the transform at a region boundary; the
+// client sees a gateway-timeout RemoteError.
+func TestDeadlinePropagation(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{Workers: 2})
+	const n = 4096
+	x := complexvec.Random(n, 3)
+
+	// Warm the plan so the armed delay hits only the measured transform.
+	if _, err := c.Forward(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+
+	disarm := faultinject.Arm(faultinject.Config{
+		Worker: faultinject.AnyWorker,
+		Delay:  20 * time.Millisecond,
+	})
+	defer disarm()
+
+	y := make([]complex128, n)
+	err := c.DoComplex(context.Background(),
+		client.Job{Family: client.FamilyDFT, N: n, Deadline: time.Millisecond}, y, x)
+	var re *client.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v (%T), want RemoteError", err, err)
+	}
+	if re.Status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", re.Status)
+	}
+}
+
+// TestStreamRoundTrip: many frames over one stream, each result the
+// correct transform of its input, clean EOF after CloseSend.
+func TestStreamRoundTrip(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{})
+	const n, frames = 64, 5
+	st, err := c.Stream(context.Background(), client.Job{Family: client.FamilyDFT, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	want := make([]complex128, n)
+	got := make([]complex128, n)
+	for i := 0; i < frames; i++ {
+		x := complexvec.Random(n, uint64(i+10))
+		if err := st.SendComplex(x); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if err := st.RecvComplex(got); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		baseline.NewNaive(n).Transform(want, x)
+		if !complexvec.Equalish(got, want, 1e-9) {
+			t.Fatalf("frame %d differs from oracle by %g", i, complexvec.MaxError(got, want))
+		}
+	}
+	if err := st.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RecvComplex(got); err != io.EOF {
+		t.Fatalf("after CloseSend: %v, want io.EOF", err)
+	}
+}
+
+// TestStreamCancelDeterministicPrefix: cancelling mid-stream loses only
+// un-received frames — everything received before the cancel is the
+// complete, correct transform of its input.
+func TestStreamCancelDeterministicPrefix(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{})
+	const n = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := c.Stream(ctx, client.Job{Family: client.FamilyDFT, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Receive a prefix of three frames, then cancel with more in flight.
+	want := make([]complex128, n)
+	prefix := make([][]complex128, 3)
+	for i := range prefix {
+		x := complexvec.Random(n, uint64(i+20))
+		if err := st.SendComplex(x); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		got := make([]complex128, n)
+		if err := st.RecvComplex(got); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		baseline.NewNaive(n).Transform(want, x)
+		if !complexvec.Equalish(got, want, 1e-9) {
+			t.Fatalf("prefix frame %d differs from oracle by %g", i, complexvec.MaxError(got, want))
+		}
+		prefix[i] = got
+	}
+	cancel()
+	// The stream is dead; further receives fail, but the prefix stands.
+	err = st.RecvComplex(make([]complex128, n))
+	if err == nil {
+		t.Fatal("recv after cancel succeeded")
+	}
+	for i, row := range prefix {
+		if row == nil || len(row) != n {
+			t.Fatalf("prefix frame %d lost", i)
+		}
+	}
+}
+
+// TestConcurrentClients hammers one daemon from several goroutines across
+// two plan sizes and checks every single result against the naive oracle.
+// Run under -race this is the serving-path race test.
+func TestConcurrentClients(t *testing.T) {
+	c, s := newDaemon(t, server.Config{MaxInFlight: 64})
+	sizes := []int{64, 128}
+	oracles := map[int]*baseline.Naive{}
+	for _, n := range sizes {
+		oracles[n] = baseline.NewNaive(n)
+		// Pre-build plans so no request pays (or races on) tuning.
+		if _, err := c.Forward(context.Background(), make([]complex128, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers, perWorker = 4, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := sizes[(w+i)%len(sizes)]
+				x := complexvec.Random(n, uint64(w*100+i+1))
+				got, err := c.Forward(context.Background(), x)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d req %d: %w", w, i, err)
+					return
+				}
+				want := make([]complex128, n)
+				oracles[n].Transform(want, x)
+				if !complexvec.Equalish(got, want, 1e-9) {
+					errs <- fmt.Errorf("worker %d req %d: off oracle by %g", w, i, complexvec.MaxError(got, want))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if snap := s.Metrics(); snap.OK < workers*perWorker {
+		t.Fatalf("ok count %d, want ≥ %d", snap.OK, workers*perWorker)
+	}
+}
+
+// TestMetricsEndpointPopulated: after traffic, /metrics exposes non-zero
+// outcome counters and a populated latency histogram.
+func TestMetricsEndpointPopulated(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Forward(context.Background(), complexvec.Random(64, uint64(i+30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`fftd_requests_total{outcome="ok"} 3`,
+		`fftd_request_seconds_count 3`,
+		`fftd_request_seconds_bucket{le="+Inf"} 3`,
+		`fftd_request_seconds_quantile{q="0.5"}`,
+		`fftd_request_seconds_quantile{q="0.99"}`,
+		`fftd_plans 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestStatsEndpoint: /v1/stats returns JSON with the outcome counters.
+func TestStatsEndpoint(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{})
+	if _, err := c.Forward(context.Background(), complexvec.Random(64, 40)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"OK":1`, `"InFlight":0`, `"Plans":1`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("stats missing %q: %s", want, raw)
+		}
+	}
+}
+
+// TestWisdomRoundTrip: serving populates per-tenant wisdom; a client can
+// export it and import it into another tenant's namespace.
+func TestWisdomRoundTrip(t *testing.T) {
+	c, s := newDaemon(t, server.Config{})
+	c.Tenant = "alice"
+	if _, err := c.Forward(context.Background(), complexvec.Random(64, 50)); err != nil {
+		t.Fatal(err)
+	}
+	exported, err := c.ExportWisdom(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exported == "" {
+		t.Fatal("tenant wisdom empty after serving")
+	}
+
+	c2 := client.New(c.BaseURL)
+	c2.HTTPClient = c.HTTPClient
+	c2.Tenant = "bob"
+	if err := c2.ImportWisdom(context.Background(), exported); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Wisdom("bob").Len(); got == 0 {
+		t.Fatal("import did not populate bob's namespace")
+	}
+	if got := s.Wisdom("carol").Len(); got != 0 {
+		t.Fatal("import leaked into an unrelated namespace")
+	}
+}
+
+// TestJSONEndpoint exercises the curl-style JSON path end to end.
+func TestJSONEndpoint(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{})
+	body := `{"family":"dft","n":4,"data":[1,0, 0,0, 0,0, 0,0]}`
+	resp, err := c.HTTPClient.Post(c.BaseURL+"/v1/transform", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	// DFT of the unit impulse is all-ones.
+	if !strings.Contains(string(out), "[1,0,1,0,1,0,1,0]") {
+		t.Fatalf("unexpected JSON result: %s", out)
+	}
+}

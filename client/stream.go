@@ -1,0 +1,182 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"spiralfft/internal/wire"
+)
+
+// Stream is a long-lived transform pipe over one plan: Send writes input
+// frames, Recv reads result frames, in order. The daemon transforms frames
+// as they arrive and flushes each result, so Send/Recv can be driven from
+// one goroutine (send, then receive) or two (pipelined).
+//
+// Cancelling the stream's context mid-flight tears the connection down;
+// every frame already received is the complete, correct transform of its
+// input (the deterministic-prefix contract; see SPEC.md).
+type Stream struct {
+	job      Job
+	pw       *io.PipeWriter
+	resp     *http.Response
+	respErr  error
+	ready    chan struct{} // closed when resp/respErr is set
+	hdr      [4]byte       // Send scratch
+	rhdr     [4]byte       // Recv scratch
+	sendMu   sync.Mutex
+	recvMu   sync.Mutex
+	sendDone bool
+}
+
+// Stream opens a streaming session for job. Close must be called to
+// release the daemon's admission slot.
+func (c *Client) Stream(ctx context.Context, job Job) (*Stream, error) {
+	pr, pw := io.Pipe()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/stream", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	c.setHeaders(hr.Header, &job)
+	hr.Header.Set("Content-Type", wire.ContentTypeBinary)
+
+	st := &Stream{job: job, pw: pw, ready: make(chan struct{})}
+	// The daemon writes response headers before reading the first frame,
+	// so Do returns once the stream is admitted; run it aside so the
+	// caller can start sending immediately.
+	go func() {
+		resp, err := c.http().Do(hr)
+		if err == nil {
+			err = checkStatus(resp)
+			if err != nil {
+				resp.Body.Close()
+				resp = nil
+			}
+		}
+		st.resp, st.respErr = resp, err
+		close(st.ready)
+	}()
+	return st, nil
+}
+
+// await blocks until the response headers (or the dial error) arrived.
+func (st *Stream) await() error {
+	<-st.ready
+	return st.respErr
+}
+
+// SendComplex writes one complex input frame.
+func (st *Stream) SendComplex(v []complex128) error {
+	st.sendMu.Lock()
+	defer st.sendMu.Unlock()
+	if st.sendDone {
+		return errors.New("fftd: send side closed")
+	}
+	if err := wire.WriteFrameHeader(st.pw, uint32(len(v)*16), &st.hdr); err != nil {
+		return st.sendFailed(err)
+	}
+	if err := wire.WriteComplexLE(st.pw, v); err != nil {
+		return st.sendFailed(err)
+	}
+	return nil
+}
+
+// SendFloat writes one real input frame.
+func (st *Stream) SendFloat(v []float64) error {
+	st.sendMu.Lock()
+	defer st.sendMu.Unlock()
+	if st.sendDone {
+		return errors.New("fftd: send side closed")
+	}
+	if err := wire.WriteFrameHeader(st.pw, uint32(len(v)*8), &st.hdr); err != nil {
+		return st.sendFailed(err)
+	}
+	if err := wire.WriteFloatLE(st.pw, v); err != nil {
+		return st.sendFailed(err)
+	}
+	return nil
+}
+
+// sendFailed surfaces the server's closing error (a write on a reset pipe
+// reports io.ErrClosedPipe; the interesting error is on the receive side).
+func (st *Stream) sendFailed(err error) error {
+	if errors.Is(err, io.ErrClosedPipe) {
+		if rerr := st.await(); rerr != nil {
+			return rerr
+		}
+	}
+	return err
+}
+
+// CloseSend marks the end of input: the daemon finishes in-flight frames,
+// echoes end-of-stream, and Recv returns io.EOF after the last result.
+func (st *Stream) CloseSend() error {
+	st.sendMu.Lock()
+	defer st.sendMu.Unlock()
+	if st.sendDone {
+		return nil
+	}
+	st.sendDone = true
+	if err := wire.WriteFrameHeader(st.pw, 0, &st.hdr); err != nil {
+		return st.sendFailed(err)
+	}
+	return st.pw.Close()
+}
+
+// RecvComplex reads one complex result frame into dst. io.EOF marks the
+// end of a cleanly closed stream.
+func (st *Stream) RecvComplex(dst []complex128) error {
+	return st.recv(len(dst)*16, func(r io.Reader) error {
+		return wire.ReadComplexLE(r, dst)
+	})
+}
+
+// RecvFloat reads one real result frame into dst.
+func (st *Stream) RecvFloat(dst []float64) error {
+	return st.recv(len(dst)*8, func(r io.Reader) error {
+		return wire.ReadFloatLE(r, dst)
+	})
+}
+
+func (st *Stream) recv(wantBytes int, read func(io.Reader) error) error {
+	if err := st.await(); err != nil {
+		return err
+	}
+	st.recvMu.Lock()
+	defer st.recvMu.Unlock()
+	n, err := wire.ReadFrameHeader(st.resp.Body, &st.rhdr)
+	if err != nil {
+		return err
+	}
+	switch {
+	case n == 0:
+		return io.EOF
+	case n == wire.ErrFrame:
+		msg, rerr := wire.ReadErrorFrame(st.resp.Body)
+		if rerr != nil {
+			return rerr
+		}
+		return &RemoteError{Msg: msg}
+	case int(n) != wantBytes:
+		return fmt.Errorf("fftd: result frame is %d bytes, want %d", n, wantBytes)
+	}
+	return read(st.resp.Body)
+}
+
+// Close tears the stream down (abandoning any frames in flight). Safe to
+// call after CloseSend and draining; always release streams with Close.
+func (st *Stream) Close() error {
+	st.sendMu.Lock()
+	st.sendDone = true
+	st.pw.CloseWithError(context.Canceled)
+	st.sendMu.Unlock()
+	if err := st.await(); err != nil {
+		return nil // never connected; nothing to release
+	}
+	io.Copy(io.Discard, io.LimitReader(st.resp.Body, 1<<20))
+	return st.resp.Body.Close()
+}

@@ -22,13 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"spiralfft"
 	"spiralfft/internal/bench"
+	"spiralfft/internal/cliopts"
 	"spiralfft/internal/machine"
-	"spiralfft/internal/search"
 )
 
 func main() {
@@ -36,20 +35,20 @@ func main() {
 		platform  = flag.String("platform", "all", "host | coreduo | opteron | pentiumd | xeonmp | all")
 		minLogN   = flag.Int("min", 6, "smallest size as log2(N)")
 		maxLogN   = flag.Int("max", 16, "largest size as log2(N)")
-		p         = flag.Int("p", runtime.NumCPU(), "workers for host measurements")
-		mu        = flag.Int("mu", 4, "cache-line length µ in complex128 elements")
+		plan      = cliopts.RegisterPlan(flag.CommandLine)
+		timing    = cliopts.RegisterTiming(flag.CommandLine, 2*time.Millisecond)
 		tune      = flag.Bool("tune", false, "use measured-DP tree tuning for the Spiral series (host mode)")
 		format    = flag.String("format", "table", "table | chart | csv")
 		crossover = flag.Bool("crossover", false, "report parallelization break-even sizes")
-		minTime   = flag.Duration("mintime", 2*time.Millisecond, "minimum measuring time per point (host mode)")
 		quick     = flag.Bool("quick", false, "smoke-run preset: sizes 2^6..2^10, 200µs timer (host mode)")
 		stats     = flag.Bool("stats", false, "append a JSON observability snapshot (pools, cache, transforms)")
 	)
 	flag.Parse()
+	p, mu := &plan.Workers, &plan.Mu
 
 	if *quick {
 		*minLogN, *maxLogN = 6, 10
-		*minTime = 200 * time.Microsecond
+		timing.MinTime = 200 * time.Microsecond
 	}
 
 	var results []bench.Result
@@ -58,7 +57,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "measuring on host (%d workers, µ=%d, 2^%d..2^%d)...\n", *p, *mu, *minLogN, *maxLogN)
 		cfg := bench.Config{
 			MinLogN: *minLogN, MaxLogN: *maxLogN, P: *p, Mu: *mu, Tune: *tune,
-			Timer:   search.TimerConfig{MinTime: *minTime, Repeats: 3},
+			Timer:   timing.Config(),
 			Verbose: func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
 		}
 		results = append(results, bench.RunMeasured(cfg))

@@ -12,25 +12,29 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"runtime"
 	"sort"
 
 	"spiralfft"
+	"spiralfft/internal/cliopts"
 )
 
 func main() {
 	var (
 		n       = flag.Int("n", 1024, "transform size for the synthetic demo")
-		workers = flag.Int("workers", runtime.NumCPU(), "worker count")
+		plan    = cliopts.RegisterPlan(flag.CommandLine)
 		inverse = flag.Bool("inverse", false, "apply the inverse transform")
 		in      = flag.String("in", "", "input file, one sample per line ('re' or 're im'); '-' for stdin")
 		topK    = flag.Int("top", 5, "demo mode: number of dominant bins to print")
 	)
 	flag.Parse()
+	opts, err := plan.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var x []complex128
 	if *in != "" {
-		var err error
 		x, err = readSamples(*in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -40,18 +44,18 @@ func main() {
 		x = synthesize(*n)
 	}
 
-	plan, err := spiralfft.NewPlan(len(x), &spiralfft.Options{Workers: *workers})
+	p, err := spiralfft.NewPlan(len(x), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer plan.Close()
+	defer p.Close()
 
 	y := make([]complex128, len(x))
 	if *inverse {
-		err = plan.Inverse(y, x)
+		err = p.Inverse(y, x)
 	} else {
-		err = plan.Forward(y, x)
+		err = p.Forward(y, x)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -67,7 +71,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("plan: n=%d workers=%d parallel=%v tree=%s\n", plan.N(), plan.Workers(), plan.IsParallel(), plan.Tree())
+	fmt.Printf("plan: n=%d workers=%d parallel=%v tree=%s\n", p.N(), p.Workers(), p.IsParallel(), p.Tree())
 	type binMag struct {
 		bin int
 		mag float64

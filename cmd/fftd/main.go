@@ -1,0 +1,98 @@
+// Command fftd is the transform-serving daemon: it exposes the library's
+// plan families over HTTP so non-Go clients (and Go clients via the client
+// package) can run tuned transforms against a long-lived, warmed plan
+// table. See SPEC.md for the wire protocol and README.md for usage.
+//
+// The daemon serves HTTP/1.1 on plaintext and HTTP/2 when -tls-cert and
+// -tls-key are given (Go's net/http enables h2 automatically over TLS;
+// plaintext h2c would need a dependency this module deliberately avoids).
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spiralfft"
+	"spiralfft/internal/cliopts"
+	"spiralfft/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7723", "listen address")
+		plan        = cliopts.RegisterPlan(flag.CommandLine)
+		maxInFlight = flag.Int("max-inflight", 0, "admission cap on concurrent requests (0 = 2×GOMAXPROCS)")
+		maxN        = flag.Int("max-n", 0, "largest accepted total element count (0 = library default)")
+		maxDeadline = flag.Duration("max-deadline", 30*time.Second, "cap on per-request deadlines")
+		tlsCert     = flag.String("tls-cert", "", "TLS certificate (enables HTTPS and HTTP/2)")
+		tlsKey      = flag.String("tls-key", "", "TLS key")
+		timed       = flag.Bool("timed-metrics", false, "enable the library's timed instrumentation (small per-transform cost)")
+	)
+	flag.Parse()
+
+	planner, err := cliopts.ParsePlanner(plan.Planner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *timed {
+		spiralfft.EnableMetrics()
+	}
+	spiralfft.ExposeExpvar()
+
+	srv := server.New(server.Config{
+		Workers:     plan.Workers,
+		Mu:          plan.Mu,
+		Planner:     planner,
+		PlanBudget:  plan.Budget,
+		MaxInFlight: *maxInFlight,
+		MaxN:        *maxN,
+		MaxDeadline: *maxDeadline,
+	})
+	defer srv.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		cfg := srv.Config()
+		fmt.Fprintf(os.Stderr, "fftd: listening on %s (workers=%d, max-inflight=%d)\n",
+			*addr, cfg.Workers, cfg.MaxInFlight)
+		if *tlsCert != "" || *tlsKey != "" {
+			errc <- hs.ListenAndServeTLS(*tlsCert, *tlsKey)
+			return
+		}
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "fftd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}

@@ -8,10 +8,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"spiralfft/internal/bench"
+	"spiralfft/internal/cliopts"
 	"spiralfft/internal/metrics"
 	"spiralfft/internal/search"
 	"spiralfft/internal/smp"
@@ -21,33 +21,24 @@ func main() {
 	var (
 		n        = flag.Int("n", 1024, "transform size")
 		strategy = flag.String("strategy", "dp", "dp | estimate | exhaustive | random | evolve")
-		p        = flag.Int("p", runtime.NumCPU(), "workers (1 = sequential only)")
-		mu       = flag.Int("mu", 4, "cache-line length µ")
-		minTime  = flag.Duration("mintime", time.Millisecond, "minimum measuring time per candidate")
+		plan     = cliopts.RegisterPlan(flag.CommandLine)
+		timing   = cliopts.RegisterTiming(flag.CommandLine, time.Millisecond)
 		trace    = flag.Bool("trace", false, "stream every candidate/winner search event to stderr")
 	)
 	flag.Parse()
+	p, mu := &plan.Workers, &plan.Mu
 
 	if *strategy == "evolve" {
-		runEvolve(*n, *minTime)
+		runEvolve(*n, timing.MinTime)
 		return
 	}
-	var strat search.Strategy
-	switch *strategy {
-	case "dp":
-		strat = search.StrategyDP
-	case "estimate":
-		strat = search.StrategyEstimate
-	case "exhaustive":
-		strat = search.StrategyExhaustive
-	case "random":
-		strat = search.StrategyRandom
-	default:
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+	strat, err := cliopts.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	tuner := search.NewTuner(strat)
-	tuner.Timer = search.TimerConfig{MinTime: *minTime, Repeats: 3}
+	tuner.Timer = timing.Config()
 	if *trace {
 		tuner.Trace = metrics.TraceWriter(os.Stderr)
 	}

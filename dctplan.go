@@ -46,6 +46,7 @@ func NewDCTPlan(n int, o *Options) (*DCTPlan, error) {
 	}
 	p := &DCTPlan{n: n, inner: inner, w: w}
 	p.init(tkDCT, int64(exec.FlopCount(n)), n)
+	p.initFloatLeases(n, n)
 	p.planCore.inner = inner
 	return p, nil
 }

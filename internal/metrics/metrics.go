@@ -233,6 +233,95 @@ func PseudoMflops(flops float64, d time.Duration) float64 {
 }
 
 // ---------------------------------------------------------------------------
+// Server request recorder
+
+// Outcome classifies how a served request ended.
+type Outcome int
+
+const (
+	// OutcomeOK is a request served to completion.
+	OutcomeOK Outcome = iota
+	// OutcomeShed is a request rejected by admission control (load shed).
+	OutcomeShed
+	// OutcomeCancelled is a request abandoned on context cancellation or
+	// deadline expiry.
+	OutcomeCancelled
+	// OutcomeError is a request that failed for any other reason (bad
+	// input, plan build failure, contained region panic).
+	OutcomeError
+	numOutcomes
+)
+
+// String names the outcome ("ok", "shed", "cancelled", "error").
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeCancelled:
+		return "cancelled"
+	default:
+		return "error"
+	}
+}
+
+// RequestRecorder accumulates server-side request statistics: outcome
+// counts and a latency histogram over completed requests. Unlike the
+// transform recorders it is not gated on the process-wide metrics switch —
+// a server always wants its p50/p99 — and one time.Now pair per request is
+// noise next to the request itself. The zero value is ready to use; all
+// methods are concurrency-safe and allocation-free.
+type RequestRecorder struct {
+	outcomes [numOutcomes]Counter
+	lat      Histogram
+}
+
+// Record logs one request with its outcome and total latency. Shed
+// requests are counted but not timed (their latency says nothing about
+// service time).
+func (r *RequestRecorder) Record(o Outcome, d time.Duration) {
+	if o < 0 || o >= numOutcomes {
+		o = OutcomeError
+	}
+	r.outcomes[o].Inc()
+	if o != OutcomeShed {
+		r.lat.Observe(d)
+	}
+}
+
+// RequestSnapshot is a point-in-time copy of a RequestRecorder.
+type RequestSnapshot struct {
+	// OK, Shed, Cancelled, Errors are the outcome counts.
+	OK, Shed, Cancelled, Errors int64
+	// P50 and P99 are upper bounds on the median and 99th-percentile
+	// request latency (shed requests excluded).
+	P50, P99 time.Duration
+	// Mean is the average request latency.
+	Mean time.Duration
+	// Latency is the full histogram.
+	Latency HistogramSnapshot
+}
+
+// Total returns the number of requests recorded.
+func (s RequestSnapshot) Total() int64 { return s.OK + s.Shed + s.Cancelled + s.Errors }
+
+// Snapshot copies the recorder's counters.
+func (r *RequestRecorder) Snapshot() RequestSnapshot {
+	lat := r.lat.Snapshot()
+	return RequestSnapshot{
+		OK:        r.outcomes[OutcomeOK].Load(),
+		Shed:      r.outcomes[OutcomeShed].Load(),
+		Cancelled: r.outcomes[OutcomeCancelled].Load(),
+		Errors:    r.outcomes[OutcomeError].Load(),
+		P50:       lat.Quantile(0.50),
+		P99:       lat.Quantile(0.99),
+		Mean:      lat.Mean(),
+		Latency:   lat,
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Search / planner tracing
 
 // TraceEvent is one planner/search event: a candidate tree considered, a

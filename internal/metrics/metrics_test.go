@@ -48,8 +48,8 @@ func TestCounterConcurrent(t *testing.T) {
 
 func TestHistogramBucketing(t *testing.T) {
 	var h Histogram
-	h.Observe(0)                    // bucket 0
-	h.Observe(time.Nanosecond)      // bucket 1 (Len64(1) = 1)
+	h.Observe(0)               // bucket 0
+	h.Observe(time.Nanosecond) // bucket 1 (Len64(1) = 1)
 	h.Observe(100 * time.Nanosecond)
 	h.Observe(time.Millisecond)
 	h.Observe(-time.Second) // clamped to 0
@@ -192,5 +192,46 @@ func TestTraceWriter(t *testing.T) {
 	}
 	if !strings.Contains(out, "search: n=64 winner (8 x 8)\n") {
 		t.Errorf("missing untimed winner line:\n%s", out)
+	}
+}
+
+// TestRequestRecorder covers outcome counting and quantile snapshots of the
+// server-side request recorder.
+func TestRequestRecorder(t *testing.T) {
+	var r RequestRecorder
+	for i := 0; i < 90; i++ {
+		r.Record(OutcomeOK, time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(OutcomeOK, 100*time.Millisecond)
+	}
+	r.Record(OutcomeShed, 0)
+	r.Record(OutcomeCancelled, time.Second)
+	r.Record(OutcomeError, time.Second)
+	r.Record(Outcome(99), time.Second) // out of range folds into error
+
+	s := r.Snapshot()
+	if s.OK != 100 || s.Shed != 1 || s.Cancelled != 1 || s.Errors != 2 {
+		t.Fatalf("counts = %d/%d/%d/%d, want 100/1/1/2", s.OK, s.Shed, s.Cancelled, s.Errors)
+	}
+	if s.Total() != 104 {
+		t.Fatalf("Total = %d, want 104", s.Total())
+	}
+	if s.P50 < time.Millisecond || s.P50 > 4*time.Millisecond {
+		t.Errorf("P50 = %v, want ~1-2ms bucket bound", s.P50)
+	}
+	if s.P99 < 100*time.Millisecond {
+		t.Errorf("P99 = %v, want >= 100ms", s.P99)
+	}
+	if s.Latency.Count != 103 { // shed not timed
+		t.Errorf("latency count = %d, want 103", s.Latency.Count)
+	}
+}
+
+// TestRequestRecorderZeroAlloc: recording must stay allocation-free.
+func TestRequestRecorderZeroAlloc(t *testing.T) {
+	var r RequestRecorder
+	if got := testing.AllocsPerRun(100, func() { r.Record(OutcomeOK, time.Microsecond) }); got > 0 {
+		t.Errorf("Record: %.1f allocs/op, want 0", got)
 	}
 }

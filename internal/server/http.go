@@ -1,0 +1,416 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"spiralfft/internal/metrics"
+	"spiralfft/internal/smp"
+	"spiralfft/internal/wire"
+)
+
+// jsonJob mirrors Request for the JSON convenience endpoint: input and
+// output vectors ride as [re, im, re, im, …] (complex) or plain float
+// arrays. Handy for curl; the binary path is the fast one.
+type jsonJob struct {
+	Family  string    `json:"family"`
+	Inverse bool      `json:"inverse,omitempty"`
+	N       int       `json:"n,omitempty"`
+	Count   int       `json:"count,omitempty"`
+	Rows    int       `json:"rows,omitempty"`
+	Cols    int       `json:"cols,omitempty"`
+	Frame   int       `json:"frame,omitempty"`
+	Hop     int       `json:"hop,omitempty"`
+	Tenant  string    `json:"tenant,omitempty"`
+	Data    []float64 `json:"data"`
+}
+
+// Handler returns the daemon's HTTP routing table:
+//
+//	POST /v1/transform   one-shot transform (binary or JSON body)
+//	POST /v1/stream      length-prefixed frame stream over one plan
+//	GET  /v1/stats       JSON server statistics
+//	GET  /v1/wisdom      export a tenant's wisdom   (?tenant=)
+//	PUT  /v1/wisdom      import into a tenant's wisdom
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/transform", s.handleTransform)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/wisdom", s.handleWisdomGet)
+	mux.HandleFunc("PUT /v1/wisdom", s.handleWisdomPut)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// parseRequest builds a transform Request from wire headers.
+func parseRequest(hr *http.Request) (*Request, error) {
+	geti := func(name string) (int, error) {
+		v := hr.Header.Get(name)
+		if v == "" {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("fftd: bad %s %q", name, v)
+		}
+		return n, nil
+	}
+	req := &Request{
+		Family: Family(hr.Header.Get(wire.HdrFamily)),
+		Tenant: hr.Header.Get(wire.HdrTenant),
+	}
+	if req.Family == "" {
+		req.Family = FamilyDFT
+	}
+	switch dir := hr.Header.Get(wire.HdrDirection); dir {
+	case "", "forward":
+	case "inverse":
+		req.Inverse = true
+	default:
+		return nil, fmt.Errorf("fftd: bad %s %q", wire.HdrDirection, dir)
+	}
+	var err error
+	for _, f := range []struct {
+		name string
+		dst  *int
+	}{
+		{wire.HdrN, &req.N}, {wire.HdrCount, &req.Count},
+		{wire.HdrRows, &req.Rows}, {wire.HdrCols, &req.Cols},
+		{wire.HdrFrame, &req.Frame}, {wire.HdrHop, &req.Hop},
+	} {
+		if *f.dst, err = geti(f.name); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// requestContext applies the deadline policy: the client's X-SFFT-Deadline-Ms
+// (capped at MaxDeadline) or, absent one, MaxDeadline itself.
+func (s *Server) requestContext(hr *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.MaxDeadline
+	if v := hr.Header.Get(wire.HdrDeadline); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("fftd: bad %s %q", wire.HdrDeadline, v)
+		}
+		if req := time.Duration(ms) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	ctx, cancel := context.WithTimeout(hr.Context(), d)
+	return ctx, cancel, nil
+}
+
+// shed writes the 429 load-shed response.
+func shed(w http.ResponseWriter, retryAfter time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+	http.Error(w, "fftd: overloaded", http.StatusTooManyRequests)
+}
+
+// failStatus maps a transform error to an HTTP status. Cancellation maps
+// to 504 (the deadline spent) and malformed payloads to 400.
+func failStatus(ctx context.Context, err error) int {
+	switch {
+	case ctx.Err() != nil:
+		return http.StatusGatewayTimeout
+	case err == io.ErrUnexpectedEOF || err == io.EOF:
+		return http.StatusBadRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, hr *http.Request) {
+	release, retryAfter, ok := s.Admit()
+	if !ok {
+		shed(w, retryAfter)
+		return
+	}
+	defer release()
+	if ct := hr.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		s.transformJSON(w, hr)
+		return
+	}
+	req, err := parseRequest(hr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel, err := s.requestContext(hr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	// Warm the handle before writing any response bytes so build errors
+	// still map to a clean 4xx.
+	if _, err := s.InputBytes(req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	if err := s.Transform(ctx, req, hr.Body, w); err != nil {
+		// Headers may already be out; if not, report the failure.
+		http.Error(w, err.Error(), failStatus(ctx, err))
+		return
+	}
+}
+
+// transformJSON is the curl-friendly variant: job and data in one JSON
+// document, result as a JSON float array. It shares the server core (and
+// its metrics) by bridging the float payload through the binary codec.
+func (s *Server) transformJSON(w http.ResponseWriter, hr *http.Request) {
+	var job jsonJob
+	if err := json.NewDecoder(io.LimitReader(hr.Body, 1<<30)).Decode(&job); err != nil {
+		http.Error(w, "fftd: bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req := &Request{
+		Family: Family(job.Family), Inverse: job.Inverse,
+		N: job.N, Count: job.Count, Rows: job.Rows, Cols: job.Cols,
+		Frame: job.Frame, Hop: job.Hop, Tenant: job.Tenant,
+	}
+	if req.Family == "" {
+		req.Family = FamilyDFT
+	}
+	ctx, cancel, err := s.requestContext(hr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	inBytes, err := s.InputBytes(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(job.Data)*8 != inBytes {
+		http.Error(w, fmt.Sprintf("fftd: data has %d floats, want %d", len(job.Data), inBytes/8), http.StatusBadRequest)
+		return
+	}
+	var in, out strings.Builder
+	if err := wire.WriteFloatLE(&in, job.Data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := s.Transform(ctx, req, strings.NewReader(in.String()), &out); err != nil {
+		http.Error(w, err.Error(), failStatus(ctx, err))
+		return
+	}
+	res := make([]float64, len(out.String())/8)
+	if err := wire.ReadFloatLE(strings.NewReader(out.String()), res); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Data []float64 `json:"data"`
+	}{res})
+}
+
+// handleStream serves many transforms over one request body: each input
+// payload arrives as a length-prefixed frame, each result leaves as one.
+// The response flushes after every frame, so a client cancelling mid-stream
+// observes a deterministic prefix — every frame it has received is the
+// complete, correct transform of the corresponding input frame.
+func (s *Server) handleStream(w http.ResponseWriter, hr *http.Request) {
+	release, retryAfter, ok := s.Admit()
+	if !ok {
+		shed(w, retryAfter)
+		return
+	}
+	defer release()
+	req, err := parseRequest(hr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel, err := s.requestContext(hr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	inBytes, err := s.InputBytes(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Full-duplex lets us stream results while the client is still
+	// sending frames on HTTP/1.1; on HTTP/2 it is the default.
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+
+	outBytes, err := s.OutputBytes(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var hdr [4]byte
+	for {
+		n, err := wire.ReadFrameHeader(hr.Body, &hdr)
+		if err == io.EOF || (err == nil && n == 0) {
+			// Clean end of stream: echo the end-of-stream frame.
+			wire.WriteFrameHeader(w, 0, &hdr)
+			rc.Flush()
+			return
+		}
+		if err != nil {
+			wire.WriteErrorFrame(w, err.Error())
+			return
+		}
+		if n == wire.ErrFrame || n > wire.MaxFramePayload || int(n) != inBytes {
+			wire.WriteErrorFrame(w, fmt.Sprintf("fftd: frame length %d, want %d", n, inBytes))
+			return
+		}
+		// The result's frame header is emitted lazily on the first output
+		// byte: the transform writes output only after it has fully
+		// succeeded (STFT excepted), so a cancelled or failed frame emits
+		// an error frame instead of a dangling header — the client's
+		// received prefix is always whole frames, each the complete
+		// transform of its input (the deterministic-prefix contract).
+		fw := &framedWriter{w: w, size: uint32(outBytes)}
+		if err := s.Transform(ctx, req, io.LimitReader(hr.Body, int64(n)), fw); err != nil {
+			if !fw.wrote {
+				wire.WriteErrorFrame(w, err.Error())
+				rc.Flush()
+			}
+			return
+		}
+		rc.Flush()
+	}
+}
+
+// framedWriter prefixes the first written byte with a frame header sized
+// for the whole payload (known a priori from the plan handle).
+type framedWriter struct {
+	w     io.Writer
+	size  uint32
+	hdr   [4]byte
+	wrote bool
+}
+
+func (f *framedWriter) Write(p []byte) (int, error) {
+	if !f.wrote {
+		f.wrote = true
+		if err := wire.WriteFrameHeader(f.w, f.size, &f.hdr); err != nil {
+			return 0, err
+		}
+	}
+	return f.w.Write(p)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// Stats is the JSON shape of /v1/stats.
+type Stats struct {
+	Requests      metrics.RequestSnapshot
+	InFlight      int64
+	ActiveWorkers int64
+	Load          float64
+	Plans         int
+	UptimeSeconds float64
+	P50           time.Duration
+	P99           time.Duration
+}
+
+// Stats snapshots the server's observable state.
+func (s *Server) Stats() Stats {
+	snap := s.rec.Snapshot()
+	return Stats{
+		Requests:      snap,
+		InFlight:      s.InFlight(),
+		ActiveWorkers: smp.ActiveWorkers(),
+		Load:          smp.Load(),
+		Plans:         s.PlanCount(),
+		UptimeSeconds: s.Uptime().Seconds(),
+		P50:           snap.P50,
+		P99:           snap.P99,
+	}
+}
+
+func (s *Server) handleWisdomGet(w http.ResponseWriter, hr *http.Request) {
+	wis := s.Wisdom(hr.URL.Query().Get("tenant"))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, wis.Export())
+}
+
+func (s *Server) handleWisdomPut(w http.ResponseWriter, hr *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(hr.Body, 1<<24))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	wis := s.Wisdom(hr.URL.Query().Get("tenant"))
+	if err := wis.Import(string(body)); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "imported, %d trees\n", wis.Len())
+}
+
+// handleMetrics writes the Prometheus text exposition: request outcome
+// counters, the latency histogram (cumulative buckets), quantile gauges,
+// and substrate load.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.rec.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP fftd_requests_total Transform requests by outcome.\n")
+	fmt.Fprintf(w, "# TYPE fftd_requests_total counter\n")
+	fmt.Fprintf(w, "fftd_requests_total{outcome=\"ok\"} %d\n", snap.OK)
+	fmt.Fprintf(w, "fftd_requests_total{outcome=\"shed\"} %d\n", snap.Shed)
+	fmt.Fprintf(w, "fftd_requests_total{outcome=\"cancelled\"} %d\n", snap.Cancelled)
+	fmt.Fprintf(w, "fftd_requests_total{outcome=\"error\"} %d\n", snap.Errors)
+
+	fmt.Fprintf(w, "# HELP fftd_request_seconds Request latency histogram.\n")
+	fmt.Fprintf(w, "# TYPE fftd_request_seconds histogram\n")
+	var cum int64
+	for i, c := range snap.Latency.Counts {
+		cum += c
+		if c != 0 {
+			fmt.Fprintf(w, "fftd_request_seconds_bucket{le=\"%g\"} %d\n",
+				metrics.BucketUpper(i).Seconds(), cum)
+		}
+	}
+	fmt.Fprintf(w, "fftd_request_seconds_bucket{le=\"+Inf\"} %d\n", snap.Latency.Count)
+	fmt.Fprintf(w, "fftd_request_seconds_sum %g\n", snap.Latency.Sum.Seconds())
+	fmt.Fprintf(w, "fftd_request_seconds_count %d\n", snap.Latency.Count)
+
+	fmt.Fprintf(w, "# HELP fftd_request_seconds_quantile Latency quantile bounds.\n")
+	fmt.Fprintf(w, "# TYPE fftd_request_seconds_quantile gauge\n")
+	fmt.Fprintf(w, "fftd_request_seconds_quantile{q=\"0.5\"} %g\n", snap.P50.Seconds())
+	fmt.Fprintf(w, "fftd_request_seconds_quantile{q=\"0.99\"} %g\n", snap.P99.Seconds())
+
+	fmt.Fprintf(w, "# HELP fftd_inflight Currently admitted requests.\n")
+	fmt.Fprintf(w, "# TYPE fftd_inflight gauge\n")
+	fmt.Fprintf(w, "fftd_inflight %d\n", s.InFlight())
+
+	fmt.Fprintf(w, "# HELP fftd_active_workers smp workers currently inside a parallel region.\n")
+	fmt.Fprintf(w, "# TYPE fftd_active_workers gauge\n")
+	fmt.Fprintf(w, "fftd_active_workers %d\n", smp.ActiveWorkers())
+
+	fmt.Fprintf(w, "# HELP fftd_plans Live plan handles.\n")
+	fmt.Fprintf(w, "# TYPE fftd_plans gauge\n")
+	fmt.Fprintf(w, "fftd_plans %d\n", s.PlanCount())
+}

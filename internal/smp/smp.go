@@ -71,6 +71,42 @@ const yieldLimit = 128
 func oversubscribed(p int) bool { return p > runtime.GOMAXPROCS(0) }
 
 // ---------------------------------------------------------------------------
+// Saturation signal
+//
+// Admission controllers (the fftd transform server) need one cheap process-
+// wide question answered: are the execution backends already using every
+// schedulable processor? Each backend bumps activeWorkers by its worker
+// count for the duration of a Run, so the instantaneous load is visible
+// without touching any pool's internal state.
+
+// activeWorkers counts workers currently inside parallel regions, summed
+// over every backend (pool, spawn, sequential) in the process.
+var activeWorkers atomic.Int64
+
+// beginRegion/endRegion bracket one Run dispatch of p workers.
+func beginRegion(p int) { activeWorkers.Add(int64(p)) }
+func endRegion(p int)   { activeWorkers.Add(int64(-p)) }
+
+// ActiveWorkers returns the number of workers currently executing region
+// bodies across all backends in the process — the instantaneous demand the
+// execution substrate is placing on the machine.
+func ActiveWorkers() int64 { return activeWorkers.Load() }
+
+// Load returns ActiveWorkers relative to GOMAXPROCS: 0 is idle, 1 means
+// every schedulable processor is claimed by a region, and values above 1
+// mean regions are already oversubscribing the machine.
+func Load() float64 {
+	return float64(activeWorkers.Load()) / float64(runtime.GOMAXPROCS(0))
+}
+
+// Saturated reports whether admitting work needing p more workers would
+// push the substrate past the schedulable processors. This is the signal
+// the transform server's admission controller sheds load on.
+func Saturated(p int) bool {
+	return activeWorkers.Load()+int64(p) > int64(runtime.GOMAXPROCS(0))
+}
+
+// ---------------------------------------------------------------------------
 // Worker panic containment
 
 // WorkerPanic is the value Run re-panics on the caller's goroutine when a
@@ -273,6 +309,8 @@ func (p *Pool) awaitEpoch(last uint32) uint32 {
 // here as a *WorkerPanic; the pool remains usable afterwards.
 func (p *Pool) Run(fn func(worker int)) {
 	p.ctr.regions.Inc()
+	beginRegion(p.workers)
+	defer endRegion(p.workers)
 	// Re-evaluate the oversubscription policy against the live GOMAXPROCS:
 	// a pool constructed before runtime.GOMAXPROCS changed must not keep
 	// spinning when it should yield (or vice versa).
@@ -466,6 +504,8 @@ func (s Spawn) Concurrent() bool { return true }
 // any worker's fn is recovered (the join still completes) and re-panicked
 // here as a *WorkerPanic.
 func (s Spawn) Run(fn func(worker int)) {
+	beginRegion(s.workers)
+	defer endRegion(s.workers)
 	var panicked atomic.Pointer[WorkerPanic]
 	body := func(id int) {
 		defer func() {
@@ -512,6 +552,8 @@ func (Sequential) Concurrent() bool { return true }
 // Run calls fn(0). A panic in fn is re-panicked as a *WorkerPanic so the
 // containment contract is uniform across backends.
 func (Sequential) Run(fn func(worker int)) {
+	beginRegion(1)
+	defer endRegion(1)
 	defer func() {
 		if r := recover(); r != nil {
 			panic(capturePanic(0, r))

@@ -418,3 +418,51 @@ func TestPoolParksWhenIdle(t *testing.T) {
 		t.Errorf("post-park Run executed %d workers", ran.Load())
 	}
 }
+
+// TestActiveWorkersSignal: the process-wide saturation signal must rise by
+// the backend's worker count for the duration of a region and fall back to
+// its baseline afterwards (other tests may run in parallel, so the test
+// measures deltas from inside the region body).
+func TestActiveWorkersSignal(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+
+	var during int64
+	pool.Run(func(w int) {
+		if w == 0 {
+			during = ActiveWorkers()
+		}
+	})
+	if during < 2 {
+		t.Errorf("ActiveWorkers during 2-worker region = %d, want >= 2", during)
+	}
+
+	sp := NewSpawn(3)
+	sp.Run(func(w int) {
+		if w == 0 {
+			during = ActiveWorkers()
+		}
+	})
+	if during < 3 {
+		t.Errorf("ActiveWorkers during 3-worker spawn region = %d, want >= 3", during)
+	}
+}
+
+// TestActiveWorkersReleasedOnPanic: a contained region panic must not leak
+// the saturation signal.
+func TestActiveWorkersReleasedOnPanic(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	base := ActiveWorkers()
+	func() {
+		defer func() { recover() }()
+		pool.Run(func(w int) {
+			if w == 1 {
+				panic("boom")
+			}
+		})
+	}()
+	if got := ActiveWorkers(); got != base {
+		t.Errorf("ActiveWorkers after contained panic = %d, want %d", got, base)
+	}
+}

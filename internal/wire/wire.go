@@ -1,0 +1,202 @@
+// Package wire is the fftd wire contract shared by the server core
+// (internal/server) and the public client package: payload codec, stream
+// framing, and the header names that carry transform parameters. The
+// normative description is SPEC.md; this package is its one implementation,
+// so server and client cannot drift apart.
+//
+// Binary payloads are raw little-endian IEEE-754 float64 sequences with no
+// framing of their own (the HTTP body or a stream frame delimits them):
+//
+//   - complex vectors: 2·n floats, interleaved re, im, re, im, …
+//   - real vectors:    n floats
+//
+// On little-endian hosts (every platform this repo targets in practice) the
+// byte layout of []complex128 and []float64 matches the wire exactly, so
+// the codec reads network bytes straight into a plan's leased buffers and
+// writes leased output buffers straight to the socket — the zero-copy half
+// of the zero-allocation serving contract. A big-endian fallback converts
+// element-wise in place.
+//
+// Stream framing (the /v1/stream endpoint) prefixes each payload with a
+// 4-byte little-endian length; a zero-length frame marks end-of-stream, and
+// the sentinel length 0xFFFFFFFF introduces an error frame (4-byte message
+// length + UTF-8 message) after which the stream is dead.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"unsafe"
+)
+
+// Transform parameters travel in headers so the body is pure payload
+// (readable straight into a leased buffer).
+const (
+	HdrFamily    = "X-SFFT-Family"
+	HdrDirection = "X-SFFT-Direction" // "forward" (default) | "inverse"
+	HdrN         = "X-SFFT-N"
+	HdrCount     = "X-SFFT-Count"
+	HdrRows      = "X-SFFT-Rows"
+	HdrCols      = "X-SFFT-Cols"
+	HdrFrame     = "X-SFFT-Frame"
+	HdrHop       = "X-SFFT-Hop"
+	HdrDeadline  = "X-SFFT-Deadline-Ms" // remaining budget in milliseconds
+	HdrTenant    = "X-SFFT-Tenant"
+)
+
+// ContentTypeBinary is the binary payload media type (JSON is also
+// accepted on /v1/transform).
+const ContentTypeBinary = "application/x-sfft-f64le"
+
+// hostLittleEndian reports whether the native byte order matches the wire.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// HostLE reports whether the host's native byte order matches the wire
+// (letting callers take zero-copy byte views of their vectors).
+func HostLE() bool { return hostLittleEndian }
+
+// ComplexBytes views a complex vector as its in-memory bytes.
+func ComplexBytes(v []complex128) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*16)
+}
+
+// FloatBytes views a float vector as its in-memory bytes.
+func FloatBytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+// ReadComplexLE fills dst from r (little-endian wire order), reading
+// directly into dst's memory on little-endian hosts.
+func ReadComplexLE(r io.Reader, dst []complex128) error {
+	if _, err := io.ReadFull(r, ComplexBytes(dst)); err != nil {
+		return err
+	}
+	if !hostLittleEndian {
+		byteswapFloats(floatView(dst))
+	}
+	return nil
+}
+
+// ReadFloatLE fills dst from r in wire order.
+func ReadFloatLE(r io.Reader, dst []float64) error {
+	if _, err := io.ReadFull(r, FloatBytes(dst)); err != nil {
+		return err
+	}
+	if !hostLittleEndian {
+		byteswapFloats(dst)
+	}
+	return nil
+}
+
+// WriteComplexLE writes v to w in wire order without copying on
+// little-endian hosts. v is restored before returning on big-endian hosts.
+func WriteComplexLE(w io.Writer, v []complex128) error {
+	if hostLittleEndian {
+		_, err := w.Write(ComplexBytes(v))
+		return err
+	}
+	f := floatView(v)
+	byteswapFloats(f)
+	_, err := w.Write(FloatBytes(f))
+	byteswapFloats(f)
+	return err
+}
+
+// WriteFloatLE writes v to w in wire order.
+func WriteFloatLE(w io.Writer, v []float64) error {
+	if hostLittleEndian {
+		_, err := w.Write(FloatBytes(v))
+		return err
+	}
+	byteswapFloats(v)
+	_, err := w.Write(FloatBytes(v))
+	byteswapFloats(v)
+	return err
+}
+
+// floatView views a complex vector as interleaved floats.
+func floatView(v []complex128) []float64 {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&v[0])), len(v)*2)
+}
+
+// byteswapFloats converts between native big-endian and wire little-endian
+// in place (the big-endian fallback path; never taken on LE hosts).
+func byteswapFloats(f []float64) {
+	for i, v := range f {
+		f[i] = math.Float64frombits(bits.ReverseBytes64(math.Float64bits(v)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing
+
+// ErrFrame is the frame-length sentinel introducing an error frame.
+const ErrFrame = 0xFFFFFFFF
+
+// MaxFramePayload bounds a single stream frame (guards against hostile or
+// corrupt length prefixes).
+const MaxFramePayload = 1 << 28
+
+// ReadFrameHeader reads one 4-byte length prefix. io.EOF is returned
+// unwrapped when the stream ends cleanly before a header.
+func ReadFrameHeader(r io.Reader, scratch *[4]byte) (uint32, error) {
+	if _, err := io.ReadFull(r, scratch[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("fftd: truncated frame header: %w", err)
+		}
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(scratch[:]), nil
+}
+
+// WriteFrameHeader writes one 4-byte length prefix.
+func WriteFrameHeader(w io.Writer, n uint32, scratch *[4]byte) error {
+	binary.LittleEndian.PutUint32(scratch[:], n)
+	_, err := w.Write(scratch[:])
+	return err
+}
+
+// WriteErrorFrame emits the error-frame sentinel followed by the message.
+func WriteErrorFrame(w io.Writer, msg string) {
+	var hdr [4]byte
+	if WriteFrameHeader(w, ErrFrame, &hdr) != nil {
+		return
+	}
+	if WriteFrameHeader(w, uint32(len(msg)), &hdr) != nil {
+		return
+	}
+	io.WriteString(w, msg)
+}
+
+// ReadErrorFrame reads the message of an error frame whose sentinel header
+// has already been consumed.
+func ReadErrorFrame(r io.Reader) (string, error) {
+	var hdr [4]byte
+	n, err := ReadFrameHeader(r, &hdr)
+	if err != nil {
+		return "", err
+	}
+	if n > MaxFramePayload {
+		return "", fmt.Errorf("fftd: oversized error frame (%d bytes)", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return "", err
+	}
+	return string(msg), nil
+}

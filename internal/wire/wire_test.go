@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"testing"
+)
+
+// TestComplexCodecWireOrder: the payload is little-endian float64 pairs
+// regardless of host order, and decoding inverts encoding.
+func TestComplexCodecWireOrder(t *testing.T) {
+	v := []complex128{complex(1.5, -2.25), complex(math.Pi, 0)}
+	var b bytes.Buffer
+	if err := WriteComplexLE(&b, v); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+	if len(raw) != len(v)*16 {
+		t.Fatalf("encoded %d bytes, want %d", len(raw), len(v)*16)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(raw[0:8])); got != 1.5 {
+		t.Fatalf("first wire float %g, want 1.5", got)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(raw[8:16])); got != -2.25 {
+		t.Fatalf("second wire float %g, want -2.25", got)
+	}
+	back := make([]complex128, len(v))
+	if err := ReadComplexLE(bytes.NewReader(raw), back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatalf("element %d: %v != %v", i, back[i], v[i])
+		}
+	}
+	// WriteComplexLE must not disturb the caller's vector.
+	if v[0] != complex(1.5, -2.25) {
+		t.Fatalf("source mutated: %v", v[0])
+	}
+}
+
+func TestFloatCodecRoundTrip(t *testing.T) {
+	v := []float64{0, -1, math.MaxFloat64, math.SmallestNonzeroFloat64}
+	var b bytes.Buffer
+	if err := WriteFloatLE(&b, v); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]float64, len(v))
+	if err := ReadFloatLE(bytes.NewReader(b.Bytes()), back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatalf("element %d: %g != %g", i, back[i], v[i])
+		}
+	}
+}
+
+// TestFraming: headers, end-of-stream, and error frames round-trip.
+func TestFraming(t *testing.T) {
+	var b bytes.Buffer
+	var hdr [4]byte
+	if err := WriteFrameHeader(&b, 1234, &hdr); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReadFrameHeader(&b, &hdr)
+	if err != nil || n != 1234 {
+		t.Fatalf("frame header: %d, %v", n, err)
+	}
+
+	b.Reset()
+	WriteErrorFrame(&b, "plan exploded")
+	n, err = ReadFrameHeader(&b, &hdr)
+	if err != nil || n != ErrFrame {
+		t.Fatalf("error sentinel: %d, %v", n, err)
+	}
+	msg, err := ReadErrorFrame(&b)
+	if err != nil || msg != "plan exploded" {
+		t.Fatalf("error frame: %q, %v", msg, err)
+	}
+
+	// Clean EOF before a header is io.EOF, truncation mid-header is not.
+	if _, err := ReadFrameHeader(bytes.NewReader(nil), &hdr); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+	if _, err := ReadFrameHeader(bytes.NewReader([]byte{1, 2}), &hdr); err == io.EOF || err == nil {
+		t.Fatalf("truncated header: %v, want wrapped error", err)
+	}
+}

@@ -33,6 +33,10 @@ type planCore struct {
 	// invs pools per-call workspace buffers (conjugation input for Inverse,
 	// reordering workspace for the DCT).
 	invs sync.Pool
+	// leases is the plan's buffer-lease arena (see lease.go); each family's
+	// constructor arms New with its own lease shape via initComplexLeases /
+	// initRealLeases / initFloatLeases.
+	leases sync.Pool
 	// finalPool/finalBarrier preserve the parallel statistics across
 	// release, so Snapshot stays consistent after Close.
 	finalPool    *PoolStats

@@ -1,0 +1,160 @@
+package spiralfft
+
+import (
+	"testing"
+	"unsafe"
+
+	"spiralfft/internal/baseline"
+	"spiralfft/internal/complexvec"
+)
+
+// TestLeaseAlignment: every leased buffer must start on a cache-line
+// boundary — the property that keeps leased I/O buffers out of foreign
+// cache lines (the paper's false-sharing discipline extended to the server
+// edge).
+func TestLeaseAlignment(t *testing.T) {
+	aligned := func(p unsafe.Pointer) bool { return uintptr(p)%leaseAlign == 0 }
+
+	plan, err := NewPlan(1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	l := plan.Buffers()
+	defer l.Release()
+	if !aligned(unsafe.Pointer(&l.In[0])) || !aligned(unsafe.Pointer(&l.Out[0])) {
+		t.Errorf("complex lease not %d-byte aligned: in=%p out=%p", leaseAlign, &l.In[0], &l.Out[0])
+	}
+	if len(l.In) != 1024 || len(l.Out) != 1024 {
+		t.Errorf("lease lengths = %d/%d, want 1024/1024", len(l.In), len(l.Out))
+	}
+
+	rp, err := NewRealPlan(256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+	rl := rp.Buffers()
+	defer rl.Release()
+	if !aligned(unsafe.Pointer(&rl.In[0])) || !aligned(unsafe.Pointer(&rl.Out[0])) {
+		t.Errorf("real lease not aligned")
+	}
+	if len(rl.In) != 256 || len(rl.Out) != 129 {
+		t.Errorf("real lease lengths = %d/%d, want 256/129", len(rl.In), len(rl.Out))
+	}
+
+	dp, err := NewDCTPlan(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Close()
+	fl := dp.Buffers()
+	defer fl.Release()
+	if !aligned(unsafe.Pointer(&fl.In[0])) || !aligned(unsafe.Pointer(&fl.Out[0])) {
+		t.Errorf("float lease not aligned")
+	}
+}
+
+// TestLeaseShapesAllFamilies pins the lease dimensions of every family.
+func TestLeaseShapesAllFamilies(t *testing.T) {
+	bp, err := NewBatchPlan(64, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bp.Close()
+	if l := bp.Buffers(); len(l.In) != 256 || len(l.Out) != 256 {
+		t.Errorf("batch lease = %d/%d, want 256/256", len(l.In), len(l.Out))
+	} else {
+		l.Release()
+	}
+
+	p2, err := NewPlan2D(8, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if l := p2.Buffers(); len(l.In) != 128 || len(l.Out) != 128 {
+		t.Errorf("2d lease = %d/%d, want 128/128", len(l.In), len(l.Out))
+	} else {
+		l.Release()
+	}
+
+	wp, err := NewWHTPlan(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wp.Close()
+	if l := wp.Buffers(); len(l.In) != 64 || len(l.Out) != 64 {
+		t.Errorf("wht lease = %d/%d, want 64/64", len(l.In), len(l.Out))
+	} else {
+		l.Release()
+	}
+
+	sp, err := NewSTFTPlan(32, 16, WindowHann, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if l := sp.Buffers(); len(l.In) != 32 || len(l.Out) != 17 {
+		t.Errorf("stft lease = %d/%d, want 32/17", len(l.In), len(l.Out))
+	} else {
+		l.Release()
+	}
+}
+
+// TestLeaseTransformMatchesOracle: a transform through leased buffers is the
+// same transform.
+func TestLeaseTransformMatchesOracle(t *testing.T) {
+	const n = 128
+	plan, err := NewPlan(n, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	naive := baseline.NewNaive(n)
+	x := complexvec.Random(n, 7)
+	want := make([]complex128, n)
+	naive.Transform(want, x)
+
+	l := plan.Buffers()
+	defer l.Release()
+	copy(l.In, x)
+	if err := plan.Forward(l.Out, l.In); err != nil {
+		t.Fatal(err)
+	}
+	if !complexvec.Equalish(l.Out, want, 1e-9) {
+		t.Fatalf("leased forward differs from oracle: max error %g", complexvec.MaxError(l.Out, want))
+	}
+}
+
+// TestLeaseReuseAndZeroAlloc: after warmup, checkout/transform/release must
+// not allocate — the server hot-path guarantee at the library layer.
+func TestLeaseReuseAndZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items at random")
+	}
+	plan, err := NewPlan(512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+
+	// Warm the arena and pin reuse: a released lease comes back.
+	l := plan.Buffers()
+	first := &l.In[0]
+	plan.Forward(l.Out, l.In)
+	l.Release()
+	l2 := plan.Buffers()
+	if &l2.In[0] != first {
+		t.Log("arena handed out a different lease after release (allowed, but unexpected single-threaded)")
+	}
+	l2.Release()
+
+	if got := testing.AllocsPerRun(100, func() {
+		lease := plan.Buffers()
+		plan.Forward(lease.Out, lease.In)
+		lease.Release()
+	}); got > 0 {
+		t.Errorf("lease checkout+transform+release: %.1f allocs/op, want 0", got)
+	}
+}

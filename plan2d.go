@@ -47,6 +47,7 @@ func NewPlan2D(rows, cols int, o *Options) (*Plan2D, error) {
 	colTree := exec.RadixTree(rows)
 	p := &Plan2D{rows: rows, cols: cols, p: 1, opt: opt}
 	p.init(tk2D, int64(float64(rows)*exec.FlopCount(cols)+float64(cols)*exec.FlopCount(rows)), rows*cols)
+	p.initComplexLeases(rows*cols, rows*cols)
 	seqProg, err := ir.Lower2D(rows, cols, 1, rowTree, colTree)
 	if err != nil {
 		return nil, err

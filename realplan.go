@@ -58,6 +58,7 @@ func NewRealPlan(n int, o *Options) (*RealPlan, error) {
 	}
 	p := &RealPlan{n: n, half: half, w: w}
 	p.init(tkReal, int64(exec.FlopCount(n)/2), 0)
+	p.initRealLeases(n, h+1)
 	p.inner = half
 	p.ctxs.New = func() any {
 		return &realCtx{z: make([]complex128, h), spect: make([]complex128, h+1)}

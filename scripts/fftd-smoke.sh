@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for cmd/fftd: build the daemon, start it on
+# loopback, drive the JSON and binary paths with curl, and assert the
+# metrics endpoints reflect the traffic. Used by the fftd-integration CI
+# job; runnable locally from the repo root.
+set -euo pipefail
+
+ADDR=${FFTD_ADDR:-127.0.0.1:7723}
+BASE="http://$ADDR"
+WORKDIR=$(mktemp -d)
+trap 'kill "$FFTD_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+go build -o "$WORKDIR/fftd" ./cmd/fftd
+"$WORKDIR/fftd" -addr "$ADDR" -workers 2 &
+FFTD_PID=$!
+
+for _ in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+    kill -0 "$FFTD_PID" 2>/dev/null || fail "fftd exited during startup"
+    sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "daemon never became healthy"
+echo "ok: healthz"
+
+# JSON path: DFT of a unit impulse is the all-ones vector.
+json=$(curl -sf -X POST "$BASE/v1/transform" \
+    -H 'Content-Type: application/json' \
+    -d '{"family":"dft","n":4,"data":[1,0,0,0,0,0,0,0]}')
+echo "$json" | grep -q '"data":\[1,0,1,0,1,0,1,0\]' \
+    || fail "JSON impulse transform: got $json"
+echo "ok: /v1/transform (json)"
+
+# Binary path: the same impulse as raw little-endian float64 payload
+# (1.0 = 00 00 00 00 00 00 f0 3f, then seven zero floats).
+printf '\000\000\000\000\000\000\360\077' > "$WORKDIR/in.bin"
+head -c 56 /dev/zero >> "$WORKDIR/in.bin"
+curl -sf -X POST "$BASE/v1/transform" \
+    -H 'Content-Type: application/x-sfft-f64le' \
+    -H 'X-SFFT-Family: dft' -H 'X-SFFT-N: 4' \
+    -H 'X-SFFT-Deadline-Ms: 5000' \
+    --data-binary @"$WORKDIR/in.bin" -o "$WORKDIR/out.bin"
+size=$(wc -c < "$WORKDIR/out.bin")
+[ "$size" -eq 64 ] || fail "binary output is $size bytes, want 64"
+decoded=$(od -An -v -t fD "$WORKDIR/out.bin" | tr -s ' \n' ' ')
+case "$decoded" in
+    *" 1 0 1 0 1 0 1 0"*|" 1 0 1 0 1 0 1 0 ") ;;
+    *) fail "binary impulse transform decoded to:$decoded" ;;
+esac
+echo "ok: /v1/transform (binary, zero-copy path)"
+
+# Validation errors must be 400, not 5xx.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/transform" \
+    -H 'Content-Type: application/x-sfft-f64le' \
+    -H 'X-SFFT-Family: dft' -H 'X-SFFT-N: 0' --data-binary @"$WORKDIR/in.bin")
+[ "$code" = "400" ] || fail "invalid size returned $code, want 400"
+echo "ok: validation (400)"
+
+# Stats: two successful transforms so far, none in flight.
+stats=$(curl -sf "$BASE/v1/stats")
+echo "$stats" | grep -q '"OK": *2' || fail "stats OK count: $stats"
+echo "$stats" | grep -q '"InFlight": *0' || fail "stats InFlight: $stats"
+echo "ok: /v1/stats"
+
+# Metrics: request counters and a populated latency histogram.
+metrics=$(curl -sf "$BASE/metrics")
+echo "$metrics" | grep -q '^fftd_requests_total{outcome="ok"} 2$' \
+    || fail "metrics ok counter missing: $metrics"
+echo "$metrics" | grep -q '^fftd_request_seconds_count 2$' \
+    || fail "metrics histogram count missing"
+echo "$metrics" | grep -q '^fftd_request_seconds_bucket{le="+Inf"} 2$' \
+    || fail "metrics histogram +Inf bucket missing"
+echo "$metrics" | grep -q '^fftd_request_seconds_quantile{q="0.99"}' \
+    || fail "metrics p99 quantile missing"
+echo "$metrics" | grep -q '^fftd_plans 1$' \
+    || fail "metrics plan gauge missing"
+echo "ok: /metrics (histogram populated)"
+
+# expvar from the library is mounted too.
+curl -sf "$BASE/debug/vars" | grep -q 'spiralfft.transforms' \
+    || fail "expvar aggregates missing"
+echo "ok: /debug/vars"
+
+echo "fftd smoke: all checks passed"

@@ -193,6 +193,7 @@ func NewPlan(n int, o *Options) (*Plan, error) {
 	opt := o.withDefaults()
 	p := &Plan{n: n, opt: opt}
 	p.init(tkDFT, int64(exec.FlopCount(n)), n)
+	p.initComplexLeases(n, n)
 
 	tuner := search.NewTuner(strategyFor(opt.Planner))
 	tuner.Budget = opt.PlanBudget

@@ -60,6 +60,23 @@ type ContextTransformer interface {
 	InverseCtx(ctx context.Context, dst, src []complex128) error
 }
 
+// BufferedTransformer is the zero-copy serving surface of the complex-vector
+// plan families: a context-aware transformer whose request/response buffers
+// are checked out of the plan's own arena instead of allocated per call.
+// This is the handle a transform server holds per plan family — the hot path
+// is Buffers → fill In → ForwardCtx(Out, In) → ship Out → Release, with zero
+// buffer allocations in the steady state.
+//
+// The real-input families expose the same lease model with their own lease
+// shapes (RealPlan/STFTPlan → *RealLease, DCTPlan → *FloatLease); they
+// cannot share this interface because their transform signatures differ.
+type BufferedTransformer interface {
+	ContextTransformer
+	Sized
+	// Buffers checks an aligned In/Out buffer pair out of the plan's arena.
+	Buffers() *Lease
+}
+
 // Sized is the slice-length contract every Transformer in this package
 // also satisfies: Len returns the exact required length of the dst and
 // src slices passed to Forward/Inverse. It equals N for Plan and WHTPlan,
@@ -89,6 +106,11 @@ var (
 	_ Sized = (*BatchPlan)(nil)
 	_ Sized = (*Plan2D)(nil)
 	_ Sized = (*WHTPlan)(nil)
+
+	_ BufferedTransformer = (*Plan)(nil)
+	_ BufferedTransformer = (*BatchPlan)(nil)
+	_ BufferedTransformer = (*Plan2D)(nil)
+	_ BufferedTransformer = (*WHTPlan)(nil)
 
 	_ RealTransformer[[]complex128] = (*RealPlan)(nil)
 	_ RealTransformer[[]complex128] = (*STFTPlan)(nil)

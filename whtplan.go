@@ -46,6 +46,7 @@ func NewWHTPlan(n int, o *Options) (*WHTPlan, error) {
 	}
 	p := &WHTPlan{n: n, opt: opt}
 	p.init(tkWHT, int64(n)*int64(k), 0)
+	p.initComplexLeases(n, n)
 	seqProg, err := ir.LowerWHT(n, 1, opt.CacheLineComplex)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,128 @@
+// Command benchsnap records and compares the repo's performance trajectory
+// (ROADMAP item 3): every run of the fixed metric grid emits one versioned
+// BENCH_<date>.json snapshot, and the diff mode joins two snapshots and
+// gates on regressions.
+//
+// Record (default): run the grid and write the snapshot.
+//
+//	benchsnap                  full grid → BENCH_<date>.json
+//	benchsnap -quick           CI-sized grid (seconds, not minutes)
+//	benchsnap -o out.json      explicit output path (- for stdout)
+//	benchsnap -trials 7        min-of-7-trials timing
+//
+// Diff: compare two snapshots, print the delta table, exit 1 when any
+// metric regressed beyond the threshold.
+//
+//	benchsnap -diff old.json new.json
+//	benchsnap -diff -threshold 0.5 BENCH_baseline.json BENCH_2026-08-09.json
+//
+// The grid covers per-size pseudo-Mflop/s for all seven plan families,
+// cached-plan parallel throughput, smp dispatch cost (pool vs spawn), and
+// the fftd server core's p50/p99 request latency. See EXPERIMENTS.md
+// ("Performance trajectory") for the methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"spiralfft/internal/benchfmt"
+)
+
+func main() {
+	var (
+		diff      = flag.Bool("diff", false, "compare two snapshots: benchsnap -diff old.json new.json")
+		threshold = flag.Float64("threshold", 0.25, "regression threshold as a fraction (diff mode; 0.25 = 25%)")
+		quick     = flag.Bool("quick", false, "record the quick CI grid instead of the full grid")
+		trials    = flag.Int("trials", 0, "timing trials per metric, min-of-K (0 = grid default)")
+		out       = flag.String("o", "", "output path (default BENCH_<date>.json; - for stdout)")
+	)
+	flag.Parse()
+	if *diff {
+		os.Exit(runDiff(flag.Args(), *threshold))
+	}
+	os.Exit(record(*quick, *trials, *out))
+}
+
+func record(quick bool, trials int, out string) int {
+	now := time.Now().UTC()
+	snap, err := benchfmt.Run(benchfmt.RunConfig{
+		Quick:     quick,
+		Trials:    trials,
+		CreatedAt: now,
+		GitSHA:    gitSHA(),
+		Verbose:   func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 2
+	}
+	data, err := benchfmt.Encode(snap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 2
+	}
+	if out == "-" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if out == "" {
+		out = "BENCH_" + now.Format("2006-01-02") + ".json"
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d metrics, grid=%s, host=%s)\n",
+		out, len(snap.Metrics), snap.Grid, snap.Host.Fingerprint)
+	return 0
+}
+
+func runDiff(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchsnap -diff [-threshold f] old.json new.json")
+		return 2
+	}
+	old, err := readSnapshot(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 2
+	}
+	cur, err := readSnapshot(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		return 2
+	}
+	r := benchfmt.Diff(old, cur, threshold)
+	fmt.Print(r.Table())
+	if len(r.Regressions()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readSnapshot(path string) (*benchfmt.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := benchfmt.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// gitSHA best-effort resolves the working tree's commit; provenance only,
+// so failures (no git, not a checkout) yield an empty field, not an error.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

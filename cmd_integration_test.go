@@ -138,3 +138,62 @@ func TestDFTToolFileRoundtrip(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchsnapRecordAndDiff drives the perf-trajectory tool end to end:
+// record a quick snapshot, self-diff it (exit 0), then inject a regression
+// into a copy and check the analyzer rejects it (exit 1).
+func TestBenchsnapRecordAndDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd integration skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "snap.json")
+	out, err := exec.Command("go", "run", "./cmd/benchsnap", "-quick", "-trials", "1", "-o", snap).CombinedOutput()
+	if err != nil {
+		t.Fatalf("record: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": 1`, `"grid": "quick"`, "mflops/stft", "fftd/p99"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("snapshot missing %q", want)
+		}
+	}
+
+	out, err = exec.Command("go", "run", "./cmd/benchsnap", "-diff", snap, snap).CombinedOutput()
+	if err != nil {
+		t.Fatalf("self-diff should exit 0: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no regressions") {
+		t.Errorf("self-diff table unexpected:\n%s", out)
+	}
+
+	// Inject a 10× regression into the cached-parallel throughput metric.
+	bad := filepath.Join(dir, "bad.json")
+	mangled := strings.Replace(string(data), `"key": "throughput/cached-parallel/n=1024",
+      "unit": "transforms/s",
+      "value": `, `"key": "throughput/cached-parallel/n=1024",
+      "unit": "transforms/s",
+      "value": 0.1e-1, "_orig": `, 1)
+	if mangled == string(data) {
+		t.Fatal("failed to inject regression (snapshot layout changed?)")
+	}
+	if err := os.WriteFile(bad, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command("go", "run", "./cmd/benchsnap", "-diff", "-threshold", "0.5", snap, bad).CombinedOutput()
+	if err == nil {
+		t.Fatalf("diff with injected regression should exit non-zero:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 2 {
+		t.Fatalf("diff exit = %v (want 1, not usage error 2):\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "REGRESSION") {
+		t.Errorf("diff table missing REGRESSION mark:\n%s", out)
+	}
+}

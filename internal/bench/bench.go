@@ -230,6 +230,41 @@ func RunModeled(pl machine.Platform, minLogN, maxLogN int) Result {
 	return res
 }
 
+// longest returns the series with the most points. Rendering is driven by
+// it rather than Series[0]: the series of a measured run can be ragged (a
+// family that failed to build at some size contributes fewer points), and
+// sizing the output off the first series either dropped rows (Table, CSV)
+// or wrote past the grid (Chart) when a later series was longer.
+func (r Result) longest() SeriesData {
+	var best SeriesData
+	for _, s := range r.Series {
+		if len(s.Points) > len(best.Points) {
+			best = s
+		}
+	}
+	return best
+}
+
+// DispatchCost times one no-op parallel region through a backend, returning
+// the best (minimum) per-region time over trials — min is robust against
+// scheduler hiccups, which is what made end-to-end comparisons flaky. Both
+// the hermetic A1 test and benchsnap's dispatch-cost metric read it.
+func DispatchCost(b smp.Backend, regions, trials int) time.Duration {
+	noop := func(int) {}
+	b.Run(noop) // warm up (pool workers may still be parking for the first region)
+	best := time.Duration(1 << 62)
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		for i := 0; i < regions; i++ {
+			b.Run(noop)
+		}
+		if d := time.Since(start) / time.Duration(regions); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
 // Table renders the result as an aligned text table (sizes down, series
 // across), like the data behind one Figure-3 subplot.
 func (r Result) Table() string {
@@ -240,10 +275,7 @@ func (r Result) Table() string {
 		fmt.Fprintf(&b, "%-20s", s.Name)
 	}
 	b.WriteString("\n")
-	if len(r.Series) == 0 {
-		return b.String()
-	}
-	for _, p := range r.Series[0].Points {
+	for _, p := range r.longest().Points {
 		fmt.Fprintf(&b, "%-8d", p.LogN)
 		for _, s := range r.Series {
 			fmt.Fprintf(&b, "%-20.0f", s.At(p.LogN))
@@ -261,10 +293,7 @@ func (r Result) CSV() string {
 		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(s.Name, " ", "_"))
 	}
 	b.WriteString("\n")
-	if len(r.Series) == 0 {
-		return b.String()
-	}
-	for _, p := range r.Series[0].Points {
+	for _, p := range r.longest().Points {
 		fmt.Fprintf(&b, "%d", p.LogN)
 		for _, s := range r.Series {
 			fmt.Fprintf(&b, ",%.1f", s.At(p.LogN))
@@ -291,7 +320,18 @@ func (r Result) Chart(height int) string {
 	if maxV == 0 || len(r.Series) == 0 {
 		return "(no data)\n"
 	}
-	cols := len(r.Series[0].Points)
+	// The x-axis comes from the longest series; each point maps to the
+	// column of its LogN, so ragged series neither shift nor overflow the
+	// grid (points at a size the axis lacks are skipped).
+	axis := r.longest()
+	cols := len(axis.Points)
+	if cols == 0 {
+		return "(no data)\n"
+	}
+	colOf := make(map[int]int, cols)
+	for ci, p := range axis.Points {
+		colOf[p.LogN] = ci
+	}
 	colW := 4
 	grid := make([][]byte, height)
 	for i := range grid {
@@ -299,7 +339,11 @@ func (r Result) Chart(height int) string {
 	}
 	for si, s := range r.Series {
 		mark := marks[si%len(marks)]
-		for ci, p := range s.Points {
+		for _, p := range s.Points {
+			ci, ok := colOf[p.LogN]
+			if !ok {
+				continue
+			}
 			row := int((p.Mflops / maxV) * float64(height-1))
 			if row < 0 {
 				row = 0
@@ -321,7 +365,7 @@ func (r Result) Chart(height int) string {
 		b.WriteString("\n")
 	}
 	b.WriteString("  +" + strings.Repeat("-", cols*colW) + "\n   ")
-	for _, p := range r.Series[0].Points {
+	for _, p := range axis.Points {
 		fmt.Fprintf(&b, "%-*d", colW, p.LogN)
 	}
 	b.WriteString(" log2(N)\n  legend: ")

@@ -109,25 +109,6 @@ func TestRenderings(t *testing.T) {
 	}
 }
 
-// dispatchCost times one no-op parallel region through a backend, returning
-// the best (minimum) per-region time over trials — min is robust against
-// scheduler hiccups, which is what made the old end-to-end comparison flaky.
-func dispatchCost(b smp.Backend, regions, trials int) time.Duration {
-	noop := func(int) {}
-	b.Run(noop) // warm up (pool workers may still be parking for the first region)
-	best := time.Duration(1 << 62)
-	for t := 0; t < trials; t++ {
-		start := time.Now()
-		for i := 0; i < regions; i++ {
-			b.Run(noop)
-		}
-		if d := time.Since(start) / time.Duration(regions); d < best {
-			best = d
-		}
-	}
-	return best
-}
-
 // TestPoolDispatchCheaperThanSpawn is ablation A1 reduced to its hermetic
 // core: the pooled backend's whole purpose is cheaper region dispatch, so a
 // no-op parallel region must cost less through the pool than through
@@ -141,8 +122,8 @@ func TestPoolDispatchCheaperThanSpawn(t *testing.T) {
 	for _, p := range []int{2, 4} {
 		pool := smp.NewPool(p)
 		spawn := smp.NewSpawn(p)
-		poolCost := dispatchCost(pool, 200, 5)
-		spawnCost := dispatchCost(spawn, 200, 5)
+		poolCost := DispatchCost(pool, 200, 5)
+		spawnCost := DispatchCost(spawn, 200, 5)
 		st := pool.Stats()
 		pool.Close()
 		spawn.Close()
@@ -183,6 +164,43 @@ func TestMeasuredPoolBeatsSpawnAtSmallSizes(t *testing.T) {
 	}
 	if wins < 3 {
 		t.Errorf("pool slower than spawn at most small sizes: pool=%v spawn=%v", pool.Points, spawn.Points)
+	}
+}
+
+// TestChartRaggedSeries is the regression test for the grid sizing bug:
+// Chart derived its column count from Series[0], so any later series with
+// more points wrote past the grid row (index out of range). Ragged results
+// are real — a family that fails to build at one size contributes fewer
+// points — and must render, with every series' points in the column of
+// their LogN on the longest series' axis.
+func TestChartRaggedSeries(t *testing.T) {
+	res := Result{
+		Title: "ragged",
+		Series: []SeriesData{
+			{Name: "short", Points: []Point{{6, 100}, {7, 200}}},
+			{Name: "long", Points: []Point{{6, 150}, {7, 250}, {8, 350}, {9, 450}}},
+		},
+	}
+	chart := res.Chart(8) // panicked before the fix
+	for _, want := range []string{"legend", "9 ", "log2(N)"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	// Table and CSV had the dual bug — rows driven by the first series
+	// silently dropped the longer series' extra sizes.
+	table := res.Table()
+	if !strings.Contains(table, "9") || !strings.Contains(table, "450") {
+		t.Errorf("table dropped the long series' rows:\n%s", table)
+	}
+	if lines := strings.Count(res.CSV(), "\n"); lines != 5 {
+		t.Errorf("csv lines = %d, want 5 (header + 4 sizes)", lines)
+	}
+	// A series whose sizes are absent from the axis is skipped, not
+	// misplotted at the wrong column.
+	res.Series = append(res.Series, SeriesData{Name: "offaxis", Points: []Point{{20, 999}}})
+	if chart := res.Chart(8); !strings.Contains(chart, "legend") {
+		t.Errorf("off-axis chart failed to render:\n%s", chart)
 	}
 }
 

@@ -1,0 +1,172 @@
+// Package benchfmt defines the repo's recorded performance trajectory: the
+// versioned BENCH_<date>.json snapshot format, the grid runner that fills
+// one in (cmd/benchsnap), and the analyzer that diffs two snapshots and
+// flags regressions.
+//
+// The methodology follows the paper's own discipline (and ROADMAP item 3):
+// a fixed metric grid, min-of-K-trials timing so scheduler noise inflates
+// nothing, one self-describing JSON document per run carrying the host
+// fingerprint and toolchain so numbers are never compared across
+// incomparable environments, and a CI gate that refuses silent regressions.
+// Every future kernel or planner change ships with a before/after number.
+package benchfmt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SchemaVersion is the snapshot format version. Decode rejects any other
+// value: a schema bump means the metric grid or semantics changed, and
+// diffing across that boundary would manufacture phantom regressions.
+const SchemaVersion = 1
+
+// ErrSchema is wrapped by Decode when the document's schema version does
+// not match SchemaVersion.
+var ErrSchema = errors.New("benchfmt: unsupported schema version")
+
+// Direction states which way a metric improves.
+type Direction string
+
+const (
+	// HigherIsBetter marks throughput-like metrics (pseudo-Mflop/s,
+	// transforms/s).
+	HigherIsBetter Direction = "higher"
+	// LowerIsBetter marks cost-like metrics (dispatch ns/region, latency).
+	LowerIsBetter Direction = "lower"
+)
+
+// Metric is one recorded number.
+type Metric struct {
+	// Key identifies the metric across snapshots, e.g. "mflops/dft/n=1024"
+	// or "fftd/p99". Diff joins on it.
+	Key string `json:"key"`
+	// Unit is the human-readable unit ("pseudo-Mflop/s", "ns/region",
+	// "transforms/s", "ns").
+	Unit string `json:"unit"`
+	// Value is the recorded measurement (best-of-trials).
+	Value float64 `json:"value"`
+	// Better is the improvement direction; Diff needs it to tell a
+	// regression from a win.
+	Better Direction `json:"better"`
+	// Trials is the number of timing trials the value is the best of
+	// (0 for derived values such as histogram quantiles).
+	Trials int `json:"trials,omitempty"`
+}
+
+// HostInfo mirrors machine.HostInfo without importing it here; the runner
+// fills it from machine.Host(). Keeping the wire struct local makes the
+// JSON schema self-contained.
+type HostInfo struct {
+	OS          string `json:"os"`
+	Arch        string `json:"arch"`
+	NumCPU      int    `json:"num_cpu"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Snapshot is one BENCH_<date>.json document.
+type Snapshot struct {
+	// Schema must equal SchemaVersion.
+	Schema int `json:"schema"`
+	// CreatedAt is the recording time, RFC3339 (informational only; Diff
+	// never reads it).
+	CreatedAt string `json:"created_at,omitempty"`
+	// GitSHA is the commit the binary was built from, when known.
+	GitSHA string `json:"git_sha,omitempty"`
+	// Grid names the metric grid that produced the snapshot ("quick" or
+	// "full"); quick and full snapshots share keys, so Diff works across
+	// them on the intersection.
+	Grid string `json:"grid"`
+	// Host fingerprints the measuring machine.
+	Host HostInfo `json:"host"`
+	// GoVersion and GOMAXPROCS pin the toolchain and parallelism the
+	// numbers were taken under.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Metrics is the recorded grid, in run order.
+	Metrics []Metric `json:"metrics"`
+}
+
+// Get returns the metric with the given key.
+func (s *Snapshot) Get(key string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Key == key {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Keys returns the snapshot's metric keys, sorted.
+func (s *Snapshot) Keys() []string {
+	keys := make([]string, 0, len(s.Metrics))
+	for _, m := range s.Metrics {
+		keys = append(keys, m.Key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// validate checks the invariants Encode enforces and Decode re-checks.
+func (s *Snapshot) validate() error {
+	if s.Schema != SchemaVersion {
+		return fmt.Errorf("%w: got %d, want %d", ErrSchema, s.Schema, SchemaVersion)
+	}
+	seen := make(map[string]bool, len(s.Metrics))
+	for i, m := range s.Metrics {
+		if m.Key == "" {
+			return fmt.Errorf("benchfmt: metric %d has an empty key", i)
+		}
+		if seen[m.Key] {
+			return fmt.Errorf("benchfmt: duplicate metric key %q", m.Key)
+		}
+		seen[m.Key] = true
+		if m.Better != HigherIsBetter && m.Better != LowerIsBetter {
+			return fmt.Errorf("benchfmt: metric %q has direction %q, want %q or %q",
+				m.Key, m.Better, HigherIsBetter, LowerIsBetter)
+		}
+		if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) || m.Value < 0 {
+			return fmt.Errorf("benchfmt: metric %q has invalid value %v", m.Key, m.Value)
+		}
+	}
+	return nil
+}
+
+// Encode serializes a validated snapshot as indented JSON with a trailing
+// newline (the committed-file form).
+func Encode(s *Snapshot) ([]byte, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Decode parses and validates a snapshot document. A schema-version
+// mismatch returns an error wrapping ErrSchema before anything else is
+// looked at.
+func Decode(data []byte) (*Snapshot, error) {
+	var probe struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("benchfmt: not a snapshot: %w", err)
+	}
+	if probe.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrSchema, probe.Schema, SchemaVersion)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchfmt: malformed snapshot: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,120 @@
+package benchfmt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Schema:    SchemaVersion,
+		CreatedAt: "2026-08-09T00:00:00Z",
+		GitSHA:    "abc123def456",
+		Grid:      "quick",
+		Host:      HostInfo{OS: "linux", Arch: "amd64", NumCPU: 2, Fingerprint: "linux/amd64/2cpu"},
+		GoVersion: "go1.24.0", GOMAXPROCS: 2,
+		Metrics: []Metric{
+			{Key: "mflops/dft/n=1024", Unit: "pseudo-Mflop/s", Value: 1234.5, Better: HigherIsBetter, Trials: 3},
+			{Key: "dispatch/pool", Unit: "ns/region", Value: 4200, Better: LowerIsBetter, Trials: 3},
+			{Key: "fftd/p99", Unit: "ns", Value: 524288, Better: LowerIsBetter},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", s, got)
+	}
+	if !bytes.HasSuffix(data, []byte("\n")) {
+		t.Error("encoded snapshot must end with a newline (committed-file form)")
+	}
+}
+
+// TestGoldenSnapshot pins the committed wire form: the checked-in golden
+// file must decode, and re-encoding the decoded value must reproduce it
+// byte for byte, so any accidental schema drift shows up as a test diff.
+func TestGoldenSnapshot(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Decode(golden)
+	if err != nil {
+		t.Fatalf("golden file does not decode: %v", err)
+	}
+	out, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, golden) {
+		t.Errorf("golden file is not canonical:\n--- got ---\n%s\n--- want ---\n%s", out, golden)
+	}
+	if len(s.Metrics) == 0 || s.Grid != "quick" {
+		t.Errorf("golden snapshot content unexpected: %+v", s)
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	s := sampleSnapshot()
+	s.Schema = SchemaVersion + 1
+	data, err := Encode(s)
+	if err == nil {
+		// Encode must refuse too; craft the bytes by hand to test Decode.
+		t.Error("Encode accepted a wrong schema version")
+	}
+	data = []byte(`{"schema": 99, "grid": "quick", "metrics": []}`)
+	if _, err := Decode(data); !errors.Is(err, ErrSchema) {
+		t.Errorf("Decode(schema 99) = %v, want ErrSchema", err)
+	}
+	if _, err := Decode([]byte(`{"grid": "quick"}`)); !errors.Is(err, ErrSchema) {
+		t.Errorf("Decode(no schema) = %v, want ErrSchema", err)
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+}
+
+func TestValidationRejectsBadMetrics(t *testing.T) {
+	for name, mutate := range map[string]func(*Snapshot){
+		"empty key":      func(s *Snapshot) { s.Metrics[0].Key = "" },
+		"duplicate key":  func(s *Snapshot) { s.Metrics[1].Key = s.Metrics[0].Key },
+		"bad direction":  func(s *Snapshot) { s.Metrics[0].Better = "sideways" },
+		"negative value": func(s *Snapshot) { s.Metrics[0].Value = -1 },
+	} {
+		s := sampleSnapshot()
+		mutate(s)
+		if _, err := Encode(s); err == nil {
+			t.Errorf("%s: Encode accepted invalid snapshot", name)
+		}
+	}
+}
+
+func TestGetAndKeys(t *testing.T) {
+	s := sampleSnapshot()
+	if m, ok := s.Get("dispatch/pool"); !ok || m.Value != 4200 {
+		t.Errorf("Get = %+v, %v", m, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("Get returned a phantom metric")
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "dispatch/pool" {
+		t.Errorf("Keys = %v (want sorted, dispatch/pool first)", keys)
+	}
+	if !strings.HasPrefix(keys[2], "mflops/") {
+		t.Errorf("Keys not sorted: %v", keys)
+	}
+}

@@ -1,0 +1,119 @@
+package benchfmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Delta is one metric compared across two snapshots.
+type Delta struct {
+	Key    string
+	Unit   string
+	Better Direction
+	// Old and New are the two recorded values.
+	Old, New float64
+	// Change is the signed relative change (New-Old)/Old; positive means
+	// the value went up, which is good or bad per Better. Zero when the
+	// old value is 0 (nothing to normalize against).
+	Change float64
+	// Regression is set when the metric moved in the worse direction by
+	// strictly more than the diff threshold. A zero old value is never a
+	// regression: it means the metric was unmeasurable at baseline.
+	Regression bool
+}
+
+// DiffResult joins two snapshots metric by metric.
+type DiffResult struct {
+	// Threshold is the fraction a metric must worsen by (strictly) to
+	// count as a regression, e.g. 0.25 for 25%.
+	Threshold float64
+	// Deltas covers the keys present in both snapshots, in the old
+	// snapshot's order.
+	Deltas []Delta
+	// Missing lists keys present only in the old snapshot, Added keys
+	// present only in the new one. Neither is a regression by itself —
+	// quick and full grids legitimately differ — but both are reported.
+	Missing, Added []string
+	// HostMismatch is set when the two snapshots carry different host
+	// fingerprints; deltas across hosts measure hardware, not code.
+	HostMismatch bool
+}
+
+// Diff compares two snapshots with the given regression threshold.
+// Metrics missing on either side are tolerated and listed, never fatal.
+func Diff(old, new *Snapshot, threshold float64) DiffResult {
+	r := DiffResult{
+		Threshold:    threshold,
+		HostMismatch: old.Host.Fingerprint != new.Host.Fingerprint,
+	}
+	newKeys := make(map[string]Metric, len(new.Metrics))
+	for _, m := range new.Metrics {
+		newKeys[m.Key] = m
+	}
+	oldKeys := make(map[string]bool, len(old.Metrics))
+	for _, om := range old.Metrics {
+		oldKeys[om.Key] = true
+		nm, ok := newKeys[om.Key]
+		if !ok {
+			r.Missing = append(r.Missing, om.Key)
+			continue
+		}
+		d := Delta{Key: om.Key, Unit: om.Unit, Better: om.Better, Old: om.Value, New: nm.Value}
+		if om.Value > 0 {
+			d.Change = (nm.Value - om.Value) / om.Value
+			worse := d.Change // lower-better: value going up is worse
+			if om.Better == HigherIsBetter {
+				worse = -d.Change
+			}
+			d.Regression = worse > threshold
+		}
+		r.Deltas = append(r.Deltas, d)
+	}
+	for _, nm := range new.Metrics {
+		if !oldKeys[nm.Key] {
+			r.Added = append(r.Added, nm.Key)
+		}
+	}
+	return r
+}
+
+// Regressions returns the deltas that crossed the threshold.
+func (r DiffResult) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Table renders the comparison as an aligned text report: one row per
+// joined metric with the signed percentage change, regressions marked,
+// then the one-sided keys and the verdict line.
+func (r DiffResult) Table() string {
+	var b strings.Builder
+	if r.HostMismatch {
+		b.WriteString("WARNING: snapshots are from different hosts; deltas measure hardware, not code\n")
+	}
+	fmt.Fprintf(&b, "%-44s %14s %14s %8s\n", "metric", "old", "new", "Δ%")
+	for _, d := range r.Deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-44s %14.1f %14.1f %+7.1f%%%s\n", d.Key, d.Old, d.New, d.Change*100, mark)
+	}
+	for _, k := range r.Missing {
+		fmt.Fprintf(&b, "%-44s (only in old snapshot)\n", k)
+	}
+	for _, k := range r.Added {
+		fmt.Fprintf(&b, "%-44s (only in new snapshot)\n", k)
+	}
+	if n := len(r.Regressions()); n > 0 {
+		fmt.Fprintf(&b, "%d metric(s) regressed beyond %.0f%%\n", n, r.Threshold*100)
+	} else {
+		fmt.Fprintf(&b, "no regressions beyond %.0f%% (%d metrics compared)\n", r.Threshold*100, len(r.Deltas))
+	}
+	return b.String()
+}

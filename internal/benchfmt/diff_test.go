@@ -1,0 +1,127 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func snapWithMetrics(ms ...Metric) *Snapshot {
+	return &Snapshot{
+		Schema: SchemaVersion, Grid: "quick",
+		Host:    HostInfo{OS: "linux", Arch: "amd64", NumCPU: 2, Fingerprint: "linux/amd64/2cpu"},
+		Metrics: ms,
+	}
+}
+
+func hi(key string, v float64) Metric {
+	return Metric{Key: key, Unit: "pseudo-Mflop/s", Value: v, Better: HigherIsBetter}
+}
+
+func lo(key string, v float64) Metric {
+	return Metric{Key: key, Unit: "ns", Value: v, Better: LowerIsBetter}
+}
+
+func TestDiffDirections(t *testing.T) {
+	old := snapWithMetrics(hi("tput", 100), lo("lat", 100))
+	// Throughput halved and latency doubled: both regress at 25%.
+	r := Diff(old, snapWithMetrics(hi("tput", 50), lo("lat", 200)), 0.25)
+	if regs := r.Regressions(); len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want 2", regs)
+	}
+	// Throughput doubled and latency halved: improvements never flag.
+	r = Diff(old, snapWithMetrics(hi("tput", 200), lo("lat", 50)), 0.25)
+	if regs := r.Regressions(); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+// TestDiffExactlyAtThreshold pins the boundary: a metric must worsen by
+// STRICTLY more than the threshold to regress, so a delta landing exactly
+// on it passes (the threshold is the tolerance, not the trigger).
+func TestDiffExactlyAtThreshold(t *testing.T) {
+	old := snapWithMetrics(hi("tput", 100), lo("lat", 100))
+	at := snapWithMetrics(hi("tput", 75), lo("lat", 125))
+	if regs := Diff(old, at, 0.25).Regressions(); len(regs) != 0 {
+		t.Errorf("exactly-at-threshold flagged: %+v", regs)
+	}
+	beyond := snapWithMetrics(hi("tput", 74.9), lo("lat", 125.2))
+	if regs := Diff(old, beyond, 0.25).Regressions(); len(regs) != 2 {
+		t.Errorf("just-beyond-threshold missed: %+v", regs)
+	}
+}
+
+// TestDiffZeroBaseline: a zero old value has nothing to normalize against
+// (the metric was unmeasurable at baseline) and must never divide by zero
+// or count as a regression.
+func TestDiffZeroBaseline(t *testing.T) {
+	old := snapWithMetrics(hi("tput", 0), lo("lat", 0))
+	r := Diff(old, snapWithMetrics(hi("tput", 50), lo("lat", 1e9)), 0.1)
+	if regs := r.Regressions(); len(regs) != 0 {
+		t.Errorf("zero baseline regressed: %+v", regs)
+	}
+	for _, d := range r.Deltas {
+		if d.Change != 0 {
+			t.Errorf("%s: Change = %v, want 0 for zero baseline", d.Key, d.Change)
+		}
+	}
+}
+
+// TestDiffMissingAndAdded: one-sided metrics are reported, never fatal,
+// never regressions — quick and full grids legitimately differ in keys.
+func TestDiffMissingAndAdded(t *testing.T) {
+	old := snapWithMetrics(hi("shared", 100), hi("retired", 10))
+	r := Diff(old, snapWithMetrics(hi("shared", 99), hi("brand-new", 5)), 0.25)
+	if len(r.Missing) != 1 || r.Missing[0] != "retired" {
+		t.Errorf("Missing = %v", r.Missing)
+	}
+	if len(r.Added) != 1 || r.Added[0] != "brand-new" {
+		t.Errorf("Added = %v", r.Added)
+	}
+	if len(r.Deltas) != 1 || r.Deltas[0].Key != "shared" {
+		t.Errorf("Deltas = %+v", r.Deltas)
+	}
+	if len(r.Regressions()) != 0 {
+		t.Error("one-sided keys must not regress")
+	}
+	table := r.Table()
+	for _, want := range []string{"retired", "only in old", "brand-new", "only in new", "no regressions"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestDiffSelfIsClean(t *testing.T) {
+	s := snapWithMetrics(hi("a", 123), lo("b", 456))
+	r := Diff(s, s, 0.0)
+	if len(r.Regressions()) != 0 || len(r.Missing) != 0 || len(r.Added) != 0 {
+		t.Errorf("self-diff not clean: %+v", r)
+	}
+	if r.HostMismatch {
+		t.Error("self-diff flagged host mismatch")
+	}
+}
+
+func TestDiffHostMismatch(t *testing.T) {
+	a := snapWithMetrics(hi("a", 100))
+	b := snapWithMetrics(hi("a", 100))
+	b.Host.Fingerprint = "darwin/arm64/8cpu"
+	r := Diff(a, b, 0.25)
+	if !r.HostMismatch {
+		t.Error("host mismatch not flagged")
+	}
+	if !strings.Contains(r.Table(), "different hosts") {
+		t.Error("table missing host-mismatch warning")
+	}
+}
+
+func TestDiffTableMarksRegressions(t *testing.T) {
+	old := snapWithMetrics(hi("tput", 100))
+	table := Diff(old, snapWithMetrics(hi("tput", 10)), 0.25).Table()
+	if !strings.Contains(table, "REGRESSION") {
+		t.Errorf("table missing REGRESSION mark:\n%s", table)
+	}
+	if !strings.Contains(table, "1 metric(s) regressed") {
+		t.Errorf("table missing verdict:\n%s", table)
+	}
+}

@@ -1,0 +1,34 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// HostInfo fingerprints the machine a measurement ran on. Performance
+// snapshots (internal/benchfmt) embed it so an analyzer can refuse — or at
+// least flag — comparisons across hosts: a pseudo-Mflop/s delta between a
+// 2-vCPU container and an 8-core workstation is hardware, not a regression.
+type HostInfo struct {
+	// OS and Arch are runtime.GOOS / runtime.GOARCH.
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+	// NumCPU is runtime.NumCPU() at capture time (the container's visible
+	// CPU count, not the physical machine's).
+	NumCPU int `json:"num_cpu"`
+}
+
+// Host captures the current host's fingerprint.
+func Host() HostInfo {
+	return HostInfo{
+		OS:     runtime.GOOS,
+		Arch:   runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+	}
+}
+
+// Fingerprint renders the host as one comparable token, e.g.
+// "linux/amd64/2cpu".
+func (h HostInfo) Fingerprint() string {
+	return fmt.Sprintf("%s/%s/%dcpu", h.OS, h.Arch, h.NumCPU)
+}

@@ -1,0 +1,23 @@
+package machine
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestHostFingerprint(t *testing.T) {
+	h := Host()
+	if h.OS != runtime.GOOS || h.Arch != runtime.GOARCH || h.NumCPU != runtime.NumCPU() {
+		t.Errorf("Host() = %+v, want current runtime values", h)
+	}
+	fp := h.Fingerprint()
+	for _, part := range []string{runtime.GOOS, runtime.GOARCH, "cpu"} {
+		if !strings.Contains(fp, part) {
+			t.Errorf("Fingerprint %q missing %q", fp, part)
+		}
+	}
+	if a, b := Host().Fingerprint(), Host().Fingerprint(); a != b {
+		t.Errorf("Fingerprint not stable: %q vs %q", a, b)
+	}
+}

@@ -16,6 +16,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -133,18 +134,27 @@ func (s HistogramSnapshot) Mean() time.Duration {
 
 // Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) from the
 // bucket boundaries — e.g. Quantile(0.99) is a p99 latency bound.
+//
+// The rank is the ceil convention: the q-quantile is the ⌈q·Count⌉-th
+// smallest observation (clamped to [1, Count]), so p0 is the smallest
+// observed bucket, p100 the largest non-empty one, and the median of two
+// observations the smaller — not, as an off-by-one here once had it, the
+// bucket one observation too high.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0
 	}
-	target := int64(q * float64(s.Count))
-	if target >= s.Count {
-		target = s.Count - 1
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
 	}
 	var seen int64
 	for i, c := range s.Counts {
 		seen += c
-		if seen > target {
+		if seen >= target {
 			return BucketUpper(i)
 		}
 	}

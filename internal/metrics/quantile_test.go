@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// snapWith builds a snapshot with the given count in each listed bucket.
+func snapWith(buckets map[int]int64) HistogramSnapshot {
+	var s HistogramSnapshot
+	for i, c := range buckets {
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// TestQuantileCeilRank pins the rank convention: Quantile(q) is the bucket
+// of the ⌈q·Count⌉-th smallest observation, clamped to [1, Count]. The old
+// floor-rank (seen > int64(q·Count)) returned the bucket one observation
+// too high — most visibly, the median of two observations in two buckets
+// reported the larger bucket.
+func TestQuantileCeilRank(t *testing.T) {
+	// Two observations, one ≤8ns (bucket 3), one ≤1µs (bucket 10).
+	two := snapWith(map[int]int64{3: 1, 10: 1})
+	cases := []struct {
+		name string
+		s    HistogramSnapshot
+		q    float64
+		want time.Duration
+	}{
+		{"median-of-two-is-smaller", two, 0.5, 8 * time.Nanosecond},
+		{"p0-is-smallest-bucket", two, 0, 8 * time.Nanosecond},
+		{"p100-is-largest-bucket", two, 1, 1024 * time.Nanosecond},
+
+		// 99 fast + 1 slow: p99 rank is ⌈0.99·100⌉ = 99 → still fast.
+		{"p99-99fast-1slow", snapWith(map[int]int64{2: 99, 20: 1}), 0.99, 4 * time.Nanosecond},
+		// 98 fast + 2 slow: rank 99 lands on the slow bucket.
+		{"p99-98fast-2slow", snapWith(map[int]int64{2: 98, 20: 2}), 0.99, time.Duration(1 << 20)},
+
+		// A single observation answers every quantile.
+		{"single-p0", snapWith(map[int]int64{5: 1}), 0, 32 * time.Nanosecond},
+		{"single-p50", snapWith(map[int]int64{5: 1}), 0.5, 32 * time.Nanosecond},
+		{"single-p100", snapWith(map[int]int64{5: 1}), 1, 32 * time.Nanosecond},
+
+		// Median of three (1 fast, 2 slow): rank ⌈1.5⌉ = 2 → slow bucket.
+		{"median-of-three", snapWith(map[int]int64{3: 1, 10: 2}), 0.5, 1024 * time.Nanosecond},
+	}
+	for _, c := range cases {
+		if got := c.s.Quantile(c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileClamped checks out-of-range q values stay within the
+// observed buckets rather than under- or overflowing the rank.
+func TestQuantileClamped(t *testing.T) {
+	s := snapWith(map[int]int64{4: 10})
+	if got := s.Quantile(-0.5); got != 16*time.Nanosecond {
+		t.Errorf("Quantile(-0.5) = %v, want 16ns", got)
+	}
+	if got := s.Quantile(2.0); got != 16*time.Nanosecond {
+		t.Errorf("Quantile(2.0) = %v, want 16ns", got)
+	}
+}

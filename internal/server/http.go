@@ -114,9 +114,17 @@ func (s *Server) requestContext(hr *http.Request) (context.Context, context.Canc
 	return ctx, cancel, nil
 }
 
-// shed writes the 429 load-shed response.
+// shed writes the 429 load-shed response. The Retry-After hint is rounded
+// up to whole seconds and floored at 1 regardless of what the caller
+// supplies: the header has one-second granularity, and truncation used to
+// turn any sub-second hint into "Retry-After: 0" — an instruction to retry
+// immediately against a server that just declared itself overloaded.
 func shed(w http.ResponseWriter, retryAfter time.Duration) {
-	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	http.Error(w, "fftd: overloaded", http.StatusTooManyRequests)
 }
 

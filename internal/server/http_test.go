@@ -1,0 +1,40 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestShedRetryAfterRounding pins the Retry-After header policy: sub-second
+// hints round up to 1 (the old int(d/time.Second) truncation emitted
+// "Retry-After: 0", i.e. "retry immediately", exactly when the server was
+// overloaded), longer hints round up to the next whole second, and the
+// floor holds even for zero/negative inputs.
+func TestShedRetryAfterRounding(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{0, "1"},
+		{-time.Second, "1"},
+		{time.Millisecond, "1"},
+		{300 * time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1001 * time.Millisecond, "2"},
+		{1500 * time.Millisecond, "2"},
+		{2 * time.Second, "2"},
+		{5*time.Second + time.Nanosecond, "6"},
+	}
+	for _, c := range cases {
+		rr := httptest.NewRecorder()
+		shed(rr, c.in)
+		if got := rr.Header().Get("Retry-After"); got != c.want {
+			t.Errorf("shed(%v): Retry-After = %q, want %q", c.in, got, c.want)
+		}
+		if rr.Code != 429 {
+			t.Errorf("shed(%v): status = %d, want 429", c.in, rr.Code)
+		}
+	}
+}

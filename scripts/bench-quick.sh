@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# bench-quick.sh — CI perf gate: record a quick-grid snapshot and diff it
+# against the committed baseline.
+#
+# Emits BENCH_<date>.json in the working directory (uploaded as a CI
+# artifact) and exits non-zero if any metric regressed beyond the
+# threshold. The threshold is deliberately generous: CI runners are shared
+# and noisy, so the gate is meant to catch "the cached path stopped being
+# cached" (2×+ cliffs), not 10% codelet tuning drift — the committed
+# full-grid snapshots are the precise record.
+set -eu
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${BENCH_THRESHOLD:-0.60}"
+BASELINE="${BENCH_BASELINE:-BENCH_baseline.json}"
+OUT="BENCH_$(date -u +%F).json"
+
+echo "recording quick grid -> $OUT"
+go run ./cmd/benchsnap -quick -o "$OUT"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "no baseline ($BASELINE); snapshot recorded, nothing to gate against"
+    exit 0
+fi
+
+echo "diffing against $BASELINE (threshold $THRESHOLD)"
+go run ./cmd/benchsnap -diff -threshold "$THRESHOLD" "$BASELINE" "$OUT"

@@ -1,0 +1,71 @@
+// Command codeletgen emits the generated split-radix codelet tier
+// (internal/codelet/zsplitradix.go) from the generator in internal/codegen.
+//
+// Modes:
+//
+//	codeletgen -o zsplitradix.go          write the registry file (go:generate)
+//	codeletgen -verify                    exit 1 if the committed file drifted
+//	codeletgen -standalone -n 32 -flavor plain -o main.go
+//	                                      emit a self-testing package main for
+//	                                      one straight-line kernel (CI smoke)
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"spiralfft/internal/codegen"
+)
+
+func main() {
+	var (
+		out        = flag.String("o", "internal/codelet/zsplitradix.go", "output path (- for stdout)")
+		verify     = flag.Bool("verify", false, "compare the generator's output against -o instead of writing")
+		standalone = flag.Bool("standalone", false, "emit a self-testing package main for one kernel")
+		n          = flag.Int("n", 32, "kernel size for -standalone")
+		flavor     = flag.String("flavor", "plain", "kernel flavor for -standalone: plain or tw")
+	)
+	flag.Parse()
+	if err := run(*out, *verify, *standalone, *n, *flavor); err != nil {
+		fmt.Fprintln(os.Stderr, "codeletgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, verify, standalone bool, n int, flavor string) error {
+	var data []byte
+	var err error
+	if standalone {
+		switch flavor {
+		case "plain":
+			data, err = codegen.SplitRadixStandalone(n, false)
+		case "tw":
+			data, err = codegen.SplitRadixStandalone(n, true)
+		default:
+			err = fmt.Errorf("unknown flavor %q (want plain or tw)", flavor)
+		}
+	} else {
+		data, err = codegen.SplitRadixFile()
+	}
+	if err != nil {
+		return err
+	}
+	if verify {
+		have, err := os.ReadFile(out)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(have, data) {
+			return fmt.Errorf("%s is stale: regenerate with go generate ./internal/codelet", out)
+		}
+		fmt.Printf("%s is up to date (%d bytes)\n", out, len(data))
+		return nil
+	}
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}

@@ -51,6 +51,10 @@ func main() {
 	fmt.Printf("candidates     : %d\n", seq.Candidates)
 	fmt.Printf("seq runtime    : %v  (%.0f pseudo-Mflop/s)\n", seq.Time, bench.PseudoMflops(*n, seq.Time))
 
+	cut := tuner.BestCutoff(*n)
+	fmt.Printf("base-case cut  : ≤%d (%s, %v over %d caps)\n",
+		cut.Cutoff, cut.Tree.String(), cut.Time, cut.Candidates)
+
 	if *p > 1 {
 		pool := smp.NewPool(*p)
 		defer pool.Close()

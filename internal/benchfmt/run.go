@@ -12,6 +12,7 @@ import (
 
 	"spiralfft"
 	"spiralfft/internal/bench"
+	"spiralfft/internal/codelet"
 	"spiralfft/internal/exec"
 	"spiralfft/internal/machine"
 	"spiralfft/internal/metrics"
@@ -129,7 +130,7 @@ func familyProbes(cfg RunConfig) ([]probe, error) {
 	rows, cols := 64, 64
 	frame, hop, signal := 256, 128, 8192
 	if cfg.Quick {
-		dftSizes = []int{8, 10}
+		dftSizes = []int{8, 10, 12}
 		whtSizes = []int{8}
 		realSizes = []int{10}
 		dctSizes = []int{8}
@@ -151,6 +152,26 @@ func familyProbes(cfg RunConfig) ([]probe, error) {
 			flops: exec.FlopCount(n),
 			run:   func() { p.Forward(l.Out, l.In) },
 			close: func() { l.Release(); p.Close() },
+		})
+	}
+	{
+		// Leaf-tier microbenchmark: one unrolled codelet on contiguous
+		// arrays, no plan machinery. Tracks the generated-kernel tier in
+		// isolation so a codegen regression is visible even when plan-level
+		// numbers are dominated by the memory system.
+		const leafN = 64
+		k, ok := codelet.ForSize(leafN)
+		if !ok {
+			return nil, fmt.Errorf("benchfmt: no unrolled codelet for n=%d", leafN)
+		}
+		src := make([]complex128, leafN)
+		dst := make([]complex128, leafN)
+		src[1] = 1
+		probes = append(probes, probe{
+			key:   fmt.Sprintf("mflops/leaf/n=%d", leafN),
+			flops: exec.FlopCount(leafN),
+			run:   func() { k.Apply(dst, 0, 1, src, 0, 1, nil) },
+			close: func() {},
 		})
 	}
 	{

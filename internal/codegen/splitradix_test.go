@@ -1,0 +1,44 @@
+package codegen
+
+import (
+	"bytes"
+	"go/format"
+	"os"
+	"testing"
+)
+
+// The committed generated tier must match the generator byte for byte, so a
+// generator change without `go generate ./internal/codelet` fails CI.
+func TestSplitRadixFileUpToDate(t *testing.T) {
+	want, err := SplitRadixFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("../codelet/zsplitradix.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("internal/codelet/zsplitradix.go is stale: run go generate ./internal/codelet")
+	}
+}
+
+func TestSplitRadixStandaloneCompilesAsGo(t *testing.T) {
+	for _, tw := range []bool{false, true} {
+		src, err := SplitRadixStandalone(64, tw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// format.Source both validates syntax and confirms canonical form.
+		formatted, err := format.Source(src)
+		if err != nil {
+			t.Fatalf("tw=%v: %v", tw, err)
+		}
+		if !bytes.Equal(src, formatted) {
+			t.Errorf("tw=%v: standalone output not gofmt-canonical", tw)
+		}
+	}
+	if _, err := SplitRadixStandalone(128, false); err == nil {
+		t.Error("composed size accepted by standalone generator")
+	}
+}

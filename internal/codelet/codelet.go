@@ -23,52 +23,32 @@ import (
 	"spiralfft/internal/twiddle"
 )
 
+// The generated split-radix tier lives in zsplitradix.go; regenerate after
+// changing internal/codegen/splitradix.go.
+//go:generate go run spiralfft/cmd/codeletgen -o zsplitradix.go
+
 // Func is the strided twiddled DFT kernel signature shared by all codelets.
 type Func func(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128)
 
-// Kernel is a DFT codelet of a fixed size.
+// FuncW is the fused-twiddle kernel signature: like Func, but the twiddle
+// vector itself is strided (w[woff + j·ws] scales input j), so a composite
+// caller can hand a sub-kernel its slice of a larger twiddle diagonal
+// without materializing a contiguous copy. Kernels with a FuncW never pay a
+// separate read/write pass for the Scale op.
+type FuncW func(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128, woff, ws int)
+
+// Kernel is a DFT codelet of a fixed size. Apply is mandatory; ApplyW, when
+// non-nil, is the fused-twiddle variant generated codelets provide — the
+// executor uses it to push strided twiddle diagonals all the way into the
+// straight-line code.
 type Kernel struct {
-	N     int
-	Name  string
-	Apply Func
+	N      int
+	Name   string
+	Apply  Func
+	ApplyW FuncW // optional fused strided-twiddle entry point
 }
 
-// MaxUnrolled is the largest size for which a hand-scheduled codelet exists.
-// Plans never need codelets above this size: larger DFTs are factored.
-const MaxUnrolled = 64
-
-// ForSize returns the fast codelet for n, if one exists.
-func ForSize(n int) (Kernel, bool) {
-	switch n {
-	case 1:
-		return Kernel{1, "dft1", dft1}, true
-	case 2:
-		return Kernel{2, "dft2", dft2}, true
-	case 3:
-		return Kernel{3, "dft3", dft3}, true
-	case 4:
-		return Kernel{4, "dft4", dft4}, true
-	case 5:
-		return Kernel{5, "dft5", dft5}, true
-	case 6:
-		return Kernel{6, "dft6", dft6}, true
-	case 8:
-		return Kernel{8, "dft8", dft8}, true
-	case 10:
-		return Kernel{10, "dft10", dft10}, true
-	case 12:
-		return Kernel{12, "dft12", dft12}, true
-	case 16:
-		return Kernel{16, "dft16", dft16}, true
-	case 32:
-		return Kernel{32, "dft32", dft32}, true
-	case 64:
-		return Kernel{64, "dft64", dft64}, true
-	}
-	return Kernel{}, false
-}
-
-// Best returns the best available codelet for n: the unrolled one when it
+// Best returns the best available codelet for n: the registered one when it
 // exists, otherwise the O(n²) naive kernel. Mixed-radix planning keeps naive
 // kernels confined to small prime sizes.
 func Best(n int) Kernel {
@@ -78,13 +58,22 @@ func Best(n int) Kernel {
 	return Naive(n)
 }
 
-// Sizes lists the sizes with hand-scheduled codelets, ascending.
-func Sizes() []int { return []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 32, 64} }
-
-// HasUnrolled reports whether an unrolled codelet exists for n.
-func HasUnrolled(n int) bool {
-	_, ok := ForSize(n)
-	return ok
+// The hand-scheduled scalar kernels register below the generated tier
+// (zsplitradix.go): they remain the fallback for sizes the generator does
+// not cover and for bootstrapping before regeneration.
+func init() {
+	Register(Kernel{N: 1, Name: "dft1", Apply: dft1}, PriorityHand)
+	Register(Kernel{N: 2, Name: "dft2", Apply: dft2}, PriorityHand)
+	Register(Kernel{N: 3, Name: "dft3", Apply: dft3}, PriorityHand)
+	Register(Kernel{N: 4, Name: "dft4", Apply: dft4}, PriorityHand)
+	Register(Kernel{N: 5, Name: "dft5", Apply: dft5}, PriorityHand)
+	Register(Kernel{N: 6, Name: "dft6", Apply: dft6}, PriorityHand)
+	Register(Kernel{N: 8, Name: "dft8", Apply: dft8}, PriorityHand)
+	Register(Kernel{N: 10, Name: "dft10", Apply: dft10}, PriorityHand)
+	Register(Kernel{N: 12, Name: "dft12", Apply: dft12}, PriorityHand)
+	Register(Kernel{N: 16, Name: "dft16", Apply: dft16}, PriorityHand)
+	Register(Kernel{N: 32, Name: "dft32", Apply: dft32}, PriorityHand)
+	Register(Kernel{N: 64, Name: "dft64", Apply: dft64}, PriorityHand)
 }
 
 // Naive returns a reference O(n²) kernel with a precomputed root table.
@@ -122,7 +111,7 @@ func Naive(n int) Kernel {
 			dst[doff+k*ds] = acc
 		}
 	}
-	return Kernel{n, fmt.Sprintf("naive%d", n), apply}
+	return Kernel{N: n, Name: fmt.Sprintf("naive%d", n), Apply: apply}
 }
 
 func dft1(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128) {

@@ -159,14 +159,71 @@ func TestNaivePanicsOnBadSize(t *testing.T) {
 }
 
 func TestBestPrefersUnrolled(t *testing.T) {
-	if k := Best(8); k.Name != "dft8" {
+	// Generated split-radix kernels outrank the hand tier at shared sizes.
+	if k := Best(8); k.Name != "sr8" {
 		t.Errorf("Best(8) = %s", k.Name)
+	}
+	if k := Best(10); k.Name != "dft10" {
+		t.Errorf("Best(10) = %s", k.Name)
 	}
 	if k := Best(7); k.Name != "naive7" {
 		t.Errorf("Best(7) = %s", k.Name)
 	}
-	if !HasUnrolled(16) || !HasUnrolled(6) || HasUnrolled(9) {
+	if !HasUnrolled(16) || !HasUnrolled(6) || !HasUnrolled(256) || HasUnrolled(9) {
 		t.Error("HasUnrolled wrong")
+	}
+}
+
+func TestRegistryConsistency(t *testing.T) {
+	if got := MaxUnrolled(); got != 256 {
+		t.Errorf("MaxUnrolled() = %d, want 256", got)
+	}
+	sizes := Sizes()
+	for i, n := range sizes {
+		if i > 0 && sizes[i-1] >= n {
+			t.Fatalf("Sizes() not ascending: %v", sizes)
+		}
+		k, ok := ForSize(n)
+		if !ok || k.N != n {
+			t.Fatalf("ForSize(%d) = %v, %v", n, k, ok)
+		}
+	}
+	all := All()
+	if len(all) != len(sizes) {
+		t.Fatalf("All() has %d kernels, Sizes() has %d", len(all), len(sizes))
+	}
+	// Lower-priority registration for a taken size must not displace the
+	// winner; a new size must extend the registry.
+	Register(Kernel{N: 8, Name: "loser8", Apply: dft8}, PriorityHand)
+	if k, _ := ForSize(8); k.Name != "sr8" {
+		t.Errorf("low-priority Register displaced sr8 with %s", k.Name)
+	}
+}
+
+// TestGeneratedKernelsMatchNaive pins every generated kernel (both flavors)
+// against the O(n²) oracle with strides, offsets, and a non-trivial strided
+// twiddle vector — the build-time self-validation the codelet tier promises.
+func TestGeneratedKernelsMatchNaive(t *testing.T) {
+	for _, k := range All() {
+		if k.ApplyW == nil {
+			continue
+		}
+		n := k.N
+		nai := Naive(n)
+		const doff, ds, soff, ss, woff, ws = 3, 2, 1, 3, 2, 2
+		src := complexvec.Random(soff+n*ss, uint64(n))
+		w := complexvec.Random(woff+n*ws, uint64(n)+1)
+		wc := make([]complex128, n)
+		for j := 0; j < n; j++ {
+			wc[j] = w[woff+j*ws]
+		}
+		got := make([]complex128, doff+n*ds)
+		want := make([]complex128, doff+n*ds)
+		k.ApplyW(got, doff, ds, src, soff, ss, w, woff, ws)
+		nai.Apply(want, doff, ds, src, soff, ss, wc)
+		if e := complexvec.RelError(got, want); e > 1e-11 {
+			t.Errorf("%s.ApplyW: rel error %g", k.Name, e)
+		}
 	}
 }
 

@@ -107,7 +107,7 @@ func TestSmallPrimesStayNaive(t *testing.T) {
 	if k := leafKernel(127); k.Name != "bluestein127" {
 		t.Errorf("leafKernel(127) = %s", k.Name)
 	}
-	if k := leafKernel(32); k.Name != "dft32" {
+	if k := leafKernel(32); k.Name != "sr32" {
 		t.Errorf("leafKernel(32) = %s", k.Name)
 	}
 }

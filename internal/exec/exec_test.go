@@ -51,19 +51,32 @@ func TestTreeString(t *testing.T) {
 }
 
 func TestRadixTreePrefersLargeCodelets(t *testing.T) {
-	tr := RadixTree(1024) // 64 · 16
-	if !tr.Left.Leaf || tr.Left.N != 64 {
+	tr := RadixTree(1024) // 256 · 4 with the generated tier registered
+	if !tr.Left.Leaf || tr.Left.N != 256 {
 		t.Errorf("RadixTree(1024) left = %s", tr.Left.String())
 	}
-	if tr2 := RadixTree(64); !tr2.Leaf {
-		t.Errorf("RadixTree(64) = %s, want codelet leaf", tr2.String())
-	}
-	if tr3 := RadixTree(128); tr3.Left.N != 64 || tr3.Right.N != 2 {
-		t.Errorf("RadixTree(128) = %s", tr3.String())
+	if tr2 := RadixTree(256); !tr2.Leaf {
+		t.Errorf("RadixTree(256) = %s, want codelet leaf", tr2.String())
 	}
 	// Primes beyond the codelet set become naive leaves.
 	if tr3 := RadixTree(37); !tr3.Leaf {
 		t.Errorf("RadixTree(37) = %s", tr3.String())
+	}
+}
+
+func TestRadixTreeCap(t *testing.T) {
+	if s := RadixTreeCap(1024, 64).String(); s != "(64 x 16)" {
+		t.Errorf("RadixTreeCap(1024, 64) = %s", s)
+	}
+	if s := RadixTreeCap(128, 64).String(); s != "(64 x 2)" {
+		t.Errorf("RadixTreeCap(128, 64) = %s", s)
+	}
+	if tr := RadixTreeCap(1024, 8); tr.Left.N != 8 || !tr.Left.Leaf {
+		t.Errorf("RadixTreeCap(1024, 8) = %s", tr.String())
+	}
+	// Cap below every codelet divisor: falls back to prime peeling.
+	if s := RadixTreeCap(8, 1).String(); s != "(2 x (2 x 2))" {
+		t.Errorf("RadixTreeCap(8, 1) = %s", s)
 	}
 }
 
@@ -148,7 +161,7 @@ func TestSeqStrided(t *testing.T) {
 }
 
 func TestSeqScratchTooSmallPanics(t *testing.T) {
-	s := MustNewSeq(RadixTree(128))
+	s := MustNewSeq(SplitTree(LeafTree(64), LeafTree(2)))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

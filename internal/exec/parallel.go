@@ -184,10 +184,11 @@ func NewParallel(n, m int, cfg ParallelConfig) (*Parallel, error) {
 		serial:  !cfg.Backend.Concurrent(),
 	}
 	// Per-worker scratch: stage 1 and stage 2 both run sub-plans, plus an
-	// m-element pre-scale buffer when the stage-2 root is composite.
+	// m-element pre-scale buffer when the stage-2 root is composite and its
+	// stage-1 spine cannot fuse the twiddle column itself.
 	need := right.ScratchLen()
 	l2 := left.ScratchLen()
-	if !left.RootIsLeaf() {
+	if !left.FusesTwiddles() {
 		l2 += m
 	}
 	if l2 > need {
@@ -319,7 +320,7 @@ func (pl *Parallel) runWorker(w int, ctx *parCtx) {
 	// twiddle column j, writes dst[j::k]. Worker w owns columns
 	// [w·k/p, (w+1)·k/p): within every row its writes form a contiguous
 	// µ-aligned span.
-	if pl.left.RootIsLeaf() {
+	if pl.left.FusesTwiddles() {
 		for _, j := range pl.itersK[w] {
 			pl.left.TransformStrided(dst, j, k, t, j, k, pl.tw[j*m:(j+1)*m], scratch)
 		}

@@ -20,17 +20,23 @@ type node struct {
 	n      int
 	kernel codelet.Kernel // leaf only
 	leaf   bool
-	m, k   int
-	left   *node
-	right  *node
-	tw     []complex128 // D_{m,k} column tables, column j at [j·m, (j+1)·m)
-	need   int          // scratch elements required by this subtree
+	// fuseW reports whether this subtree can apply a *strided* input scale
+	// vector without a pre-pass: a leaf whose kernel has an ApplyW entry
+	// point, or a composite whose stage-1 (right) spine can — the input
+	// scale only touches stage-1 loads, so the left child is irrelevant.
+	fuseW bool
+	m, k  int
+	left  *node
+	right *node
+	tw    []complex128 // D_{m,k} column tables, column j at [j·m, (j+1)·m)
+	need  int          // scratch elements required by this subtree
 }
 
 // compile builds the executable node for a validated tree.
 func compile(t *Tree, cache *twiddle.Cache) *node {
 	if t.Leaf {
-		return &node{n: t.N, leaf: true, kernel: leafKernel(t.N)}
+		k := leafKernel(t.N)
+		return &node{n: t.N, leaf: true, kernel: k, fuseW: k.ApplyW != nil}
 	}
 	left := compile(t.Left, cache)
 	right := compile(t.Right, cache)
@@ -42,12 +48,14 @@ func compile(t *Tree, cache *twiddle.Cache) *node {
 		left:  left,
 		right: right,
 		tw:    cache.Columns(m, k),
+		fuseW: right.fuseW,
 	}
 	// Scratch: the stage-1 output t (n elements) is live through stage 2;
 	// stage 2 additionally needs a pre-scale buffer of m elements when the
-	// left child is composite (codelets fuse the twiddles themselves).
+	// left child is composite and cannot fuse the twiddle column itself
+	// (leaves and fused subtrees absorb the twiddles into their loads).
 	pre := 0
-	if !left.leaf {
+	if !left.leaf && !left.fuseW {
 		pre = m
 	}
 	childNeed := right.need
@@ -58,15 +66,27 @@ func compile(t *Tree, cache *twiddle.Cache) *node {
 	return nd
 }
 
-// apply executes the node. w is an optional per-input scale vector (stride 1,
-// length n); only leaves accept it — composite nodes are always called with
-// w == nil (their callers pre-scale), which compile guarantees.
-func (nd *node) apply(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128, scratch []complex128) {
+// apply executes the node. w is an optional per-input scale vector: input j
+// is scaled by w[woff + j·ws]. Leaves accept any w; a composite node accepts
+// a non-nil w only when its fuseW flag is set (the stage-1 spine then folds
+// the scale into its kernels' loads) — otherwise callers pre-scale, which
+// compile's scratch accounting guarantees is possible.
+func (nd *node) apply(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128, woff, ws int, scratch []complex128) {
 	if nd.leaf {
-		nd.kernel.Apply(dst, doff, ds, src, soff, ss, w)
+		switch {
+		case w == nil:
+			nd.kernel.Apply(dst, doff, ds, src, soff, ss, nil)
+		case nd.kernel.ApplyW != nil:
+			nd.kernel.ApplyW(dst, doff, ds, src, soff, ss, w, woff, ws)
+		default:
+			if ws != 1 {
+				panic("exec: strided twiddle vector reached a kernel without ApplyW")
+			}
+			nd.kernel.Apply(dst, doff, ds, src, soff, ss, w[woff:])
+		}
 		return
 	}
-	if w != nil {
+	if w != nil && !nd.fuseW {
 		panic("exec: composite node received twiddle vector")
 	}
 	m, k := nd.m, nd.k
@@ -74,22 +94,46 @@ func (nd *node) apply(dst []complex128, doff, ds int, src []complex128, soff, ss
 	rest := scratch[nd.n:]
 	// Stage 1: (I_m ⊗ DFT_k) · L^n_m — iteration i gathers src at stride m·ss
 	// from offset i·ss and writes the contiguous block t[i·k : (i+1)·k).
+	// A fused input scale rides along: iteration i's inputs are the overall
+	// inputs i, i+m, i+2m, …, so its twiddle window starts at woff + i·ws
+	// with stride m·ws.
 	if nd.right.leaf {
 		kr := nd.right.kernel
+		if w == nil {
+			for i := 0; i < m; i++ {
+				kr.Apply(t, i*k, 1, src, soff+i*ss, m*ss, nil)
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				kr.ApplyW(t, i*k, 1, src, soff+i*ss, m*ss, w, woff+i*ws, m*ws)
+			}
+		}
+	} else if w == nil {
 		for i := 0; i < m; i++ {
-			kr.Apply(t, i*k, 1, src, soff+i*ss, m*ss, nil)
+			nd.right.apply(t, i*k, 1, src, soff+i*ss, m*ss, nil, 0, 1, rest)
 		}
 	} else {
 		for i := 0; i < m; i++ {
-			nd.right.apply(t, i*k, 1, src, soff+i*ss, m*ss, nil, rest)
+			nd.right.apply(t, i*k, 1, src, soff+i*ss, m*ss, w, woff+i*ws, m*ws, rest)
 		}
 	}
 	// Stage 2: (DFT_m ⊗ I_k) · D_{m,k} — iteration j reads column j of t at
-	// stride k, scales by the twiddle column, writes dst at stride k·ds.
+	// stride k, scales by twiddle column j (fused into the kernels or the
+	// subtree whenever possible), writes dst at stride k·ds.
 	if nd.left.leaf {
 		kl := nd.left.kernel
+		if kl.ApplyW != nil {
+			for j := 0; j < k; j++ {
+				kl.ApplyW(dst, doff+j*ds, k*ds, t, j, k, nd.tw, j*m, 1)
+			}
+		} else {
+			for j := 0; j < k; j++ {
+				kl.Apply(dst, doff+j*ds, k*ds, t, j, k, nd.tw[j*m:(j+1)*m])
+			}
+		}
+	} else if nd.left.fuseW {
 		for j := 0; j < k; j++ {
-			kl.Apply(dst, doff+j*ds, k*ds, t, j, k, nd.tw[j*m:(j+1)*m])
+			nd.left.apply(dst, doff+j*ds, k*ds, t, j, k, nd.tw, j*m, 1, rest)
 		}
 	} else {
 		pre := rest[:m]
@@ -99,7 +143,7 @@ func (nd *node) apply(dst []complex128, doff, ds int, src []complex128, soff, ss
 			for i := 0; i < m; i++ {
 				pre[i] = t[j+i*k] * col[i]
 			}
-			nd.left.apply(dst, doff+j*ds, k*ds, pre, 0, 1, nil, childScratch)
+			nd.left.apply(dst, doff+j*ds, k*ds, pre, 0, 1, nil, 0, 1, childScratch)
 		}
 	}
 }
@@ -155,19 +199,25 @@ func (s *Seq) Transform(dst, src []complex128, scratch []complex128) {
 	} else if len(scratch) < s.root.need {
 		panic(fmt.Sprintf("exec: scratch too small: %d < %d", len(scratch), s.root.need))
 	}
-	s.root.apply(dst, 0, 1, src, 0, 1, nil, scratch)
+	s.root.apply(dst, 0, 1, src, 0, 1, nil, 0, 1, scratch)
 }
 
 // TransformStrided exposes the strided entry point used by the parallel
 // executor: dst[doff + i·ds] = DFT_n(src[soff + j·ss]), with optional input
-// scale vector w when the root is a leaf.
+// scale vector w when FusesTwiddles reports true (always for leaf roots).
 func (s *Seq) TransformStrided(dst []complex128, doff, ds int, src []complex128, soff, ss int, w []complex128, scratch []complex128) {
-	s.root.apply(dst, doff, ds, src, soff, ss, w, scratch)
+	s.root.apply(dst, doff, ds, src, soff, ss, w, 0, 1, scratch)
 }
 
 // RootIsLeaf reports whether the compiled root is a single codelet (and may
 // therefore fuse an input twiddle vector).
 func (s *Seq) RootIsLeaf() bool { return s.root.leaf }
+
+// FusesTwiddles reports whether TransformStrided accepts a non-nil input
+// scale vector without a pre-pass: the root is a leaf, or the stage-1 spine
+// consists of kernels with fused-twiddle (ApplyW) entry points. Callers that
+// see false must pre-scale the input themselves.
+func (s *Seq) FusesTwiddles() bool { return s.root.leaf || s.root.fuseW }
 
 // FlopCount returns the nominal 5·n·log2(n) flop count the paper's
 // pseudo-Mflop/s metric assumes for this size.

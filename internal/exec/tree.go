@@ -80,27 +80,37 @@ func SplitTree(left, right *Tree) *Tree {
 }
 
 // RadixTree builds the default factorization: repeatedly split off the
-// largest unrolled codelet size that divides n as the left (strided) factor,
-// recursing on the right. Sizes with no unrolled divisor > 1 (primes beyond
-// the codelet set) become naive leaves.
-func RadixTree(n int) *Tree {
+// largest registered codelet size that divides n as the left (strided)
+// factor, recursing on the right. Sizes with no codelet divisor > 1 (primes
+// beyond the codelet set) become naive leaves.
+func RadixTree(n int) *Tree { return RadixTreeCap(n, 0) }
+
+// RadixTreeCap is RadixTree with the greedy choice bounded: no leaf or left
+// factor larger than maxLeaf is used (maxLeaf ≤ 0 means unbounded). This is
+// the base-case-cutoff dimension the tuner searches: the registry advertises
+// codelets up to MaxUnrolled, but the fastest place to bottom out the
+// recursion is machine-dependent.
+func RadixTreeCap(n, maxLeaf int) *Tree {
 	if n < 1 {
-		panic(fmt.Sprintf("exec: RadixTree(%d)", n))
+		panic(fmt.Sprintf("exec: RadixTreeCap(%d, %d)", n, maxLeaf))
 	}
-	if codelet.HasUnrolled(n) {
+	if maxLeaf <= 0 {
+		maxLeaf = codelet.MaxUnrolled()
+	}
+	if n <= maxLeaf && codelet.HasUnrolled(n) {
 		return LeafTree(n)
 	}
 	sizes := codelet.Sizes()
 	for i := len(sizes) - 1; i >= 0; i-- {
 		r := sizes[i]
-		if r > 1 && r < n && n%r == 0 {
-			return SplitTree(LeafTree(r), RadixTree(n/r))
+		if r <= maxLeaf && r > 1 && r < n && n%r == 0 {
+			return SplitTree(LeafTree(r), RadixTreeCap(n/r, maxLeaf))
 		}
 	}
 	// No codelet divides n: peel the smallest prime factor, or give up on a
 	// naive leaf when n itself is prime.
 	if f := smallestPrimeFactor(n); f < n {
-		return SplitTree(LeafTree(f), RadixTree(n/f))
+		return SplitTree(LeafTree(f), RadixTreeCap(n/f, maxLeaf))
 	}
 	return LeafTree(n)
 }

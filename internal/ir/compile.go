@@ -196,10 +196,12 @@ func compileOp(op Op, seqs map[*exec.Tree]*exec.Seq) (compiledOp, int, error) {
 			n: t.Tree.N, seq: s, tw: t.Tw,
 		}
 		need := s.ScratchLen()
-		if t.Tw != nil && !s.RootIsLeaf() {
-			// Composite roots cannot fuse the input scale: pre-scale into
-			// scratch[:n] and recurse at stride 1, exactly as the recursive
-			// executor's stage 2 does.
+		if t.Tw != nil && !s.FusesTwiddles() {
+			// The sub-plan cannot fuse the input scale into its stage-1
+			// kernels (no ApplyW on the spine): pre-scale into scratch[:n]
+			// and recurse at stride 1, exactly as the recursive executor's
+			// stage 2 does. Plans whose spine is generated split-radix
+			// kernels take the opCodelet path with the scale fused.
 			co.kind = opCodeletPre
 			need += t.Tree.N
 		}

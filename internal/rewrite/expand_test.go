@@ -14,7 +14,7 @@ func TestExpandReachesCodeletLeaves(t *testing.T) {
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
-		if m := MaxDFTLeaf(f); m > codelet.MaxUnrolled && !isPrime(m) {
+		if m := MaxDFTLeaf(f); m > codelet.MaxUnrolled() && !isPrime(m) {
 			t.Errorf("n=%d: unexpanded composite DFT_%d remains in %s", n, m, f.String())
 		}
 		x := complexvec.Random(n, uint64(n))
@@ -69,7 +69,7 @@ func TestDeriveExpandedMulticoreCT(t *testing.T) {
 	if !spl.IsFullyOptimized(f, 2, 4) {
 		t.Error("expanded formula lost Definition-1 status")
 	}
-	if m := MaxDFTLeaf(f); m > codelet.MaxUnrolled {
+	if m := MaxDFTLeaf(f); m > codelet.MaxUnrolled() {
 		t.Errorf("unexpanded DFT_%d remains", m)
 	}
 	x := complexvec.Random(4096, 3)

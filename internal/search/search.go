@@ -399,6 +399,69 @@ func logf(n int) float64 {
 }
 
 // ---------------------------------------------------------------------------
+// Base-case cutoff search
+
+// CutoffResult is the outcome of a base-case-cutoff search: the measured
+// answer to "how large should the straight-line leaves be on this machine".
+type CutoffResult struct {
+	N      int // probe size the cutoffs were measured at
+	Cutoff int // winning cap: recursion bottoms out at codelets ≤ this size
+	// Tree is the winning capped greedy radix tree for the probe size; it
+	// persists through the wisdom schema like any other tuned tree.
+	Tree       *exec.Tree
+	Time       time.Duration
+	Candidates int
+}
+
+// BestCutoff measures where the factorization recursion should bottom out:
+// for probe size n it times the greedy radix tree capped at each registered
+// codelet size (deduplicating caps that produce the same tree) and returns
+// the fastest. Bigger leaves mean fewer passes but larger straight-line
+// blocks; the crossover is machine-dependent (I-cache, register pressure),
+// which is why it is searched, not assumed. The winning tree round-trips
+// through the wisdom export/import schema unchanged.
+func (t *Tuner) BestCutoff(n int) CutoffResult {
+	return t.BestCutoffCtx(context.Background(), n)
+}
+
+// BestCutoffCtx is BestCutoff under a context deadline (composed with
+// Tuner.Budget, the earlier applies). When time runs out it returns the best
+// cutoff measured so far, falling back to the uncapped greedy tree.
+func (t *Tuner) BestCutoffCtx(ctx context.Context, n int) CutoffResult {
+	t.beginSearch(ctx)
+	defer t.endSearch()
+	t.stats.Searches++
+	best := CutoffResult{N: n}
+	seen := make(map[string]bool)
+	for _, c := range codelet.Sizes() {
+		if c < 2 || c > n {
+			continue
+		}
+		tr := exec.RadixTreeCap(n, c)
+		key := tr.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if t.expired() {
+			break
+		}
+		best.Candidates++
+		d := t.measureTree(tr)
+		t.trace("cutoff-candidate", n, fmt.Sprintf("cap=%d %s", c, key), d)
+		if best.Tree == nil || d < best.Time {
+			best.Tree, best.Time, best.Cutoff = tr, d, c
+		}
+	}
+	if best.Tree == nil {
+		best.Tree = exec.RadixTree(n)
+		best.Cutoff = codelet.MaxUnrolled()
+	}
+	t.trace("cutoff-winner", n, fmt.Sprintf("cap=%d %s", best.Cutoff, best.Tree.String()), best.Time)
+	return best
+}
+
+// ---------------------------------------------------------------------------
 // Parallel tuning
 
 // ParallelChoice is the outcome of tuning a size for a shared-memory target.

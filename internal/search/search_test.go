@@ -265,3 +265,56 @@ func TestTuneParallelTraces(t *testing.T) {
 		t.Errorf("no parallel-winner event in %d events", len(events))
 	}
 }
+
+func TestBestCutoffMeasuresCappedTrees(t *testing.T) {
+	tu := NewTuner(StrategyDP)
+	tu.Timer = fastTimer
+	var candidates, winners int
+	tu.Trace = func(ev metrics.TraceEvent) {
+		switch ev.Kind {
+		case "cutoff-candidate":
+			candidates++
+		case "cutoff-winner":
+			winners++
+		}
+	}
+	r := tu.BestCutoff(512)
+	checkTree(t, r.Tree, 512, "cutoff")
+	if r.Cutoff < 2 || r.Cutoff > 512 {
+		t.Errorf("cutoff %d out of range", r.Cutoff)
+	}
+	if r.Candidates < 2 {
+		t.Errorf("only %d cutoff candidates measured", r.Candidates)
+	}
+	if candidates != r.Candidates || winners != 1 {
+		t.Errorf("trace saw %d candidates / %d winners, result says %d", candidates, winners, r.Candidates)
+	}
+	// The winning tree must actually respect the winning cap.
+	var maxLeaf func(tr *exec.Tree) int
+	maxLeaf = func(tr *exec.Tree) int {
+		if tr.Leaf {
+			return tr.N
+		}
+		l, r := maxLeaf(tr.Left), maxLeaf(tr.Right)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	if m := maxLeaf(r.Tree); m > r.Cutoff {
+		t.Errorf("winning tree has leaf %d above cutoff %d", m, r.Cutoff)
+	}
+}
+
+func TestBestCutoffExpiredBudgetFallsBack(t *testing.T) {
+	tu := NewTuner(StrategyDP)
+	tu.Timer = fastTimer
+	tu.Budget = 1 // one nanosecond: expires before the first measurement
+	r := tu.BestCutoff(256)
+	if r.Tree == nil || r.Tree.N != 256 {
+		t.Fatalf("no fallback tree: %+v", r)
+	}
+	if r.Cutoff <= 0 {
+		t.Errorf("fallback cutoff %d", r.Cutoff)
+	}
+}

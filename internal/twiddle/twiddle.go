@@ -98,11 +98,32 @@ func SplitColumns(m, n, p int) [][]complex128 {
 	return out
 }
 
-// Cache memoizes twiddle tables by (m, n). Plans for many sizes share tables
-// through a process-wide cache; the zero value is ready to use.
+// DefaultCacheLimit bounds a Cache's resident table elements: 1<<21
+// complex128 values = 32 MiB. Long-lived processes serving many distinct
+// shapes (the fftd daemon accumulates one D_{m,k} table per distinct split)
+// stay bounded instead of growing forever; evicting a table is always safe
+// because callers hold their own reference to the returned slice — only
+// future lookups pay the recompute.
+const DefaultCacheLimit = 1 << 21
+
+// Cache memoizes twiddle tables by (m, n), bounded by an element budget with
+// least-recently-used eviction. Plans for many sizes share tables through a
+// process-wide cache; the zero value is ready to use with DefaultCacheLimit.
+//
+// A table larger than the whole budget is still returned and cached (the
+// plan needs it regardless); it then evicts everything else and is itself
+// evicted on the next insertion.
 type Cache struct {
-	mu   sync.Mutex
-	cols map[[2]int][]complex128
+	mu    sync.Mutex
+	cols  map[[2]int]*cacheEntry
+	elems int   // total elements resident
+	limit int   // element budget; 0 = DefaultCacheLimit, < 0 = unlimited
+	tick  uint64 // LRU clock
+}
+
+type cacheEntry struct {
+	t    []complex128
+	last uint64 // tick of the most recent lookup
 }
 
 var global Cache
@@ -110,21 +131,77 @@ var global Cache
 // GlobalCache returns the process-wide twiddle cache.
 func GlobalCache() *Cache { return &global }
 
+// SetLimit sets the cache's element budget (complex128 values across all
+// resident tables): 0 restores DefaultCacheLimit, negative means unlimited.
+// Shrinking the budget evicts immediately.
+func (c *Cache) SetLimit(elems int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = elems
+	c.evictLocked([2]int{0, 0})
+}
+
 // Columns returns the cached flat column table for D_{m,n}, computing it on
-// first use. The returned slice is shared; callers must not modify it.
+// first use. The returned slice is shared; callers must not modify it. The
+// slice stays valid after eviction — eviction only forgets the cache's
+// reference.
 func (c *Cache) Columns(m, n int) []complex128 {
 	key := [2]int{m, n}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cols == nil {
-		c.cols = make(map[[2]int][]complex128)
+		c.cols = make(map[[2]int]*cacheEntry)
 	}
-	if t, ok := c.cols[key]; ok {
-		return t
+	c.tick++
+	if e, ok := c.cols[key]; ok {
+		e.last = c.tick
+		return e.t
 	}
 	t := Columns(m, n)
-	c.cols[key] = t
+	c.cols[key] = &cacheEntry{t: t, last: c.tick}
+	c.elems += len(t)
+	c.evictLocked(key)
 	return t
+}
+
+// evictLocked drops least-recently-used tables until the budget holds,
+// sparing keep (the entry just inserted: the caller needs it resident at
+// least once even when it alone exceeds the budget).
+func (c *Cache) evictLocked(keep [2]int) {
+	limit := c.limit
+	if limit == 0 {
+		limit = DefaultCacheLimit
+	}
+	if limit < 0 {
+		return
+	}
+	for c.elems > limit && len(c.cols) > 1 {
+		var victim [2]int
+		var oldest uint64
+		found := false
+		for k, e := range c.cols {
+			if k == keep {
+				continue
+			}
+			if !found || e.last < oldest {
+				victim, oldest, found = k, e.last, true
+			}
+		}
+		if !found {
+			return
+		}
+		c.elems -= len(c.cols[victim].t)
+		delete(c.cols, victim)
+	}
+}
+
+// Contains reports whether the table for (m, n) is currently resident,
+// without touching its recency.
+func (c *Cache) Contains(m, n int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.cols[[2]int{m, n}]
+	return ok
 }
 
 // Size reports how many tables the cache currently holds.
@@ -134,9 +211,17 @@ func (c *Cache) Size() int {
 	return len(c.cols)
 }
 
-// Reset drops all cached tables.
+// Elems reports the total complex128 elements currently resident.
+func (c *Cache) Elems() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elems
+}
+
+// Reset drops all cached tables (the element budget is kept).
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cols = nil
+	c.elems = 0
 }

@@ -194,3 +194,69 @@ func TestCacheMemoizesAndIsConcurrencySafe(t *testing.T) {
 		t.Error("GlobalCache returned nil")
 	}
 }
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	var c Cache
+	c.SetLimit(3 * 16) // room for three 4x4 tables
+	c.Columns(4, 4)    // A
+	c.Columns(2, 8)    // B
+	c.Columns(8, 2)    // C
+	if c.Size() != 3 || c.Elems() != 48 {
+		t.Fatalf("size %d elems %d", c.Size(), c.Elems())
+	}
+	c.Columns(4, 4) // touch A: B is now the oldest
+	c.Columns(16, 1) // D displaces B
+	if !c.Contains(4, 4) || !c.Contains(8, 2) || !c.Contains(16, 1) {
+		t.Errorf("wrong survivors: size=%d", c.Size())
+	}
+	if c.Contains(2, 8) {
+		t.Error("least-recently-used table not evicted")
+	}
+	if c.Elems() > 48 {
+		t.Errorf("budget exceeded: %d elems", c.Elems())
+	}
+}
+
+func TestCacheOversizedTableStillServed(t *testing.T) {
+	var c Cache
+	c.SetLimit(8)
+	small := c.Columns(2, 2)
+	big := c.Columns(8, 8) // 64 elems, alone over budget
+	if len(big) != 64 || len(small) != 4 {
+		t.Fatal("wrong table lengths")
+	}
+	// The oversized table displaced everything else but is itself resident.
+	if c.Contains(2, 2) || !c.Contains(8, 8) {
+		t.Errorf("eviction policy wrong: size=%d elems=%d", c.Size(), c.Elems())
+	}
+	// Evicted tables remain valid for holders; recompute on next lookup.
+	if got := c.Columns(2, 2); len(got) != 4 {
+		t.Error("recompute after eviction failed")
+	}
+	// And the returned slices still carry correct values.
+	for i, w := range small {
+		if w != Columns(2, 2)[i] {
+			t.Fatalf("held slice corrupted at %d", i)
+		}
+	}
+}
+
+func TestCacheUnlimitedAndResetKeepBudget(t *testing.T) {
+	var c Cache
+	c.SetLimit(-1)
+	for i := 1; i <= 20; i++ {
+		c.Columns(i, 4)
+	}
+	if c.Size() != 20 {
+		t.Errorf("unlimited cache evicted: %d", c.Size())
+	}
+	c.Reset()
+	if c.Size() != 0 || c.Elems() != 0 {
+		t.Errorf("Reset left %d tables / %d elems", c.Size(), c.Elems())
+	}
+	c.SetLimit(0) // back to the default budget
+	c.Columns(4, 4)
+	if !c.Contains(4, 4) {
+		t.Error("default budget evicted a tiny table")
+	}
+}

@@ -24,4 +24,24 @@ if [ ! -f "$BASELINE" ]; then
 fi
 
 echo "diffing against $BASELINE (threshold $THRESHOLD)"
-go run ./cmd/benchsnap -diff -threshold "$THRESHOLD" "$BASELINE" "$OUT"
+DIFF_OUT=$(mktemp)
+status=0
+go run ./cmd/benchsnap -diff -threshold "$THRESHOLD" "$BASELINE" "$OUT" > "$DIFF_OUT" 2>&1 || status=$?
+cat "$DIFF_OUT"
+
+# On GitHub Actions, surface the delta table on the run's summary page so a
+# reviewer sees the perf movement without digging through job logs.
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "## Quick-grid benchmark delta"
+        echo ""
+        echo "Baseline \`$BASELINE\` vs \`$OUT\` (regression threshold $THRESHOLD):"
+        echo ""
+        echo '```'
+        cat "$DIFF_OUT"
+        echo '```'
+    } >> "$GITHUB_STEP_SUMMARY"
+fi
+
+rm -f "$DIFF_OUT"
+exit "$status"

@@ -7,6 +7,7 @@ import (
 
 	"spiralfft/internal/complexvec"
 	"spiralfft/internal/exec"
+	"spiralfft/internal/search"
 )
 
 func TestWisdomExportImportRoundtrip(t *testing.T) {
@@ -262,5 +263,44 @@ func TestWisdomRecordKeepsFirst(t *testing.T) {
 	}
 	if p.Tree() != "(8 x 8)" {
 		t.Errorf("plan did not use imported wisdom: %s", p.Tree())
+	}
+}
+
+// TestCutoffRoundTripsThroughWisdom pins the acceptance contract of the
+// tuner's base-case-cutoff search: the winning capped tree persists through
+// wisdom export/import unchanged, and a plan built from the re-imported
+// wisdom bottoms out exactly where the tuner measured it should.
+func TestCutoffRoundTripsThroughWisdom(t *testing.T) {
+	tu := search.NewTuner(search.StrategyDP)
+	tu.Timer = search.TimerConfig{MinTime: 20 * time.Microsecond, Repeats: 1}
+	cut := tu.BestCutoff(512)
+	if cut.Tree == nil || cut.Tree.N != 512 {
+		t.Fatalf("BestCutoff(512) = %+v", cut)
+	}
+	w := NewWisdom()
+	w.record(cut.Tree, cut.Time)
+	w2 := NewWisdom()
+	if err := w2.Import(w.Export()); err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := w2.lookup(512)
+	if !ok || tr.String() != cut.Tree.String() {
+		t.Fatalf("cutoff tree did not round-trip: got %v, want %s", tr, cut.Tree)
+	}
+	p, err := NewPlan(512, &Options{Wisdom: w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Tree() != cut.Tree.String() {
+		t.Errorf("plan tree %s, tuner chose %s", p.Tree(), cut.Tree)
+	}
+	x := complexvec.Random(512, 9)
+	got := make([]complex128, 512)
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(got, refDFT(x)); e > tol {
+		t.Errorf("cutoff-wisdom plan wrong by %g", e)
 	}
 }

@@ -2,6 +2,7 @@ package spiralfft
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,12 @@ type Cache struct {
 	misses  atomic.Int64
 	waits   atomic.Int64 // single-flight waits on an in-flight build
 	evicted atomic.Int64 // entries dropped by Close
+
+	// wisdom, when attached (SetWisdom/LoadWisdomFile), is injected into
+	// every plan request that does not bring its own store, so tuning
+	// results accumulate across the cache's lifetime and can be persisted.
+	wisdomMu sync.Mutex
+	wisdom   *Wisdom
 }
 
 const cacheShardCount = 16
@@ -235,6 +242,7 @@ func (c *Cache) Plan(n int, o *Options) (*Plan, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
+	o = c.withWisdom(o)
 	p, err := c.get(
 		cacheKey{kindComplex, n, o.fingerprint()},
 		func() (refPlan, error) {
@@ -261,6 +269,7 @@ func (c *Cache) RealPlan(n int, o *Options) (*RealPlan, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
+	o = c.withWisdom(o)
 	p, err := c.get(
 		cacheKey{kindReal, n, o.fingerprint()},
 		func() (refPlan, error) {
@@ -347,6 +356,66 @@ func (c *Cache) Close() {
 			p.destroy()
 		}
 	}
+}
+
+// SetWisdom attaches a wisdom store to the cache. Subsequent plan requests
+// whose Options carry no Wisdom of their own consult and feed this store;
+// requests that bring their own store are left alone. Attaching a store does
+// not retroactively affect plans already cached (their fingerprints differ,
+// so they age out naturally on Close). A nil store detaches.
+func (c *Cache) SetWisdom(w *Wisdom) {
+	c.wisdomMu.Lock()
+	c.wisdom = w
+	c.wisdomMu.Unlock()
+}
+
+// Wisdom returns the attached store, creating an empty one on first use so
+// callers can always export what the cache has learned.
+func (c *Cache) Wisdom() *Wisdom {
+	c.wisdomMu.Lock()
+	defer c.wisdomMu.Unlock()
+	if c.wisdom == nil {
+		c.wisdom = NewWisdom()
+	}
+	return c.wisdom
+}
+
+// withWisdom injects the cache's wisdom store into options that carry none.
+// The original Options value is never mutated.
+func (c *Cache) withWisdom(o *Options) *Options {
+	c.wisdomMu.Lock()
+	w := c.wisdom
+	c.wisdomMu.Unlock()
+	if w == nil || (o != nil && o.Wisdom != nil) {
+		return o
+	}
+	oc := Options{Wisdom: w}
+	if o != nil {
+		oc = *o
+		oc.Wisdom = w
+	}
+	return &oc
+}
+
+// LoadWisdomFile merges a wisdom file into the cache's store (attaching an
+// empty store first if none is attached). A missing file is not an error —
+// cold starts on a fresh machine simply begin with no wisdom.
+func (c *Cache) LoadWisdomFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			c.Wisdom() // still attach, so planning starts accumulating
+			return nil
+		}
+		return err
+	}
+	return c.Wisdom().Import(string(data))
+}
+
+// SaveWisdomFile writes the attached store's serialized form (schema v2) to
+// path, creating or truncating it.
+func (c *Cache) SaveWisdomFile(path string) error {
+	return os.WriteFile(path, []byte(c.Wisdom().Export()), 0o644)
 }
 
 // defaultCache is the process-wide cache behind Acquire/Release.

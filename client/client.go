@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"spiralfft"
 	"spiralfft/internal/wire"
 )
 
@@ -279,6 +280,37 @@ func (c *Client) ExportWisdom(ctx context.Context) (string, error) {
 	}
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
+}
+
+// PullWisdom downloads the client tenant's wisdom from the daemon and
+// merges it into w. The merge is the store's host- and cost-aware policy:
+// local entries measured on this host survive faster foreign ones, and a
+// pulled entry wins only when the policy prefers it.
+func (c *Client) PullWisdom(ctx context.Context, w *spiralfft.Wisdom) error {
+	blob, err := c.ExportWisdom(ctx)
+	if err != nil {
+		return err
+	}
+	return w.Import(blob)
+}
+
+// PushWisdom uploads w's entries into the client tenant's namespace. The
+// daemon merges rather than replaces, so a push never erases what the rest
+// of the fleet has contributed.
+func (c *Client) PushWisdom(ctx context.Context, w *spiralfft.Wisdom) error {
+	return c.ImportWisdom(ctx, w.Export())
+}
+
+// SyncWisdom converges the local store with the daemon's: pull-merge first,
+// so w sees everything the fleet has learned, then push the merged store
+// back, so entries improved locally propagate. Clients that SyncWisdom on
+// connect against one tenant namespace converge on the best-known tree per
+// (family, size, parallelism, cutoff) slot.
+func (c *Client) SyncWisdom(ctx context.Context, w *spiralfft.Wisdom) error {
+	if err := c.PullWisdom(ctx, w); err != nil {
+		return err
+	}
+	return c.PushWisdom(ctx, w)
 }
 
 // ImportWisdom uploads wisdom into the client tenant's namespace.

@@ -393,3 +393,57 @@ func TestJSONEndpoint(t *testing.T) {
 		t.Fatalf("unexpected JSON result: %s", out)
 	}
 }
+
+// TestWisdomFleetSync is the fleet-convergence round trip: one client
+// pushes measured wisdom (v2, widened keys, host fingerprints), a second
+// client connecting cold pull-merges it, and the schema survives the trip
+// through the daemon intact.
+func TestWisdomFleetSync(t *testing.T) {
+	c, _ := newDaemon(t, server.Config{})
+	ctx := context.Background()
+
+	// Node A pushes two entries: a p=2 tree fingerprinted for its host and a
+	// legacy v1 line.
+	wa := spiralfft.NewWisdom()
+	if err := wa.Import("dft n=64 p=2 host=nodeA/amd64/8cpu (2 x 32) @ 3µs\n" +
+		"64 (8 x 8) @ 10µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushWisdom(ctx, wa); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node B connects cold and pull-merges; both slots arrive with their
+	// keys and fingerprints.
+	wb := spiralfft.NewWisdom()
+	if err := c.SyncWisdom(ctx, wb); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Len() != 2 {
+		t.Fatalf("synced store has %d entries, want 2:\n%s", wb.Len(), wb.Export())
+	}
+	tr, ok := wb.LookupKey(spiralfft.WisdomKey{N: 64, P: 2})
+	if !ok || tr.String() != "(2 x 32)" {
+		t.Errorf("p=2 slot did not survive the round trip: %v", tr)
+	}
+	if tr, ok := wb.Lookup(64, 1); !ok || tr.String() != "(8 x 8)" {
+		t.Errorf("sequential slot did not survive the round trip: %v", tr)
+	}
+	if !strings.Contains(wb.Export(), "host=nodeA/amd64/8cpu") {
+		t.Errorf("host fingerprint lost in round trip:\n%s", wb.Export())
+	}
+
+	// The GET response declares the serialization schema.
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/v1/wisdom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-SFFT-Wisdom-Schema"); got != "v2" {
+		t.Errorf("wisdom schema header = %q, want v2", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.HasPrefix(string(body), "#%spiralfft-wisdom v2\n") {
+		t.Errorf("exported blob is not schema v2:\n%s", body)
+	}
+}

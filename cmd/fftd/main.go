@@ -35,6 +35,7 @@ func main() {
 		tlsCert     = flag.String("tls-cert", "", "TLS certificate (enables HTTPS and HTTP/2)")
 		tlsKey      = flag.String("tls-key", "", "TLS key")
 		timed       = flag.Bool("timed-metrics", false, "enable the library's timed instrumentation (small per-transform cost)")
+		wisdomFile  = flag.String("wisdom-file", "", "wisdom file for the shared tenant namespace: loaded at startup, saved on clean shutdown")
 	)
 	flag.Parse()
 
@@ -58,6 +59,26 @@ func main() {
 		MaxDeadline: *maxDeadline,
 	})
 	defer srv.Close()
+
+	if *wisdomFile != "" {
+		// A missing file is a cold start, not an error; anything else
+		// (unreadable file, malformed wisdom) is fatal so a typo'd path
+		// does not silently discard accumulated tuning on shutdown.
+		data, err := os.ReadFile(*wisdomFile)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		default:
+			if err := srv.Wisdom("").Import(string(data)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "fftd: loaded %d wisdom entries from %s\n",
+				srv.Wisdom("").Len(), *wisdomFile)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
@@ -94,5 +115,13 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintln(os.Stderr, err)
+	}
+	if *wisdomFile != "" {
+		if err := os.WriteFile(*wisdomFile, []byte(srv.Wisdom("").Export()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "fftd: saved %d wisdom entries to %s\n",
+				srv.Wisdom("").Len(), *wisdomFile)
+		}
 	}
 }

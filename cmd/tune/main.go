@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"spiralfft/internal/bench"
@@ -24,9 +26,21 @@ func main() {
 		plan     = cliopts.RegisterPlan(flag.CommandLine)
 		timing   = cliopts.RegisterTiming(flag.CommandLine, time.Millisecond)
 		trace    = flag.Bool("trace", false, "stream every candidate/winner search event to stderr")
+		rank     = flag.Bool("rank", false, "print the analytic cost ranking next to measured times for a size grid")
+		sizes    = flag.String("sizes", "256,1024,4096", "comma-separated size grid for -rank")
 	)
 	flag.Parse()
 	p, mu := &plan.Workers, &plan.Mu
+
+	if *rank {
+		grid, err := parseSizes(*sizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runRank(grid, timing.Config())
+		return
+	}
 
 	if *strategy == "evolve" {
 		runEvolve(*n, timing.MinTime)
@@ -84,6 +98,68 @@ func main() {
 	fmt.Printf("search work    : %d searches, %d candidates considered, %d measured\n",
 		st.Searches, st.Considered, st.Measured)
 	fmt.Printf("tuning took    : %v\n", time.Since(start))
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("tune: bad size %q in -sizes", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runRank prints, for each size on the grid, the analytic cost model's full
+// candidate ranking side by side with measured runtimes: the shortlist the
+// two-stage search would measure is marked, and a divergence note calls out
+// any size where the measured-best tree was ranked outside it.
+func runRank(grid []int, tc search.TimerConfig) {
+	for _, n := range grid {
+		tuner := search.NewTuner(search.StrategyDP)
+		tuner.Timer = tc
+		ranked := tuner.Ranked(n)
+		if len(ranked) == 0 {
+			fmt.Printf("n=%d: no candidates\n", n)
+			continue
+		}
+		k := tuner.TopK
+		if k <= 0 || k > len(ranked) {
+			k = len(ranked)
+		}
+		type row struct {
+			model    time.Duration
+			measured time.Duration
+			tree     string
+		}
+		rows := make([]row, len(ranked))
+		best := 0
+		for i, s := range ranked {
+			d := tuner.MeasureTree(s.Tree)
+			rows[i] = row{model: s.Duration(), measured: d, tree: s.Tree.String()}
+			if d < rows[best].measured {
+				best = i
+			}
+		}
+		fmt.Printf("n=%d: %d candidates, shortlist = model top-%d (►)\n", n, len(ranked), k)
+		for i, r := range rows {
+			mark := " "
+			if i < k {
+				mark = "►"
+			}
+			note := ""
+			if i == best {
+				note = "  ← measured best"
+			}
+			fmt.Printf("%s %3d  model %10v  measured %10v  %s%s\n",
+				mark, i+1, r.model.Round(time.Nanosecond), r.measured, r.tree, note)
+		}
+		if best >= k {
+			fmt.Printf("  divergence: measured best ranked #%d, outside the top-%d shortlist\n", best+1, k)
+		}
+	}
 }
 
 // runEvolve runs the STEER-style evolutionary search (paper ref. [24]).

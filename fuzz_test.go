@@ -1,10 +1,14 @@
 package spiralfft
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"spiralfft/internal/complexvec"
+	"spiralfft/internal/exec"
 )
 
 // FuzzForwardInverse drives plan construction and the roundtrip identity
@@ -52,6 +56,13 @@ func FuzzWisdomImport(f *testing.F) {
 	f.Add("((((")
 	f.Add("9999999999999999999 (2 x 2)")
 	f.Add("8 (2 x (2 x 2))\n8 (4 x 2)\n")
+	f.Add("#%spiralfft-wisdom v2\n#%host linux/amd64/2cpu\ndft n=64 (8 x 8)\n")
+	f.Add("#%spiralfft-wisdom v1\n64 (8 x 8)\n")
+	f.Add("#%spiralfft-wisdom v3\ndft n=64 (8 x 8)\n")
+	f.Add("#%host \n#%unknown directive\ndft n=64 p=2 cut=8 host=a/b/1cpu (8 x 8) @ 3µs\n")
+	f.Add("dft n=64 p=2 (2 x 32)\ndft n=64 (8 x 8)\n")
+	f.Add("dft n=64 host== (8 x 8)\n")
+	f.Add("dft n=9999999999999999999 (2 x 2)\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		w := NewWisdom()
 		if err := w.Import(input); err != nil {
@@ -64,6 +75,71 @@ func FuzzWisdomImport(f *testing.F) {
 		}
 		if w2.Export() != out {
 			t.Errorf("export not stable: %q vs %q", out, w2.Export())
+		}
+	})
+}
+
+// FuzzWisdomKeyRoundTrip fuzzes the widened (family, n, p, cutoff, host)
+// key space structurally: any v2 entry line synthesized from the fuzzed
+// components must import, land on exactly its own slot, and survive
+// export → import with key, tree, cost, and fingerprint intact.
+func FuzzWisdomKeyRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(6), uint8(1), uint16(0), uint8(0), uint32(0))
+	f.Add(uint8(1), uint8(10), uint8(8), uint16(64), uint8(1), uint32(12500))
+	f.Add(uint8(2), uint8(3), uint8(2), uint16(1), uint8(2), uint32(1))
+	f.Fuzz(func(t *testing.T, famSel, logN, pRaw uint8, cutRaw uint16, hostSel uint8, costUs uint32) {
+		fams := []string{"dft", "dft2d", "wht9"}
+		hosts := []string{"", "linux/amd64/2cpu", "darwin/arm64/10cpu"}
+		fam := fams[int(famSel)%len(fams)]
+		n := 1 << (uint(logN)%10 + 1) // 2..1024
+		p := int(pRaw)%8 + 1
+		cut := int(cutRaw) % 128
+		host := hosts[int(hostSel)%len(hosts)]
+		cost := time.Duration(costUs) * time.Microsecond
+		tree := exec.RadixTree(n)
+
+		var line strings.Builder
+		fmt.Fprintf(&line, "%s n=%d", fam, n)
+		if p > 1 {
+			fmt.Fprintf(&line, " p=%d", p)
+		}
+		if cut > 0 {
+			fmt.Fprintf(&line, " cut=%d", cut)
+		}
+		if host != "" {
+			fmt.Fprintf(&line, " host=%s", host)
+		}
+		fmt.Fprintf(&line, " %s", tree)
+		if cost > 0 {
+			fmt.Fprintf(&line, " @ %s", cost)
+		}
+		line.WriteByte('\n')
+
+		w := NewWisdom()
+		if err := w.Import(line.String()); err != nil {
+			t.Fatalf("synthesized v2 line rejected: %v\n%q", err, line.String())
+		}
+		if w.Len() != 1 {
+			t.Fatalf("Len = %d after one entry:\n%s", w.Len(), w.Export())
+		}
+		key := WisdomKey{Family: fam, N: n, P: p, Cutoff: cut}
+		got, ok := w.LookupKey(key)
+		if !ok || got.String() != tree.String() {
+			t.Fatalf("key %+v did not land on its slot: %v\n%q", key, got, line.String())
+		}
+		out := w.Export()
+		w2 := NewWisdom()
+		if err := w2.Import(out); err != nil {
+			t.Fatalf("re-import of own export failed: %v\n%q", err, out)
+		}
+		if w2.Export() != out {
+			t.Fatalf("export not stable:\n%q\n%q", out, w2.Export())
+		}
+		if got2, ok := w2.LookupKey(key); !ok || got2.String() != tree.String() {
+			t.Fatalf("key %+v lost in round-trip:\n%q", key, out)
+		}
+		if host != "" && !strings.Contains(out, "host="+host) {
+			t.Fatalf("fingerprint lost:\n%q", out)
 		}
 	})
 }

@@ -407,6 +407,28 @@ func Run(cfg RunConfig) (*Snapshot, error) {
 		cfg.Verbose("%-40s pool %.0fns spawn %.0fns per region", "dispatch", poolNs, spawnNs)
 	}
 
+	// Cold planning latency: a fresh measured-planner plan with no wisdom.
+	// The model-guided shortlist keeps this inside the plan budget — the
+	// metric catches regressions where planning falls back to exhaustive
+	// measurement.
+	{
+		n, budget := 4096, 5*time.Second
+		start := time.Now()
+		p, err := spiralfft.NewPlan(n, &spiralfft.Options{
+			Workers: cfg.Workers, Planner: spiralfft.PlannerMeasure, PlanBudget: budget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		planTime := time.Since(start)
+		p.Close()
+		s.Metrics = append(s.Metrics, Metric{
+			Key: fmt.Sprintf("plantime/dft/n=%d", n), Unit: "ns",
+			Value: float64(planTime.Nanoseconds()), Better: LowerIsBetter,
+		})
+		cfg.Verbose("%-40s %v (budget %v)", "plantime/dft", planTime, budget)
+	}
+
 	// fftd serving latency: p50/p99 from the server core's request
 	// histogram.
 	{

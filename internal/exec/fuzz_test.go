@@ -29,6 +29,14 @@ func FuzzParseTree(f *testing.F) {
 		"(64 x 16) @ not-a-duration",
 		"1024 @ 3ms",
 		"\x00(2 x 2)",
+		// Wisdom v2 context: directive/header and attributed entry lines.
+		// The tree parser only ever sees the tree token, but fuzzed inputs
+		// shaped like whole v2 lines probe the boundary between the two.
+		"#%spiralfft-wisdom v2",
+		"#%host linux/amd64/2cpu",
+		"dft n=64 p=2 host=linux/amd64/2cpu (2 x 32) @ 3µs",
+		"dft n=512 cut=64 (8 x 64)",
+		"n=64 (8 x 8)",
 	} {
 		f.Add(seed)
 	}

@@ -9,10 +9,16 @@ import (
 
 	"spiralfft/internal/codelet"
 	"spiralfft/internal/complexvec"
+	"spiralfft/internal/cost"
 	"spiralfft/internal/exec"
 	"spiralfft/internal/metrics"
 	"spiralfft/internal/smp"
 )
+
+// DefaultTopK is how many top-ranked candidates the two-stage search measures
+// per size: the analytic model (internal/cost) scores every candidate, and
+// only the k cheapest are timed for real.
+const DefaultTopK = 4
 
 // Strategy selects the sequential search method.
 type Strategy int
@@ -49,6 +55,16 @@ func (s Strategy) String() string {
 type Tuner struct {
 	Strategy Strategy
 	Timer    TimerConfig
+	// Model is the analytic cost model behind the two-stage search: before
+	// any candidate is measured, the model ranks the full candidate list and
+	// only the TopK cheapest are timed. NewTuner installs the host-default
+	// model; set nil to disable ranking (every candidate is measured, the
+	// pre-model behavior). StrategyExhaustive ignores the model and stays a
+	// full-measurement oracle.
+	Model *cost.Model
+	// TopK bounds how many ranked candidates are measured per size (default
+	// DefaultTopK; ≤ 0 disables pruning).
+	TopK int
 	// RandomSamples bounds StrategyRandom (default 30).
 	RandomSamples int
 	// Budget, when positive, bounds the total planning time of each
@@ -84,6 +100,9 @@ type TunerStats struct {
 	// Measured counts candidates timed by running the actual plan (as
 	// opposed to modeled analytically).
 	Measured int64
+	// Pruned counts candidates the analytic model ranked out of the
+	// measurement shortlist (they are Considered, never Measured).
+	Pruned int64
 }
 
 // Stats returns the accumulated search counters.
@@ -105,10 +124,13 @@ type Result struct {
 	Candidates int
 }
 
-// NewTuner returns a tuner with the given strategy.
+// NewTuner returns a tuner with the given strategy, the host-default cost
+// model and the default measurement shortlist size.
 func NewTuner(s Strategy) *Tuner {
 	return &Tuner{
 		Strategy:      s,
+		Model:         cost.Default(),
+		TopK:          DefaultTopK,
 		RandomSamples: 30,
 		rng:           rand.New(rand.NewSource(1)),
 		memo:          make(map[int]Result),
@@ -213,13 +235,14 @@ func (t *Tuner) bestTree(n int) Result {
 }
 
 // dp: best tree for n = min over splits m·k of the tree combining the best
-// trees of m and k, cost measured by running the actual subplan.
+// trees of m and k. Two-stage: the analytic model ranks the candidates and
+// only the top-k are measured by running the actual subplan.
 func (t *Tuner) dp(n int) Result {
 	candidates := t.candidateTrees(n, func(m, k int) (*exec.Tree, *exec.Tree) {
 		return t.bestTree(m).Tree, t.bestTree(k).Tree
 	})
 	best := Result{Candidates: len(candidates)}
-	for _, tr := range candidates {
+	for _, tr := range t.shortlist(candidates) {
 		if t.expired() {
 			break
 		}
@@ -231,7 +254,29 @@ func (t *Tuner) dp(n int) Result {
 	return best
 }
 
-// estimate: same candidate set, analytic cost model instead of measurement.
+// shortlist ranks candidates analytically and returns the TopK cheapest for
+// measurement. Without a model (or with pruning disabled) every candidate is
+// measured. Pruned candidates still count as Considered and emit a "pruned"
+// trace event carrying their modeled cost.
+func (t *Tuner) shortlist(candidates []*exec.Tree) []*exec.Tree {
+	if t.Model == nil || t.TopK <= 0 || len(candidates) <= t.TopK {
+		return candidates
+	}
+	ranked := t.Model.Rank(candidates)
+	out := make([]*exec.Tree, 0, t.TopK)
+	for i, s := range ranked {
+		if i < t.TopK {
+			out = append(out, s.Tree)
+			continue
+		}
+		t.stats.Considered++
+		t.stats.Pruned++
+		t.trace("pruned", s.Tree.N, s.Tree.String(), s.Duration())
+	}
+	return out
+}
+
+// estimate: same candidate set, analytic cost model only — no measurement.
 func (t *Tuner) estimate(n int) Result {
 	candidates := t.candidateTrees(n, func(m, k int) (*exec.Tree, *exec.Tree) {
 		return t.bestTree(m).Tree, t.bestTree(k).Tree
@@ -242,7 +287,12 @@ func (t *Tuner) estimate(n int) Result {
 			break
 		}
 		t.stats.Considered++
-		c := time.Duration(ModelCost(tr))
+		var c time.Duration
+		if t.Model != nil {
+			c = t.Model.TreeDuration(tr)
+		} else {
+			c = time.Duration(ModelCost(tr))
+		}
 		t.trace("candidate", tr.N, tr.String(), c)
 		if best.Tree == nil || c < best.Time {
 			best.Tree, best.Time = tr, c
@@ -320,6 +370,46 @@ func (t *Tuner) measureTree(tr *exec.Tree) time.Duration {
 	cancel()
 	t.trace("candidate", tr.N, tr.String(), d)
 	return d
+}
+
+// MeasureTree times one transform of the tree's compiled plan under the
+// tuner's timer configuration. Exported for the model-inspection path
+// (cmd/tune -rank) and model-fidelity tests; it contributes to the tuner's
+// stats like any search measurement.
+func (t *Tuner) MeasureTree(tr *exec.Tree) time.Duration {
+	t.beginSearch(context.Background())
+	defer t.endSearch()
+	return t.measureTree(tr)
+}
+
+// Ranked returns the analytically scored top-split candidate list for n,
+// cheapest first, without measuring anything: subtrees are chosen by the
+// model alone, so the result is exactly the stage-one ranking a cold-start
+// search would shortlist from. With a nil Model the host-default model is
+// used.
+func (t *Tuner) Ranked(n int) []cost.Scored {
+	model := t.Model
+	if model == nil {
+		model = cost.Default()
+	}
+	memo := make(map[int]*exec.Tree)
+	return model.Rank(t.candidateTrees(n, func(m, k int) (*exec.Tree, *exec.Tree) {
+		return t.analyticBest(m, model, memo), t.analyticBest(k, model, memo)
+	}))
+}
+
+// analyticBest picks the model-cheapest tree for n recursively (memoized per
+// Ranked call; independent of the measured memo).
+func (t *Tuner) analyticBest(n int, model *cost.Model, memo map[int]*exec.Tree) *exec.Tree {
+	if tr, ok := memo[n]; ok {
+		return tr
+	}
+	cands := t.candidateTrees(n, func(m, k int) (*exec.Tree, *exec.Tree) {
+		return t.analyticBest(m, model, memo), t.analyticBest(k, model, memo)
+	})
+	best := model.Rank(cands)[0].Tree
+	memo[n] = best
+	return best
 }
 
 func (t *Tuner) randomTree(n int) *exec.Tree {
@@ -432,6 +522,11 @@ func (t *Tuner) BestCutoffCtx(ctx context.Context, n int) CutoffResult {
 	defer t.endSearch()
 	t.stats.Searches++
 	best := CutoffResult{N: n}
+	type capped struct {
+		cap  int
+		tree *exec.Tree
+	}
+	var cands []capped
 	seen := make(map[string]bool)
 	for _, c := range codelet.Sizes() {
 		if c < 2 || c > n {
@@ -443,14 +538,37 @@ func (t *Tuner) BestCutoffCtx(ctx context.Context, n int) CutoffResult {
 			continue
 		}
 		seen[key] = true
+		cands = append(cands, capped{cap: c, tree: tr})
+	}
+	// Stage one: rank the capped trees analytically, measure only the top-k.
+	if t.Model != nil && t.TopK > 0 && len(cands) > t.TopK {
+		capOf := make(map[string]int, len(cands))
+		trees := make([]*exec.Tree, len(cands))
+		for i, c := range cands {
+			trees[i] = c.tree
+			capOf[c.tree.String()] = c.cap
+		}
+		ranked := t.Model.Rank(trees)
+		cands = cands[:0]
+		for i, s := range ranked {
+			if i < t.TopK {
+				cands = append(cands, capped{cap: capOf[s.Tree.String()], tree: s.Tree})
+				continue
+			}
+			t.stats.Considered++
+			t.stats.Pruned++
+			t.trace("cutoff-pruned", n, fmt.Sprintf("cap=%d %s", capOf[s.Tree.String()], s.Tree.String()), s.Duration())
+		}
+	}
+	for _, c := range cands {
 		if t.expired() {
 			break
 		}
 		best.Candidates++
-		d := t.measureTree(tr)
-		t.trace("cutoff-candidate", n, fmt.Sprintf("cap=%d %s", c, key), d)
+		d := t.measureTree(c.tree)
+		t.trace("cutoff-candidate", n, fmt.Sprintf("cap=%d %s", c.cap, c.tree.String()), d)
 		if best.Tree == nil || d < best.Time {
-			best.Tree, best.Time, best.Cutoff = tr, d, c
+			best.Tree, best.Time, best.Cutoff = c.tree, d, c.cap
 		}
 	}
 	if best.Tree == nil {
@@ -522,7 +640,25 @@ func (t *Tuner) TuneParallelCtx(ctx context.Context, n, p, mu int, backend smp.B
 	x := complexvec.Random(n, 3)
 	y := make([]complex128, n)
 	bestPar := time.Duration(0)
-	for _, m := range parallelSplits(n, p, mu) {
+	splits := parallelSplits(n, p, mu)
+	// Stage one: rank the admissible splits analytically (radix subtrees —
+	// pure model, no measurement) and measure only the top-k. Without a
+	// model, fall back to the most-balanced five.
+	if t.Model != nil && t.TopK > 0 && len(splits) > t.TopK {
+		sort.SliceStable(splits, func(i, j int) bool {
+			return t.Model.Parallel(n, splits[i], p, nil, nil) < t.Model.Parallel(n, splits[j], p, nil, nil)
+		})
+		for _, m := range splits[t.TopK:] {
+			t.stats.Considered++
+			t.stats.Pruned++
+			t.trace("parallel-pruned", n, fmt.Sprintf("%d·%d", m, n/m),
+				time.Duration(t.Model.Parallel(n, m, p, nil, nil)))
+		}
+		splits = splits[:t.TopK]
+	} else if len(splits) > 5 {
+		splits = splits[:5]
+	}
+	for _, m := range splits {
 		if t.expired() {
 			break
 		}
@@ -574,16 +710,13 @@ func parallelSplits(n, p, mu int) []int {
 		}
 	}
 	// Sort by balance |m - n/m| ascending so the most balanced split is
-	// tried first.
+	// tried first. TuneParallel bounds how many are measured (the model's
+	// top-k, or the first five without a model).
 	sort.Slice(out, func(i, j int) bool {
 		bi := abs(out[i] - n/out[i])
 		bj := abs(out[j] - n/out[j])
 		return bi < bj
 	})
-	// Keep at most 5 candidates to bound tuning time.
-	if len(out) > 5 {
-		out = out[:5]
-	}
 	return out
 }
 

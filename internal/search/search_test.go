@@ -240,8 +240,82 @@ func TestTunerMeasuredStats(t *testing.T) {
 	if st.Measured < 1 {
 		t.Errorf("DP strategy measured %d candidates", st.Measured)
 	}
-	if st.Measured != st.Considered {
-		t.Errorf("DP: measured %d != considered %d", st.Measured, st.Considered)
+	// Two-stage accounting: every candidate is considered, but only the
+	// model's shortlist is measured; the rest are pruned.
+	if st.Measured+st.Pruned != st.Considered {
+		t.Errorf("DP: measured %d + pruned %d != considered %d", st.Measured, st.Pruned, st.Considered)
+	}
+	// 64 admits six candidates (leaf + five splits), so with the default
+	// shortlist some must have been pruned analytically.
+	if st.Pruned < 1 {
+		t.Errorf("DP: no candidates pruned (considered %d, topk %d)", st.Considered, tu.TopK)
+	}
+
+	// Disabling the model restores full measurement.
+	full := NewTuner(StrategyDP)
+	full.Model = nil
+	full.Timer = fastTimer
+	full.BestTree(64)
+	fst := full.Stats()
+	if fst.Measured != fst.Considered || fst.Pruned != 0 {
+		t.Errorf("model-off DP: measured %d, pruned %d, considered %d", fst.Measured, fst.Pruned, fst.Considered)
+	}
+}
+
+// TestTwoStageMeasuresAtMostTopKPerSize pins the cold-start acceptance
+// contract: for every size the search visits, at most TopK candidates are
+// actually measured — the rest are dispatched analytically.
+func TestTwoStageMeasuresAtMostTopKPerSize(t *testing.T) {
+	tu := NewTuner(StrategyDP)
+	tu.Timer = fastTimer
+	measuredPer := make(map[int]int)
+	prunedTotal := 0
+	tu.Trace = func(e metrics.TraceEvent) {
+		switch e.Kind {
+		case "candidate":
+			measuredPer[e.N]++
+		case "pruned":
+			prunedTotal++
+		}
+	}
+	for _, n := range []int{256, 1024} {
+		tu.BestTree(n)
+	}
+	if len(measuredPer) == 0 {
+		t.Fatal("no candidates measured at all")
+	}
+	for n, m := range measuredPer {
+		if m > tu.TopK {
+			t.Errorf("size %d: measured %d candidates, cap is %d", n, m, tu.TopK)
+		}
+	}
+	if prunedTotal == 0 {
+		t.Error("two-stage search pruned nothing on 256/1024")
+	}
+}
+
+func TestRankedIsSortedAndMeasurementFree(t *testing.T) {
+	tu := NewTuner(StrategyDP)
+	tu.Timer = fastTimer
+	ranked := tu.Ranked(256)
+	if len(ranked) < 2 {
+		t.Fatalf("Ranked(256) returned %d candidates", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Cost < ranked[i-1].Cost {
+			t.Errorf("ranking not sorted at %d: %g < %g", i, ranked[i].Cost, ranked[i-1].Cost)
+		}
+	}
+	for _, s := range ranked {
+		if s.Tree == nil || s.Tree.N != 256 {
+			t.Errorf("ranked candidate wrong size: %v", s.Tree)
+		}
+		if err := s.Tree.Validate(); err != nil {
+			t.Errorf("ranked candidate invalid: %v", err)
+		}
+	}
+	if st := tu.Stats(); st.Measured != 0 {
+		t.Errorf("Ranked measured %d candidates; must be analytic only", st.Measured)
 	}
 }
 

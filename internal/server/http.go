@@ -360,6 +360,7 @@ func (s *Server) Stats() Stats {
 func (s *Server) handleWisdomGet(w http.ResponseWriter, hr *http.Request) {
 	wis := s.Wisdom(hr.URL.Query().Get("tenant"))
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set(wire.HdrWisdomSchema, "v2")
 	io.WriteString(w, wis.Export())
 }
 

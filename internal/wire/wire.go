@@ -45,6 +45,9 @@ const (
 	HdrHop       = "X-SFFT-Hop"
 	HdrDeadline  = "X-SFFT-Deadline-Ms" // remaining budget in milliseconds
 	HdrTenant    = "X-SFFT-Tenant"
+	// HdrWisdomSchema announces the wisdom serialization schema on
+	// /v1/wisdom responses ("v2").
+	HdrWisdomSchema = "X-SFFT-Wisdom-Schema"
 )
 
 // ContentTypeBinary is the binary payload media type (JSON is also

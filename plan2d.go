@@ -9,6 +9,7 @@ import (
 	"spiralfft/internal/ir"
 	"spiralfft/internal/metrics"
 	"spiralfft/internal/rewrite"
+	"spiralfft/internal/search"
 )
 
 // Plan2D computes two-dimensional DFTs of rows×cols arrays stored row-major
@@ -43,8 +44,19 @@ func NewPlan2D(rows, cols int, o *Options) (*Plan2D, error) {
 		return nil, err
 	}
 	opt := o.withDefaults()
-	rowTree := exec.RadixTree(cols)
-	colTree := exec.RadixTree(rows)
+	// The row and column transforms are plain 1D DFTs, so their
+	// factorizations route through the same wisdom-then-planner selection as
+	// 1D plans (analytic ranking plus top-k measurement under PlannerMeasure)
+	// instead of a fixed radix split, and their picks are shared with 1D
+	// wisdom entries for the same sizes.
+	tuner := search.NewTuner(strategyFor(opt.Planner))
+	tuner.Budget = opt.PlanBudget
+	rowTree, rowCost := planTree(tuner, opt, cols)
+	colTree, colCost := planTree(tuner, opt, rows)
+	if opt.Wisdom != nil {
+		opt.Wisdom.record(rowTree, rowCost)
+		opt.Wisdom.record(colTree, colCost)
+	}
 	p := &Plan2D{rows: rows, cols: cols, p: 1, opt: opt}
 	p.init(tk2D, int64(float64(rows)*exec.FlopCount(cols)+float64(cols)*exec.FlopCount(rows)), rows*cols)
 	p.initComplexLeases(rows*cols, rows*cols)

@@ -1,0 +1,63 @@
+package spiralfft_test
+
+import (
+	"testing"
+	"time"
+
+	fft "spiralfft"
+	"spiralfft/internal/complexvec"
+)
+
+// TestColdStartPlanBudget is the cold-planning acceptance gate: a fresh
+// measured-planner plan for n=4096 — no wisdom, nothing warm — must complete
+// within its PlanBudget. The analytic model prunes the candidate list to a
+// top-k shortlist before anything is measured, so planning cost is bounded
+// by k measurements per subtree size instead of the full exhaustive grid;
+// if this test times out, the two-stage search has stopped shortlisting.
+func TestColdStartPlanBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured planning")
+	}
+	const n = 4096
+	budget := 5 * time.Second
+	w := fft.NewWisdom()
+	start := time.Now()
+	p, err := fft.NewPlan(n, &fft.Options{
+		Planner:    fft.PlannerMeasure,
+		PlanBudget: budget,
+		Wisdom:     w,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	elapsed := time.Since(start)
+	// Generous slack over the search budget for plan assembly (twiddle
+	// tables, executor build) — the point is catching exhaustive-search
+	// blowups, which overshoot by multiples, not milliseconds.
+	if limit := budget + budget/2; elapsed > limit {
+		t.Fatalf("cold-start planning took %v, budget %v (limit %v)", elapsed, budget, limit)
+	}
+	// The tuned tree landed in wisdom with a measured cost, so the next
+	// process skips this work entirely.
+	tr, ok := w.Lookup(n, 1)
+	if !ok {
+		t.Fatalf("cold plan recorded no wisdom:\n%s", w.Export())
+	}
+	if tr.String() != p.Tree() {
+		t.Errorf("wisdom tree %s, plan tree %s", tr, p.Tree())
+	}
+	// And the plan is correct.
+	x := complexvec.Random(n, 11)
+	got := make([]complex128, n)
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	y := make([]complex128, n)
+	if err := p.Inverse(y, got); err != nil {
+		t.Fatal(err)
+	}
+	if e := complexvec.RelError(y, x); e > 1e-9 {
+		t.Errorf("round-trip error %g", e)
+	}
+}

@@ -15,6 +15,12 @@ THRESHOLD="${BENCH_THRESHOLD:-0.60}"
 BASELINE="${BENCH_BASELINE:-BENCH_baseline.json}"
 OUT="BENCH_$(date -u +%F).json"
 
+# Cold-start planning gate: a fresh measured-planner plan for n=4096 must
+# finish inside its PlanBudget, which only holds while the analytic model
+# prunes the candidate list to a top-k shortlist before measuring.
+echo "cold-start plan budget gate (n=4096, measured planner)"
+go test -count=1 -run '^TestColdStartPlanBudget$' .
+
 echo "recording quick grid -> $OUT"
 go run ./cmd/benchsnap -quick -o "$OUT"
 

@@ -77,6 +77,27 @@ echo "$metrics" | grep -q '^fftd_plans 1$' \
     || fail "metrics plan gauge missing"
 echo "ok: /metrics (histogram populated)"
 
+# Wisdom fleet sync: node A pushes a measured v2 entry; a second client
+# pulling the tenant namespace must see it with the schema header and host
+# fingerprint intact; a cheaper tree pushed by node B wins the cost-aware
+# merge on the next pull.
+printf '#%%spiralfft-wisdom v2\n#%%host nodeA/amd64/8cpu\ndft n=64 p=2 host=nodeA/amd64/8cpu (2 x 32) @ 10µs\n' > "$WORKDIR/wisA"
+curl -sf -X PUT "$BASE/v1/wisdom?tenant=smoke" --data-binary @"$WORKDIR/wisA" >/dev/null \
+    || fail "wisdom push (node A)"
+curl -sf -D "$WORKDIR/wis.hdr" -o "$WORKDIR/wisB" "$BASE/v1/wisdom?tenant=smoke" \
+    || fail "wisdom pull (node B)"
+grep -qi '^X-SFFT-Wisdom-Schema: v2' "$WORKDIR/wis.hdr" \
+    || fail "wisdom schema header missing: $(cat "$WORKDIR/wis.hdr")"
+grep -q '^#%spiralfft-wisdom v2$' "$WORKDIR/wisB" || fail "wisdom blob not v2: $(cat "$WORKDIR/wisB")"
+grep -q 'dft n=64 p=2 host=nodeA/amd64/8cpu (2 x 32) @ 10µs' "$WORKDIR/wisB" \
+    || fail "pushed entry lost in pull: $(cat "$WORKDIR/wisB")"
+printf 'dft n=64 p=2 host=nodeB/arm64/4cpu (4 x 16) @ 5µs\n' > "$WORKDIR/wisC"
+curl -sf -X PUT "$BASE/v1/wisdom?tenant=smoke" --data-binary @"$WORKDIR/wisC" >/dev/null \
+    || fail "wisdom push (node B)"
+curl -sf "$BASE/v1/wisdom?tenant=smoke" | grep -q 'dft n=64 p=2 host=nodeB/arm64/4cpu (4 x 16) @ 5µs' \
+    || fail "cheaper entry did not win the merge"
+echo "ok: /v1/wisdom (push -> second-client pull-merge round trip)"
+
 # expvar from the library is mounted too.
 curl -sf "$BASE/debug/vars" | grep -q 'spiralfft.transforms' \
     || fail "expvar aggregates missing"

@@ -235,25 +235,52 @@ func (p *Plan) sequentialTree(tuner *search.Tuner) *exec.Tree {
 	return t
 }
 
-// treeFor picks a factorization for size n: wisdom first, then the planner.
-// The returned cost is the tuner's measured per-transform time, or 0 when
-// nothing was measured (wisdom hit, fixed planner, or the estimate
-// planner's model units, which are not comparable to real times).
+// treeFor picks a sequential factorization for size n: wisdom first, then
+// the planner (see planTree).
 func (p *Plan) treeFor(tuner *search.Tuner, n int) (*exec.Tree, time.Duration) {
-	if p.opt.Wisdom != nil {
-		if t, ok := p.opt.Wisdom.lookup(n); ok {
+	return planTree(tuner, p.opt, n)
+}
+
+// planTree picks a sequential factorization for size n under the options:
+// the wisdom store's sequential slot first, then the planner strategy. The
+// returned cost is the tuner's measured per-transform time, or 0 when
+// nothing was measured (wisdom hit, fixed planner, or the estimate planner's
+// model units, which are not comparable to real times).
+func planTree(tuner *search.Tuner, opt Options, n int) (*exec.Tree, time.Duration) {
+	if opt.Wisdom != nil {
+		if t, ok := opt.Wisdom.Lookup(n, 1); ok {
 			return t, 0
 		}
 	}
-	if p.opt.Planner == PlannerFixed {
+	if opt.Planner == PlannerFixed {
 		return exec.RadixTree(n), 0
 	}
 	r := tuner.BestTree(n)
 	cost := r.Time
-	if p.opt.Planner == PlannerEstimate {
+	if opt.Planner == PlannerEstimate {
 		cost = 0
 	}
 	return r.Tree, cost
+}
+
+// parallelWisdomTree consults the wisdom slot keyed (n, p): it stores the
+// whole composite tree of a previously tuned parallel plan (top split at the
+// root, tuned subtrees below). Returns the split and subtrees when the entry
+// exists and satisfies the pµ-divisibility condition.
+func parallelWisdomTree(opt Options, n int) (m int, lt, rt *exec.Tree, ok bool) {
+	if opt.Wisdom == nil {
+		return 0, nil, nil, false
+	}
+	t, found := opt.Wisdom.Lookup(n, opt.Workers)
+	if !found || t.Leaf {
+		return 0, nil, nil, false
+	}
+	m = t.M()
+	q := opt.Workers * opt.CacheLineComplex
+	if m%q != 0 || (n/m)%q != 0 {
+		return 0, nil, nil, false
+	}
+	return m, t.Left, t.Right, true
 }
 
 func (p *Plan) planParallel(tuner *search.Tuner) error {
@@ -263,6 +290,12 @@ func (p *Plan) planParallel(tuner *search.Tuner) error {
 		return nil // no admissible split: stay sequential
 	}
 	backend := newBackendFor(opt, opt.Workers)
+	// A prior tuning run may have stored the whole parallel factorization
+	// under the (n, p) wisdom slot; adopting it skips the split search
+	// entirely (the cold-start fast path).
+	if wm, lt, rt, ok := parallelWisdomTree(opt, p.n); ok {
+		return p.buildParallel(wm, lt, rt, backend)
+	}
 	if opt.Planner == PlannerMeasure {
 		choice, err := tuner.TuneParallel(p.n, opt.Workers, opt.CacheLineComplex, backend)
 		if err != nil {
@@ -274,6 +307,10 @@ func (p *Plan) planParallel(tuner *search.Tuner) error {
 			return nil
 		}
 		lt, rt := choice.Parallel.Trees()
+		if opt.Wisdom != nil {
+			opt.Wisdom.Record(WisdomKey{N: p.n, P: opt.Workers},
+				exec.SplitTree(lt, rt), choice.ParTime)
+		}
 		return p.buildParallel(choice.Split, lt, rt, backend)
 	}
 	var leftCost, rightCost time.Duration
@@ -282,6 +319,7 @@ func (p *Plan) planParallel(tuner *search.Tuner) error {
 	if opt.Wisdom != nil {
 		opt.Wisdom.record(lt, leftCost)
 		opt.Wisdom.record(rt, rightCost)
+		opt.Wisdom.Record(WisdomKey{N: p.n, P: opt.Workers}, exec.SplitTree(lt, rt), 0)
 	}
 	return p.buildParallel(m, lt, rt, backend)
 }

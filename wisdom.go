@@ -10,34 +10,74 @@ import (
 	"time"
 
 	"spiralfft/internal/exec"
+	"spiralfft/internal/machine"
 )
 
 // Wisdom accumulates tuned factorization trees so the cost of measured
 // planning (PlannerMeasure, PlannerExhaustive) is paid once and reused
-// across plans and — via Export/Import — across processes, like FFTW's
-// wisdom files.
+// across plans and — via Export/Import — across processes and machines, like
+// FFTW's wisdom files.
 //
-// Each size carries the cheapest tree seen so far: when two tuners (or two
-// imported files) disagree, the one with the lower measured per-transform
-// cost wins. Entries without a measured cost (estimate-mode planning,
-// legacy wisdom files) never displace a measured entry.
+// Entries are keyed by (family, size, parallelism, cutoff): the tree tuned
+// for a two-worker plan no longer collides with the sequential tree of the
+// same size, and a base-case-cutoff search result can be stored next to the
+// uncapped one. Each slot carries the cheapest tree seen so far plus the
+// fingerprint of the host it was measured on; when two tuners (or two
+// imported files) disagree, an entry measured on *this* host beats one
+// measured elsewhere, and among same-host entries the lower measured cost
+// wins. Entries without a measured cost (estimate-mode planning, legacy
+// wisdom files) never displace a measured entry.
+//
+// The serialized form is versioned (schema v2) with the exporting host's
+// fingerprint in the header; the legacy v1 format ("size tree [@ cost]")
+// still imports, mapping onto (dft, size, p=1, uncapped) with unknown host.
 //
 // A Wisdom value is safe for concurrent use.
 type Wisdom struct {
 	mu    sync.Mutex
-	trees map[int]wisdomEntry // transform size → best tree seen
+	host  string // this process's host fingerprint, stamped on local records
+	trees map[WisdomKey]wisdomEntry
+}
+
+// WisdomKey identifies one wisdom slot.
+type WisdomKey struct {
+	// Family is the transform family; the empty string normalizes to "dft".
+	Family string
+	// N is the transform size.
+	N int
+	// P is the worker count the tree was tuned for (1 = sequential).
+	P int
+	// Cutoff is the base-case cap in force when the tree was searched
+	// (0 = uncapped).
+	Cutoff int
+}
+
+// normalize fills the key's defaults.
+func (k WisdomKey) normalize() WisdomKey {
+	if k.Family == "" {
+		k.Family = "dft"
+	}
+	if k.P < 1 {
+		k.P = 1
+	}
+	if k.Cutoff < 0 {
+		k.Cutoff = 0
+	}
+	return k
 }
 
 // wisdomEntry is one stored tree with its measured per-transform cost
-// (0 = unknown: estimate-mode or legacy import).
+// (0 = unknown: estimate-mode or legacy import) and the fingerprint of the
+// host that measured it ("" = unknown).
 type wisdomEntry struct {
 	tree string // (*exec.Tree).String() form
 	cost time.Duration
+	host string
 }
 
-// better reports whether candidate should replace existing. Measured beats
-// unmeasured; among measured entries the cheaper wins; an unmeasured
-// candidate never displaces anything (first writer keeps the slot).
+// better reports whether candidate should replace existing on cost alone.
+// Measured beats unmeasured; among measured entries the cheaper wins; an
+// unmeasured candidate never displaces anything (first writer keeps the slot).
 func (e wisdomEntry) better(than wisdomEntry) bool {
 	if e.cost <= 0 {
 		return false
@@ -45,123 +85,235 @@ func (e wisdomEntry) better(than wisdomEntry) bool {
 	return than.cost <= 0 || e.cost < than.cost
 }
 
-// NewWisdom returns an empty wisdom store.
-func NewWisdom() *Wisdom {
-	return &Wisdom{trees: make(map[int]wisdomEntry)}
+// replaces decides whether cand displaces cur in this store. Host awareness
+// comes first: between entries measured on different known hosts, the one
+// matching this store's host wins outright — a faster time on another machine
+// is hardware, not a better tree for this one. Otherwise cost decides; on the
+// import path an entry additionally displaces a costless resident (imported
+// wisdom is presumed tuned).
+func (w *Wisdom) replaces(cand, cur wisdomEntry, imported bool) bool {
+	if cand.host != cur.host && cand.host != "" && cur.host != "" && w.host != "" {
+		if cand.host == w.host {
+			return true
+		}
+		if cur.host == w.host {
+			return false
+		}
+	}
+	if cand.better(cur) {
+		return true
+	}
+	return imported && cur.cost <= 0
 }
 
-// Len reports how many sizes the store covers.
+// NewWisdom returns an empty wisdom store fingerprinted for the current host.
+func NewWisdom() *Wisdom {
+	return &Wisdom{
+		host:  machine.Host().Fingerprint(),
+		trees: make(map[WisdomKey]wisdomEntry),
+	}
+}
+
+// Fingerprint returns the host fingerprint stamped on entries this store
+// records locally (e.g. "linux/amd64/2cpu").
+func (w *Wisdom) Fingerprint() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.host
+}
+
+// Len reports how many slots the store covers.
 func (w *Wisdom) Len() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return len(w.trees)
 }
 
-// record stores the tree for its size, keeping whichever tree has the lower
-// measured cost (cost ≤ 0 means unmeasured; such entries only fill empty
-// slots).
+// Keys returns the stored keys sorted by (family, n, p, cutoff).
+func (w *Wisdom) Keys() []WisdomKey {
+	w.mu.Lock()
+	keys := make([]WisdomKey, 0, len(w.trees))
+	for k := range w.trees {
+		keys = append(keys, k)
+	}
+	w.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	return keys
+}
+
+func (k WisdomKey) less(o WisdomKey) bool {
+	if k.Family != o.Family {
+		return k.Family < o.Family
+	}
+	if k.N != o.N {
+		return k.N < o.N
+	}
+	if k.P != o.P {
+		return k.P < o.P
+	}
+	return k.Cutoff < o.Cutoff
+}
+
+// Record stores the tree under the key, keeping whichever entry the store's
+// merge policy prefers (host-aware, then cost-aware; cost ≤ 0 means
+// unmeasured and only fills empty slots). The entry is stamped with this
+// host's fingerprint.
+func (w *Wisdom) Record(k WisdomKey, t *exec.Tree, cost time.Duration) {
+	if t == nil {
+		return
+	}
+	k = k.normalize()
+	if k.N == 0 {
+		k.N = t.N
+	}
+	if k.N != t.N {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cand := wisdomEntry{tree: t.String(), cost: cost, host: w.host}
+	cur, ok := w.trees[k]
+	if !ok || w.replaces(cand, cur, false) {
+		w.trees[k] = cand
+	}
+}
+
+// record stores the tree for its size under the sequential key (p=1,
+// uncapped) — the pre-v2 behavior.
 func (w *Wisdom) record(t *exec.Tree, cost time.Duration) {
 	if t == nil {
 		return
 	}
-	cand := wisdomEntry{tree: t.String(), cost: cost}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	cur, ok := w.trees[t.N]
-	if !ok || cand.better(cur) {
-		w.trees[t.N] = cand
-	}
+	w.Record(WisdomKey{N: t.N}, t, cost)
 }
 
-// lookup returns the stored tree for size n.
-func (w *Wisdom) lookup(n int) (*exec.Tree, bool) {
+// LookupKey returns the stored tree for the exact key.
+func (w *Wisdom) LookupKey(k WisdomKey) (*exec.Tree, bool) {
+	k = k.normalize()
 	w.mu.Lock()
-	e, ok := w.trees[n]
+	e, ok := w.trees[k]
 	w.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
 	t, err := exec.ParseTree(e.tree)
+	if err != nil || t.N != k.N {
+		return nil, false
+	}
+	return t, true
+}
+
+// Lookup returns the best stored dft tree for (n, p): the uncapped slot when
+// present, otherwise the cheapest capped one (a tree tuned under a base-case
+// cap is still a sound plan for the size).
+func (w *Wisdom) Lookup(n, p int) (*exec.Tree, bool) {
+	if t, ok := w.LookupKey(WisdomKey{N: n, P: p}); ok {
+		return t, true
+	}
+	w.mu.Lock()
+	var best wisdomEntry
+	found := false
+	for k, e := range w.trees {
+		if k.Family != "dft" || k.N != n || k.P != max(p, 1) {
+			continue
+		}
+		if !found || e.better(best) {
+			best, found = e, true
+		}
+	}
+	w.mu.Unlock()
+	if !found {
+		return nil, false
+	}
+	t, err := exec.ParseTree(best.tree)
 	if err != nil || t.N != n {
 		return nil, false
 	}
 	return t, true
 }
 
-// Export serializes the store, one "size factorization-tree" line per size,
-// sorted by size. Entries with a measured cost append it after an "@"
-// separator (a time.Duration string); older readers that split at the first
-// space and parse the remainder as a tree must ignore the suffix, and
-// Import without it still works. The format is stable and human-readable:
+// lookup returns the stored sequential (p=1, uncapped-preferred) tree for n.
+func (w *Wisdom) lookup(n int) (*exec.Tree, bool) {
+	return w.Lookup(n, 1)
+}
+
+// Export serializes the store in the versioned v2 schema:
 //
-//	256 (64 x 4)
-//	1024 (64 x 16) @ 12.5µs
+//	#%spiralfft-wisdom v2
+//	#%host linux/amd64/2cpu
+//	dft n=256 (64 x 4)
+//	dft n=1024 p=2 cut=64 host=linux/amd64/2cpu (16 x 64) @ 12.5µs
+//
+// One line per slot, sorted by key. Attributes with default values (p=1,
+// cut=0) are omitted; the host attribute appears whenever the entry's
+// measuring host is known, so fingerprints survive round-trips through
+// foreign stores. Entries with a measured cost append it after an "@"
+// separator (a time.Duration string). The header names the exporting host.
 func (w *Wisdom) Export() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	sizes := make([]int, 0, len(w.trees))
-	for n := range w.trees {
-		sizes = append(sizes, n)
+	keys := make([]WisdomKey, 0, len(w.trees))
+	for k := range w.trees {
+		keys = append(keys, k)
 	}
-	sort.Ints(sizes)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
 	var b strings.Builder
-	for _, n := range sizes {
-		e := w.trees[n]
-		if e.cost > 0 {
-			fmt.Fprintf(&b, "%d %s @ %s\n", n, e.tree, e.cost)
-		} else {
-			fmt.Fprintf(&b, "%d %s\n", n, e.tree)
+	fmt.Fprintf(&b, "#%%spiralfft-wisdom v2\n#%%host %s\n", w.host)
+	for _, k := range keys {
+		e := w.trees[k]
+		fmt.Fprintf(&b, "%s n=%d", k.Family, k.N)
+		if k.P > 1 {
+			fmt.Fprintf(&b, " p=%d", k.P)
 		}
+		if k.Cutoff > 0 {
+			fmt.Fprintf(&b, " cut=%d", k.Cutoff)
+		}
+		if e.host != "" {
+			fmt.Fprintf(&b, " host=%s", e.host)
+		}
+		fmt.Fprintf(&b, " %s", e.tree)
+		if e.cost > 0 {
+			fmt.Fprintf(&b, " @ %s", e.cost)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
 
 // Import merges serialized wisdom into the store atomically: the input is
 // parsed and validated in full first, and only if every line is valid is
-// anything committed. On error the store is untouched — a malformed file can
-// no longer leave a half-imported prefix behind. Merging is by cost: an
-// imported entry replaces an existing one when it carries a lower measured
-// cost, or when the existing entry has no measured cost (imported wisdom is
-// presumed tuned). A costless imported line never displaces a measured
-// entry for the same size.
+// anything committed. On error the store is untouched. Both the v2 schema
+// and the legacy v1 format ("size tree [@ cost]", which maps onto
+// (dft, size, p=1, uncapped) with unknown host) are accepted, line by line.
+//
+// Merging is host-aware, then by cost: an entry measured on this host beats
+// one measured elsewhere; otherwise an imported entry replaces an existing
+// one when it carries a lower measured cost, or when the existing entry has
+// no measured cost (imported wisdom is presumed tuned). A costless imported
+// line never displaces a measured entry for the same key.
 func (w *Wisdom) Import(s string) error {
 	// Stage: parse everything before touching the store.
-	staged := make(map[int]wisdomEntry)
+	staged := make(map[WisdomKey]wisdomEntry)
 	sc := bufio.NewScanner(strings.NewReader(s))
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
 			continue
 		}
-		sp := strings.IndexByte(line, ' ')
-		if sp < 0 {
-			return fmt.Errorf("spiralfft: wisdom line %d: missing tree: %q", lineNo, line)
-		}
-		n, err := strconv.Atoi(line[:sp])
-		if err != nil || n < 1 {
-			return fmt.Errorf("spiralfft: wisdom line %d: bad size %q", lineNo, line[:sp])
-		}
-		rest := strings.TrimSpace(line[sp+1:])
-		var cost time.Duration
-		if at := strings.LastIndex(rest, " @ "); at >= 0 {
-			cost, err = time.ParseDuration(strings.TrimSpace(rest[at+3:]))
-			if err != nil || cost < 0 {
-				return fmt.Errorf("spiralfft: wisdom line %d: bad cost %q", lineNo, rest[at+3:])
+		if strings.HasPrefix(line, "#") {
+			if err := checkDirective(line, lineNo); err != nil {
+				return err
 			}
-			rest = strings.TrimSpace(rest[:at])
+			continue
 		}
-		t, err := exec.ParseTree(rest)
+		key, e, err := parseWisdomLine(line, lineNo)
 		if err != nil {
-			return fmt.Errorf("spiralfft: wisdom line %d: %v", lineNo, err)
+			return err
 		}
-		if t.N != n {
-			return fmt.Errorf("spiralfft: wisdom line %d: tree size %d does not match declared %d", lineNo, t.N, n)
-		}
-		cand := wisdomEntry{tree: t.String(), cost: cost}
-		if cur, ok := staged[n]; !ok || cand.better(cur) || cur.cost <= 0 {
-			staged[n] = cand
+		if cur, ok := staged[key]; !ok || w.replaces(e, cur, true) {
+			staged[key] = e
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -171,15 +323,123 @@ func (w *Wisdom) Import(s string) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.trees == nil {
-		w.trees = make(map[int]wisdomEntry)
+		w.trees = make(map[WisdomKey]wisdomEntry)
 	}
-	for n, cand := range staged {
-		cur, ok := w.trees[n]
-		// Imported wisdom is presumed tuned: it wins unless the resident
-		// entry has a measured cost that the import cannot beat.
-		if !ok || cand.better(cur) || cur.cost <= 0 {
-			w.trees[n] = cand
+	for k, cand := range staged {
+		cur, ok := w.trees[k]
+		if !ok || w.replaces(cand, cur, true) {
+			w.trees[k] = cand
 		}
 	}
 	return nil
+}
+
+// checkDirective validates a "#%" schema directive ("#" alone is a comment).
+// The version directive accepts schemas 1 and 2; unknown directives are
+// ignored for forward compatibility.
+func checkDirective(line string, lineNo int) error {
+	if !strings.HasPrefix(line, "#%") {
+		return nil // plain comment
+	}
+	fields := strings.Fields(line[2:])
+	if len(fields) == 0 {
+		return nil
+	}
+	if fields[0] == "spiralfft-wisdom" {
+		if len(fields) != 2 || (fields[1] != "v1" && fields[1] != "v2") {
+			return fmt.Errorf("spiralfft: wisdom line %d: unsupported schema %q", lineNo, line)
+		}
+	}
+	return nil
+}
+
+// parseWisdomLine parses one entry line in either schema.
+func parseWisdomLine(line string, lineNo int) (WisdomKey, wisdomEntry, error) {
+	var key WisdomKey
+	var e wisdomEntry
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return key, e, fmt.Errorf("spiralfft: wisdom line %d: missing tree: %q", lineNo, line)
+	}
+	i := 0
+	if n, err := strconv.Atoi(fields[0]); err == nil {
+		// Legacy v1: "size tree [@ cost]".
+		if n < 1 {
+			return key, e, fmt.Errorf("spiralfft: wisdom line %d: bad size %q", lineNo, fields[0])
+		}
+		key = WisdomKey{Family: "dft", N: n, P: 1}
+		i = 1
+	} else {
+		// v2: "family attr=value... tree [@ cost]".
+		fam := fields[0]
+		if !validFamily(fam) {
+			return key, e, fmt.Errorf("spiralfft: wisdom line %d: bad size %q", lineNo, fam)
+		}
+		key = WisdomKey{Family: fam, P: 1}
+		i = 1
+		for i < len(fields) && strings.Contains(fields[i], "=") {
+			k, v, _ := strings.Cut(fields[i], "=")
+			switch k {
+			case "n", "p", "cut":
+				iv, err := strconv.Atoi(v)
+				if err != nil || iv < 1 {
+					return key, e, fmt.Errorf("spiralfft: wisdom line %d: bad attribute %q", lineNo, fields[i])
+				}
+				switch k {
+				case "n":
+					key.N = iv
+				case "p":
+					key.P = iv
+				default:
+					key.Cutoff = iv
+				}
+			case "host":
+				if v == "" {
+					return key, e, fmt.Errorf("spiralfft: wisdom line %d: empty host", lineNo)
+				}
+				e.host = v
+			default:
+				return key, e, fmt.Errorf("spiralfft: wisdom line %d: unknown attribute %q", lineNo, fields[i])
+			}
+			i++
+		}
+		if key.N < 1 {
+			return key, e, fmt.Errorf("spiralfft: wisdom line %d: missing n= attribute: %q", lineNo, line)
+		}
+	}
+	rest := strings.TrimSpace(strings.Join(fields[i:], " "))
+	if rest == "" {
+		return key, e, fmt.Errorf("spiralfft: wisdom line %d: missing tree: %q", lineNo, line)
+	}
+	if at := strings.LastIndex(rest, " @ "); at >= 0 {
+		cost, err := time.ParseDuration(strings.TrimSpace(rest[at+3:]))
+		if err != nil || cost < 0 {
+			return key, e, fmt.Errorf("spiralfft: wisdom line %d: bad cost %q", lineNo, rest[at+3:])
+		}
+		e.cost = cost
+		rest = strings.TrimSpace(rest[:at])
+	}
+	t, err := exec.ParseTree(rest)
+	if err != nil {
+		return key, e, fmt.Errorf("spiralfft: wisdom line %d: %v", lineNo, err)
+	}
+	if t.N != key.N {
+		return key, e, fmt.Errorf("spiralfft: wisdom line %d: tree size %d does not match declared %d", lineNo, t.N, key.N)
+	}
+	e.tree = t.String()
+	return key.normalize(), e, nil
+}
+
+// validFamily accepts lowercase alphanumeric family names starting with a
+// letter ("dft", "dft2d", ...).
+func validFamily(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for _, c := range s {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
 }

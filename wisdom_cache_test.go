@@ -1,0 +1,102 @@
+package spiralfft_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	fft "spiralfft"
+)
+
+// TestCacheWisdomHooks covers the cache's wisdom attachment surface: plans
+// built through a cache with an attached store feed it, the store persists
+// through Save/LoadWisdomFile in the v2 schema, and requests that bring
+// their own store are left alone.
+func TestCacheWisdomHooks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wisdom")
+	var c fft.Cache
+	defer c.Close()
+	// Loading a missing file is a cold start, not an error — but it attaches
+	// a store so planning starts accumulating.
+	if err := c.LoadWisdomFile(path); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Plan(256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if c.Wisdom().Len() == 0 {
+		t.Fatal("planning through the cache did not feed the attached store")
+	}
+	if err := c.SaveWisdomFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "#%spiralfft-wisdom v2\n") {
+		t.Errorf("saved file is not schema v2:\n%s", data)
+	}
+
+	// A second cache warm-starts from the file.
+	var c2 fft.Cache
+	defer c2.Close()
+	if err := c2.LoadWisdomFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c2.Wisdom().Len(), c.Wisdom().Len(); got < want {
+		t.Errorf("reloaded store has %d entries, want ≥ %d", got, want)
+	}
+	tr, ok := c2.Wisdom().Lookup(256, 1)
+	if !ok {
+		t.Fatal("reloaded store missing the planned size")
+	}
+	p2, err := c2.Plan(256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.Tree() != tr.String() {
+		t.Errorf("warm-started plan used %s, wisdom says %s", p2.Tree(), tr)
+	}
+
+	// Requests with their own store bypass the cache's.
+	w := fft.NewWisdom()
+	before := c.Wisdom().Len()
+	p3, err := c.Plan(128, &fft.Options{Wisdom: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3.Close()
+	if w.Len() == 0 {
+		t.Error("explicit per-request wisdom was not consulted")
+	}
+	if c.Wisdom().Len() != before {
+		t.Error("per-request wisdom leaked into the cache's store")
+	}
+}
+
+// TestCacheSetWisdomShares: two caches sharing one store via SetWisdom see
+// each other's tuning results.
+func TestCacheSetWisdomShares(t *testing.T) {
+	w := fft.NewWisdom()
+	var a, b fft.Cache
+	defer a.Close()
+	defer b.Close()
+	a.SetWisdom(w)
+	b.SetWisdom(w)
+	p, err := a.Plan(512, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if b.Wisdom().Len() == 0 {
+		t.Fatal("shared store not visible through second cache")
+	}
+	if b.Wisdom() != w {
+		t.Error("Wisdom() did not return the attached store")
+	}
+}

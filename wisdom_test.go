@@ -26,8 +26,13 @@ func TestWisdomExportImportRoundtrip(t *testing.T) {
 	if w2.Export() != out {
 		t.Errorf("roundtrip mismatch:\n%q\n%q", out, w2.Export())
 	}
-	// Sizes sorted ascending.
-	if !strings.HasPrefix(out, "256 ") {
+	// Versioned header, then sizes sorted ascending.
+	if !strings.HasPrefix(out, "#%spiralfft-wisdom v2\n#%host ") {
+		t.Errorf("export missing v2 header: %q", out)
+	}
+	i256 := strings.Index(out, "dft n=256 ")
+	i1024 := strings.Index(out, "dft n=1024 ")
+	if i256 < 0 || i1024 < 0 || i256 > i1024 {
 		t.Errorf("export not sorted: %q", out)
 	}
 }
@@ -132,6 +137,161 @@ func TestWisdomRecordsPlannedTrees(t *testing.T) {
 			t.Errorf("wisdom missing size %d:\n%s", n, exported)
 		}
 	}
+	// The whole parallel factorization is stored under the (n, p) slot, so a
+	// later plan can adopt it without re-running the split search.
+	tr, ok := w.LookupKey(WisdomKey{N: 512, P: 2})
+	if !ok || tr.Leaf {
+		t.Fatalf("wisdom missing parallel composite (n=512, p=2):\n%s", exported)
+	}
+	if tr.M() != m {
+		t.Errorf("composite split %d, plan used %d", tr.M(), m)
+	}
+	p2, err := NewPlan(512, &Options{Workers: 2, Wisdom: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if m2, k2 := p2.Split(); m2 != m || k2 != k {
+		t.Errorf("second plan did not adopt composite wisdom: split %dx%d, want %dx%d", m2, k2, m, k)
+	}
+}
+
+// TestWisdomParallelKeyDoesNotClobberSequential pins the keying fix: a tree
+// recorded for a p-worker plan lives in its own slot and the sequential entry
+// of the same size survives (pre-v2, both landed on the bare size key).
+func TestWisdomParallelKeyDoesNotClobberSequential(t *testing.T) {
+	w := NewWisdom()
+	w.record(mustTree(t, "(8 x 8)"), 10*time.Microsecond)
+	w.Record(WisdomKey{N: 64, P: 8}, mustTree(t, "(2 x 32)"), 2*time.Microsecond)
+	if tr, _ := w.Lookup(64, 1); tr == nil || tr.String() != "(8 x 8)" {
+		t.Errorf("parallel record clobbered sequential slot: %v", tr)
+	}
+	if tr, _ := w.Lookup(64, 8); tr == nil || tr.String() != "(2 x 32)" {
+		t.Errorf("parallel slot missing: %v", tr)
+	}
+	if w.Len() != 2 {
+		t.Errorf("Len = %d, want 2", w.Len())
+	}
+	// Both survive an export/import round-trip with their keys intact.
+	w2 := NewWisdom()
+	if err := w2.Import(w.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := w2.Lookup(64, 8); tr == nil || tr.String() != "(2 x 32)" {
+		t.Errorf("parallel key lost in round-trip: %v\n%s", tr, w.Export())
+	}
+	if tr, _ := w2.Lookup(64, 1); tr == nil || tr.String() != "(8 x 8)" {
+		t.Errorf("sequential key lost in round-trip: %v\n%s", tr, w.Export())
+	}
+}
+
+// TestWisdomHostFingerprintRoundTrip: locally recorded entries carry this
+// host's fingerprint and keep it through Export/Import, including through a
+// foreign store that merely relays the blob.
+func TestWisdomHostFingerprintRoundTrip(t *testing.T) {
+	w := NewWisdom()
+	w.record(mustTree(t, "(8 x 8)"), 10*time.Microsecond)
+	fp := w.Fingerprint()
+	if fp == "" {
+		t.Fatal("empty host fingerprint")
+	}
+	out := w.Export()
+	if !strings.Contains(out, "host="+fp) {
+		t.Fatalf("export missing host attribute:\n%s", out)
+	}
+	relay := &Wisdom{host: "relay/other/9cpu", trees: map[WisdomKey]wisdomEntry{}}
+	if err := relay.Import(out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(relay.Export(), "host="+fp) {
+		t.Errorf("fingerprint lost through foreign relay:\n%s", relay.Export())
+	}
+}
+
+// TestWisdomHostAwareMerge: between entries measured on different known
+// hosts, the one matching this store's host wins regardless of cost.
+func TestWisdomHostAwareMerge(t *testing.T) {
+	w := NewWisdom()
+	fp := w.Fingerprint()
+	// A resident entry measured here...
+	if err := w.Import("dft n=64 host=" + fp + " (8 x 8) @ 10µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	// ...is not displaced by a faster measurement from another machine.
+	if err := w.Import("dft n=64 host=elsewhere/arm64/64cpu (2 x 32) @ 1µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := w.lookup(64); tr.String() != "(8 x 8)" {
+		t.Errorf("foreign entry displaced local measurement: %s", tr)
+	}
+	// The reverse direction: a local entry displaces a faster foreign one.
+	if err := w.Import("dft n=256 host=elsewhere/arm64/64cpu (4 x 64) @ 1µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Import("dft n=256 host=" + fp + " (16 x 16) @ 20µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := w.lookup(256); tr.String() != "(16 x 16)" {
+		t.Errorf("local entry lost to foreign one: %s", tr)
+	}
+	// Two foreign hosts fall back to the cost rule.
+	if err := w.Import("dft n=128 host=hostA/amd64/4cpu (2 x 64) @ 9µs\n" +
+		"dft n=128 host=hostB/amd64/8cpu (8 x 16) @ 3µs\n"); err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := w.lookup(128); tr.String() != "(8 x 16)" {
+		t.Errorf("cheaper foreign entry lost: %s", tr)
+	}
+}
+
+func TestWisdomSchemaDirectives(t *testing.T) {
+	// v1 and v2 version directives are accepted; later schemas are rejected.
+	for _, ok := range []string{
+		"#%spiralfft-wisdom v1\n64 (8 x 8)\n",
+		"#%spiralfft-wisdom v2\ndft n=64 (8 x 8)\n",
+		"#%host somewhere/amd64/4cpu\n64 (8 x 8)\n", // header host is informational
+		"#%future-directive with args\n64 (8 x 8)\n", // unknown directives ignored
+	} {
+		if err := NewWisdom().Import(ok); err != nil {
+			t.Errorf("Import(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{
+		"#%spiralfft-wisdom v3\ndft n=64 (8 x 8)\n",
+		"#%spiralfft-wisdom\n",
+		"dft (8 x 8)\n",              // missing n=
+		"dft n=64 p=0 (8 x 8)\n",     // bad attribute value
+		"dft n=64 host= (8 x 8)\n",   // empty host
+		"dft n=64 vers=2 (8 x 8)\n",  // unknown attribute
+		"DFT n=64 (8 x 8)\n",         // bad family
+		"dft n=64 cut=-1 (8 x 8)\n",  // bad cutoff
+		"dft n=128 (8 x 8) @ 10µs\n", // size mismatch
+	} {
+		if err := NewWisdom().Import(bad); err == nil {
+			t.Errorf("Import(%q) accepted", bad)
+		}
+	}
+}
+
+// TestWisdomCutoffKeys: capped-search results store alongside the uncapped
+// slot, and Lookup falls back to the cheapest capped entry when no uncapped
+// tree is stored.
+func TestWisdomCutoffKeys(t *testing.T) {
+	w := NewWisdom()
+	w.Record(WisdomKey{N: 64, Cutoff: 8}, mustTree(t, "(8 x 8)"), 10*time.Microsecond)
+	w.Record(WisdomKey{N: 64, Cutoff: 4}, mustTree(t, "(4 x (4 x 4))"), 4*time.Microsecond)
+	if tr, ok := w.Lookup(64, 1); !ok || tr.String() != "(4 x (4 x 4))" {
+		t.Errorf("Lookup did not pick cheapest capped entry: %v", tr)
+	}
+	// An uncapped entry takes precedence even when slower.
+	w.record(mustTree(t, "(2 x 32)"), 20*time.Microsecond)
+	if tr, ok := w.Lookup(64, 1); !ok || tr.String() != "(2 x 32)" {
+		t.Errorf("uncapped slot did not take precedence: %v", tr)
+	}
+	out := w.Export()
+	if !strings.Contains(out, "cut=8") || !strings.Contains(out, "cut=4") {
+		t.Errorf("cutoff attributes missing from export:\n%s", out)
+	}
 }
 
 func mustTree(t *testing.T, s string) *exec.Tree {
@@ -173,11 +333,12 @@ func TestWisdomExportCarriesCost(t *testing.T) {
 	w.record(mustTree(t, "(8 x 8)"), 12500*time.Nanosecond)
 	w.record(mustTree(t, "(16 x 16)"), 0)
 	out := w.Export()
-	if !strings.Contains(out, "64 (8 x 8) @ 12.5µs") {
+	fp := w.Fingerprint()
+	if !strings.Contains(out, "dft n=64 host="+fp+" (8 x 8) @ 12.5µs") {
 		t.Errorf("export missing cost annotation:\n%s", out)
 	}
-	if !strings.Contains(out, "256 (16 x 16)\n") {
-		t.Errorf("costless entry must export the legacy format:\n%s", out)
+	if !strings.Contains(out, "dft n=256 host="+fp+" (16 x 16)\n") {
+		t.Errorf("costless entry must export without an @ suffix:\n%s", out)
 	}
 	// Roundtrip preserves costs (so re-imported wisdom still merges by cost).
 	w2 := NewWisdom()

@@ -70,6 +70,7 @@ type optionsFP struct {
 	planner Planner
 	wisdom  *Wisdom
 	budget  time.Duration
+	largeN  int
 }
 
 // fingerprint returns the canonical key fields of the (possibly nil)
@@ -84,6 +85,7 @@ func (o *Options) fingerprint() optionsFP {
 		planner: opt.Planner,
 		wisdom:  opt.Wisdom,
 		budget:  opt.PlanBudget,
+		largeN:  opt.LargeNThreshold,
 	}
 }
 
@@ -100,6 +102,9 @@ func (o *Options) Fingerprint() string {
 	}
 	if fp.budget > 0 {
 		s += fmt.Sprintf(" budget=%s", fp.budget)
+	}
+	if fp.largeN != DefaultLargeNThreshold {
+		s += fmt.Sprintf(" largeN=%d", fp.largeN)
 	}
 	return s
 }

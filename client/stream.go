@@ -76,7 +76,11 @@ func (st *Stream) SendComplex(v []complex128) error {
 	if st.sendDone {
 		return errors.New("fftd: send side closed")
 	}
-	if err := wire.WriteFrameHeader(st.pw, uint32(len(v)*16), &st.hdr); err != nil {
+	n, err := wire.FrameLen(len(v) * 16)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrameHeader(st.pw, n, &st.hdr); err != nil {
 		return st.sendFailed(err)
 	}
 	if err := wire.WriteComplexLE(st.pw, v); err != nil {
@@ -92,7 +96,11 @@ func (st *Stream) SendFloat(v []float64) error {
 	if st.sendDone {
 		return errors.New("fftd: send side closed")
 	}
-	if err := wire.WriteFrameHeader(st.pw, uint32(len(v)*8), &st.hdr); err != nil {
+	n, err := wire.FrameLen(len(v) * 8)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFrameHeader(st.pw, n, &st.hdr); err != nil {
 		return st.sendFailed(err)
 	}
 	if err := wire.WriteFloatLE(st.pw, v); err != nil {

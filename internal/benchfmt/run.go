@@ -14,6 +14,7 @@ import (
 	"spiralfft/internal/bench"
 	"spiralfft/internal/codelet"
 	"spiralfft/internal/exec"
+	"spiralfft/internal/ir"
 	"spiralfft/internal/machine"
 	"spiralfft/internal/metrics"
 	"spiralfft/internal/server"
@@ -366,6 +367,73 @@ func Run(cfg RunConfig) (*Snapshot, error) {
 			Better: HigherIsBetter, Trials: cfg.Trials,
 		})
 		cfg.Verbose("%-40s %8.1f pseudo-Mflop/s (min of %d)", p.key, s.Metrics[len(s.Metrics)-1].Value, cfg.Trials)
+	}
+
+	// Enormous-FFT tier (full grid only — one transform at 2^22 costs on
+	// the order of a second): the default plan, which takes the four-step
+	// large-N path at this size, against the tree planner's recursive
+	// schedule forced via LargeNThreshold=-1. The pair is the committed
+	// evidence that the tier pays off; plans are built and torn down
+	// sequentially so the two ~200 MiB working sets never coexist.
+	if !cfg.Quick {
+		const n = 1 << 22
+		trials := 2
+		measureLargeN := func(key string, threshold int) error {
+			p, err := spiralfft.NewPlan(n, &spiralfft.Options{
+				Workers: cfg.Workers, LargeNThreshold: threshold,
+			})
+			if err != nil {
+				return fmt.Errorf("benchfmt: %s: %w", key, err)
+			}
+			defer p.Close()
+			l := p.Buffers()
+			defer l.Release()
+			l.In[1] = 1
+			d := measureMin(func() { p.Forward(l.Out, l.In) }, trials, cfg.MinTrialTime)
+			s.Metrics = append(s.Metrics, Metric{
+				Key: key, Unit: "pseudo-Mflop/s",
+				Value:  metrics.PseudoMflops(exec.FlopCount(n), d),
+				Better: HigherIsBetter, Trials: trials,
+			})
+			cfg.Verbose("%-40s %8.1f pseudo-Mflop/s (%s, min of %d)", key, s.Metrics[len(s.Metrics)-1].Value, p.Tree(), trials)
+			return nil
+		}
+		if err := measureLargeN(fmt.Sprintf("mflops/dft/n=%d", n), 0); err != nil {
+			return nil, err
+		}
+		if err := measureLargeN(fmt.Sprintf("mflops/dft-tree/n=%d", n), -1); err != nil {
+			return nil, err
+		}
+	}
+
+	// Blocked-transpose bandwidth (full grid only): the redistribution
+	// kernel the four-step tier stands on, measured in isolation — one
+	// ir.Transpose op over a 1024×1024 complex matrix (16 MiB per buffer,
+	// far beyond L2), reported as the effective streamed bandwidth.
+	if !cfg.Quick {
+		const rows, cols = 1024, 1024
+		const tn = rows * cols
+		prog := &ir.Program{
+			Name: "transpose-bandwidth", N: tn, P: 1, Mu: 4,
+			Nodes: []ir.Node{&ir.Region{Name: "t", Workers: [][]ir.Op{{
+				ir.Transpose{Dst: ir.BufDst, Src: ir.BufSrc, Rows: rows, Cols: cols, Lo: 0, Hi: cols},
+			}}}},
+		}
+		exe, err := ir.NewExecutor(prog, nil)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: transpose bandwidth: %w", err)
+		}
+		src := make([]complex128, tn)
+		dst := make([]complex128, tn)
+		src[1] = 1
+		d := measureMin(func() { exe.Transform(dst, src) }, cfg.Trials, cfg.MinTrialTime)
+		// One read and one write of the whole matrix per transform.
+		gbs := 2 * float64(tn) * 16 / d.Seconds() / 1e9
+		s.Metrics = append(s.Metrics, Metric{
+			Key: fmt.Sprintf("bandwidth/transpose/rows=%d,cols=%d", rows, cols),
+			Unit: "GB/s", Value: gbs, Better: HigherIsBetter, Trials: cfg.Trials,
+		})
+		cfg.Verbose("%-40s %8.2f GB/s (min of %d)", "bandwidth/transpose", gbs, cfg.Trials)
 	}
 
 	// Cached-plan parallel throughput: g = 2×workers goroutines sharing

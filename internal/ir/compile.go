@@ -13,6 +13,7 @@ import (
 	"spiralfft/internal/faultinject"
 	"spiralfft/internal/metrics"
 	"spiralfft/internal/smp"
+	"spiralfft/internal/twiddle"
 )
 
 // Executor runs a lowered Program through the existing codelets and the smp
@@ -80,10 +81,15 @@ type compiledOp struct {
 	doff, ds int
 	soff, ss int
 	n        int
-	seq      *exec.Seq    // opCodelet, opCodeletPre
+	seq      *exec.Seq    // opCodelet, opCodeletPre, opCodeletGen*
 	tw       []complex128 // codelet input scale / Scale weights
 	idx      []int32      // opPermute
 	fn       BlockFn      // opGeneric
+	// opTranspose geometry: rows×cols source, destination columns [lo,hi),
+	// tile×tile cache blocking.
+	rows, cols     int
+	lo, hi, tile   int
+	den, row, roff int // opCodeletGen*: generated twiddle row parameters
 }
 
 type opKind uint8
@@ -92,13 +98,21 @@ const (
 	opBarrier    opKind = iota
 	opCodelet           // strided sub-DFT, Tw (if any) fused into the leaf kernel
 	opCodeletPre        // composite-root sub-DFT with Tw: pre-scale into scratch
+	opCodeletGen        // sub-DFT with runtime-generated twiddle row, fused
+	opCodeletGenPre     // same, composite root: generate + pre-scale in scratch
 	opWHT               // contiguous WHT: copy + in-place butterflies
 	opWHTStrided        // strided WHT: gather to scratch, transform, scatter
+	opTranspose         // cache-blocked tile transpose
 	opScale
 	opPermute
 	opCopy
 	opGeneric
 )
+
+// DefaultTransposeTile is the fallback Transpose tile edge when the lowering
+// did not choose one: 32×32 complex128 tiles (2 × 16 KiB footprint) fit the
+// source and destination tile in a typical 32 KiB L1.
+const DefaultTransposeTile = 32
 
 // NewExecutor compiles prog for execution on backend. For P > 1 the backend
 // is required and must have exactly P workers; for P == 1 it may be nil (the
@@ -206,6 +220,44 @@ func compileOp(op Op, seqs map[*exec.Tree]*exec.Seq) (compiledOp, int, error) {
 			need += t.Tree.N
 		}
 		return co, need, nil
+	case CodeletGenCall:
+		s := seqs[t.Tree]
+		if s == nil {
+			var err error
+			s, err = exec.NewSeq(t.Tree)
+			if err != nil {
+				return compiledOp{}, 0, err
+			}
+			seqs[t.Tree] = s
+		}
+		co := compiledOp{
+			kind: opCodeletGen,
+			dst:  t.Dst, src: t.Src,
+			doff: t.DOff, ds: t.DS,
+			soff: t.SOff, ss: t.SS,
+			n: t.Tree.N, seq: s,
+			den: t.TwDen, row: t.TwRow, roff: t.TwOff,
+		}
+		// The generated row always lives in scratch[:n]; a composite root
+		// additionally pre-scales the gather into scratch[n:2n].
+		need := t.Tree.N + s.ScratchLen()
+		if !s.FusesTwiddles() {
+			co.kind = opCodeletGenPre
+			need += t.Tree.N
+		}
+		return co, need, nil
+	case Transpose:
+		co := compiledOp{
+			kind: opTranspose,
+			dst:  t.Dst, src: t.Src,
+			doff: t.DOff, soff: t.SOff,
+			rows: t.Rows, cols: t.Cols,
+			lo: t.Lo, hi: t.Hi, tile: t.Tile,
+		}
+		if co.tile <= 0 {
+			co.tile = DefaultTransposeTile
+		}
+		return co, 0, nil
 	case WHTCall:
 		co := compiledOp{
 			kind: opWHT,
@@ -437,6 +489,41 @@ func (e *Executor) runWorker(w int, ctx *execCtx) {
 				pre[i] = src[op.soff+i*op.ss] * op.tw[i]
 			}
 			op.seq.TransformStrided(ctx.buf(op.dst), op.doff, op.ds, pre, 0, 1, nil, scratch[op.n:])
+		case opCodeletGen:
+			w := scratch[:op.n]
+			twiddle.FillRow(w, op.den, op.row, op.roff)
+			op.seq.TransformStrided(ctx.buf(op.dst), op.doff, op.ds, ctx.buf(op.src), op.soff, op.ss, w, scratch[op.n:])
+		case opCodeletGenPre:
+			src := ctx.buf(op.src)
+			w := scratch[:op.n]
+			twiddle.FillRow(w, op.den, op.row, op.roff)
+			pre := scratch[op.n : 2*op.n]
+			for i := 0; i < op.n; i++ {
+				pre[i] = src[op.soff+i*op.ss] * w[i]
+			}
+			op.seq.TransformStrided(ctx.buf(op.dst), op.doff, op.ds, pre, 0, 1, nil, scratch[2*op.n:])
+		case opTranspose:
+			dst, src := ctx.buf(op.dst), ctx.buf(op.src)
+			rows, cols, tile := op.rows, op.cols, op.tile
+			for jb := op.lo; jb < op.hi; jb += tile {
+				jmax := jb + tile
+				if jmax > op.hi {
+					jmax = op.hi
+				}
+				for ib := 0; ib < rows; ib += tile {
+					imax := ib + tile
+					if imax > rows {
+						imax = rows
+					}
+					for j := jb; j < jmax; j++ {
+						drow := dst[op.doff+j*rows+ib : op.doff+j*rows+imax]
+						srow := src[op.soff+j:]
+						for i := range drow {
+							drow[i] = srow[(ib+i)*cols]
+						}
+					}
+				}
+			}
 		case opWHT:
 			dst := ctx.buf(op.dst)[op.doff : op.doff+op.n]
 			src := ctx.buf(op.src)[op.soff : op.soff+op.n]

@@ -197,6 +197,62 @@ func (c Generic) String() string {
 	return fmt.Sprintf("generic %s[%d:+%d] ← %s[%d] %s", c.Dst, c.DOff, c.F.Size(), c.Src, c.SOff, c.F)
 }
 
+// Transpose writes the transpose of a Rows×Cols row-major matrix held in
+// src into dst as a Cols×Rows row-major matrix, restricted to destination
+// rows (= source columns) j in [Lo, Hi):
+//
+//	dst[DOff + j·Rows + i] = src[SOff + i·Cols + j],  Lo ≤ j < Hi, 0 ≤ i < Rows
+//
+// The executor runs it cache-blocked with Tile×Tile tiles (0 means the
+// default tile). Workers partition destination rows, so each worker's
+// writes are contiguous runs — the blocked transpose between the column and
+// row FFT stages of the four-step large-N decomposition, with false sharing
+// confined to at most one line per worker boundary.
+type Transpose struct {
+	Dst, Src   Buf
+	DOff, SOff int
+	Rows, Cols int
+	Lo, Hi     int
+	Tile       int
+}
+
+func (Transpose) isOp()         {}
+func (c Transpose) DstBuf() Buf { return c.Dst }
+func (c Transpose) SrcBuf() Buf { return c.Src }
+func (c Transpose) String() string {
+	return fmt.Sprintf("transpose %s[%d+] ← %s[%d+] %dx%d cols[%d,%d) tile=%d",
+		c.Dst, c.DOff, c.Src, c.SOff, c.Rows, c.Cols, c.Lo, c.Hi, c.Tile)
+}
+
+// CodeletGenCall is a CodeletCall whose input scale is generated at
+// execution time instead of read from a table: element k of the scale is
+// ω_TwDen^{TwRow·(TwOff+k)}, one row chunk of the D_{n1,n2} diagonal
+// (TwDen = n1·n2) produced into per-worker scratch by twiddle.FillRow. The
+// four-step large-N lowering uses it for the twiddled row-FFT stage so a
+// DFT_{n1·n2} plan never materializes an N-element twiddle table — resident
+// twiddle state is O(n1) per worker.
+type CodeletGenCall struct {
+	Dst, Src Buf
+	DOff, DS int
+	SOff, SS int
+	Tree     *exec.Tree
+	TwDen    int // modulus of the generated roots (the full transform size)
+	TwRow    int // row of the diagonal (the panel index)
+	TwOff    int // starting column offset within the row
+}
+
+func (CodeletGenCall) isOp()         {}
+func (c CodeletGenCall) DstBuf() Buf { return c.Dst }
+func (c CodeletGenCall) SrcBuf() Buf { return c.Src }
+
+// N returns the sub-transform size.
+func (c CodeletGenCall) N() int { return c.Tree.N }
+
+func (c CodeletGenCall) String() string {
+	return fmt.Sprintf("dft%s %s[%d:%d] ← %s[%d:%d] ⊙ω_%d^{%d·(%d+k)}",
+		c.Tree, c.Dst, c.DOff, c.DS, c.Src, c.SOff, c.SS, c.TwDen, c.TwRow, c.TwOff)
+}
+
 // ---------------------------------------------------------------------------
 // Nodes and programs
 
@@ -371,6 +427,43 @@ func (p *Program) validateOp(op Op, w int) error {
 			return err
 		}
 		return check(t.Src, t.SOff, 1, t.N)
+	case Transpose:
+		if t.Rows < 1 || t.Cols < 1 {
+			return fmt.Errorf("op %s: empty matrix %dx%d", op, t.Rows, t.Cols)
+		}
+		if t.Lo < 0 || t.Lo >= t.Hi || t.Hi > t.Cols {
+			return fmt.Errorf("op %s: column range [%d,%d) outside [0,%d)", op, t.Lo, t.Hi, t.Cols)
+		}
+		if t.Tile < 0 {
+			return fmt.Errorf("op %s: negative tile %d", op, t.Tile)
+		}
+		if err := check(t.Dst, t.DOff+t.Lo*t.Rows, 1, (t.Hi-t.Lo)*t.Rows); err != nil {
+			return err
+		}
+		// Source reads cover columns [Lo,Hi) of every row: the extreme
+		// indices are SOff+Lo and SOff+(Rows-1)·Cols+Hi-1.
+		if err := check(t.Src, t.SOff+t.Lo, 1, 1); err != nil {
+			return err
+		}
+		return check(t.Src, t.SOff+(t.Rows-1)*t.Cols+t.Hi-1, 1, 1)
+	case CodeletGenCall:
+		if t.Tree == nil {
+			return fmt.Errorf("codelet gen call without tree")
+		}
+		if err := t.Tree.Validate(); err != nil {
+			return err
+		}
+		if t.TwDen < 1 {
+			return fmt.Errorf("op %s: twiddle modulus %d", op, t.TwDen)
+		}
+		if t.TwRow < 0 || t.TwOff < 0 {
+			return fmt.Errorf("op %s: negative twiddle index row=%d off=%d", op, t.TwRow, t.TwOff)
+		}
+		n := t.Tree.N
+		if err := check(t.Dst, t.DOff, t.DS, n); err != nil {
+			return err
+		}
+		return check(t.Src, t.SOff, t.SS, n)
 	case Generic:
 		if t.F == nil {
 			return fmt.Errorf("generic op without formula")

@@ -128,6 +128,10 @@ func coversBuf(prog *Program, r *Region, x Buf) bool {
 			switch t := op.(type) {
 			case CodeletCall:
 				mark(t.DOff, t.DS, t.Tree.N)
+			case CodeletGenCall:
+				mark(t.DOff, t.DS, t.Tree.N)
+			case Transpose:
+				mark(t.DOff+t.Lo*t.Rows, 1, (t.Hi-t.Lo)*t.Rows)
 			case WHTCall:
 				mark(t.DOff, t.DS, t.N)
 			case Scale:
@@ -630,6 +634,12 @@ func compactTemps(p *Program) {
 			for j, op := range ops {
 				switch c := op.(type) {
 				case CodeletCall:
+					c.Dst, c.Src = mapBuf(c.Dst), mapBuf(c.Src)
+					r.Workers[w][j] = c
+				case CodeletGenCall:
+					c.Dst, c.Src = mapBuf(c.Dst), mapBuf(c.Src)
+					r.Workers[w][j] = c
+				case Transpose:
 					c.Dst, c.Src = mapBuf(c.Dst), mapBuf(c.Src)
 					r.Workers[w][j] = c
 				case WHTCall:

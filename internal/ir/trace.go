@@ -33,6 +33,23 @@ func (p *Program) TraceAccesses(s, w int, visit func(buf Buf, idx int, write boo
 			for i := 0; i < n; i++ {
 				visit(t.Dst, t.DOff+i*t.DS, true)
 			}
+		case CodeletGenCall:
+			n := t.Tree.N
+			for i := 0; i < n; i++ {
+				visit(t.Src, t.SOff+i*t.SS, false)
+			}
+			for i := 0; i < n; i++ {
+				visit(t.Dst, t.DOff+i*t.DS, true)
+			}
+		case Transpose:
+			for j := t.Lo; j < t.Hi; j++ {
+				for i := 0; i < t.Rows; i++ {
+					visit(t.Src, t.SOff+i*t.Cols+j, false)
+				}
+				for i := 0; i < t.Rows; i++ {
+					visit(t.Dst, t.DOff+j*t.Rows+i, true)
+				}
+			}
 		case WHTCall:
 			for i := 0; i < t.N; i++ {
 				visit(t.Src, t.SOff+i*t.SS, false)
@@ -93,6 +110,12 @@ func opWork(op Op) float64 {
 			f += 6 * float64(t.Tree.N)
 		}
 		return f
+	case CodeletGenCall:
+		// The generated row costs the same 6 flops/element as a fused table
+		// scale (the sincos generation itself is amortized hi/lo products).
+		return exec.FlopCount(t.Tree.N) + 6*float64(t.Tree.N)
+	case Transpose:
+		return float64((t.Hi - t.Lo) * t.Rows) // element moves
 	case WHTCall:
 		return 2 * float64(t.N) * math.Log2(float64(t.N))
 	case Scale:

@@ -1,0 +1,202 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/cost"
+	"spiralfft/internal/exec"
+	"spiralfft/internal/ir"
+	"spiralfft/internal/smp"
+)
+
+// Four-step (large-N) tuning. Candidates are (n1, tile) pairs: the top-level
+// split n = n1·n2 of ir.LowerFourStep and the transpose tile edge. The
+// two-stage discipline is the same as everywhere else — the analytic model
+// (cost.Model.FourStep) ranks every pair, only the cheapest few are measured
+// — but the measurement shortlist is smaller than DefaultTopK because one
+// transform at the sizes this tier serves costs on the order of a second:
+// measuring four candidates would blow through any reasonable PlanBudget.
+
+// FourStepTopK caps how many ranked four-step candidates are measured per
+// search (Tuner.TopK applies when it is smaller).
+const FourStepTopK = 2
+
+// TransposeTiles are the tile-edge candidates ranked for the blocked
+// transposes: the model penalizes pairs whose 2·tile² footprint misses L2 and
+// tiles small enough to pay per-tile loop overhead, so the larger candidates
+// usually rank ahead and the smallest stays as insurance for tiny caches.
+var TransposeTiles = []int{16, 32, 64}
+
+// FourStepChoice is the outcome of a four-step search.
+type FourStepChoice struct {
+	N int
+	// N1 and Tile are the winning split (n = N1 · n2) and transpose tile.
+	N1, Tile int
+	// Prog and Exe are the winning lowered program and its compiled executor
+	// (referencing the backend handed to the search; the caller owns both).
+	Prog *ir.Program
+	Exe  *ir.Executor
+	// ColTree and RowTree are the tuned sub-plan factorizations the winner
+	// was built with (sizes n2 and N1 respectively).
+	ColTree, RowTree *exec.Tree
+	// Time is the measured per-transform runtime, or the modeled cost when
+	// the budget expired before any candidate was measured.
+	Time time.Duration
+	// Measured reports whether Time is a measurement.
+	Measured bool
+	// Candidates is how many (n1, tile) pairs were considered.
+	Candidates int
+}
+
+// BestFourStep tunes the four-step schedule for DFT_n on p workers with
+// cache-line length mu, using the given backend (nil for p == 1).
+func (t *Tuner) BestFourStep(n, p, mu int, backend smp.Backend) (FourStepChoice, error) {
+	return t.BestFourStepCtx(context.Background(), n, p, mu, backend)
+}
+
+// BestFourStepCtx is BestFourStep under a context deadline (composed with
+// Tuner.Budget, the earlier applies). When time runs out before any candidate
+// was measured, the model's top-ranked candidate is built and returned
+// unmeasured — the search never fails from expiry alone.
+func (t *Tuner) BestFourStepCtx(ctx context.Context, n, p, mu int, backend smp.Backend) (FourStepChoice, error) {
+	if p < 1 {
+		return FourStepChoice{}, fmt.Errorf("search: BestFourStep p=%d", p)
+	}
+	if mu < 1 {
+		mu = 4
+	}
+	t.beginSearch(ctx)
+	defer t.endSearch()
+	t.stats.Searches++
+	model := t.Model
+	if model == nil {
+		model = cost.Default()
+	}
+	type cand struct {
+		n1, tile int
+		score    float64
+	}
+	var cands []cand
+	for n1 := 2; n1*2 <= n; n1++ {
+		if n%n1 != 0 {
+			continue
+		}
+		n2 := n / n1
+		if p > 1 && (n1%mu != 0 || n2%mu != 0 || n1 < p || n2 < p) {
+			continue
+		}
+		for _, tile := range TransposeTiles {
+			cands = append(cands, cand{n1: n1, tile: tile, score: model.FourStep(n, n1, p, tile, nil, nil)})
+		}
+	}
+	if len(cands) == 0 {
+		return FourStepChoice{}, fmt.Errorf("search: no admissible four-step split for n=%d p=%d µ=%d", n, p, mu)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score < cands[j].score
+		}
+		// On a model tie prefer the larger n1: the row stage carries the
+		// twiddle work and profits from longer contiguous sub-FFTs, an effect
+		// below the model's resolution but consistent in measurement.
+		if cands[i].n1 != cands[j].n1 {
+			return cands[i].n1 > cands[j].n1
+		}
+		return cands[i].tile < cands[j].tile
+	})
+	k := t.TopK
+	if k <= 0 || k > FourStepTopK {
+		k = FourStepTopK
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for _, c := range cands[k:] {
+		t.stats.Considered++
+		t.stats.Pruned++
+		t.trace("fourstep-pruned", n, fmt.Sprintf("%d·%d tile=%d", c.n1, n/c.n1, c.tile), time.Duration(c.score))
+	}
+
+	type built struct {
+		prog     *ir.Program
+		exe      *ir.Executor
+		col, row *exec.Tree
+	}
+	build := func(c cand) (built, error) {
+		var be smp.Backend
+		if p > 1 {
+			be = backend
+		}
+		col := t.bestTree(n / c.n1).Tree
+		row := t.bestTree(c.n1).Tree
+		prog, err := ir.LowerFourStep(n, c.n1, ir.FourStepConfig{
+			P: p, Mu: mu, Tile: c.tile, ColTree: col, RowTree: row,
+		})
+		if err != nil {
+			return built{}, err
+		}
+		exe, err := ir.NewExecutor(prog, be)
+		if err != nil {
+			return built{}, err
+		}
+		return built{prog: prog, exe: exe, col: col, row: row}, nil
+	}
+
+	// At the sizes this tier serves one transform already exceeds MinTime, so
+	// calibration stops at a single call; median-of-3 rounds would buy no
+	// discrimination while costing seconds per candidate. Unless the caller
+	// configured rounds explicitly, one round decides.
+	cfg := t.Timer
+	if cfg.Repeats == 0 {
+		cfg.Repeats = 1
+	}
+
+	best := FourStepChoice{N: n, Candidates: len(cands)}
+	var x, y []complex128
+	for _, c := range cands[:k] {
+		if t.expired() {
+			break
+		}
+		b, err := build(c)
+		if err != nil {
+			continue
+		}
+		if x == nil {
+			x = complexvec.Random(n, 5)
+			y = make([]complex128, n)
+		}
+		mctx, cancel := t.measureContext()
+		d := MeasureCtx(mctx, func() { b.exe.Transform(y, x) }, cfg)
+		cancel()
+		t.stats.Considered++
+		t.stats.Measured++
+		t.trace("fourstep-candidate", n, fmt.Sprintf("%d·%d tile=%d", c.n1, n/c.n1, c.tile), d)
+		if best.Exe == nil || d < best.Time {
+			best.Prog, best.Exe = b.prog, b.exe
+			best.ColTree, best.RowTree = b.col, b.row
+			best.N1, best.Tile = c.n1, c.tile
+			best.Time, best.Measured = d, true
+		}
+	}
+	if best.Exe == nil {
+		// Budget expired (or every shortlisted build failed) before a
+		// measurement: build the model's top-ranked candidate unmeasured.
+		// bestTree inside build degrades to the radix fallback under the same
+		// expired deadline, so this path stays fast.
+		c := cands[0]
+		b, err := build(c)
+		if err != nil {
+			return FourStepChoice{}, fmt.Errorf("search: four-step fallback build n=%d n1=%d: %w", n, c.n1, err)
+		}
+		best.Prog, best.Exe = b.prog, b.exe
+		best.ColTree, best.RowTree = b.col, b.row
+		best.N1, best.Tile = c.n1, c.tile
+		best.Time = time.Duration(c.score)
+	}
+	t.trace("fourstep-winner", n, fmt.Sprintf("%d·%d tile=%d", best.N1, n/best.N1, best.Tile), best.Time)
+	return best, nil
+}

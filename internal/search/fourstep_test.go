@@ -1,0 +1,120 @@
+package search
+
+import (
+	"math/cmplx"
+	"testing"
+	"time"
+
+	"spiralfft/internal/complexvec"
+	"spiralfft/internal/exec"
+	"spiralfft/internal/smp"
+)
+
+func fourStepRelErr(want, got []complex128) float64 {
+	maxDiff, maxMag := 0.0, 0.0
+	for i := range want {
+		if d := cmplx.Abs(got[i] - want[i]); d > maxDiff {
+			maxDiff = d
+		}
+		if m := cmplx.Abs(want[i]); m > maxMag {
+			maxMag = m
+		}
+	}
+	if maxMag == 0 {
+		return maxDiff
+	}
+	return maxDiff / maxMag
+}
+
+func TestBestFourStepChoosesValidSplit(t *testing.T) {
+	n := 1 << 14
+	tu := NewTuner(StrategyDP)
+	tu.Timer = TimerConfig{MinTime: 50 * time.Microsecond}
+	choice, err := tu.BestFourStep(n, 1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Exe == nil || choice.Prog == nil {
+		t.Fatal("no executor returned")
+	}
+	if choice.N1 < 2 || n%choice.N1 != 0 || n/choice.N1 < 2 {
+		t.Fatalf("invalid split n1=%d for n=%d", choice.N1, n)
+	}
+	if choice.Tile < 1 {
+		t.Fatalf("invalid tile %d", choice.Tile)
+	}
+	if !choice.Measured {
+		t.Error("expected a measured winner with no budget set")
+	}
+	x := complexvec.Random(n, 9)
+	got := make([]complex128, n)
+	want := make([]complex128, n)
+	choice.Exe.Transform(got, x)
+	seq := exec.MustNewSeq(exec.RadixTree(n))
+	seq.Transform(want, x, nil)
+	if re := fourStepRelErr(want, got); re > 1e-12 {
+		t.Errorf("four-step winner rel error %g vs sequential tree", re)
+	}
+}
+
+func TestBestFourStepParallelBackend(t *testing.T) {
+	n, p := 1<<12, 2
+	backend := smp.NewPool(p)
+	defer backend.Close()
+	tu := NewTuner(StrategyDP)
+	tu.Timer = TimerConfig{MinTime: 50 * time.Microsecond}
+	choice, err := tu.BestFourStep(n, p, 4, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.N1%4 != 0 || (n/choice.N1)%4 != 0 {
+		t.Fatalf("parallel split %d·%d not µ-aligned", choice.N1, n/choice.N1)
+	}
+	x := complexvec.Random(n, 10)
+	got := make([]complex128, n)
+	want := make([]complex128, n)
+	choice.Exe.Transform(got, x)
+	seq := exec.MustNewSeq(exec.RadixTree(n))
+	seq.Transform(want, x, nil)
+	if re := fourStepRelErr(want, got); re > 1e-12 {
+		t.Errorf("parallel four-step winner rel error %g", re)
+	}
+}
+
+// An exhausted budget must still yield a usable plan: the model's top-ranked
+// candidate, built but unmeasured.
+func TestBestFourStepExpiredBudgetFallsBack(t *testing.T) {
+	n := 1 << 14
+	tu := NewTuner(StrategyDP)
+	tu.Budget = time.Nanosecond
+	choice, err := tu.BestFourStep(n, 1, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Exe == nil {
+		t.Fatal("expired search returned no executor")
+	}
+	if choice.Measured {
+		t.Error("expired search claims a measurement")
+	}
+	x := complexvec.Random(n, 11)
+	got := make([]complex128, n)
+	want := make([]complex128, n)
+	choice.Exe.Transform(got, x)
+	seq := exec.MustNewSeq(exec.RadixTree(n))
+	seq.Transform(want, x, nil)
+	if re := fourStepRelErr(want, got); re > 1e-12 {
+		t.Errorf("fallback plan rel error %g", re)
+	}
+}
+
+func TestBestFourStepRejectsBadArgs(t *testing.T) {
+	tu := NewTuner(StrategyDP)
+	if _, err := tu.BestFourStep(1<<14, 0, 4, nil); err == nil {
+		t.Error("p=0 accepted")
+	}
+	// A prime size has no split at all.
+	if _, err := tu.BestFourStep(13, 1, 4, nil); err == nil {
+		t.Error("prime size accepted")
+	}
+}

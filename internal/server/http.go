@@ -257,6 +257,19 @@ func (s *Server) handleStream(w http.ResponseWriter, hr *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	outBytes, err := s.OutputBytes(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// A result too large for the framing must die here, while a clean 400
+	// can still be sent: uint32(outBytes) would truncate the length prefix
+	// and desync the stream at the first oversized transform.
+	frameLen, err := wire.FrameLen(outBytes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 
 	// Full-duplex lets us stream results while the client is still
 	// sending frames on HTTP/1.1; on HTTP/2 it is the default.
@@ -264,12 +277,6 @@ func (s *Server) handleStream(w http.ResponseWriter, hr *http.Request) {
 	rc.EnableFullDuplex()
 	w.Header().Set("Content-Type", wire.ContentTypeBinary)
 	w.WriteHeader(http.StatusOK)
-
-	outBytes, err := s.OutputBytes(req)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
 
 	var hdr [4]byte
 	for {
@@ -294,7 +301,7 @@ func (s *Server) handleStream(w http.ResponseWriter, hr *http.Request) {
 		// an error frame instead of a dangling header — the client's
 		// received prefix is always whole frames, each the complete
 		// transform of its input (the deterministic-prefix contract).
-		fw := &framedWriter{w: w, size: uint32(outBytes)}
+		fw := &framedWriter{w: w, size: frameLen}
 		if err := s.Transform(ctx, req, io.LimitReader(hr.Body, int64(n)), fw); err != nil {
 			if !fw.wrote {
 				wire.WriteErrorFrame(w, err.Error())

@@ -98,6 +98,54 @@ func SplitColumns(m, n, p int) [][]complex128 {
 	return out
 }
 
+// FillRow fills dst[k] = ω_den^{row·(off+k)} for k = 0..len(dst)-1: one
+// contiguous chunk of row `row` of the D_{n1,n2} diagonal (den = n1·n2),
+// generated on the fly instead of read from an N-element table. The
+// four-step large-N path calls this per row panel so the resident twiddle
+// state is O(n2) worker scratch, never O(N).
+//
+// Accuracy matches the table path: dst[a·c+b] = ω^{row·(off+a·c)} · ω^{row·b}
+// is the product of two directly-evaluated roots (hi/lo index split), so no
+// recurrence error accumulates along the row. Cost is ~len/c + c sincos
+// evaluations (c ≈ √len, capped) plus one complex multiply per element.
+func FillRow(dst []complex128, den, row, off int) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	if den <= 0 {
+		panic(fmt.Sprintf("twiddle: FillRow with den=%d", den))
+	}
+	row %= den
+	if row < 0 {
+		row += den
+	}
+	// Low-index table lo[b] = ω_den^{row·b}. The cap keeps it stack-sized;
+	// past it the hi loop just runs more blocks (still exact per element).
+	var lobuf [256]complex128
+	c := 1
+	for c*c < n && c < len(lobuf) {
+		c++
+	}
+	lo := lobuf[:c]
+	for b := range lo {
+		// row < den and b < 256, so row·b stays far from int64 overflow.
+		lo[b] = Omega(den, row*b)
+	}
+	for a := 0; a*c < n; a++ {
+		// (off+a·c) reduced first keeps the product below 2^62 for any
+		// in-range transform size.
+		hi := Omega(den, row*((off+a*c)%den))
+		blk := dst[a*c:]
+		if len(blk) > c {
+			blk = blk[:c]
+		}
+		for b := range blk {
+			blk[b] = hi * lo[b]
+		}
+	}
+}
+
 // DefaultCacheLimit bounds a Cache's resident table elements: 1<<21
 // complex128 values = 32 MiB. Long-lived processes serving many distinct
 // shapes (the fftd daemon accumulates one D_{m,k} table per distinct split)
@@ -110,21 +158,33 @@ const DefaultCacheLimit = 1 << 21
 // least-recently-used eviction. Plans for many sizes share tables through a
 // process-wide cache; the zero value is ready to use with DefaultCacheLimit.
 //
-// A table larger than the whole budget is still returned and cached (the
-// plan needs it regardless); it then evicts everything else and is itself
-// evicted on the next insertion.
+// A table larger than the whole budget is accounted per entry, outside the
+// shared pool: it never competes with the normal-sized tables (so inserting
+// a small table cannot evict it) and stays resident until a different
+// over-budget table replaces it. Two over-budget residents are retained —
+// the most recent and its predecessor — so a client alternating between two
+// huge plan shapes hits the cache instead of recomputing a full table on
+// every plan build; a third distinct over-budget size evicts the
+// least-recently-used of the pair.
 type Cache struct {
-	mu    sync.Mutex
-	cols  map[[2]int]*cacheEntry
-	elems int   // total elements resident
-	limit int   // element budget; 0 = DefaultCacheLimit, < 0 = unlimited
-	tick  uint64 // LRU clock
+	mu        sync.Mutex
+	cols      map[[2]int]*cacheEntry
+	elems     int    // elements resident in the shared (within-budget) pool
+	overElems int    // elements resident in over-budget entries
+	over      int    // count of over-budget entries
+	limit     int    // element budget; 0 = DefaultCacheLimit, < 0 = unlimited
+	tick      uint64 // LRU clock
 }
 
 type cacheEntry struct {
 	t    []complex128
 	last uint64 // tick of the most recent lookup
+	over bool   // alone exceeds the budget; accounted per entry
 }
+
+// maxOverEntries bounds the over-budget residents: the current table plus
+// the previous one, so an alternating pair of huge shapes never thrashes.
+const maxOverEntries = 2
 
 var global Cache
 
@@ -138,7 +198,32 @@ func (c *Cache) SetLimit(elems int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.limit = elems
+	// Reclassify residents against the new budget, then evict.
+	limit := c.effectiveLimit()
+	c.elems, c.overElems, c.over = 0, 0, 0
+	for _, e := range c.cols {
+		e.over = limit >= 0 && len(e.t) > limit
+		if e.over {
+			c.overElems += len(e.t)
+			c.over++
+		} else {
+			c.elems += len(e.t)
+		}
+	}
 	c.evictLocked([2]int{0, 0})
+	c.evictOverLocked([2]int{0, 0})
+}
+
+// effectiveLimit resolves the configured budget: 0 means DefaultCacheLimit,
+// negative means unlimited (reported as -1).
+func (c *Cache) effectiveLimit() int {
+	switch {
+	case c.limit == 0:
+		return DefaultCacheLimit
+	case c.limit < 0:
+		return -1
+	}
+	return c.limit
 }
 
 // Columns returns the cached flat column table for D_{m,n}, computing it on
@@ -158,29 +243,35 @@ func (c *Cache) Columns(m, n int) []complex128 {
 		return e.t
 	}
 	t := Columns(m, n)
-	c.cols[key] = &cacheEntry{t: t, last: c.tick}
-	c.elems += len(t)
-	c.evictLocked(key)
+	limit := c.effectiveLimit()
+	e := &cacheEntry{t: t, last: c.tick, over: limit >= 0 && len(t) > limit}
+	c.cols[key] = e
+	if e.over {
+		c.overElems += len(t)
+		c.over++
+		c.evictOverLocked(key)
+	} else {
+		c.elems += len(t)
+		c.evictLocked(key)
+	}
 	return t
 }
 
-// evictLocked drops least-recently-used tables until the budget holds,
-// sparing keep (the entry just inserted: the caller needs it resident at
-// least once even when it alone exceeds the budget).
+// evictLocked drops least-recently-used within-budget tables until the
+// shared pool holds, sparing keep (the entry just inserted: the caller
+// needs it resident at least once). Over-budget entries are accounted per
+// entry and never evicted here — see evictOverLocked.
 func (c *Cache) evictLocked(keep [2]int) {
-	limit := c.limit
-	if limit == 0 {
-		limit = DefaultCacheLimit
-	}
+	limit := c.effectiveLimit()
 	if limit < 0 {
 		return
 	}
-	for c.elems > limit && len(c.cols) > 1 {
+	for c.elems > limit {
 		var victim [2]int
 		var oldest uint64
 		found := false
 		for k, e := range c.cols {
-			if k == keep {
+			if k == keep || e.over {
 				continue
 			}
 			if !found || e.last < oldest {
@@ -191,6 +282,32 @@ func (c *Cache) evictLocked(keep [2]int) {
 			return
 		}
 		c.elems -= len(c.cols[victim].t)
+		delete(c.cols, victim)
+	}
+}
+
+// evictOverLocked drops least-recently-used over-budget tables until at
+// most maxOverEntries remain, sparing keep. A freshly inserted huge table
+// therefore displaces the older of the two residents, never its alternation
+// partner.
+func (c *Cache) evictOverLocked(keep [2]int) {
+	for c.over > maxOverEntries {
+		var victim [2]int
+		var oldest uint64
+		found := false
+		for k, e := range c.cols {
+			if k == keep || !e.over {
+				continue
+			}
+			if !found || e.last < oldest {
+				victim, oldest, found = k, e.last, true
+			}
+		}
+		if !found {
+			return
+		}
+		c.overElems -= len(c.cols[victim].t)
+		c.over--
 		delete(c.cols, victim)
 	}
 }
@@ -211,11 +328,12 @@ func (c *Cache) Size() int {
 	return len(c.cols)
 }
 
-// Elems reports the total complex128 elements currently resident.
+// Elems reports the total complex128 elements currently resident, over-budget
+// entries included.
 func (c *Cache) Elems() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.elems
+	return c.elems + c.overElems
 }
 
 // Reset drops all cached tables (the element budget is kept).
@@ -223,5 +341,5 @@ func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cols = nil
-	c.elems = 0
+	c.elems, c.overElems, c.over = 0, 0, 0
 }

@@ -225,19 +225,58 @@ func TestCacheOversizedTableStillServed(t *testing.T) {
 	if len(big) != 64 || len(small) != 4 {
 		t.Fatal("wrong table lengths")
 	}
-	// The oversized table displaced everything else but is itself resident.
-	if c.Contains(2, 2) || !c.Contains(8, 8) {
+	// The oversized table is accounted per entry, outside the shared pool:
+	// both it and the small table stay resident.
+	if !c.Contains(2, 2) || !c.Contains(8, 8) {
 		t.Errorf("eviction policy wrong: size=%d elems=%d", c.Size(), c.Elems())
 	}
-	// Evicted tables remain valid for holders; recompute on next lookup.
-	if got := c.Columns(2, 2); len(got) != 4 {
-		t.Error("recompute after eviction failed")
+	// A third distinct oversized shape displaces the least-recent of the two
+	// over-budget residents; the small shared-pool table is untouched.
+	c.Columns(4, 4)  // 16 elems, over budget too
+	c.Columns(16, 4) // third over-budget shape: (8,8) is now the LRU of the pair
+	if c.Contains(8, 8) || !c.Contains(4, 4) || !c.Contains(16, 4) {
+		t.Errorf("over-budget eviction wrong: size=%d", c.Size())
 	}
-	// And the returned slices still carry correct values.
-	for i, w := range small {
-		if w != Columns(2, 2)[i] {
+	if !c.Contains(2, 2) {
+		t.Error("over-budget insertions evicted a within-budget table")
+	}
+	// Evicted tables remain valid for holders.
+	for i, w := range big {
+		if w != Columns(8, 8)[i] {
 			t.Fatalf("held slice corrupted at %d", i)
 		}
+	}
+	_ = small
+}
+
+// TestCacheOverBudgetAlternationNoThrash is the regression test for the
+// eviction thrash bug: evictLocked used to spare an over-budget table only
+// while it was the entry being inserted, so two plan shapes whose tables
+// each exceed the whole budget recomputed their full tables on every plan
+// build when built in alternation. With per-entry accounting the pair stays
+// resident: after the first build of each, alternation is all cache hits.
+func TestCacheOverBudgetAlternationNoThrash(t *testing.T) {
+	var c Cache
+	c.SetLimit(8)
+	computes := 0
+	lookup := func(m, n int) {
+		if !c.Contains(m, n) {
+			computes++
+		}
+		c.Columns(m, n)
+	}
+	for i := 0; i < 8; i++ {
+		lookup(8, 8)  // 64 elems, over budget
+		lookup(16, 4) // 64 elems, over budget
+	}
+	if computes != 2 {
+		t.Fatalf("alternating over-budget sizes computed %d tables, want 2 (thrash)", computes)
+	}
+	// A small insertion must not displace the over-budget residents either
+	// (the other half of the thrash: every plan build touches small tables).
+	lookup(2, 2)
+	if !c.Contains(8, 8) || !c.Contains(16, 4) {
+		t.Error("small insertion evicted an over-budget resident")
 	}
 }
 
@@ -258,5 +297,45 @@ func TestCacheUnlimitedAndResetKeepBudget(t *testing.T) {
 	c.Columns(4, 4)
 	if !c.Contains(4, 4) {
 		t.Error("default budget evicted a tiny table")
+	}
+}
+
+// FillRow must agree with Omega element for element: it is the chunked
+// generation path the four-step tier uses in place of an N-element table.
+func TestFillRowMatchesOmega(t *testing.T) {
+	cases := []struct{ den, row, off, n int }{
+		{4096, 0, 0, 64},
+		{4096, 7, 0, 64},
+		{4096, 63, 100, 300},
+		{1 << 20, 12345, 1 << 19, 1000},
+		{12, 5, 3, 12},
+		{1, 0, 0, 5},
+		{1 << 22, (1 << 11) - 1, 1 << 21, 2048},
+	}
+	for _, tc := range cases {
+		dst := make([]complex128, tc.n)
+		FillRow(dst, tc.den, tc.row, tc.off)
+		for k, got := range dst {
+			want := Omega(tc.den, tc.row*((tc.off+k)%tc.den)%tc.den)
+			if cmplx.Abs(got-want) > tol {
+				t.Fatalf("FillRow(den=%d,row=%d,off=%d)[%d] = %v, want %v",
+					tc.den, tc.row, tc.off, k, got, want)
+			}
+		}
+	}
+}
+
+// FillRow over a full row must reproduce row i of the D_{m,n} table.
+func TestFillRowMatchesD(t *testing.T) {
+	const m, n = 16, 48
+	d := D(m, n)
+	row := make([]complex128, n)
+	for i := 0; i < m; i++ {
+		FillRow(row, m*n, i, 0)
+		for j := 0; j < n; j++ {
+			if cmplx.Abs(row[j]-d[i*n+j]) > tol {
+				t.Fatalf("FillRow row %d col %d = %v, want %v", i, j, row[j], d[i*n+j])
+			}
+		}
 	}
 }

@@ -151,9 +151,35 @@ func byteswapFloats(f []float64) {
 // ErrFrame is the frame-length sentinel introducing an error frame.
 const ErrFrame = 0xFFFFFFFF
 
-// MaxFramePayload bounds a single stream frame (guards against hostile or
-// corrupt length prefixes).
+// MaxFramePayload bounds a single stream frame on the read side (guards
+// against hostile or corrupt length prefixes).
 const MaxFramePayload = 1 << 28
+
+// MaxFrameLen is the largest payload one frame header can represent:
+// lengths at or above ErrFrame collide with the error sentinel, and the
+// 4-byte prefix can hold nothing larger. Writers must reject payloads past
+// this limit before emitting the header — a bare uint32(len) cast silently
+// truncates a ≥ 4 GiB result (a 2^28-point complex vector is exactly 4 GiB)
+// and desyncs the stream.
+const MaxFrameLen = ErrFrame - 1
+
+// FrameTooLargeError reports a payload too large for the stream framing.
+type FrameTooLargeError struct {
+	Len int // payload length in bytes
+}
+
+func (e *FrameTooLargeError) Error() string {
+	return fmt.Sprintf("fftd: frame payload %d bytes exceeds MaxFrameLen (%d)", e.Len, int64(MaxFrameLen))
+}
+
+// FrameLen validates a payload size and returns it as the header value.
+// The error is always a *FrameTooLargeError.
+func FrameLen(bytes int) (uint32, error) {
+	if bytes < 0 || bytes > MaxFrameLen {
+		return 0, &FrameTooLargeError{Len: bytes}
+	}
+	return uint32(bytes), nil
+}
 
 // ReadFrameHeader reads one 4-byte length prefix. io.EOF is returned
 // unwrapped when the stream ends cleanly before a header.

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 	"testing"
@@ -87,5 +88,42 @@ func TestFraming(t *testing.T) {
 	}
 	if _, err := ReadFrameHeader(bytes.NewReader([]byte{1, 2}), &hdr); err == io.EOF || err == nil {
 		t.Fatalf("truncated header: %v, want wrapped error", err)
+	}
+}
+
+// TestFrameLenBoundary is the regression test for the frame-length overflow
+// bug: payload sizes past MaxFrameLen used to be cast straight to uint32,
+// so MaxFrameLen+1 framed as the ErrFrame sentinel and 1<<32 framed as the
+// end-of-stream marker — both silently desyncing the stream. FrameLen must
+// accept exactly [0, MaxFrameLen] and return the typed error past it.
+func TestFrameLenBoundary(t *testing.T) {
+	if n, err := FrameLen(MaxFrameLen); err != nil || n != MaxFrameLen {
+		t.Fatalf("FrameLen(MaxFrameLen) = %d, %v", n, err)
+	}
+	if n, err := FrameLen(0); err != nil || n != 0 {
+		t.Fatalf("FrameLen(0) = %d, %v", n, err)
+	}
+	for _, bad := range []int{
+		MaxFrameLen + 1, // would frame as the ErrFrame sentinel
+		1 << 32,         // would truncate to the end-of-stream marker
+		1<<32 + 16,      // would truncate to a plausible small frame
+		-1,
+	} {
+		_, err := FrameLen(bad)
+		if err == nil {
+			t.Fatalf("FrameLen(%d) accepted an unframeable payload", bad)
+		}
+		var fe *FrameTooLargeError
+		if !errors.As(err, &fe) {
+			t.Fatalf("FrameLen(%d) error %T, want *FrameTooLargeError", bad, err)
+		}
+		if fe.Len != bad {
+			t.Errorf("FrameTooLargeError.Len = %d, want %d", fe.Len, bad)
+		}
+	}
+	// The sentinel constants must stay consistent: MaxFrameLen is the last
+	// length below the error sentinel.
+	if MaxFrameLen != ErrFrame-1 {
+		t.Fatalf("MaxFrameLen = %d, want ErrFrame-1", int64(MaxFrameLen))
 	}
 }

@@ -1,6 +1,7 @@
 package spiralfft_test
 
 import (
+	"math/cmplx"
 	"testing"
 	"time"
 
@@ -59,5 +60,54 @@ func TestColdStartPlanBudget(t *testing.T) {
 	}
 	if e := complexvec.RelError(y, x); e > 1e-9 {
 		t.Errorf("round-trip error %g", e)
+	}
+}
+
+// TestColdStartLargeNPlanBudget is the same gate for the four-step tier: a
+// cold measured-planner plan at 2^22 — where a single transform takes on the
+// order of a second — must still land inside PlanBudget. Two things bound
+// it: the search measures at most search.FourStepTopK candidates (the model
+// ranks the rest out), and MeasureCtx's calibration stops after one call at
+// this size because the first one-repetition attempt already exceeds
+// MinTime. If this test times out, one of those bounds has regressed into
+// unbounded calibration on an enormous candidate.
+func TestColdStartLargeNPlanBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured planning at 2^22")
+	}
+	const n = 1 << 22
+	budget := 20 * time.Second
+	start := time.Now()
+	p, err := fft.NewPlan(n, &fft.Options{
+		Planner:    fft.PlannerMeasure,
+		PlanBudget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	elapsed := time.Since(start)
+	if limit := budget + budget/2; elapsed > limit {
+		t.Fatalf("cold large-N planning took %v, budget %v (limit %v)", elapsed, budget, limit)
+	}
+	if !p.IsFourStep() {
+		t.Fatalf("n=2^22 plan did not take the four-step tier: %s", p.Tree())
+	}
+	n1, n2 := p.Split()
+	if n1 < 2 || n1*n2 != n {
+		t.Fatalf("invalid four-step split %d·%d", n1, n2)
+	}
+	// And the plan is correct: a unit impulse transforms to the all-ones
+	// vector (checked on a prefix — the property holds at every bin).
+	x := make([]complex128, n)
+	x[0] = 1
+	got := make([]complex128, n)
+	if err := p.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		if d := cmplx.Abs(got[i*(n/1024)] - 1); d > 1e-9 {
+			t.Fatalf("impulse response bin %d off by %g", i*(n/1024), d)
+		}
 	}
 }

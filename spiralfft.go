@@ -134,6 +134,14 @@ type Options struct {
 	// fixed radix tree), so planning completes in bounded time instead of
 	// scaling with the size of the search space. Zero means unbounded.
 	PlanBudget time.Duration
+	// LargeNThreshold is the transform size at or beyond which NewPlan
+	// lowers the DFT through the four-step large-N tier (explicit blocked
+	// transposes around contiguous sub-FFTs, twiddles generated in O(n1)
+	// chunks) instead of the recursive tree schedule. Zero selects
+	// DefaultLargeNThreshold (2^22); a negative value disables the tier
+	// entirely. Sizes the tier cannot decompose (primes) fall back to the
+	// tree planner regardless.
+	LargeNThreshold int
 }
 
 func (o *Options) withDefaults() Options {
@@ -146,6 +154,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if opt.CacheLineComplex == 0 {
 		opt.CacheLineComplex = 4
+	}
+	if opt.LargeNThreshold == 0 {
+		opt.LargeNThreshold = DefaultLargeNThreshold
 	}
 	return opt
 }
@@ -170,6 +181,11 @@ type Plan struct {
 	// ltree/rtree are the tuned sub-plan factorizations.
 	m            int
 	ltree, rtree *exec.Tree
+	// fourStep, when set, marks the plan as a large-N four-step plan: the
+	// schedule is ir.LowerFourStep's (seqExe sequential, exe parallel), m
+	// is the split n1, ltree/rtree the row/column sub-trees, and tree is
+	// nil (no full-size factorization tree is ever built at these sizes).
+	fourStep *fourStepInfo
 	// onClose, when set, redirects Close to the owning Cache's ref-count
 	// release instead of destroying the plan.
 	onClose func()
@@ -197,6 +213,14 @@ func NewPlan(n int, o *Options) (*Plan, error) {
 
 	tuner := search.NewTuner(strategyFor(opt.Planner))
 	tuner.Budget = opt.PlanBudget
+	if opt.LargeNThreshold > 0 && n >= opt.LargeNThreshold {
+		// The large-N tier serves the size without building the full-size
+		// tree schedule (whose root twiddle diagonal alone is an O(N)
+		// resident table). Sizes it cannot decompose fall through.
+		if err := p.planFourStep(tuner); err == nil {
+			return p, nil
+		}
+	}
 	p.tree = p.sequentialTree(tuner)
 	prog, err := ir.LowerTree(p.tree)
 	if err != nil {
@@ -354,6 +378,10 @@ func (p *Plan) Len() int { return p.n }
 // IsParallel reports whether the plan executes on multiple workers.
 func (p *Plan) IsParallel() bool { return p.exe != nil }
 
+// IsFourStep reports whether the plan runs the large-N four-step schedule
+// (see Options.LargeNThreshold).
+func (p *Plan) IsFourStep() bool { return p.fourStep != nil }
+
 // Workers returns the number of workers the plan actually uses.
 func (p *Plan) Workers() int {
 	if p.exe != nil {
@@ -362,10 +390,10 @@ func (p *Plan) Workers() int {
 	return 1
 }
 
-// Split returns the top-level factorization n = m·k of a parallel plan
-// (0, 0 for sequential plans).
+// Split returns the top-level factorization n = m·k of a parallel plan, or
+// of a four-step large-N plan (m = n1). (0, 0 for sequential tree plans.)
 func (p *Plan) Split() (m, k int) {
-	if p.exe == nil {
+	if p.exe == nil && p.fourStep == nil {
 		return 0, 0
 	}
 	return p.m, p.n / p.m
@@ -374,6 +402,10 @@ func (p *Plan) Split() (m, k int) {
 // Tree describes the factorization tree(s) of the plan, e.g.
 // "(16 x 16)" or "parallel p=2: left=(8 x 2), right=16".
 func (p *Plan) Tree() string {
+	if fs := p.fourStep; fs != nil {
+		return fmt.Sprintf("four-step p=%d: %d·%d tile=%d, row=%s, col=%s",
+			p.Workers(), fs.n1, p.n/fs.n1, fs.tile, p.ltree.String(), p.rtree.String())
+	}
 	if p.exe == nil {
 		return p.tree.String()
 	}
@@ -394,6 +426,15 @@ func (p *Plan) Program() *ir.Program {
 // notation: the multicore Cooley-Tukey FFT (formula (14)) for parallel
 // plans, or the plain Cooley-Tukey formula for sequential ones.
 func (p *Plan) Formula() string {
+	if fs := p.fourStep; fs != nil {
+		// The four-step schedule in the paper's notation: both
+		// redistributions are explicit transposes, the twiddle diagonal is
+		// generated, never tabulated.
+		n1 := fs.n1
+		n2 := p.n / n1
+		return fmt.Sprintf("(DFT_%d ⊗ I_%d) · T^%d_%d · (I_%d ⊗ DFT_%d) · L^%d_%d",
+			n1, n2, p.n, n2, n1, n2, p.n, n1)
+	}
 	if p.exe != nil {
 		f, _, err := rewrite.DeriveMulticoreCT(p.n, p.m, p.exe.Workers(), p.opt.CacheLineComplex)
 		if err == nil {
@@ -409,7 +450,7 @@ func (p *Plan) Formula() string {
 // Derivation returns the full rewriting derivation of the plan's formula
 // (parallel plans only; sequential plans return the empty string).
 func (p *Plan) Derivation() string {
-	if p.exe == nil {
+	if p.exe == nil || p.fourStep != nil {
 		return ""
 	}
 	_, trace, err := rewrite.DeriveMulticoreCT(p.n, p.m, p.exe.Workers(), p.opt.CacheLineComplex)
